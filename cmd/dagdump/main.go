@@ -1,0 +1,132 @@
+// Command dagdump records the computation DAG of one of the paper's
+// algorithms and prints either summary statistics (work, depth, edge
+// counts, parallelism profile) or the DAG itself as Graphviz DOT — the tool
+// that regenerates Figure 1-style drawings for any algorithm at any size.
+//
+// Usage:
+//
+//	dagdump -alg merge -n 8 -dot > merge8.dot   # drawable DAG
+//	dagdump -alg union -n 4096                  # statistics + schedule
+//	dagdump -alg prodcons -n 10 -dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pipefut/internal/core"
+	"pipefut/internal/costalg"
+	"pipefut/internal/machine"
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/seqtree"
+	"pipefut/internal/t26"
+	"pipefut/internal/trace"
+	"pipefut/internal/workload"
+)
+
+func main() {
+	var (
+		alg  = flag.String("alg", "merge", "algorithm: merge|union|diff|intersect|t26|quicksort|prodcons|mergesort")
+		n    = flag.Int("n", 1024, "input size (per tree where applicable)")
+		seed = flag.Uint64("seed", 42, "workload seed")
+		dot  = flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+	)
+	flag.Parse()
+
+	tr := trace.New()
+	eng := core.NewEngine(tr)
+	ctx := eng.NewCtx()
+	rng := workload.NewRNG(*seed)
+
+	switch *alg {
+	case "merge":
+		ka, kb := workload.DisjointKeySets(rng, *n, *n)
+		sort.Ints(ka)
+		sort.Ints(kb)
+		r := costalg.Merge(ctx,
+			costalg.FromSeqTree(eng, seqtree.FromSortedBalanced(ka)),
+			costalg.FromSeqTree(eng, seqtree.FromSortedBalanced(kb)))
+		costalg.CompletionTime(r)
+	case "union", "diff", "intersect":
+		ka, kb := workload.OverlappingKeySets(rng, *n, *n, 0.3)
+		a := costalg.FromSeqTreap(eng, seqtreap.FromKeys(ka))
+		b := costalg.FromSeqTreap(eng, seqtreap.FromKeys(kb))
+		var r costalg.Tree
+		switch *alg {
+		case "union":
+			r = costalg.Union(ctx, a, b)
+		case "diff":
+			r = costalg.Diff(ctx, a, b)
+		default:
+			r = costalg.Intersect(ctx, a, b)
+		}
+		costalg.CompletionTime(r)
+	case "t26":
+		all := workload.DistinctKeys(rng, 2*(*n), 8*(*n))
+		base := t26.FromKeys(all[:*n])
+		ins := append([]int(nil), all[*n:]...)
+		sort.Ints(ins)
+		r := costalg.T26BulkInsert(ctx, costalg.FromSeqT26(eng, base),
+			workload.WellSeparatedLevels(ins))
+		costalg.T26CompletionTime(r)
+	case "quicksort":
+		r := costalg.Quicksort(ctx, costalg.FromSlice(eng, rng.Perm(*n)),
+			core.Done[*costalg.LNode](eng, nil))
+		costalg.ListCompletionTime(r)
+	case "prodcons":
+		costalg.Consume(ctx, costalg.Produce(ctx, *n))
+	case "mergesort":
+		r := costalg.Mergesort(ctx, rng.Perm(*n))
+		costalg.CompletionTime(r)
+	default:
+		fmt.Fprintf(os.Stderr, "dagdump: unknown algorithm %q\n", *alg)
+		os.Exit(2)
+	}
+	costs := eng.Finish()
+
+	if *dot {
+		if err := tr.WriteDOT(os.Stdout, *alg); err != nil {
+			fmt.Fprintln(os.Stderr, "dagdump:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	s := tr.Summary()
+	fmt.Printf("algorithm:   %s (n=%d, seed=%d)\n", *alg, *n, *seed)
+	fmt.Printf("work:        %d\n", s.Work)
+	fmt.Printf("depth:       %d\n", s.Depth)
+	fmt.Printf("parallelism: %.1f (work/depth)\n", costs.AvgParallelism())
+	fmt.Printf("edges:       %d thread, %d fork, %d data\n", s.ThreadEdges, s.ForkEdges, s.DataEdges)
+	fmt.Printf("futures:     %d forks, %d cells, %d touches, linear=%v\n",
+		costs.Forks, costs.Cells, costs.Touches, costs.Linear())
+
+	// Parallelism profile: how many actions sit at each DAG level — the
+	// width the machine can exploit.
+	levels := tr.Levels()
+	width := map[int64]int64{}
+	for _, l := range levels {
+		width[l]++
+	}
+	var maxW int64
+	for _, w := range width {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	fmt.Printf("max level width: %d\n", maxW)
+
+	fmt.Println("\ngreedy schedule (Lemma 4.1, stack discipline):")
+	fmt.Printf("%8s %10s %10s %12s %9s %12s\n", "p", "steps", "bound", "speedup", "util", "suspensions")
+	for p := 1; p <= 1024; p *= 4 {
+		r, err := machine.Run(tr, p, machine.Stack)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dagdump:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%8d %10d %10d %12.1f %9.3f %12d\n",
+			p, r.Steps, r.BrentBound, r.Speedup(), r.Utilization(), r.Suspensions)
+	}
+}

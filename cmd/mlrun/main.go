@@ -1,0 +1,79 @@
+// Command mlrun runs programs written in the paper's ML-with-futures
+// subset (Appendix, Figure 13) under the Section 2 cost semantics and
+// reports the result together with the computation's work, depth, and
+// linearity — the "language-based cost model" as a usable tool.
+//
+// Usage:
+//
+//	mlrun -f prog.ml -e 'main(100)'      # run expression against a file
+//	mlrun -paper -e 'consume(?produce(1000), 0)'
+//	echo 'fun f(x) = x * x' | mlrun -e 'f(12)'
+//
+// The expression may call any function of the program; its value is
+// printed in ML syntax (futures fully forced).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pipefut/internal/core"
+	"pipefut/internal/ml"
+)
+
+func main() {
+	var (
+		file  = flag.String("f", "", "program file (default: read from stdin unless -paper)")
+		expr  = flag.String("e", "", "expression to evaluate (required)")
+		paper = flag.Bool("paper", false, "use the built-in transcription of the paper's Figures 1-4")
+	)
+	flag.Parse()
+	if *expr == "" {
+		fmt.Fprintln(os.Stderr, "mlrun: -e expression is required")
+		os.Exit(2)
+	}
+
+	var src string
+	switch {
+	case *paper:
+		src = ml.PaperSource
+	case *file != "":
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlrun:", err)
+			os.Exit(1)
+		}
+		src = string(b)
+	default:
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlrun:", err)
+			os.Exit(1)
+		}
+		src = string(b)
+	}
+
+	prog, err := ml.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlrun:", err)
+		os.Exit(1)
+	}
+
+	eng := core.NewEngine(nil)
+	interp := ml.NewInterp(prog, eng)
+	v, err := interp.EvalExpr(eng.NewCtx(), *expr, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlrun:", err)
+		os.Exit(1)
+	}
+	v = ml.Deep(v)
+	costs := eng.Finish()
+
+	fmt.Printf("value: %s\n", ml.Show(v))
+	fmt.Printf("work:  %d\n", costs.Work)
+	fmt.Printf("depth: %d\n", costs.Depth)
+	fmt.Printf("parallelism: %.1f   forks: %d   cells: %d   linear: %v\n",
+		costs.AvgParallelism(), costs.Forks, costs.Cells, costs.Linear())
+}

@@ -1,0 +1,93 @@
+// Quickstart for pipefut: futures, pipelined set operations, and the cost
+// model, in ~80 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"pipefut"
+)
+
+func main() {
+	// --- 1. Futures -----------------------------------------------------
+	// A future call returns immediately with a cell; reading the cell
+	// blocks until the value is written. This is the language construct
+	// the paper builds on (Section 2).
+	cell := pipefut.Spawn(func() int {
+		sum := 0
+		for i := 1; i <= 1_000_000; i++ {
+			sum += i
+		}
+		return sum
+	})
+	fmt.Println("spawned a future; doing other work ...")
+	fmt.Println("future result:", cell.Read())
+
+	// Multi-cell futures write their results independently — one can be
+	// ready long before the other, which is what makes the paper's
+	// dynamic pipelines possible.
+	early, late := pipefut.Spawn2(func(a, b *pipefut.Cell[string]) {
+		a.Write("early")
+		// ... a lot of work later ...
+		b.Write("late")
+	})
+	fmt.Println(early.Read(), "then", late.Read())
+
+	// --- 2. Pipelined set operations ------------------------------------
+	// Sets are treaps whose edges are future cells. Union and Subtract
+	// are the paper's pipelined parallel algorithms (Sections 3.2–3.3):
+	// they return immediately and materialize concurrently.
+	evens := make([]int, 0, 500)
+	threes := make([]int, 0, 334)
+	for i := 0; i < 1000; i += 2 {
+		evens = append(evens, i)
+	}
+	for i := 0; i < 1000; i += 3 {
+		threes = append(threes, i)
+	}
+	a := pipefut.NewSet(evens...)
+	b := pipefut.NewSet(threes...)
+
+	union := a.Union(b)                    // evens ∪ multiples of 3
+	sixes := a.Subtract(union.Subtract(b)) // evens ∩ multiples of 3 = multiples of 6
+
+	// Queries work while results are still being computed: reads block
+	// only along the search path.
+	fmt.Println("union has 6?", union.Contains(6), " size:", union.Len())
+	fmt.Println("multiples of 6 up to 1000:", sixes.Len())
+
+	// --- 3. The cost model ----------------------------------------------
+	// Measure runs a future-based computation in virtual time and
+	// reports its work and depth in the paper's DAG model.
+	costs := pipefut.Measure(func(t *pipefut.Ctx) {
+		// A tiny pipeline: a producer thread and a consumer thread
+		// overlapped through future cells.
+		type cons struct {
+			head int
+			tail *pipefut.MCell[any]
+		}
+		var produce func(t *pipefut.Ctx, n int) *pipefut.MCell[any]
+		produce = func(t *pipefut.Ctx, n int) *pipefut.MCell[any] {
+			return pipefut.Fork(t, func(t *pipefut.Ctx) any {
+				if n == 0 {
+					return nil
+				}
+				t.Step(1)
+				return &cons{head: n, tail: produce(t, n-1)}
+			})
+		}
+		l := produce(t, 100)
+		for {
+			v := pipefut.Touch(t, l)
+			if v == nil {
+				break
+			}
+			t.Step(1) // consume
+			l = v.(*cons).tail
+		}
+	})
+	fmt.Printf("producer/consumer of 100: work=%d depth=%d parallelism=%.1f linear=%v\n",
+		costs.Work, costs.Depth, costs.AvgParallelism(), costs.Linear())
+}

@@ -1,0 +1,64 @@
+// A bulk dictionary built on pipelined treap set operations — the workload
+// the paper's introduction motivates: maintaining a dynamic dictionary
+// under batch inserts and batch deletes, where each batch is a single
+// pipelined Union or Subtract instead of m sequential updates.
+//
+// The example simulates an inverted-index maintenance loop: batches of
+// document IDs are added and retired, with queries running concurrently
+// against in-flight results.
+//
+//	go run ./examples/setops
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pipefut"
+	"pipefut/internal/workload"
+)
+
+func main() {
+	rng := workload.NewRNG(2026)
+
+	// Start with a base index of a quarter-million document IDs.
+	const base = 1 << 18
+	fmt.Printf("building base index of %d ids ...\n", base)
+	start := time.Now()
+	index := pipefut.NewSet(workload.DistinctKeys(rng, base, 8*base)...).WithSpawnDepth(8)
+	index.Wait()
+	fmt.Printf("  built in %v\n", time.Since(start))
+
+	// Apply alternating insert/delete batches. Each batch is one
+	// pipelined set operation; successive operations pipeline into each
+	// other because results are consumed as they materialize.
+	const batches = 8
+	const batchSize = 1 << 13
+	start = time.Now()
+	var retired *pipefut.Set
+	for i := 0; i < batches; i++ {
+		add := pipefut.NewSet(workload.DistinctKeys(rng, batchSize, 8*base)...)
+		del := pipefut.NewSet(workload.DistinctKeys(rng, batchSize, 8*base)...)
+		index = index.Union(add).Subtract(del)
+		if retired == nil {
+			retired = del
+		} else {
+			retired = retired.Union(del)
+		}
+	}
+	// Queries can run against the in-flight index — reads block only
+	// along their search path, not on the whole batch.
+	probe := workload.DistinctKeys(rng, 4, 8*base)
+	for _, id := range probe {
+		fmt.Printf("  in-flight query Contains(%d) = %v\n", id, index.Contains(id))
+	}
+	index.Wait()
+	fmt.Printf("applied %d batches of ±%d in %v (pipelined)\n",
+		batches, batchSize, time.Since(start))
+
+	fmt.Printf("final index size: %d; retired pool: %d\n", index.Len(), retired.Len())
+
+	// Sanity: nothing retired in the last batch survives.
+	deleted := retired.Subtract(index)
+	fmt.Printf("retired ids absent from index: %d of %d\n", deleted.Len(), retired.Len())
+}

@@ -1,0 +1,3 @@
+module pipefut
+
+go 1.24

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"pipefut/internal/core"
+	"pipefut/internal/costalg"
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/stats"
+	"pipefut/internal/workload"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "intersect",
+		Paper: "extension (§3.2–3.3 family)",
+		Claim: "treap intersection pipelines like union/difference: expected depth O(lg n + lg m)",
+		Run:   runIntersect,
+	})
+}
+
+// IntersectCosts measures one pipelined and one non-pipelined treap
+// intersection.
+func IntersectCosts(seed uint64, n, m int, overlap float64) (pipe, nopipe core.Costs) {
+	rng := workload.NewRNG(seed)
+	ka, kb := workload.OverlappingKeySets(rng, n, m, overlap)
+	ta := seqtreap.FromKeys(ka)
+	tb := seqtreap.FromKeys(kb)
+
+	eng := core.NewEngine(nil)
+	r := costalg.Intersect(eng.NewCtx(), costalg.FromSeqTreap(eng, ta), costalg.FromSeqTreap(eng, tb))
+	costalg.CompletionTime(r)
+	pipe = eng.Finish()
+
+	eng2 := core.NewEngine(nil)
+	r2 := costalg.IntersectNoPipe(eng2.NewCtx(), costalg.FromSeqTreap(eng2, ta), costalg.FromSeqTreap(eng2, tb))
+	costalg.CompletionTime(r2)
+	nopipe = eng2.Finish()
+	return pipe, nopipe
+}
+
+func runIntersect(cfg Config, w io.Writer) error {
+	tb := NewTable("Treap intersection, n = m (extension)",
+		"lg n", "E[depth](pipe)", "depth/lg(nm)", "E[depth](nopipe)", "ratio np/p", "E[work]", "linear")
+	var ns, dp []float64
+	for _, n := range cfg.Sizes(8) {
+		d, wk, dn, lin := avgCosts(cfg.Trials, func(s uint64) (core.Costs, core.Costs) {
+			return IntersectCosts(cfg.Seed+s, n, n, 0.5)
+		})
+		lg := stats.Lg(float64(n))
+		tb.Row(I(int64(lgInt(n))), F(d), F(d/(2*lg)), F(dn), F(dn/d), F(wk), fmt.Sprintf("%v", lin))
+		ns = append(ns, float64(n))
+		dp = append(dp, d)
+	}
+	fitNote(tb, "pipelined E[depth]", ns, dp)
+	tb.Note("not a result of the paper: intersection composed from the same splitm/join machinery, same τ/ρ analysis")
+	return tb.Fprint(w)
+}

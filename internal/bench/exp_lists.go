@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"pipefut/internal/core"
+	"pipefut/internal/costalg"
+	"pipefut/internal/stats"
+	"pipefut/internal/workload"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "fig1",
+		Paper: "Figure 1",
+		Claim: "producer/consumer pipeline: consumption overlaps production, total depth Θ(n)",
+		Run:   runFig1,
+	})
+	Register(Experiment{
+		ID:    "fig2",
+		Paper: "Figure 2 / Section 1",
+		Claim: "Halstead's quicksort: pipelined and non-pipelined are both Θ(n) expected depth",
+		Run:   runFig2,
+	})
+}
+
+// Fig1Costs measures the Figure 1 producer/consumer at size n: pipelined
+// (consume chases produce) and phased (consume only after production
+// completes).
+func Fig1Costs(n int) (pipe, phased core.Costs, sum int64) {
+	eng := core.NewEngine(nil)
+	ctx := eng.NewCtx()
+	sum = costalg.Consume(ctx, costalg.Produce(ctx, n))
+	pipe = eng.Finish()
+
+	eng2 := core.NewEngine(nil)
+	ctx2 := eng2.NewCtx()
+	l := costalg.Produce(ctx2, n)
+	ctx2.AdvanceTo(costalg.ListCompletionTime(l))
+	costalg.Consume(ctx2, l)
+	phased = eng2.Finish()
+	return pipe, phased, sum
+}
+
+func runFig1(cfg Config, w io.Writer) error {
+	tb := NewTable("Producer/consumer (Figure 1)",
+		"n", "depth(pipelined)", "depth/n", "depth(phased)", "overlap gain", "work", "linear")
+	for _, n := range cfg.Sizes(6) {
+		pipe, phased, sum := Fig1Costs(n)
+		if want := int64(n) * int64(n+1) / 2; sum != want {
+			return fmt.Errorf("fig1: sum %d, want %d", sum, want)
+		}
+		tb.Row(
+			I(int64(n)),
+			I(pipe.Depth), F(float64(pipe.Depth)/float64(n)),
+			I(phased.Depth),
+			F(float64(phased.Depth)/float64(pipe.Depth)),
+			I(pipe.Work),
+			fmt.Sprintf("%v", pipe.Linear()),
+		)
+	}
+	tb.Note("each element is produced by its own future thread; the consumer touches cons cells as they appear")
+	tb.Note("'phased' waits for the whole list before consuming — the pipeline saves the constant factor shown")
+	return tb.Fprint(w)
+}
+
+// Fig2Costs measures Halstead's quicksort on a random permutation of size
+// n, pipelined (Figure 2 as written) and with a sequential partition.
+func Fig2Costs(seed uint64, n int) (pipe, nopipe core.Costs) {
+	rng := workload.NewRNG(seed)
+	xs := rng.Perm(n)
+
+	eng := core.NewEngine(nil)
+	ctx := eng.NewCtx()
+	r := costalg.Quicksort(ctx, costalg.FromSlice(eng, xs), core.Done[*costalg.LNode](eng, nil))
+	costalg.ListCompletionTime(r)
+	pipe = eng.Finish()
+
+	eng2 := core.NewEngine(nil)
+	ctx2 := eng2.NewCtx()
+	r2 := costalg.QuicksortNoPipe(ctx2, costalg.FromSlice(eng2, xs), core.Done[*costalg.LNode](eng2, nil))
+	costalg.ListCompletionTime(r2)
+	nopipe = eng2.Finish()
+	return pipe, nopipe
+}
+
+func runFig2(cfg Config, w io.Writer) error {
+	maxLg := min(cfg.MaxLgN, 14) // list recursion depth is Θ(n)
+	tb := NewTable("Halstead's quicksort (Figure 2)",
+		"lg n", "E[depth](pipe)", "depth/n", "E[depth](nopipe)", "nopipe/n", "gain (np/p)", "E[work]", "linear")
+	var ns, dp []float64
+	for e := 6; e <= maxLg; e++ {
+		n := 1 << e
+		var d, dn, wk float64
+		linear := true
+		for i := 0; i < cfg.Trials; i++ {
+			p, np := Fig2Costs(cfg.Seed+uint64(i), n)
+			d += float64(p.Depth)
+			dn += float64(np.Depth)
+			wk += float64(p.Work)
+			linear = linear && p.Linear()
+		}
+		k := float64(cfg.Trials)
+		d, dn, wk = d/k, dn/k, wk/k
+		tb.Row(I(int64(e)), F(d), F(d/float64(n)), F(dn), F(dn/float64(n)), F(dn/d), F(wk),
+			fmt.Sprintf("%v", linear))
+		ns = append(ns, float64(n))
+		dp = append(dp, d)
+	}
+	fitNote(tb, "pipelined E[depth]", ns, dp)
+	_ = stats.Lg
+	tb.Note("paper (Section 1): both variants have Θ(n) expected depth — futures give only a constant factor here")
+	return tb.Fprint(w)
+}

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pipefut/internal/core"
+	"pipefut/internal/costalg"
+	"pipefut/internal/seqtree"
+	"pipefut/internal/stats"
+	"pipefut/internal/workload"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "merge",
+		Paper: "Theorem 3.1",
+		Claim: "pipelined merge: depth O(lg n + lg m); non-pipelined: Θ(lg n · lg m)",
+		Run:   runMerge,
+	})
+	Register(Experiment{
+		ID:    "rebalance",
+		Paper: "Section 3.1 (end)",
+		Claim: "rebalancing a merged tree: O(lg n + lg m) depth, O(n+m) work",
+		Run:   runRebalance,
+	})
+}
+
+// MergeCosts measures one pipelined and one non-pipelined merge of two
+// balanced trees with n and m disjoint random keys. Exported for the
+// root-level benchmarks.
+func MergeCosts(seed uint64, n, m int) (pipe, nopipe core.Costs) {
+	rng := workload.NewRNG(seed)
+	ka, kb := workload.DisjointKeySets(rng, n, m)
+	sort.Ints(ka)
+	sort.Ints(kb)
+	t1 := seqtree.FromSortedBalanced(ka)
+	t2 := seqtree.FromSortedBalanced(kb)
+
+	eng := core.NewEngine(nil)
+	r := costalg.Merge(eng.NewCtx(), costalg.FromSeqTree(eng, t1), costalg.FromSeqTree(eng, t2))
+	costalg.CompletionTime(r)
+	pipe = eng.Finish()
+
+	eng2 := core.NewEngine(nil)
+	r2 := costalg.MergeNoPipe(eng2.NewCtx(), costalg.FromSeqTree(eng2, t1), costalg.FromSeqTree(eng2, t2))
+	costalg.CompletionTime(r2)
+	nopipe = eng2.Finish()
+	return pipe, nopipe
+}
+
+func runMerge(cfg Config, w io.Writer) error {
+	// Sweep 1: equal sizes n = m.
+	tb := NewTable("Merge, n = m (Theorem 3.1)",
+		"lg n", "depth(pipe)", "depth/lg(nm)", "depth(nopipe)", "nopipe/lg·lg", "work(pipe)", "work(nopipe)", "linear")
+	var ns, dPipe, dNoPipe []float64
+	for _, n := range cfg.Sizes(8) {
+		pipe, nopipe := MergeCosts(cfg.Seed, n, n)
+		lg := stats.Lg(float64(n))
+		tb.Row(
+			I(int64(lgInt(n))),
+			I(pipe.Depth), F(float64(pipe.Depth)/(2*lg)),
+			I(nopipe.Depth), F(float64(nopipe.Depth)/(lg*lg)),
+			I(pipe.Work), I(nopipe.Work),
+			fmt.Sprintf("%v", pipe.Linear()),
+		)
+		ns = append(ns, float64(n))
+		dPipe = append(dPipe, float64(pipe.Depth))
+		dNoPipe = append(dNoPipe, float64(nopipe.Depth))
+	}
+	fitNote(tb, "pipelined depth", ns, dPipe)
+	fitNote(tb, "non-pipelined depth", ns, dNoPipe)
+	tb.Note("paper: pipelined O(lg n + lg m), non-pipelined O(lg n · lg m); flat ratio columns confirm the shapes")
+	if err := tb.Fprint(w); err != nil {
+		return err
+	}
+
+	// Sweep 2: fixed n, varying m — the crossover structure in m.
+	n := 1 << cfg.MaxLgN
+	tb2 := NewTable(fmt.Sprintf("Merge, n = 2^%d fixed, m varying", cfg.MaxLgN),
+		"lg m", "depth(pipe)", "depth/(lg n+lg m)", "depth(nopipe)", "work(pipe)")
+	for _, m := range cfg.Sizes(6) {
+		if m > n {
+			break
+		}
+		pipe, nopipe := MergeCosts(cfg.Seed+7, n, m)
+		tb2.Row(
+			I(int64(lgInt(m))),
+			I(pipe.Depth), F(float64(pipe.Depth)/(stats.Lg(float64(n))+stats.Lg(float64(m)))),
+			I(nopipe.Depth),
+			I(pipe.Work),
+		)
+	}
+	return tb2.Fprint(w)
+}
+
+func runRebalance(cfg Config, w io.Writer) error {
+	tb := NewTable("Rebalance after merge (Section 3.1 end)",
+		"lg n", "height(merged)", "height(rebal)", "depth", "depth/lg n", "work", "work/n", "linear")
+	for _, n := range cfg.Sizes(8) {
+		rng := workload.NewRNG(cfg.Seed)
+		ka, kb := workload.DisjointKeySets(rng, n, n)
+		sort.Ints(ka)
+		sort.Ints(kb)
+		merged := seqtree.Merge(seqtree.FromSortedBalanced(ka), seqtree.FromSortedBalanced(kb))
+		size := seqtree.Size(merged)
+
+		eng := core.NewEngine(nil)
+		ctx := eng.NewCtx()
+		ann := costalg.Annotate(ctx, costalg.FromSeqTree(eng, merged))
+		reb := costalg.Rebalance(ctx, ann, size)
+		out := costalg.ToSeqTree(reb)
+		costs := eng.Finish()
+
+		if got, want := seqtree.Keys(out), seqtree.Keys(merged); !equalInts(got, want) {
+			return fmt.Errorf("rebalance: keys differ at n=%d", n)
+		}
+		tb.Row(
+			I(int64(lgInt(n))),
+			I(int64(seqtree.Height(merged))),
+			I(int64(seqtree.Height(out))),
+			I(costs.Depth), F(float64(costs.Depth)/stats.Lg(float64(size))),
+			I(costs.Work), F(float64(costs.Work)/float64(size)),
+			fmt.Sprintf("%v", costs.Linear()),
+		)
+	}
+	tb.Note("paper: depth O(lg n + lg m), work O(n+m), result balanced (height ≈ lg(n+m))")
+	return tb.Fprint(w)
+}
+
+func lgInt(n int) int {
+	lg := 0
+	for 1<<lg < n {
+		lg++
+	}
+	return lg
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fitNote appends the best-fitting growth law for series y over sizes ns.
+func fitNote(tb *Table, what string, ns, y []float64) {
+	fits := stats.BestModel(ns, y)
+	if len(fits) > 0 {
+		tb.Note("%s best fit: %s", what, fits[0])
+	}
+}

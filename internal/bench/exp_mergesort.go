@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"io"
+	"sort"
+
+	"pipefut/internal/core"
+	"pipefut/internal/costalg"
+	"pipefut/internal/seqtree"
+	"pipefut/internal/stats"
+	"pipefut/internal/workload"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "mergesort",
+		Paper: "Section 5 (conjecture)",
+		Claim: "three-level pipelined mergesort: expected depth close to O(lg n), conjectured O(lg n · lg lg n); non-pipelined O(lg³ n)",
+		Run:   runMergesort,
+	})
+}
+
+// MergesortCosts measures the pipelined and non-pipelined tree mergesort
+// on a random permutation of size n, and verifies the output is sorted.
+func MergesortCosts(seed uint64, n int) (pipe, nopipe core.Costs, sortedOK bool) {
+	rng := workload.NewRNG(seed)
+	xs := rng.Perm(n)
+
+	eng := core.NewEngine(nil)
+	r := costalg.Mergesort(eng.NewCtx(), xs)
+	out := seqtree.Keys(costalg.ToSeqTree(r))
+	pipe = eng.Finish()
+	sortedOK = sort.IntsAreSorted(out) && len(out) == n
+
+	eng2 := core.NewEngine(nil)
+	r2 := costalg.MergesortNoPipe(eng2.NewCtx(), xs)
+	costalg.CompletionTime(r2)
+	nopipe = eng2.Finish()
+	return pipe, nopipe, sortedOK
+}
+
+func runMergesort(cfg Config, w io.Writer) error {
+	tb := NewTable("Pipelined mergesort (Section 5 conjecture)",
+		"lg n", "E[depth](pipe)", "d/lg n", "d/(lg n·lglg n)", "d/lg² n", "E[depth](nopipe)", "np/lg³ n", "E[depth](rebal)", "linear")
+	var ns, dp []float64
+	capped := cfg
+	if capped.MaxLgN > 15 {
+		// The mergesort DAG has Θ(n lg n) forks; 2^15 keeps the
+		// cost-engine memory footprint laptop-friendly.
+		capped.MaxLgN = 15
+	}
+	for _, n := range capped.Sizes(7) {
+		var d, dn, db float64
+		linear := true
+		for i := 0; i < cfg.Trials; i++ {
+			p, np, ok := MergesortCosts(cfg.Seed+uint64(i), n)
+			if !ok {
+				panic("mergesort produced unsorted output")
+			}
+			d += float64(p.Depth)
+			dn += float64(np.Depth)
+			db += float64(mergesortBalancedDepth(cfg.Seed+uint64(i), n))
+			linear = linear && p.Linear()
+		}
+		k := float64(cfg.Trials)
+		d, dn, db = d/k, dn/k, db/k
+		lg := stats.Lg(float64(n))
+		lglg := stats.Lg(lg)
+		tb.Row(
+			I(int64(lgInt(n))),
+			F(d), F(d/lg), F(d/(lg*lglg)), F(d/(lg*lg)),
+			F(dn), F(dn/(lg*lg*lg)),
+			F(db),
+			boolStr(linear),
+		)
+		ns = append(ns, float64(n))
+		dp = append(dp, d)
+	}
+	fitNote(tb, "pipelined E[depth]", ns, dp)
+	tb.Note("conjecture support: if d/lg n grows like lg lg n, the d/(lg n·lglg n) column flattens while d/lg n climbs slowly")
+	tb.Note("the non-pipelined np/lg³ n column flattening confirms the O(lg³ n) baseline")
+	tb.Note("'rebal' rebalances after every merge (extension) — measured FINDING: it is far deeper than plain pipelining,")
+	tb.Note("because size annotation is strict bottom-up (an implicit barrier per level), destroying the cross-level pipeline")
+	return tb.Fprint(w)
+}
+
+func mergesortBalancedDepth(seed uint64, n int) int64 {
+	rng := workload.NewRNG(seed)
+	eng := core.NewEngine(nil)
+	r := costalg.MergesortBalanced(eng.NewCtx(), rng.Perm(n))
+	costalg.CompletionTime(r)
+	return eng.Finish().Depth
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pipefut/internal/core"
+	"pipefut/internal/ml"
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/seqtree"
+	"pipefut/internal/stats"
+	"pipefut/internal/workload"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "mlpaper",
+		Paper: "Figures 1–4, 12, 13 (the language itself)",
+		Claim: "the paper's own ML-with-futures code, interpreted under the cost semantics, shows the same depth shapes as the native implementations",
+		Run:   runMLPaper,
+	})
+}
+
+func runMLPaper(cfg Config, w io.Writer) error {
+	prog := ml.ParsePaper()
+	maxLg := min(cfg.MaxLgN, 12) // the interpreter is ~10× the native cost
+
+	// Figure 3 merge: interpreted vs native shape.
+	tb := NewTable("Paper's merge (Figure 3 source, interpreted), n = m",
+		"lg n", "depth(ML)", "ML/lg(nm)", "depth(native)", "ML/native", "work(ML)", "linear")
+	var ns, dml []float64
+	for e := 8; e <= maxLg; e++ {
+		n := 1 << e
+		rng := workload.NewRNG(cfg.Seed)
+		ka, kb := workload.DisjointKeySets(rng, n, n)
+		sort.Ints(ka)
+		sort.Ints(kb)
+		t1 := seqtree.FromSortedBalanced(ka)
+		t2 := seqtree.FromSortedBalanced(kb)
+
+		eng := core.NewEngine(nil)
+		in := ml.NewInterp(prog, eng)
+		v, err := in.Apply(eng.NewCtx(), "merge", ml.TreeValue(t1), ml.TreeValue(t2))
+		if err != nil {
+			return err
+		}
+		got := ml.ValueTree(v)
+		if !seqtree.Equal(got, seqtree.Merge(t1, t2)) {
+			return fmt.Errorf("mlpaper: interpreted merge differs from oracle at n=%d", n)
+		}
+		costs := eng.Finish()
+
+		native, _ := MergeCosts(cfg.Seed, n, n)
+		lg := stats.Lg(float64(n))
+		tb.Row(I(int64(e)),
+			I(costs.Depth), F(float64(costs.Depth)/(2*lg)),
+			I(native.Depth), F(float64(costs.Depth)/float64(native.Depth)),
+			I(costs.Work), boolStr(costs.Linear()))
+		ns = append(ns, float64(n))
+		dml = append(dml, float64(costs.Depth))
+	}
+	fitNote(tb, "interpreted depth", ns, dml)
+	tb.Note("flat ML/native column: the interpreter and the hand-built implementation differ by a constant only")
+	if err := tb.Fprint(w); err != nil {
+		return err
+	}
+
+	// Figures 4 and 7: interpreted union and difference shapes.
+	tb2 := NewTable("Paper's treap union (Fig 4) and difference (Fig 7), interpreted, n = m",
+		"lg n", "union depth", "u/lg(nm)", "diff depth", "d/lg(nm)", "linear")
+	for e := 8; e <= maxLg; e++ {
+		n := 1 << e
+		rng := workload.NewRNG(cfg.Seed + 3)
+		ka, kb := workload.OverlappingKeySets(rng, n, n, 0.25)
+		ta, tbp := seqtreap.FromKeys(ka), seqtreap.FromKeys(kb)
+
+		eng := core.NewEngine(nil)
+		in := ml.NewInterp(prog, eng)
+		v, err := in.Apply(eng.NewCtx(), "union", ml.TreapValue(ta), ml.TreapValue(tbp))
+		if err != nil {
+			return err
+		}
+		if !seqtreap.Equal(ml.ValueTreap(v), seqtreap.Union(ta, tbp)) {
+			return fmt.Errorf("mlpaper: interpreted union differs from oracle at n=%d", n)
+		}
+		uCosts := eng.Finish()
+
+		eng2 := core.NewEngine(nil)
+		in2 := ml.NewInterp(prog, eng2)
+		v2, err := in2.Apply(eng2.NewCtx(), "diff", ml.TreapValue(ta), ml.TreapValue(tbp))
+		if err != nil {
+			return err
+		}
+		if !seqtreap.Equal(ml.ValueTreap(v2), seqtreap.Diff(ta, tbp)) {
+			return fmt.Errorf("mlpaper: interpreted diff differs from oracle at n=%d", n)
+		}
+		dCosts := eng2.Finish()
+
+		lg := stats.Lg(float64(n))
+		tb2.Row(I(int64(e)),
+			I(uCosts.Depth), F(float64(uCosts.Depth)/(2*lg)),
+			I(dCosts.Depth), F(float64(dCosts.Depth)/(2*lg)),
+			boolStr(uCosts.Linear() && dCosts.Linear()))
+	}
+	if err := tb2.Fprint(w); err != nil {
+		return err
+	}
+
+	// Figures 1 and 2 at one size each.
+	tb3 := NewTable("Paper's Figure 1 and Figure 2 (interpreted)",
+		"program", "n", "depth", "depth/n", "work", "linear")
+	{
+		n := 1 << min(maxLg, 11)
+		eng := core.NewEngine(nil)
+		in := ml.NewInterp(prog, eng)
+		v, err := in.EvalExpr(eng.NewCtx(), "consume(?produce(n), 0)",
+			map[string]ml.Value{"n": ml.MkInt(int64(n))})
+		if err != nil {
+			return err
+		}
+		if got, _ := ml.ToInt(v); got != int64(n)*int64(n+1)/2 {
+			return fmt.Errorf("mlpaper: Figure 1 sum wrong")
+		}
+		c := eng.Finish()
+		tb3.Row("produce/consume (Fig 1)", I(int64(n)), I(c.Depth),
+			F(float64(c.Depth)/float64(n)), I(c.Work), boolStr(c.Linear()))
+	}
+	{
+		n := 1 << min(maxLg, 10)
+		rng := workload.NewRNG(cfg.Seed)
+		eng := core.NewEngine(nil)
+		in := ml.NewInterp(prog, eng)
+		v, err := in.Apply(eng.NewCtx(), "qs", ml.MkList(rng.Perm(n)), ml.MkNil())
+		if err != nil {
+			return err
+		}
+		if got, _ := ml.ToIntList(v); !sort.IntsAreSorted(got) || len(got) != n {
+			return fmt.Errorf("mlpaper: Figure 2 output wrong")
+		}
+		c := eng.Finish()
+		tb3.Row("quicksort (Fig 2)", I(int64(n)), I(c.Depth),
+			F(float64(c.Depth)/float64(n)), I(c.Work), boolStr(c.Linear()))
+	}
+	tb3.Note("both figures run from their transcribed sources; Fig 2 depth is Θ(n) as Section 1 argues")
+	return tb3.Fprint(w)
+}

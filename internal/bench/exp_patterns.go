@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pipefut/internal/core"
+	"pipefut/internal/costalg"
+	"pipefut/internal/seqtree"
+	"pipefut/internal/stats"
+	"pipefut/internal/workload"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "patterns",
+		Paper: "Section 3.1 (workload sensitivity)",
+		Claim: "merge depth stays O(lg n + lg m) across input patterns; work ranges from O(m + lg n) (clustered runs) to O(m·lg(n/m)) (perfect interleaving)",
+		Run:   runPatterns,
+	})
+}
+
+func mergeCostsFor(ka, kb []int) core.Costs {
+	t1 := seqtree.FromSortedBalanced(ka)
+	t2 := seqtree.FromSortedBalanced(kb)
+	eng := core.NewEngine(nil)
+	r := costalg.Merge(eng.NewCtx(), costalg.FromSeqTree(eng, t1), costalg.FromSeqTree(eng, t2))
+	costalg.CompletionTime(r)
+	return eng.Finish()
+}
+
+func runPatterns(cfg Config, w io.Writer) error {
+	n := 1 << min(cfg.MaxLgN, 15)
+	rng := workload.NewRNG(cfg.Seed)
+
+	type pattern struct {
+		name   string
+		ka, kb []int
+	}
+	random := func() pattern {
+		ka, kb := workload.DisjointKeySets(rng, n, n)
+		sort.Ints(ka)
+		sort.Ints(kb)
+		return pattern{"random", ka, kb}
+	}
+	inter := func() pattern {
+		ka, kb := workload.Interleaved(n, n)
+		return pattern{"interleaved (adversarial)", ka, kb}
+	}
+	runs := func(r int) pattern {
+		ka, kb := workload.Runs(rng, n, n, r)
+		return pattern{fmt.Sprintf("%d clustered runs", r), ka, kb}
+	}
+
+	tb := NewTable(fmt.Sprintf("Merge input patterns, n = m = 2^%d", lgInt(n)),
+		"pattern", "depth", "depth/lg(nm)", "work", "work/(n+m)", "splits forked")
+	for _, p := range []pattern{random(), inter(), runs(4), runs(64), runs(1024)} {
+		c := mergeCostsFor(p.ka, p.kb)
+		lg := stats.Lg(float64(len(p.ka))) + stats.Lg(float64(len(p.kb)))
+		tb.Row(p.name,
+			I(c.Depth), F(float64(c.Depth)/lg),
+			I(c.Work), F(float64(c.Work)/float64(len(p.ka)+len(p.kb))),
+			I(c.Forks))
+	}
+	tb.Note("perfect interleaving maximizes split work (every split walks deep); clustered runs minimize it")
+	tb.Note("depth stays within a constant of lg n + lg m throughout — the pipeline is pattern-insensitive")
+	return tb.Fprint(w)
+}

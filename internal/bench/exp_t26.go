@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pipefut/internal/core"
+	"pipefut/internal/costalg"
+	"pipefut/internal/stats"
+	"pipefut/internal/t26"
+	"pipefut/internal/workload"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "t26",
+		Paper: "Theorem 3.13",
+		Claim: "2-6 tree bulk insert: pipelined depth O(lg n + lg m), work O(m·lg n); non-pipelined Θ(lg n · lg m)",
+		Run:   runT26,
+	})
+}
+
+// T26Costs measures inserting m sorted keys into a 2-6 tree of n keys,
+// pipelined and non-pipelined.
+func T26Costs(seed uint64, n, m int) (pipe, nopipe core.Costs) {
+	rng := workload.NewRNG(seed)
+	all := workload.DistinctKeys(rng, n+m, 4*(n+m))
+	base := t26.FromKeys(all[:n])
+	ins := append([]int(nil), all[n:]...)
+	sort.Ints(ins)
+	levels := workload.WellSeparatedLevels(ins)
+
+	eng := core.NewEngine(nil)
+	r := costalg.T26BulkInsert(eng.NewCtx(), costalg.FromSeqT26(eng, base), levels)
+	costalg.T26CompletionTime(r)
+	pipe = eng.Finish()
+
+	eng2 := core.NewEngine(nil)
+	r2 := costalg.T26BulkInsertNoPipe(eng2.NewCtx(), costalg.FromSeqT26(eng2, base), levels)
+	costalg.T26CompletionTime(r2)
+	nopipe = eng2.Finish()
+	return pipe, nopipe
+}
+
+func runT26(cfg Config, w io.Writer) error {
+	// Sweep 1: n = m.
+	tb := NewTable("2-6 tree bulk insert, m = n (Theorem 3.13)",
+		"lg n", "depth(pipe)", "depth/lg(nm)", "depth(nopipe)", "nopipe/lg·lg", "work", "work/(m·lg n)", "linear")
+	var ns, dp, dnp []float64
+	for _, n := range cfg.Sizes(8) {
+		pipe, nopipe := T26Costs(cfg.Seed, n, n)
+		lg := stats.Lg(float64(n))
+		tb.Row(
+			I(int64(lgInt(n))),
+			I(pipe.Depth), F(float64(pipe.Depth)/(2*lg)),
+			I(nopipe.Depth), F(float64(nopipe.Depth)/(lg*lg)),
+			I(pipe.Work), F(float64(pipe.Work)/(float64(n)*lg)),
+			fmt.Sprintf("%v", pipe.Linear()),
+		)
+		ns = append(ns, float64(n))
+		dp = append(dp, float64(pipe.Depth))
+		dnp = append(dnp, float64(nopipe.Depth))
+	}
+	fitNote(tb, "pipelined depth", ns, dp)
+	fitNote(tb, "non-pipelined depth", ns, dnp)
+	tb.Note("paper: inserting m ordered keys into a 2-6 tree of n keys takes O(lg n + lg m) depth, O(m·lg n) work")
+	if err := tb.Fprint(w); err != nil {
+		return err
+	}
+
+	// Sweep 2: fixed n, varying m (the pipeline has lg m stages).
+	n := 1 << cfg.MaxLgN
+	tb2 := NewTable(fmt.Sprintf("2-6 tree bulk insert, n = 2^%d fixed", cfg.MaxLgN),
+		"lg m", "depth(pipe)", "depth/(lg n+lg m)", "depth(nopipe)", "work/(m·lg n)")
+	for _, m := range cfg.Sizes(4) {
+		if m > n {
+			break
+		}
+		pipe, nopipe := T26Costs(cfg.Seed+3, n, m)
+		tb2.Row(
+			I(int64(lgInt(m))),
+			I(pipe.Depth), F(float64(pipe.Depth)/(stats.Lg(float64(n))+stats.Lg(float64(m)))),
+			I(nopipe.Depth),
+			F(float64(pipe.Work)/(float64(m)*stats.Lg(float64(n)))),
+		)
+	}
+	tb2.Note("non-pipelined depth grows with lg m (one O(lg n) pass per level array); pipelined is flat + lg m")
+	return tb2.Fprint(w)
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"pipefut/internal/core"
+	"pipefut/internal/costalg"
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/stats"
+	"pipefut/internal/workload"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "union",
+		Paper: "Corollary 3.6 / Theorem 3.7",
+		Claim: "treap union: expected depth O(lg n + lg m), expected work O(m·lg(n/m))",
+		Run:   runUnion,
+	})
+	Register(Experiment{
+		ID:    "diff",
+		Paper: "Corollary 3.12",
+		Claim: "treap difference: expected depth O(lg n + lg m)",
+		Run:   runDiff,
+	})
+}
+
+// UnionCosts measures one pipelined and one non-pipelined treap union of
+// random key sets of sizes n and m with the given overlap fraction.
+func UnionCosts(seed uint64, n, m int, overlap float64) (pipe, nopipe core.Costs) {
+	rng := workload.NewRNG(seed)
+	ka, kb := workload.OverlappingKeySets(rng, n, m, overlap)
+	ta := seqtreap.FromKeys(ka)
+	tb := seqtreap.FromKeys(kb)
+
+	eng := core.NewEngine(nil)
+	r := costalg.Union(eng.NewCtx(), costalg.FromSeqTreap(eng, ta), costalg.FromSeqTreap(eng, tb))
+	costalg.CompletionTime(r)
+	pipe = eng.Finish()
+
+	eng2 := core.NewEngine(nil)
+	r2 := costalg.UnionNoPipe(eng2.NewCtx(), costalg.FromSeqTreap(eng2, ta), costalg.FromSeqTreap(eng2, tb))
+	costalg.CompletionTime(r2)
+	nopipe = eng2.Finish()
+	return pipe, nopipe
+}
+
+// DiffCosts measures one pipelined and one non-pipelined treap difference.
+func DiffCosts(seed uint64, n, m int, overlap float64) (pipe, nopipe core.Costs) {
+	rng := workload.NewRNG(seed)
+	ka, kb := workload.OverlappingKeySets(rng, n, m, overlap)
+	ta := seqtreap.FromKeys(ka)
+	tb := seqtreap.FromKeys(kb)
+
+	eng := core.NewEngine(nil)
+	r := costalg.Diff(eng.NewCtx(), costalg.FromSeqTreap(eng, ta), costalg.FromSeqTreap(eng, tb))
+	costalg.CompletionTime(r)
+	pipe = eng.Finish()
+
+	eng2 := core.NewEngine(nil)
+	r2 := costalg.DiffNoPipe(eng2.NewCtx(), costalg.FromSeqTreap(eng2, ta), costalg.FromSeqTreap(eng2, tb))
+	costalg.CompletionTime(r2)
+	nopipe = eng2.Finish()
+	return pipe, nopipe
+}
+
+func avgCosts(trials int, f func(seed uint64) (core.Costs, core.Costs)) (dPipe, wPipe, dNoPipe float64, linear bool) {
+	linear = true
+	for i := 0; i < trials; i++ {
+		p, np := f(uint64(i))
+		dPipe += float64(p.Depth)
+		wPipe += float64(p.Work)
+		dNoPipe += float64(np.Depth)
+		linear = linear && p.Linear()
+	}
+	k := float64(trials)
+	return dPipe / k, wPipe / k, dNoPipe / k, linear
+}
+
+func runUnion(cfg Config, w io.Writer) error {
+	// Sweep 1: n = m, expected depth.
+	tb := NewTable("Treap union, n = m (Corollary 3.6)",
+		"lg n", "E[depth](pipe)", "depth/lg(nm)", "E[depth](nopipe)", "nopipe/lg·lg", "E[work]", "linear")
+	var ns, dp, dnp []float64
+	for _, n := range cfg.Sizes(8) {
+		d, wk, dn, lin := avgCosts(cfg.Trials, func(s uint64) (core.Costs, core.Costs) {
+			return UnionCosts(cfg.Seed+s, n, n, 0.25)
+		})
+		lg := stats.Lg(float64(n))
+		tb.Row(I(int64(lgInt(n))), F(d), F(d/(2*lg)), F(dn), F(dn/(lg*lg)), F(wk), fmt.Sprintf("%v", lin))
+		ns = append(ns, float64(n))
+		dp = append(dp, d)
+		dnp = append(dnp, dn)
+	}
+	fitNote(tb, "pipelined E[depth]", ns, dp)
+	fitNote(tb, "non-pipelined E[depth]", ns, dnp)
+	tb.Note("paper: expected depth O(lg n + lg m) pipelined vs O(lg n · lg m) non-pipelined")
+	if err := tb.Fprint(w); err != nil {
+		return err
+	}
+
+	// Sweep 2: fixed n, varying m — the work bound O(m·lg(n/m)).
+	n := 1 << cfg.MaxLgN
+	tb2 := NewTable(fmt.Sprintf("Treap union work, n = 2^%d fixed (Theorem 3.7)", cfg.MaxLgN),
+		"lg m", "E[work]", "work/(m·lg(n/m)+m)", "E[depth]", "depth/(lg n+lg m)")
+	for _, m := range cfg.Sizes(6) {
+		if m > n {
+			break
+		}
+		d, wk, _, _ := avgCosts(cfg.Trials, func(s uint64) (core.Costs, core.Costs) {
+			return UnionCosts(cfg.Seed+13+s, n, m, 0)
+		})
+		norm := float64(m)*stats.Lg(float64(n)/float64(m)) + float64(m)
+		tb2.Row(I(int64(lgInt(m))), F(wk), F(wk/norm),
+			F(d), F(d/(stats.Lg(float64(n))+stats.Lg(float64(m)))))
+	}
+	tb2.Note("paper: expected work O(m·lg(n/m)) for m ≤ n — flat normalized column confirms")
+	return tb2.Fprint(w)
+}
+
+func runDiff(cfg Config, w io.Writer) error {
+	tb := NewTable("Treap difference, n = m (Corollary 3.12)",
+		"lg n", "E[depth](pipe)", "depth/lg(nm)", "E[depth](nopipe)", "ratio np/p", "E[work]", "linear")
+	var ns, dp []float64
+	for _, n := range cfg.Sizes(8) {
+		d, wk, dn, lin := avgCosts(cfg.Trials, func(s uint64) (core.Costs, core.Costs) {
+			return DiffCosts(cfg.Seed+s, n, n, 0.5)
+		})
+		lg := stats.Lg(float64(n))
+		tb.Row(I(int64(lgInt(n))), F(d), F(d/(2*lg)), F(dn), F(dn/d), F(wk), fmt.Sprintf("%v", lin))
+		ns = append(ns, float64(n))
+		dp = append(dp, d)
+	}
+	fitNote(tb, "pipelined E[depth]", ns, dp)
+	tb.Note("paper: expected depth O(lg n + lg m) including the join ascent")
+	if err := tb.Fprint(w); err != nil {
+		return err
+	}
+
+	// Overlap sweep: how often splitm finds the splitter (and joins fire).
+	n := 1 << min(cfg.MaxLgN, 14)
+	tb2 := NewTable(fmt.Sprintf("Treap difference vs overlap, n = m = 2^%d", lgInt(n)),
+		"overlap", "E[depth](pipe)", "E[work]", "|result|")
+	for _, f := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		var size float64
+		d, wk, _, _ := avgCosts(cfg.Trials, func(s uint64) (core.Costs, core.Costs) {
+			rng := workload.NewRNG(cfg.Seed + 31 + s)
+			ka, kb := workload.OverlappingKeySets(rng, n, n, f)
+			ta, tbp := seqtreap.FromKeys(ka), seqtreap.FromKeys(kb)
+			size += float64(seqtreap.Size(seqtreap.Diff(ta, tbp)))
+			eng := core.NewEngine(nil)
+			r := costalg.Diff(eng.NewCtx(), costalg.FromSeqTreap(eng, ta), costalg.FromSeqTreap(eng, tbp))
+			costalg.CompletionTime(r)
+			return eng.Finish(), core.Costs{Depth: 1}
+		})
+		tb2.Row(F(f), F(d), F(wk), F(size/float64(cfg.Trials)))
+	}
+	tb2.Note("depth stays O(lg n) across overlap fractions — the dynamic pipeline absorbs the joins")
+	return tb2.Fprint(w)
+}

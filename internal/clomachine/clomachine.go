@@ -1,0 +1,272 @@
+// Package clomachine is an online implementation of the runtime of
+// Section 4 of "Pipelining with Futures" (Lemma 4.1): threads are
+// closures, the set of active threads S is a stack, and execution proceeds
+// in synchronous steps that take min(|S|, p) threads from S, run one
+// action on each, and return the resulting active threads to S.
+//
+// Unlike package machine — which replays computation DAGs recorded by the
+// cost engine — this machine executes programs *online*, with real
+// suspension: a thread that reads an unwritten future cell parks itself in
+// the cell (the cell's pointer slot holds the suspended closure, exactly
+// as in the paper) and the write reactivates it. Nothing about the
+// schedule is precomputed.
+//
+// Programs are written as chains of unit-time actions (the Step struct):
+// each action either computes, forks a thread, writes a future cell, or
+// reads one. The machine meters three quantities online:
+//
+//   - work     w  — DAG actions executed (suspended attempts excluded),
+//   - depth    d  — the critical path, via per-thread virtual clocks
+//     (the same rule as the cost engine: read ⇒ clock =
+//     max(clock, writeTime)+1),
+//   - steps       — machine steps taken on p processors.
+//
+// Lemma 4.1 promises steps = O(w/p + d). Because a read of an unwritten
+// cell consumes a machine slot before suspending (set flag, store closure,
+// suspend — as in the paper's protocol), the exact bound the machine
+// asserts is steps ≤ ⌈(w + suspensions)/p⌉ + 2d: each data edge can add
+// one suspended attempt to the executed-action count and one unit to the
+// critical path's machine overhead, both absorbed by the lemma's
+// constants.
+package clomachine
+
+import "fmt"
+
+// Cell is a future cell in the machine: a flag plus either the value or
+// the suspended reader (the paper's "structure that holds a flag and a
+// pointer; the pointer points to either a value or a suspended thread").
+// Linearity (Section 4) guarantees at most one reader ever suspends here,
+// which is what lets the implementation avoid concurrent access.
+type Cell struct {
+	written bool
+	val     any
+	writeTS int64   // time stamp of the writing action (depth metering)
+	waiting *Thread // suspended reader, if any
+}
+
+// NewCell returns an empty future cell.
+func NewCell() *Cell { return &Cell{} }
+
+// Value returns the cell's value; it panics if the cell is unwritten (only
+// for extracting results after Run completes).
+func (c *Cell) Value() any {
+	if !c.written {
+		panic("clomachine: value of unwritten cell")
+	}
+	return c.val
+}
+
+// Written reports whether the cell has been written.
+func (c *Cell) Written() bool { return c.written }
+
+// Step is one unit-time action plus its continuation. Exactly one of the
+// action fields is used, checked in this order:
+//
+//   - Read ≠ nil:  read the cell; the value is passed to Next. If the
+//     cell is unwritten the thread suspends on it (costing this machine
+//     slot) and the read re-executes after the write.
+//   - Write ≠ nil: write Val into the cell, reactivating a suspended
+//     reader if present.
+//   - Fork ≠ nil:  start a new thread whose first action is Fork.
+//   - otherwise:   pure computation (whatever Next does).
+//
+// Next receives the read value (nil for non-reads) and returns the
+// thread's next Step, or nil to terminate the thread.
+type Step struct {
+	Read  *Cell
+	Write *Cell
+	Val   any
+	Fork  *Step
+	Next  func(v any) *Step
+}
+
+// Thread is a closure: a fixed-size record holding the code pointer (the
+// current Step) and the thread's virtual clock.
+type Thread struct {
+	step *Step
+	ts   int64
+}
+
+// Result reports one machine execution.
+type Result struct {
+	P           int
+	Work        int64 // DAG actions executed
+	Depth       int64 // critical path (max virtual clock)
+	Steps       int64 // machine steps
+	Suspensions int64 // reads that parked on an unwritten cell
+	MaxActive   int64 // max |S|
+	Cells       int64 // future cells written
+}
+
+// Bound returns ⌈(w+suspensions)/p⌉ + 2d, the step bound the machine
+// guarantees (see the package comment).
+func (r Result) Bound() int64 {
+	return (r.Work+r.Suspensions+int64(r.P)-1)/int64(r.P) + 2*r.Depth
+}
+
+// OK reports whether the run obeyed the bound.
+func (r Result) OK() bool { return r.Steps <= r.Bound() }
+
+func (r Result) String() string {
+	return fmt.Sprintf("p=%d steps=%d (bound %d) w=%d d=%d susp=%d",
+		r.P, r.Steps, r.Bound(), r.Work, r.Depth, r.Suspensions)
+}
+
+// Machine executes programs. Create one per run.
+type Machine struct {
+	stack []*Thread
+	res   Result
+}
+
+// Run executes the program whose root thread starts at first, on p virtual
+// processors, and returns the metered result. It panics on deadlock (no
+// active threads while suspended threads remain — impossible for programs
+// whose dependences form a DAG).
+func Run(first *Step, p int) Result {
+	if p < 1 {
+		panic("clomachine: p must be ≥ 1")
+	}
+	m := &Machine{}
+	m.res.P = p
+	m.stack = append(m.stack, &Thread{step: first})
+
+	suspended := int64(0) // live suspended threads, for deadlock detection
+	batch := make([]*Thread, 0, p)
+	for len(m.stack) > 0 {
+		if n := int64(len(m.stack)); n > m.res.MaxActive {
+			m.res.MaxActive = n
+		}
+		k := len(m.stack)
+		if k > p {
+			k = p
+		}
+		top := len(m.stack)
+		batch = append(batch[:0], m.stack[top-k:top]...)
+		m.stack = m.stack[:top-k]
+
+		for _, t := range batch {
+			m.exec(t, &suspended)
+		}
+		m.res.Steps++
+	}
+	if suspended > 0 {
+		panic("clomachine: deadlock — all threads suspended")
+	}
+	return m.res
+}
+
+// exec runs one action of thread t and returns the thread (and any forked
+// or reactivated threads) to the stack.
+func (m *Machine) exec(t *Thread, suspended *int64) {
+	s := t.step
+	switch {
+	case s.Read != nil:
+		c := s.Read
+		if !c.written {
+			// Suspend: store the closure in the cell. The slot is
+			// consumed but no DAG action happened.
+			if c.waiting != nil {
+				panic("clomachine: second reader suspended on a cell — program is not linear")
+			}
+			c.waiting = t
+			m.res.Suspensions++
+			*suspended++
+			return
+		}
+		// The read is a DAG action with a data edge.
+		m.res.Work++
+		if c.writeTS > t.ts {
+			t.ts = c.writeTS + 1
+		} else {
+			t.ts++
+		}
+		m.bumpDepth(t.ts)
+		m.advance(t, s.Next, c.val)
+
+	case s.Write != nil:
+		c := s.Write
+		if c.written {
+			panic("clomachine: future cell written twice")
+		}
+		m.res.Work++
+		m.res.Cells++
+		t.ts++
+		m.bumpDepth(t.ts)
+		c.written = true
+		c.val = s.Val
+		c.writeTS = t.ts
+		if c.waiting != nil {
+			// Reactivate the suspended reader: it re-executes its
+			// read, which now succeeds.
+			w := c.waiting
+			c.waiting = nil
+			*suspended--
+			m.stack = append(m.stack, w)
+		}
+		m.advance(t, s.Next, nil)
+
+	case s.Fork != nil:
+		m.res.Work++
+		t.ts++
+		m.bumpDepth(t.ts)
+		child := &Thread{step: s.Fork, ts: t.ts}
+		m.stack = append(m.stack, child)
+		m.advance(t, s.Next, nil)
+
+	default:
+		m.res.Work++
+		t.ts++
+		m.bumpDepth(t.ts)
+		m.advance(t, s.Next, nil)
+	}
+}
+
+func (m *Machine) advance(t *Thread, next func(v any) *Step, v any) {
+	if next == nil {
+		return // thread terminates
+	}
+	ns := next(v)
+	if ns == nil {
+		return
+	}
+	t.step = ns
+	m.stack = append(m.stack, t)
+}
+
+func (m *Machine) bumpDepth(ts int64) {
+	if ts > m.res.Depth {
+		m.res.Depth = ts
+	}
+}
+
+// --- small program-building helpers ---------------------------------------
+
+// Compute returns a pure-computation step.
+func Compute(next func() *Step) *Step {
+	return &Step{Next: func(any) *Step { return next() }}
+}
+
+// WriteStep returns a step writing v into c, then continuing with next
+// (nil to terminate).
+func WriteStep(c *Cell, v any, next func() *Step) *Step {
+	s := &Step{Write: c, Val: v}
+	if next != nil {
+		s.Next = func(any) *Step { return next() }
+	}
+	return s
+}
+
+// ReadStep returns a step reading c and passing the value to next.
+func ReadStep(c *Cell, next func(v any) *Step) *Step {
+	return &Step{Read: c, Next: next}
+}
+
+// ForkStep returns a step forking a thread starting at body, then
+// continuing with next (nil to terminate).
+func ForkStep(body *Step, next func() *Step) *Step {
+	s := &Step{Fork: body}
+	if next != nil {
+		s.Next = func(any) *Step { return next() }
+	}
+	return s
+}

@@ -1,0 +1,232 @@
+package clomachine
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/workload"
+)
+
+func TestSingleThreadChain(t *testing.T) {
+	// A chain of 10 pure computations.
+	var mk func(n int) *Step
+	mk = func(n int) *Step {
+		if n == 0 {
+			return nil
+		}
+		return Compute(func() *Step { return mk(n - 1) })
+	}
+	r := Run(mk(10), 4)
+	if r.Work != 10 || r.Depth != 10 {
+		t.Fatalf("w=%d d=%d, want 10/10", r.Work, r.Depth)
+	}
+	if r.Steps != 10 {
+		t.Fatalf("steps = %d, want 10 (chain is sequential)", r.Steps)
+	}
+	if r.Suspensions != 0 {
+		t.Fatal("no cells, no suspensions")
+	}
+}
+
+func TestWriteThenReadNoSuspension(t *testing.T) {
+	c := NewCell()
+	prog := WriteStep(c, 7, func() *Step {
+		return ReadStep(c, func(v any) *Step {
+			if v.(int) != 7 {
+				t.Error("read wrong value")
+			}
+			return nil
+		})
+	})
+	r := Run(prog, 1)
+	if r.Suspensions != 0 {
+		t.Fatalf("suspensions = %d, want 0 (write before read)", r.Suspensions)
+	}
+	if r.Work != 2 {
+		t.Fatalf("work = %d, want 2", r.Work)
+	}
+}
+
+func TestSuspensionAndReactivation(t *testing.T) {
+	// Reader forked first and scheduled before the writer finishes.
+	c := NewCell()
+	got := NewCell()
+	reader := ReadStep(c, func(v any) *Step {
+		return WriteStep(got, v, nil)
+	})
+	// Root: fork reader, then do some slow work, then write.
+	var slow func(n int) *Step
+	slow = func(n int) *Step {
+		if n == 0 {
+			return WriteStep(c, 42, nil)
+		}
+		return Compute(func() *Step { return slow(n - 1) })
+	}
+	prog := ForkStep(reader, func() *Step { return slow(20) })
+	r := Run(prog, 2)
+	if got.Value().(int) != 42 {
+		t.Fatal("value not forwarded")
+	}
+	if r.Suspensions != 1 {
+		t.Fatalf("suspensions = %d, want 1", r.Suspensions)
+	}
+	if !r.OK() {
+		t.Fatalf("bound violated: %v", r)
+	}
+}
+
+func TestDoubleWritePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c := NewCell()
+	Run(WriteStep(c, 1, func() *Step { return WriteStep(c, 2, nil) }), 1)
+}
+
+func TestNonLinearSecondSuspenderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c := NewCell()
+	r1 := ReadStep(c, nil)
+	r2 := ReadStep(c, nil)
+	// Fork two readers of a never-written cell: both suspend → panic.
+	Run(ForkStep(r1, func() *Step { return ForkStep(r2, nil) }), 4)
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c := NewCell()
+	Run(ReadStep(c, nil), 1) // nobody will ever write c
+}
+
+func TestRunPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(Compute(func() *Step { return nil }), 0)
+}
+
+func TestProduceConsume(t *testing.T) {
+	for _, p := range []int{1, 2, 16, 256} {
+		prog, sum := ProduceConsume(100)
+		r := Run(prog, p)
+		if got := sum.Value().(int); got != 5050 {
+			t.Fatalf("p=%d: sum = %d", p, got)
+		}
+		if !r.OK() {
+			t.Fatalf("p=%d: bound violated: %v", p, r)
+		}
+		// The pipeline keeps depth linear with a small constant.
+		if r.Depth > 4*101 {
+			t.Fatalf("p=%d: depth = %d, want ≈ 3n", p, r.Depth)
+		}
+	}
+}
+
+func TestProduceConsumeSuspensionsBounded(t *testing.T) {
+	prog, _ := ProduceConsume(200)
+	r := Run(prog, 8)
+	// Linearity: at most one suspension per cell.
+	if r.Suspensions > r.Cells {
+		t.Fatalf("suspensions %d exceed cells %d", r.Suspensions, r.Cells)
+	}
+}
+
+func TestMergeMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8, pRaw uint8) bool {
+		n, m := int(n8%60)+1, int(m8%60)+1
+		p := int(pRaw%64) + 1
+		rng := workload.NewRNG(uint64(seed))
+		ka, kb := workload.DisjointKeySets(rng, n, m)
+		sort.Ints(ka)
+		sort.Ints(kb)
+
+		prog, result := Merge(TreeFromKeys(ka), TreeFromKeys(kb))
+		r := Run(prog, p)
+		if !r.OK() {
+			return false
+		}
+		got := TreeKeys(result, nil)
+		want := append(append([]int{}, ka...), kb...)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeOnlineDepthShape: the online machine's metered depth must show
+// the Theorem 3.1 shape — near-linear in lg n.
+func TestMergeOnlineDepthShape(t *testing.T) {
+	var ratios []float64
+	for e := 8; e <= 12; e++ {
+		n := 1 << e
+		rng := workload.NewRNG(1)
+		ka, kb := workload.DisjointKeySets(rng, n, n)
+		sort.Ints(ka)
+		sort.Ints(kb)
+		prog, _ := Merge(TreeFromKeys(ka), TreeFromKeys(kb))
+		r := Run(prog, 1<<20) // effectively unbounded processors
+		ratios = append(ratios, float64(r.Depth)/float64(e))
+		if !r.OK() {
+			t.Fatalf("bound violated at n=2^%d: %v", e, r)
+		}
+	}
+	lo, hi := ratios[0], ratios[0]
+	for _, x := range ratios {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi/lo > 1.5 {
+		t.Fatalf("depth/lg n not flat: %v", ratios)
+	}
+}
+
+// TestStepsScaleWithProcessors: utilization near 1 while work-bound, and
+// steps approach depth as p grows.
+func TestStepsScaleWithProcessors(t *testing.T) {
+	rng := workload.NewRNG(2)
+	ka, kb := workload.DisjointKeySets(rng, 2048, 2048)
+	sort.Ints(ka)
+	sort.Ints(kb)
+	build := func() *Step {
+		prog, _ := Merge(TreeFromKeys(ka), TreeFromKeys(kb))
+		return prog
+	}
+	prev := int64(1 << 62)
+	for _, p := range []int{1, 4, 16, 64, 256} {
+		r := Run(build(), p)
+		if !r.OK() {
+			t.Fatalf("p=%d: %v", p, r)
+		}
+		if r.Steps > prev {
+			t.Fatalf("steps increased with more processors: p=%d %d > %d", p, r.Steps, prev)
+		}
+		prev = r.Steps
+	}
+}

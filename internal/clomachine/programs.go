@@ -1,0 +1,153 @@
+package clomachine
+
+// Programs for the closure machine: the Figure 1 producer/consumer and the
+// Section 3.1 tree merge, hand-compiled into unit-time actions. These are
+// what the cost-model algorithms (package costalg) look like after the
+// "compilation" Section 4 assumes — closures with explicit reads, writes,
+// and forks — and running them validates the machine bounds end to end on
+// real future programs, with real suspensions.
+
+// consCell is a list node; Tail is a future cell holding *consCell (nil
+// value = end of list).
+type consCell struct {
+	head int
+	tail *Cell
+}
+
+// ProduceConsume builds the Figure 1 program: a producer emitting
+// n, n-1, ..., 0 one thread per element, and a consumer summing the list.
+// The final sum is written into the returned cell.
+func ProduceConsume(n int) (program *Step, sum *Cell) {
+	sum = NewCell()
+	list := NewCell()
+	// Root thread: fork the producer, then run the consumer loop.
+	program = ForkStep(produceStep(n, list), func() *Step {
+		return consumeStep(list, 0, sum)
+	})
+	return program, sum
+}
+
+// produceStep writes cons(n, tail) into out and forks the producer of the
+// tail — two actions per element, with each element available O(1) after
+// the previous.
+func produceStep(n int, out *Cell) *Step {
+	if n < 0 {
+		return WriteStep(out, (*consCell)(nil), nil)
+	}
+	tail := NewCell()
+	return ForkStep(produceStep(n-1, tail), func() *Step {
+		return WriteStep(out, &consCell{head: n, tail: tail}, nil)
+	})
+}
+
+// consumeStep reads the next cons cell, adds, and loops.
+func consumeStep(list *Cell, acc int, out *Cell) *Step {
+	return ReadStep(list, func(v any) *Step {
+		node := v.(*consCell)
+		if node == nil {
+			return WriteStep(out, acc, nil)
+		}
+		return Compute(func() *Step {
+			return consumeStep(node.tail, acc+node.head, out)
+		})
+	})
+}
+
+// TreeNode is a binary search tree node for the merge program; children
+// are future cells holding *TreeNode (nil value = empty subtree).
+type TreeNode struct {
+	Key         int
+	Left, Right *Cell
+}
+
+// DoneCell returns a cell pre-written with v at time 0 (an input).
+func DoneCell(v any) *Cell {
+	return &Cell{written: true, val: v}
+}
+
+// TreeFromKeys builds a balanced input tree over sorted keys, fully
+// written at time 0.
+func TreeFromKeys(sorted []int) *Cell {
+	if len(sorted) == 0 {
+		return DoneCell((*TreeNode)(nil))
+	}
+	mid := len(sorted) / 2
+	return DoneCell(&TreeNode{
+		Key:   sorted[mid],
+		Left:  TreeFromKeys(sorted[:mid]),
+		Right: TreeFromKeys(sorted[mid+1:]),
+	})
+}
+
+// TreeKeys extracts the in-order keys of a finished tree.
+func TreeKeys(c *Cell, out []int) []int {
+	n := c.Value().(*TreeNode)
+	if n == nil {
+		return out
+	}
+	out = TreeKeys(n.Left, out)
+	out = append(out, n.Key)
+	return TreeKeys(n.Right, out)
+}
+
+// Merge builds the pipelined merge program of Section 3.1 for the two
+// input trees; the result tree lands in the returned cell.
+func Merge(a, b *Cell) (program *Step, result *Cell) {
+	result = NewCell()
+	return mergeStep(a, b, result), result
+}
+
+// mergeStep: read a's root; if empty, forward b's root; otherwise fork the
+// split of b around the key and the two recursive merges, and write the
+// result node.
+func mergeStep(a, b, out *Cell) *Step {
+	return ReadStep(a, func(v any) *Step {
+		n1 := v.(*TreeNode)
+		if n1 == nil {
+			// merge(leaf, B) = B: strict on B's root (forward).
+			return ReadStep(b, func(w any) *Step {
+				return WriteStep(out, w, nil)
+			})
+		}
+		l2, r2 := NewCell(), NewCell()
+		lout, rout := NewCell(), NewCell()
+		return ForkStep(splitStep(n1.Key, b, l2, r2), func() *Step {
+			return ForkStep(mergeStep(n1.Left, l2, lout), func() *Step {
+				return ForkStep(mergeStep(n1.Right, r2, rout), func() *Step {
+					return WriteStep(out, &TreeNode{Key: n1.Key, Left: lout, Right: rout}, nil)
+				})
+			})
+		})
+	})
+}
+
+// splitStep: the linearized split of Figure 12 — write the untraversed
+// side immediately (its child is the recursive future), then forward the
+// traversed side (strict write: read it first).
+func splitStep(s int, tree, lo, ro *Cell) *Step {
+	return ReadStep(tree, func(v any) *Step {
+		n := v.(*TreeNode)
+		if n == nil {
+			return WriteStep(lo, (*TreeNode)(nil), func() *Step {
+				return WriteStep(ro, (*TreeNode)(nil), nil)
+			})
+		}
+		l1, r1 := NewCell(), NewCell()
+		if s <= n.Key {
+			return ForkStep(splitStep(s, n.Left, l1, r1), func() *Step {
+				return WriteStep(ro, &TreeNode{Key: n.Key, Left: r1, Right: n.Right}, func() *Step {
+					return ReadStep(l1, func(w any) *Step {
+						return WriteStep(lo, w, nil)
+					})
+				})
+			})
+		}
+		return ForkStep(splitStep(s, n.Right, l1, r1), func() *Step {
+			return WriteStep(lo, &TreeNode{Key: n.Key, Left: n.Left, Right: l1}, func() *Step {
+				return ReadStep(r1, func(w any) *Step {
+					return WriteStep(ro, w, nil)
+				})
+			})
+		})
+	})
+}

@@ -1,0 +1,93 @@
+package clomachine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/workload"
+)
+
+// randomProgram generates a random well-formed future program: a tree of
+// threads that compute, fork, and communicate through single-reader cells.
+// Every cell gets exactly one writer and at most one reader, and readers
+// only read cells written by threads forked from an ancestor before the
+// read — so the program is deadlock-free and linear by construction.
+func randomProgram(rng *workload.RNG, budget *int, out *Cell) *Step {
+	// Each thread: some computation, possibly a forked child whose
+	// result it reads, then a write of its result.
+	work := rng.Intn(4)
+	var chain func(k int) *Step
+	if *budget > 0 && rng.Intn(2) == 0 {
+		*budget--
+		childOut := NewCell()
+		child := randomProgram(rng, budget, childOut)
+		chain = func(k int) *Step {
+			if k > 0 {
+				return Compute(func() *Step { return chain(k - 1) })
+			}
+			return ForkStep(child, func() *Step {
+				return ReadStep(childOut, func(v any) *Step {
+					return WriteStep(out, v.(int)+1, nil)
+				})
+			})
+		}
+	} else {
+		chain = func(k int) *Step {
+			if k > 0 {
+				return Compute(func() *Step { return chain(k - 1) })
+			}
+			return WriteStep(out, 1, nil)
+		}
+	}
+	return chain(work)
+}
+
+// TestRandomProgramsObeyBounds: for random programs and random processor
+// counts, the machine terminates, produces the deterministic result, and
+// obeys the step bound — the clomachine analogue of the Brent property
+// test on traces.
+func TestRandomProgramsObeyBounds(t *testing.T) {
+	f := func(seed uint16, pRaw uint8) bool {
+		rng := workload.NewRNG(uint64(seed))
+		p := int(pRaw) + 1
+
+		budget := 40
+		out := NewCell()
+		prog := randomProgram(rng, &budget, out)
+		r := Run(prog, p)
+		if !r.OK() {
+			return false
+		}
+		// Same program shape (same seed) on one processor must give
+		// the same value and the same work/depth (determinism of the
+		// metering, independence from p).
+		rng2 := workload.NewRNG(uint64(seed))
+		budget2 := 40
+		out2 := NewCell()
+		prog2 := randomProgram(rng2, &budget2, out2)
+		r2 := Run(prog2, 1)
+		if out.Value().(int) != out2.Value().(int) {
+			return false
+		}
+		return r.Work == r2.Work && r.Depth == r2.Depth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomProgramsLinearSuspensions: suspensions never exceed cells
+// (each cell can suspend at most one reader, once).
+func TestRandomProgramsLinearSuspensions(t *testing.T) {
+	f := func(seed uint16, pRaw uint8) bool {
+		rng := workload.NewRNG(uint64(seed) + 7777)
+		p := int(pRaw%64) + 1
+		budget := 60
+		out := NewCell()
+		r := Run(randomProgram(rng, &budget, out), p)
+		return r.Suspensions <= r.Cells
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

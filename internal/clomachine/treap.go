@@ -1,0 +1,166 @@
+package clomachine
+
+import "pipefut/internal/workload"
+
+// The treap union program (Section 3.2) hand-compiled for the closure
+// machine — including the three-result-cell splitm whose outputs become
+// available at different, data-dependent times. This is the hardest of the
+// paper's algorithms to pipeline by hand, which is exactly why it makes a
+// good stress test for the online runtime: the machine must reactivate
+// suspended unions the moment splitm writes each side.
+
+// TreapNode is a treap node; children are future cells holding *TreapNode.
+type TreapNode struct {
+	Key         int
+	Prio        int64
+	Left, Right *Cell
+}
+
+// TreapFromKeys builds the canonical treap over the distinct keys, fully
+// written at time 0 (hash priorities, as everywhere in this repository).
+func TreapFromKeys(keys []int) *Cell {
+	sorted := append([]int(nil), keys...)
+	insertionSortDedupe(&sorted)
+	return treapFromSorted(sorted)
+}
+
+func insertionSortDedupe(xs *[]int) {
+	s := *xs
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	*xs = out
+}
+
+func treapFromSorted(sorted []int) *Cell {
+	if len(sorted) == 0 {
+		return DoneCell((*TreapNode)(nil))
+	}
+	best, bestPrio := 0, workload.Priority(sorted[0])
+	for i := 1; i < len(sorted); i++ {
+		if p := workload.Priority(sorted[i]); p > bestPrio {
+			best, bestPrio = i, p
+		}
+	}
+	return DoneCell(&TreapNode{
+		Key:   sorted[best],
+		Prio:  bestPrio,
+		Left:  treapFromSorted(sorted[:best]),
+		Right: treapFromSorted(sorted[best+1:]),
+	})
+}
+
+// TreapKeys extracts the in-order keys of a finished treap.
+func TreapKeys(c *Cell, out []int) []int {
+	n := c.Value().(*TreapNode)
+	if n == nil {
+		return out
+	}
+	out = TreapKeys(n.Left, out)
+	out = append(out, n.Key)
+	return TreapKeys(n.Right, out)
+}
+
+// Union builds the treap-union program; the result treap lands in the
+// returned cell.
+func Union(a, b *Cell) (program *Step, result *Cell) {
+	result = NewCell()
+	return unionStep(a, b, result), result
+}
+
+func unionStep(a, b, out *Cell) *Step {
+	return ReadStep(a, func(v any) *Step {
+		n1 := v.(*TreapNode)
+		if n1 == nil {
+			return ReadStep(b, func(w any) *Step {
+				return WriteStep(out, w, nil)
+			})
+		}
+		return ReadStep(b, func(w any) *Step {
+			n2 := w.(*TreapNode)
+			if n2 == nil {
+				return WriteStep(out, n1, nil)
+			}
+			hi, lo := n1, n2
+			if hi.Prio < lo.Prio {
+				hi, lo = lo, hi
+			}
+			l2, r2, dup := NewCell(), NewCell(), NewCell()
+			lout, rout := NewCell(), NewCell()
+			return ForkStep(splitMStep(hi.Key, lo, l2, r2, dup), func() *Step {
+				return ForkStep(unionStep(hi.Left, l2, lout), func() *Step {
+					return ForkStep(unionStep(hi.Right, r2, rout), func() *Step {
+						return WriteStep(out, &TreapNode{
+							Key: hi.Key, Prio: hi.Prio,
+							Left: lout, Right: rout,
+						}, nil)
+					})
+				})
+			})
+		})
+	})
+}
+
+// splitMStep splits the treap rooted at the (already read) node n around
+// key s into lo (< s), ro (> s), and dup (the excluded duplicate or nil) —
+// writing ro/lo in the paper's order: the untraversed side first, the
+// forwarded sides when they arrive.
+func splitMStep(s int, n *TreapNode, lo, ro, dup *Cell) *Step {
+	if n == nil {
+		return WriteStep(lo, (*TreapNode)(nil), func() *Step {
+			return WriteStep(ro, (*TreapNode)(nil), func() *Step {
+				return WriteStep(dup, (*TreapNode)(nil), nil)
+			})
+		})
+	}
+	switch {
+	case s == n.Key:
+		// Found: forward both subtrees (strict writes) and report.
+		return WriteStep(dup, n, func() *Step {
+			return ReadStep(n.Left, func(v any) *Step {
+				return WriteStep(lo, v, func() *Step {
+					return ReadStep(n.Right, func(w any) *Step {
+						return WriteStep(ro, w, nil)
+					})
+				})
+			})
+		})
+	case s < n.Key:
+		l1, r1, d1 := NewCell(), NewCell(), NewCell()
+		return ForkStep(splitMCellStep(s, n.Left, l1, r1, d1), func() *Step {
+			return WriteStep(ro, &TreapNode{Key: n.Key, Prio: n.Prio, Left: r1, Right: n.Right}, func() *Step {
+				return forwardStep(l1, lo, func() *Step { return forwardStep(d1, dup, nil) })
+			})
+		})
+	default:
+		l1, r1, d1 := NewCell(), NewCell(), NewCell()
+		return ForkStep(splitMCellStep(s, n.Right, l1, r1, d1), func() *Step {
+			return WriteStep(lo, &TreapNode{Key: n.Key, Prio: n.Prio, Left: n.Left, Right: l1}, func() *Step {
+				return forwardStep(r1, ro, func() *Step { return forwardStep(d1, dup, nil) })
+			})
+		})
+	}
+}
+
+// splitMCellStep reads the subtree cell first, then splits from its node.
+func splitMCellStep(s int, tree *Cell, lo, ro, dup *Cell) *Step {
+	return ReadStep(tree, func(v any) *Step {
+		return splitMStep(s, v.(*TreapNode), lo, ro, dup)
+	})
+}
+
+// forwardStep reads src and writes its value to dst (the strict forward),
+// then continues with next.
+func forwardStep(src, dst *Cell, next func() *Step) *Step {
+	return ReadStep(src, func(v any) *Step {
+		return WriteStep(dst, v, next)
+	})
+}

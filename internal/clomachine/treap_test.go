@@ -1,0 +1,97 @@
+package clomachine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/workload"
+)
+
+func TestTreapFromKeysMatchesOracle(t *testing.T) {
+	rng := workload.NewRNG(1)
+	keys := workload.DistinctKeys(rng, 200, 1000)
+	c := TreapFromKeys(keys)
+	want := seqtreap.Keys(seqtreap.FromKeys(keys))
+	got := TreapKeys(c, nil)
+	if len(got) != len(want) {
+		t.Fatalf("sizes differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("keys differ")
+		}
+	}
+}
+
+func TestUnionMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8, pRaw uint8) bool {
+		n, m := int(n8%60)+1, int(m8%60)+1
+		p := int(pRaw%128) + 1
+		rng := workload.NewRNG(uint64(seed))
+		ka, kb := workload.OverlappingKeySets(rng, n, m, 0.25)
+
+		prog, result := Union(TreapFromKeys(ka), TreapFromKeys(kb))
+		r := Run(prog, p)
+		if !r.OK() {
+			return false
+		}
+		got := TreapKeys(result, nil)
+		want := seqtreap.Keys(seqtreap.Union(seqtreap.FromKeys(ka), seqtreap.FromKeys(kb)))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnionOnlineDepthShape: the online machine's metered union depth must
+// track lg n (Corollary 3.6), executed with real suspensions.
+func TestUnionOnlineDepthShape(t *testing.T) {
+	var ratios []float64
+	for e := 8; e <= 12; e++ {
+		n := 1 << e
+		rng := workload.NewRNG(3)
+		ka, kb := workload.OverlappingKeySets(rng, n, n, 0.25)
+		prog, _ := Union(TreapFromKeys(ka), TreapFromKeys(kb))
+		r := Run(prog, 1<<20)
+		if !r.OK() {
+			t.Fatalf("bound violated at n=2^%d: %v", e, r)
+		}
+		ratios = append(ratios, float64(r.Depth)/float64(e))
+	}
+	lo, hi := ratios[0], ratios[0]
+	for _, x := range ratios {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi/lo > 1.6 {
+		t.Fatalf("union depth/lg n not flat: %v", ratios)
+	}
+}
+
+func TestUnionEmptySides(t *testing.T) {
+	ka := []int{1, 2, 3}
+	prog, result := Union(TreapFromKeys(ka), TreapFromKeys(nil))
+	Run(prog, 4)
+	if got := TreapKeys(result, nil); len(got) != 3 {
+		t.Fatalf("keys = %v", got)
+	}
+	prog2, result2 := Union(TreapFromKeys(nil), TreapFromKeys(ka))
+	Run(prog2, 4)
+	if got := TreapKeys(result2, nil); len(got) != 3 {
+		t.Fatalf("keys = %v", got)
+	}
+}

@@ -1,0 +1,295 @@
+package core
+
+import "fmt"
+
+// cellState tracks the lifecycle of a future cell.
+type cellState uint8
+
+const (
+	cellEmpty cellState = iota
+	cellReady
+)
+
+// Cell is a future cell (Section 2 of the paper): a write-once location
+// created by a future call. The forked thread holds the write capability
+// (Write); any thread holding the cell may Touch it, which in the model
+// suspends the reader until the write has happened. In this virtual-time
+// engine a Touch of an unwritten cell instead forces the writing fork to run.
+//
+// Writing is strict on the value written: a cell cannot hold another cell of
+// the same result (no chains of future cells). Forwarding a future therefore
+// requires touching it first — see the split and splitm algorithms.
+type Cell[T any] struct {
+	eng   *Engine
+	state cellState
+	val   T
+	wtime int64 // time stamp of the writing action
+
+	writeNode int32 // trace node of the write, -1 for input cells
+	reads     int64
+
+	fork *forkRec // the fork responsible for writing this cell; nil for Done cells
+}
+
+// forkRec is the shared record of one future call: the lazily-run body plus
+// cycle-detection state.
+type forkRec struct {
+	body    func()
+	started bool
+	done    bool
+}
+
+func (f *forkRec) force() {
+	if f.done {
+		return
+	}
+	if f.started {
+		panic("core: deadlock — a future's value depends on itself")
+	}
+	f.started = true
+	f.body()
+	f.done = true
+}
+
+func newCell[T any](e *Engine) *Cell[T] {
+	e.cells++
+	return &Cell[T]{eng: e, writeNode: -1}
+}
+
+// Done returns a cell that is already written with value v at time 0. Use
+// it for inputs that exist before the computation starts.
+func Done[T any](e *Engine, v T) *Cell[T] {
+	c := newCell[T](e)
+	c.state = cellReady
+	c.val = v
+	return c
+}
+
+// NowCell returns a cell written with value v by the calling thread at its
+// current clock, costing one write action. It is the "strict" way to hand a
+// value a thread just computed to code that expects a cell, and is what the
+// non-pipelined algorithm variants use for the results of their synchronous
+// phases.
+func NowCell[T any](t *Ctx, v T) *Cell[T] {
+	c := newCell[T](t.eng)
+	Write(t, c, v)
+	return c
+}
+
+// Ready reports whether the cell has been written. It performs no action
+// and is intended for assertions and tests, not algorithm logic.
+func (c *Cell[T]) Ready() bool { return c.state == cellReady }
+
+// WriteTime returns the time stamp at which the cell was written. It panics
+// if the cell is not ready.
+func (c *Cell[T]) WriteTime() int64 {
+	if c.state != cellReady {
+		panic("core: WriteTime of unwritten cell")
+	}
+	return c.wtime
+}
+
+// Reads returns how many times the cell has been touched.
+func (c *Cell[T]) Reads() int64 { return c.reads }
+
+// Write writes v into c as thread t, costing one action. Each cell may be
+// written exactly once; a second write panics, as in the model.
+func Write[T any](t *Ctx, c *Cell[T], v T) {
+	t.Step(1)
+	writeCell(t, c, v)
+}
+
+// writeCell stamps the cell at t's current clock without charging an action
+// (the caller has already done so).
+func writeCell[T any](t *Ctx, c *Cell[T], v T) {
+	if c.state == cellReady {
+		panic("core: future cell written twice")
+	}
+	if c.eng != t.eng {
+		panic("core: cell written by a thread of a different engine")
+	}
+	c.state = cellReady
+	c.val = v
+	c.wtime = t.clock
+	c.writeNode = t.lastNode
+}
+
+// Force ensures the cell is written — running its fork now if needed — and
+// returns the value and write time WITHOUT performing a read action: no
+// work, no clock movement, no linearity accounting. It is the measurement
+// and extraction primitive (converting a finished cost-model tree back to a
+// plain data structure, finding the maximum write time of a result);
+// algorithms under measurement must use Touch.
+func (c *Cell[T]) Force() (T, int64) {
+	if c.state != cellReady {
+		if c.fork == nil {
+			panic("core: force of a cell that no fork will ever write")
+		}
+		c.fork.force()
+		if c.state != cellReady {
+			panic("core: fork finished without writing one of its cells")
+		}
+	}
+	return c.val, c.wtime
+}
+
+// Touch reads the cell's value as thread t. If the writing fork has not run
+// yet it is forced now (in real execution the reader would suspend; the time
+// stamps are identical either way). The read costs one action and the
+// reader's clock becomes max(reader, writeTime) + 1 — the data edge.
+func Touch[T any](t *Ctx, c *Cell[T]) T {
+	if c.state != cellReady {
+		if c.fork == nil {
+			panic("core: touch of a cell that no fork will ever write")
+		}
+		c.fork.force()
+		if c.state != cellReady {
+			panic("core: fork finished without writing one of its cells")
+		}
+	}
+	c.reads++
+	e := t.eng
+	e.touches++
+	if c.reads > e.maxReads {
+		e.maxReads = c.reads
+	}
+	if c.reads == 2 {
+		e.multiReadCells++
+	}
+	e.work++
+	if c.wtime > t.clock {
+		t.clock = c.wtime + 1
+	} else {
+		t.clock++
+	}
+	if t.clock > e.depth {
+		e.depth = t.clock
+	}
+	if e.tracer != nil {
+		t.lastNode = e.tracer.Step(t.lastNode, t.nextKind)
+		t.nextKind = ThreadEdge
+		if c.writeNode >= 0 {
+			e.tracer.DataEdge(c.writeNode, t.lastNode)
+		}
+	}
+	return c.val
+}
+
+// childCtx allocates the Ctx a forked thread runs in: it starts one tick
+// after the fork action, connected by a fork edge.
+func childCtx(parent *Ctx) *Ctx {
+	child := &Ctx{
+		eng:      parent.eng,
+		clock:    parent.clock,
+		lastNode: parent.lastNode,
+		nextKind: ForkEdge,
+	}
+	return child
+}
+
+// register enqueues a fork for Engine.Finish.
+func (e *Engine) register(f *forkRec) {
+	e.forks++
+	e.pending = append(e.pending, f)
+}
+
+// Fork1 is a future call returning one value: it costs one action on the
+// parent (the fork), creates one future cell, and logically starts a thread
+// that evaluates f and writes the result (the final write costs one action
+// on the child). The parent continues immediately with the cell.
+func Fork1[A any](parent *Ctx, f func(t *Ctx) A) *Cell[A] {
+	parent.Step(1)
+	child := childCtx(parent)
+	a := newCell[A](parent.eng)
+	rec := &forkRec{body: func() {
+		v := f(child)
+		Write(child, a, v)
+	}}
+	a.fork = rec
+	parent.eng.register(rec)
+	return a
+}
+
+// Fork2 is a future call with two result cells. The body receives write
+// capabilities for both cells and must write each exactly once, at whatever
+// point during its execution the value is available — this is what lets one
+// result of splitm come back long before the other (the dynamic pipeline
+// delays of Sections 3.1–3.3).
+func Fork2[A, B any](parent *Ctx, f func(t *Ctx, a *Cell[A], b *Cell[B])) (*Cell[A], *Cell[B]) {
+	parent.Step(1)
+	child := childCtx(parent)
+	a := newCell[A](parent.eng)
+	b := newCell[B](parent.eng)
+	rec := &forkRec{body: func() {
+		f(child, a, b)
+		checkWritten(a, "first")
+		checkWritten(b, "second")
+	}}
+	a.fork = rec
+	b.fork = rec
+	parent.eng.register(rec)
+	return a, b
+}
+
+// Fork3 is a future call with three result cells, as used by splitm (the
+// two split treaps plus the optional duplicate key).
+func Fork3[A, B, C any](parent *Ctx, f func(t *Ctx, a *Cell[A], b *Cell[B], c *Cell[C])) (*Cell[A], *Cell[B], *Cell[C]) {
+	parent.Step(1)
+	child := childCtx(parent)
+	a := newCell[A](parent.eng)
+	b := newCell[B](parent.eng)
+	c := newCell[C](parent.eng)
+	rec := &forkRec{body: func() {
+		f(child, a, b, c)
+		checkWritten(a, "first")
+		checkWritten(b, "second")
+		checkWritten(c, "third")
+	}}
+	a.fork = rec
+	b.fork = rec
+	c.fork = rec
+	parent.eng.register(rec)
+	return a, b, c
+}
+
+// ForkN is a future call with n result cells of one type, for callers
+// whose cell count is dynamic (the ML interpreter's `val (x1,...,xk) = ?e`
+// creates one cell per pattern variable). The body must write every cell
+// exactly once.
+func ForkN[T any](parent *Ctx, n int, f func(t *Ctx, cells []*Cell[T])) []*Cell[T] {
+	if n < 1 {
+		panic("core: ForkN needs at least one cell")
+	}
+	parent.Step(1)
+	child := childCtx(parent)
+	cells := make([]*Cell[T], n)
+	rec := &forkRec{}
+	for i := range cells {
+		cells[i] = newCell[T](parent.eng)
+		cells[i].fork = rec
+	}
+	rec.body = func() {
+		f(child, cells)
+		for i, c := range cells {
+			if c.state != cellReady {
+				panic(fmt.Sprintf("core: fork body returned without writing cell %d of %d", i+1, n))
+			}
+		}
+	}
+	parent.eng.register(rec)
+	return cells
+}
+
+func checkWritten[T any](c *Cell[T], which string) {
+	if c.state != cellReady {
+		panic(fmt.Sprintf("core: fork body returned without writing its %s cell", which))
+	}
+}
+
+// Forward touches src and writes its value into dst, as thread t. This is
+// the only legal way to pass one future's result through another cell: the
+// write is strict, so the thread must wait for src first (no cell chains).
+func Forward[T any](t *Ctx, src, dst *Cell[T]) {
+	v := Touch(t, src)
+	Write(t, dst, v)
+}

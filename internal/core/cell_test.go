@@ -1,0 +1,213 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not contain %q", r, substr)
+		}
+	}()
+	f()
+}
+
+func TestDoubleWritePanics(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	c := newCell[int](eng)
+	Write(ctx, c, 1)
+	mustPanic(t, "written twice", func() { Write(ctx, c, 2) })
+}
+
+func TestWriteAcrossEnginesPanics(t *testing.T) {
+	e1, e2 := NewEngine(nil), NewEngine(nil)
+	ctx2 := e2.NewCtx()
+	c := newCell[int](e1)
+	mustPanic(t, "different engine", func() { Write(ctx2, c, 1) })
+}
+
+func TestTouchOfOrphanCellPanics(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	c := newCell[int](eng)
+	mustPanic(t, "no fork will ever write", func() { Touch(ctx, c) })
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	var self *Cell[int]
+	self = Fork1(ctx, func(th *Ctx) int {
+		return Touch(th, self) // a future that needs its own value
+	})
+	mustPanic(t, "deadlock", func() { Touch(ctx, self) })
+}
+
+func TestMutualDeadlockDetection(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	var a, b *Cell[int]
+	a = Fork1(ctx, func(th *Ctx) int { return Touch(th, b) })
+	b = Fork1(ctx, func(th *Ctx) int { return Touch(th, a) })
+	mustPanic(t, "deadlock", func() { Touch(ctx, a) })
+}
+
+func TestForkBodyMustWriteAllCells(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	a, _ := Fork2(ctx, func(th *Ctx, x, y *Cell[int]) {
+		Write(th, x, 1) // forgets y
+	})
+	mustPanic(t, "without writing its second cell", func() { Touch(ctx, a) })
+}
+
+func TestFork2IndependentWriteTimes(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	a, b := Fork2(ctx, func(th *Ctx, x, y *Cell[int]) {
+		Write(th, x, 1) // early
+		th.Step(50)
+		Write(th, y, 2) // late
+	})
+	_, wa := a.Force()
+	_, wb := b.Force()
+	if wb-wa != 51 {
+		t.Fatalf("write-time gap = %d, want 51", wb-wa)
+	}
+}
+
+func TestFork3AllCellsWritten(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	a, b, c := Fork3(ctx, func(th *Ctx, x, y, z *Cell[int]) {
+		Write(th, y, 2)
+		Write(th, x, 1)
+		Write(th, z, 3)
+	})
+	if Touch(ctx, a) != 1 || Touch(ctx, b) != 2 || Touch(ctx, c) != 3 {
+		t.Fatal("wrong values")
+	}
+	if eng.Finish().Cells != 3 {
+		t.Fatal("Fork3 must allocate exactly three cells")
+	}
+}
+
+func TestForwardIsStrict(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	src := Fork1(ctx, func(th *Ctx) int { th.Step(20); return 7 })
+	dst, _ := Fork2(ctx, func(th *Ctx, d, other *Cell[int]) {
+		Write(th, other, 0)
+		Forward(th, src, d)
+	})
+	v, wt := dst.Force()
+	if v != 7 {
+		t.Fatalf("forwarded value = %d", v)
+	}
+	_, srcWt := src.Force()
+	if wt <= srcWt {
+		t.Fatalf("forward write time %d must be after source write time %d", wt, srcWt)
+	}
+}
+
+func TestDoneCell(t *testing.T) {
+	eng := NewEngine(nil)
+	c := Done(eng, 42)
+	if !c.Ready() {
+		t.Fatal("Done cell must be ready")
+	}
+	if c.WriteTime() != 0 {
+		t.Fatal("Done cell write time must be 0")
+	}
+	v, wt := c.Force()
+	if v != 42 || wt != 0 {
+		t.Fatal("Done cell force wrong")
+	}
+}
+
+func TestNowCell(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	ctx.Step(9)
+	c := NowCell(ctx, "v")
+	if c.WriteTime() != 10 { // the write is an action
+		t.Fatalf("write time = %d, want 10", c.WriteTime())
+	}
+	if c.Reads() != 0 {
+		t.Fatal("fresh cell must have no reads")
+	}
+}
+
+func TestWriteTimeOfUnwrittenPanics(t *testing.T) {
+	eng := NewEngine(nil)
+	c := newCell[int](eng)
+	mustPanic(t, "unwritten", func() { c.WriteTime() })
+}
+
+func TestForceDoesNotCount(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	c := Fork1(ctx, func(th *Ctx) int { th.Step(5); return 1 })
+	before := eng.Costs()
+	_, _ = c.Force()
+	after := eng.Costs()
+	// Forcing runs the body (its work counts) but adds no read action
+	// and no linearity accounting.
+	if after.Work != before.Work+5+1 {
+		t.Fatalf("force charged wrong work: %d → %d", before.Work, after.Work)
+	}
+	if after.Touches != before.Touches || c.Reads() != 0 {
+		t.Fatal("force must not count as a touch")
+	}
+}
+
+// TestPipelineTimestamps reproduces the essence of Figure 1 at tiny scale
+// and checks the exact time stamps of an overlapped producer/consumer.
+func TestPipelineTimestamps(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+
+	type cons struct {
+		head int
+		tail *Cell[*cons]
+	}
+	var produce func(th *Ctx, n int) *Cell[*cons]
+	produce = func(th *Ctx, n int) *Cell[*cons] {
+		return Fork1(th, func(t2 *Ctx) *cons {
+			if n < 0 {
+				return nil
+			}
+			t2.Step(1)
+			return &cons{head: n, tail: produce(t2, n-1)}
+		})
+	}
+	l := produce(ctx, 9)
+	sum := 0
+	for {
+		n := Touch(ctx, l)
+		if n == nil {
+			break
+		}
+		sum += n.head
+		l = n.tail
+	}
+	if sum != 45 {
+		t.Fatalf("sum = %d", sum)
+	}
+	costs := eng.Finish()
+	// Depth must be Θ(n) with a small constant, not Θ(n²).
+	if costs.Depth > 60 {
+		t.Fatalf("depth = %d, want ≤ 60 for n=10 pipeline", costs.Depth)
+	}
+	if !costs.Linear() {
+		t.Fatal("pipeline must be linear")
+	}
+}

@@ -1,0 +1,252 @@
+// Package core implements the language-based cost model of Blelloch and
+// Reid-Miller's "Pipelining with Futures" (the PSL model of Greiner and
+// Blelloch, restricted to explicit futures as in Section 2 of the paper).
+//
+// A computation is a dynamically unfolding DAG. Each node is a unit-time
+// action; edges are
+//
+//   - thread edges between successive actions of one thread,
+//   - fork edges from the action that creates a future to the first action of
+//     the future's thread, and
+//   - data edges from the action that writes a future cell to every action
+//     that reads (touches) it.
+//
+// The engine measures the two costs the paper analyzes algorithms in:
+//
+//   - work  w — the number of nodes in the DAG, and
+//   - depth d — the length of the longest path in the DAG.
+//
+// Rather than unfolding the DAG in parallel, the engine runs the computation
+// sequentially in virtual time. Every logical thread (a *Ctx) carries a
+// clock: the time stamp of its most recently executed action. Step advances
+// it along thread edges, Fork starts a child thread one tick after the fork
+// action (fork edge), Touch sets the reader's clock to
+// max(reader, writeTime)+1 (data edge), and Write stamps the cell with the
+// writer's clock. Because time stamps are fully determined by the dependence
+// structure, the sequential execution order is irrelevant: the measured work
+// and depth are exactly those of the model.
+//
+// Forked thread bodies run lazily, on the first Touch of one of their cells
+// (a cycle — a true deadlock in the futures program — is detected and
+// reported). Engine.Finish forces any never-touched forks so speculative
+// work is not undercounted.
+package core
+
+import "fmt"
+
+// Engine accumulates the cost of one future-based computation. The zero
+// value is not ready for use; call NewEngine.
+type Engine struct {
+	work  int64
+	depth int64
+
+	cells int64 // future cells allocated
+	forks int64 // future calls (forked threads)
+
+	touches        int64 // total touch operations
+	maxReads       int64 // max touches of any single cell
+	multiReadCells int64 // cells touched more than once (linearity violations)
+
+	pending []*forkRec // forks not yet forced
+
+	tracer Tracer // optional DAG recorder; nil disables tracing
+}
+
+// NewEngine returns an empty engine. If tr is non-nil every action is also
+// recorded in it as an explicit DAG node (see the Tracer interface).
+func NewEngine(tr Tracer) *Engine {
+	return &Engine{tracer: tr}
+}
+
+// Costs is the measured cost of a computation in the model of Section 2.
+type Costs struct {
+	Work  int64 // number of DAG nodes
+	Depth int64 // longest DAG path length
+
+	Cells int64 // future cells allocated
+	Forks int64 // future calls
+
+	Touches        int64 // reads of future cells
+	MaxReads       int64 // maximum reads of a single cell (1 ⇒ linear)
+	MultiReadCells int64 // cells read more than once (0 ⇒ linear ⇒ EREW)
+}
+
+// Linear reports whether the computation obeyed the linearity restriction of
+// Section 4: no future cell was read more than once. Linear computations
+// need no concurrent memory access and admit the EREW implementation of
+// Lemma 4.1.
+func (c Costs) Linear() bool { return c.MultiReadCells == 0 }
+
+// AvgParallelism returns w/d, the average parallelism of the computation.
+func (c Costs) AvgParallelism() float64 {
+	if c.Depth == 0 {
+		return 0
+	}
+	return float64(c.Work) / float64(c.Depth)
+}
+
+func (c Costs) String() string {
+	return fmt.Sprintf("work=%d depth=%d forks=%d cells=%d touches=%d maxReads=%d",
+		c.Work, c.Depth, c.Forks, c.Cells, c.Touches, c.MaxReads)
+}
+
+// Costs returns the costs accumulated so far. Most callers should use
+// Finish, which also accounts for speculative (never-touched) forks.
+func (e *Engine) Costs() Costs {
+	return Costs{
+		Work:           e.work,
+		Depth:          e.depth,
+		Cells:          e.cells,
+		Forks:          e.forks,
+		Touches:        e.touches,
+		MaxReads:       e.maxReads,
+		MultiReadCells: e.multiReadCells,
+	}
+}
+
+// Finish forces every fork whose body has not yet run (fully speculative
+// futures whose results were never demanded) so that their work is counted,
+// then returns the final costs. The engine can keep being used afterwards.
+func (e *Engine) Finish() Costs {
+	// Forcing a fork can create new forks; loop until quiescent.
+	for len(e.pending) > 0 {
+		pend := e.pending
+		e.pending = nil
+		for _, f := range pend {
+			f.force()
+		}
+	}
+	return e.Costs()
+}
+
+// Tracer records the computation DAG action by action. All node IDs are
+// allocated by the tracer; edges always point from earlier-created nodes to
+// later-created ones. A nil Tracer in NewEngine disables recording.
+type Tracer interface {
+	// Root allocates a node with no parents: the first action of a
+	// top-level thread.
+	Root() int32
+	// Step allocates one node with an edge of the given kind from prev.
+	Step(prev int32, kind EdgeKind) int32
+	// StepN allocates a chain of n nodes connected by thread edges,
+	// hanging off prev with an edge of kind; it returns the last node.
+	StepN(prev int32, n int64, kind EdgeKind) int32
+	// Fan allocates the DAG of the parallel array primitive (Figure 9 of
+	// the paper): a source node under prev, n parallel middle nodes, and
+	// a sink depending on all middles. It returns the sink.
+	Fan(prev int32, n int64, kind EdgeKind) int32
+	// DataEdge adds a data edge between two existing nodes.
+	DataEdge(from, to int32)
+}
+
+// EdgeKind labels a DAG dependence edge.
+type EdgeKind uint8
+
+const (
+	// ThreadEdge connects successive actions of one thread.
+	ThreadEdge EdgeKind = iota
+	// ForkEdge connects a future call to the first action of its thread.
+	ForkEdge
+	// DataEdge connects the write of a future cell to a read of it.
+	DataEdgeKind
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case ThreadEdge:
+		return "thread"
+	case ForkEdge:
+		return "fork"
+	case DataEdgeKind:
+		return "data"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", uint8(k))
+	}
+}
+
+// Ctx is a logical thread of the computation: a clock (the time stamp of its
+// last action) plus bookkeeping for the optional tracer. Ctx values are
+// created by Engine.NewCtx and by Fork; they must not be shared between
+// concurrently running goroutines (the engine is a sequential instrument).
+type Ctx struct {
+	eng   *Engine
+	clock int64
+
+	lastNode int32    // trace node of the last action, -1 if untraced
+	nextKind EdgeKind // kind of the edge to the next action
+}
+
+// NewCtx starts a new top-level thread with clock 0.
+func (e *Engine) NewCtx() *Ctx {
+	c := &Ctx{eng: e, lastNode: -1}
+	if e.tracer != nil {
+		// The root node anchors the thread in the trace at level 0; it
+		// is not itself an action (the thread's first Step is).
+		c.lastNode = e.tracer.Root()
+	}
+	return c
+}
+
+// Engine returns the engine this thread belongs to.
+func (c *Ctx) Engine() *Engine { return c.eng }
+
+// Clock returns the time stamp of the thread's last action.
+func (c *Ctx) Clock() int64 { return c.clock }
+
+// Step executes n unit-time actions on this thread (n thread-edge-connected
+// DAG nodes): work += n, clock += n.
+func (c *Ctx) Step(n int64) {
+	if n <= 0 {
+		return
+	}
+	e := c.eng
+	e.work += n
+	c.clock += n
+	if c.clock > e.depth {
+		e.depth = c.clock
+	}
+	if e.tracer != nil {
+		c.lastNode = e.tracer.StepN(c.lastNode, n, c.nextKind)
+		c.nextKind = ThreadEdge
+	}
+}
+
+// AdvanceTo moves the thread's clock forward to at least ts without
+// performing work. It models a synchronization barrier: "this thread
+// continues only after everything written by time ts is done". The
+// non-pipelined algorithm variants use it to wait for a whole phase to
+// complete before starting the next, which is exactly what distinguishes
+// them from the pipelined variants.
+//
+// AdvanceTo is not represented in traces (it is a measurement-level
+// barrier, not an action), so traced computations that use it will show a
+// shorter critical path than the engine reports; the machine experiments
+// only trace pipelined computations, which never use it.
+func (c *Ctx) AdvanceTo(ts int64) {
+	if ts > c.clock {
+		c.clock = ts
+		if c.clock > c.eng.depth {
+			c.eng.depth = c.clock
+		}
+	}
+}
+
+// ParWork executes the parallel array primitive of Section 3.4 (Figure 9):
+// an operation of O(1) depth and O(n) work, such as array_split or
+// array_scan. Its DAG is a fan: one source action, n parallel actions, one
+// sink action, so work += n+2 and clock += 3.
+func (c *Ctx) ParWork(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	e := c.eng
+	e.work += n + 2
+	c.clock += 3
+	if c.clock > e.depth {
+		e.depth = c.clock
+	}
+	if e.tracer != nil {
+		c.lastNode = e.tracer.Fan(c.lastNode, n, c.nextKind)
+		c.nextKind = ThreadEdge
+	}
+}

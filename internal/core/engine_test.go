@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStepAdvancesClockAndWork(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	ctx.Step(1)
+	if ctx.Clock() != 1 {
+		t.Fatalf("clock = %d, want 1", ctx.Clock())
+	}
+	ctx.Step(5)
+	if ctx.Clock() != 6 {
+		t.Fatalf("clock = %d, want 6", ctx.Clock())
+	}
+	c := eng.Costs()
+	if c.Work != 6 || c.Depth != 6 {
+		t.Fatalf("costs = %+v, want work=6 depth=6", c)
+	}
+}
+
+func TestStepZeroOrNegativeIsNoop(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	ctx.Step(0)
+	ctx.Step(-3)
+	if ctx.Clock() != 0 || eng.Costs().Work != 0 {
+		t.Fatal("Step(<=0) must not move the clock or add work")
+	}
+}
+
+func TestParWorkCosts(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	ctx.ParWork(100)
+	c := eng.Costs()
+	if c.Work != 102 {
+		t.Errorf("work = %d, want 102 (n+2)", c.Work)
+	}
+	if c.Depth != 3 {
+		t.Errorf("depth = %d, want 3 (source, middle, sink)", c.Depth)
+	}
+	ctx.ParWork(-5) // clamped to 0
+	if got := eng.Costs().Work; got != 102+2 {
+		t.Errorf("work after negative ParWork = %d, want 104", got)
+	}
+}
+
+func TestAdvanceToOnlyMovesForward(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	ctx.Step(10)
+	ctx.AdvanceTo(5)
+	if ctx.Clock() != 10 {
+		t.Fatal("AdvanceTo must not move the clock backwards")
+	}
+	ctx.AdvanceTo(42)
+	if ctx.Clock() != 42 {
+		t.Fatalf("clock = %d, want 42", ctx.Clock())
+	}
+	if eng.Costs().Work != 10 {
+		t.Fatal("AdvanceTo must not add work")
+	}
+	if eng.Costs().Depth != 42 {
+		t.Fatal("AdvanceTo must raise observed depth")
+	}
+}
+
+func TestForkChildStartsOneTickAfterForkAction(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	ctx.Step(7)
+	var childStart int64 = -1
+	c := Fork1(ctx, func(th *Ctx) int {
+		th.Step(1)
+		childStart = th.Clock()
+		return 9
+	})
+	// Fork action itself advanced the parent's clock to 8.
+	if ctx.Clock() != 8 {
+		t.Fatalf("parent clock after fork = %d, want 8", ctx.Clock())
+	}
+	v, wt := c.Force()
+	if v != 9 {
+		t.Fatalf("value = %d, want 9", v)
+	}
+	// Child's first action: fork time (8) + 1.
+	if childStart != 9 {
+		t.Fatalf("child first action at %d, want 9", childStart)
+	}
+	// Implicit final write is one more action.
+	if wt != 10 {
+		t.Fatalf("write time = %d, want 10", wt)
+	}
+}
+
+func TestTouchWaitsForWrite(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	c := Fork1(ctx, func(th *Ctx) string {
+		th.Step(100)
+		return "late"
+	})
+	// Reader at clock 1; writer finishes at 102 (fork at 1, +100 steps,
+	// +1 write).
+	if got := Touch(ctx, c); got != "late" {
+		t.Fatalf("touch = %q", got)
+	}
+	if ctx.Clock() != 103 {
+		t.Fatalf("reader clock = %d, want 103 (write time 102 + 1)", ctx.Clock())
+	}
+	// A second touch of an already-written cell costs one action from
+	// the reader's (now later) clock.
+	if got := Touch(ctx, c); got != "late" {
+		t.Fatalf("second touch = %q", got)
+	}
+	if ctx.Clock() != 104 {
+		t.Fatalf("reader clock = %d, want 104", ctx.Clock())
+	}
+	costs := eng.Finish()
+	if costs.MaxReads != 2 || costs.MultiReadCells != 1 {
+		t.Fatalf("linearity accounting wrong: %+v", costs)
+	}
+	if costs.Linear() {
+		t.Fatal("computation with a twice-read cell must not be linear")
+	}
+}
+
+func TestTouchOfEarlierWriteCostsOneAction(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	c := Done(eng, 5)
+	ctx.Step(50)
+	Touch(ctx, c)
+	if ctx.Clock() != 51 {
+		t.Fatalf("clock = %d, want 51", ctx.Clock())
+	}
+}
+
+func TestFinishForcesSpeculativeForks(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	ran := false
+	Fork1(ctx, func(th *Ctx) int {
+		ran = true
+		th.Step(10)
+		return 0
+	})
+	if ran {
+		t.Fatal("fork body must run lazily")
+	}
+	costs := eng.Finish()
+	if !ran {
+		t.Fatal("Finish must force never-touched forks")
+	}
+	if costs.Work != 1+10+1 { // fork action + body + final write
+		t.Fatalf("work = %d, want 12", costs.Work)
+	}
+}
+
+func TestFinishForcesNestedSpeculativeForks(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	depth2 := false
+	Fork1(ctx, func(th *Ctx) int {
+		Fork1(th, func(t2 *Ctx) int {
+			depth2 = true
+			return 1
+		})
+		return 0
+	})
+	eng.Finish()
+	if !depth2 {
+		t.Fatal("Finish must force forks created during forcing")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Costs {
+		eng := NewEngine(nil)
+		ctx := eng.NewCtx()
+		a := Fork1(ctx, func(th *Ctx) int { th.Step(3); return 1 })
+		b := Fork1(ctx, func(th *Ctx) int { th.Step(5); return Touch(th, a) + 1 })
+		Touch(ctx, b)
+		return eng.Finish()
+	}
+	c1, c2 := run(), run()
+	if c1 != c2 {
+		t.Fatalf("nondeterministic costs: %+v vs %+v", c1, c2)
+	}
+}
+
+// TestDataEdgeSemantics checks the defining clock rule of the model:
+// touch sets the reader to max(reader, writeTime)+1.
+func TestDataEdgeSemantics(t *testing.T) {
+	f := func(readerSteps, writerSteps uint8) bool {
+		rs, ws := int64(readerSteps%40), int64(writerSteps%40)
+		eng := NewEngine(nil)
+		ctx := eng.NewCtx()
+		c := Fork1(ctx, func(th *Ctx) int { th.Step(ws); return 0 })
+		// Fork action put parent at 1; child writes at 1+ws+1.
+		ctx.Step(rs)
+		Touch(ctx, c)
+		want := max64(rs+1, ws+2) + 1
+		return ctx.Clock() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestAvgParallelism(t *testing.T) {
+	c := Costs{Work: 100, Depth: 10}
+	if got := c.AvgParallelism(); got != 10 {
+		t.Fatalf("parallelism = %v, want 10", got)
+	}
+	if (Costs{}).AvgParallelism() != 0 {
+		t.Fatal("zero-depth parallelism must be 0")
+	}
+}
+
+func TestCostsString(t *testing.T) {
+	s := Costs{Work: 1, Depth: 2}.String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestEdgeKindString(t *testing.T) {
+	if ThreadEdge.String() != "thread" || ForkEdge.String() != "fork" || DataEdgeKind.String() != "data" {
+		t.Fatal("edge kind names wrong")
+	}
+	if EdgeKind(9).String() == "" {
+		t.Fatal("unknown edge kind must still print")
+	}
+}

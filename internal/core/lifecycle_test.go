@@ -1,0 +1,87 @@
+package core
+
+import "testing"
+
+func TestFinishIsIdempotent(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	Fork1(ctx, func(th *Ctx) int { th.Step(5); return 1 })
+	c1 := eng.Finish()
+	c2 := eng.Finish()
+	if c1 != c2 {
+		t.Fatalf("Finish not idempotent: %+v vs %+v", c1, c2)
+	}
+}
+
+func TestEngineUsableAfterFinish(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	ctx.Step(3)
+	before := eng.Finish()
+	// Keep computing on the same engine.
+	c := Fork1(ctx, func(th *Ctx) int { th.Step(2); return 7 })
+	if Touch(ctx, c) != 7 {
+		t.Fatal("wrong value after Finish")
+	}
+	after := eng.Finish()
+	if after.Work <= before.Work {
+		t.Fatal("work must keep accumulating after Finish")
+	}
+}
+
+func TestMultipleRootThreads(t *testing.T) {
+	eng := NewEngine(nil)
+	a := eng.NewCtx()
+	b := eng.NewCtx()
+	a.Step(10)
+	b.Step(4)
+	costs := eng.Finish()
+	if costs.Work != 14 {
+		t.Fatalf("work = %d, want 14 (two independent roots)", costs.Work)
+	}
+	if costs.Depth != 10 {
+		t.Fatalf("depth = %d, want 10 (roots run in parallel)", costs.Depth)
+	}
+}
+
+func TestForkNValidation(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ForkN(0)")
+		}
+	}()
+	ForkN[int](ctx, 0, func(*Ctx, []*Cell[int]) {})
+}
+
+func TestForkNAllCellsChecked(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	cells := ForkN(ctx, 3, func(th *Ctx, cs []*Cell[int]) {
+		Write(th, cs[0], 1)
+		Write(th, cs[2], 3)
+		// cs[1] forgotten
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unwritten cell")
+		}
+	}()
+	Touch(ctx, cells[0])
+}
+
+func TestForkNIndependentTimes(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := eng.NewCtx()
+	cells := ForkN(ctx, 2, func(th *Ctx, cs []*Cell[string]) {
+		Write(th, cs[0], "early")
+		th.Step(100)
+		Write(th, cs[1], "late")
+	})
+	_, w0 := cells[0].Force()
+	_, w1 := cells[1].Force()
+	if w1-w0 != 101 {
+		t.Fatalf("write gap = %d, want 101", w1-w0)
+	}
+}

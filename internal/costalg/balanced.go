@@ -1,0 +1,41 @@
+package costalg
+
+import "pipefut/internal/core"
+
+// MergeBalanced composes the pipelined merge of Section 3.1 with the
+// rebalancing pass sketched at its end: merge the trees, annotate sizes,
+// and rebuild perfectly balanced — all three phases chained through
+// futures, so annotation starts on the merge's upper nodes while its lower
+// nodes are still materializing. Total: O(lg n + lg m) depth, O(n + m)
+// work beyond the merge itself.
+func MergeBalanced(t *core.Ctx, a, b Tree, total int) Tree {
+	m := Merge(t, a, b)
+	ann := Annotate(t, m)
+	return Rebalance(t, ann, total)
+}
+
+// MergesortBalanced is the Section 5 mergesort with a balancing twist the
+// conclusion's discussion motivates: the plain pipelined mergesort's
+// intermediate trees drift out of balance (up to lg n + lg m deep), which
+// is what pushes its depth toward the conjectured O(lg n · lg lg n).
+// Rebalancing after every merge keeps the inputs of the next level
+// balanced at the cost of extra (linear, pipelined) passes per level.
+func MergesortBalanced(t *core.Ctx, xs []int) Tree {
+	switch len(xs) {
+	case 0:
+		return core.Done[*Node](t.Engine(), nil)
+	case 1:
+		t.Step(1)
+		e := t.Engine()
+		return core.NowCell(t, &Node{
+			Key:  xs[0],
+			Left: core.Done[*Node](e, nil), Right: core.Done[*Node](e, nil),
+		})
+	}
+	return core.Fork1(t, func(th *core.Ctx) *Node {
+		th.Step(1)
+		a := MergesortBalanced(th, xs[:len(xs)/2])
+		b := MergesortBalanced(th, xs[len(xs)/2:])
+		return core.Touch(th, MergeBalanced(th, a, b, len(xs)))
+	})
+}

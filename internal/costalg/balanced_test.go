@@ -1,0 +1,78 @@
+package costalg
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/core"
+	"pipefut/internal/seqtree"
+	"pipefut/internal/workload"
+)
+
+func TestMergeBalancedProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8 uint8) bool {
+		n, m := int(n8%120)+1, int(m8%120)+1
+		t1, t2 := mergeInputs(uint64(seed), n, m)
+
+		eng := core.NewEngine(nil)
+		r := MergeBalanced(eng.NewCtx(), FromSeqTree(eng, t1), FromSeqTree(eng, t2), n+m)
+		out := ToSeqTree(r)
+		costs := eng.Finish()
+
+		want := seqtree.Keys(seqtree.Merge(t1, t2))
+		got := seqtree.Keys(out)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// Perfect balance.
+		maxH := 0
+		for 1<<(maxH+1) < n+m+1 {
+			maxH++
+		}
+		return seqtree.Height(out) <= maxH+1 && costs.Linear()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergesortBalancedSorts(t *testing.T) {
+	f := func(seed uint16, n8 uint8) bool {
+		n := int(n8 % 150)
+		rng := workload.NewRNG(uint64(seed))
+		xs := rng.Perm(n)
+
+		eng := core.NewEngine(nil)
+		r := MergesortBalanced(eng.NewCtx(), xs)
+		out := ToSeqTree(r)
+		eng.Finish()
+
+		got := seqtree.Keys(out)
+		if len(got) != n {
+			return false
+		}
+		return sort.IntsAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergesortBalancedResultBalanced: the whole point of the variant.
+func TestMergesortBalancedResultBalanced(t *testing.T) {
+	n := 1 << 10
+	rng := workload.NewRNG(3)
+	eng := core.NewEngine(nil)
+	r := MergesortBalanced(eng.NewCtx(), rng.Perm(n))
+	out := ToSeqTree(r)
+	eng.Finish()
+	if h := seqtree.Height(out); h > 11 {
+		t.Fatalf("height %d, want ≤ 11 for n=2^10", h)
+	}
+}

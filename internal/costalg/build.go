@@ -1,0 +1,59 @@
+package costalg
+
+import (
+	"pipefut/internal/core"
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/workload"
+)
+
+// seqTreapOf builds the canonical treap over keys.
+func seqTreapOf(keys []int) *seqtreap.Node { return seqtreap.FromKeys(keys) }
+
+// priorityOf is the shared key-hash priority.
+func priorityOf(key int) int64 { return workload.Priority(key) }
+
+// The paper notes that union "can be used to insert a set of keys into a
+// treap" and difference "to delete a set of keys" (Section 3.2). These
+// wrappers make that use explicit, and BuildTreap constructs a treap from
+// scratch by divide-and-conquer unions — the construction the authors
+// develop further in their follow-up paper on treap set operations [11].
+
+// InsertKeys inserts the given keys into the treap as one pipelined union
+// with a treap built over the keys (available at time 0 — the cost of
+// preparing the batch is not part of the measured insertion, matching how
+// the paper accounts for inputs).
+func InsertKeys(t *core.Ctx, tree Tree, keys []int) Tree {
+	return Union(t, tree, FromSeqTreap(t.Engine(), seqTreapOf(keys)))
+}
+
+// DeleteKeys removes the given keys from the treap as one pipelined
+// difference.
+func DeleteKeys(t *core.Ctx, tree Tree, keys []int) Tree {
+	return Diff(t, tree, FromSeqTreap(t.Engine(), seqTreapOf(keys)))
+}
+
+// BuildTreap builds a treap over the keys by divide-and-conquer: each half
+// is built as a future and the halves are combined with the pipelined
+// Union. With expected union depth O(lg n) at every one of the lg n
+// levels, the expected build depth is O(lg² n) — and the unions pipeline
+// into each other, so the constant is small (measured in build_test.go).
+func BuildTreap(t *core.Ctx, keys []int) Tree {
+	switch len(keys) {
+	case 0:
+		return core.Done[*Node](t.Engine(), nil)
+	case 1:
+		t.Step(1)
+		e := t.Engine()
+		return core.NowCell(t, &Node{
+			Key:  keys[0],
+			Prio: priorityOf(keys[0]),
+			Left: core.Done[*Node](e, nil), Right: core.Done[*Node](e, nil),
+		})
+	}
+	return core.Fork1(t, func(th *core.Ctx) *Node {
+		th.Step(1)
+		a := BuildTreap(th, keys[:len(keys)/2])
+		b := BuildTreap(th, keys[len(keys)/2:])
+		return core.Touch(th, Union(th, a, b))
+	})
+}

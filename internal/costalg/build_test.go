@@ -1,0 +1,76 @@
+package costalg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/core"
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/stats"
+	"pipefut/internal/workload"
+)
+
+func TestInsertDeleteKeysMatchOracle(t *testing.T) {
+	f := func(seed uint16, n8, m8 uint8) bool {
+		n, m := int(n8%100)+1, int(m8%100)+1
+		rng := workload.NewRNG(uint64(seed))
+		base := workload.DistinctKeys(rng, n, 8*(n+m))
+		batch := workload.DistinctKeys(rng, m, 8*(n+m))
+		tr := seqtreap.FromKeys(base)
+
+		eng := core.NewEngine(nil)
+		ctx := eng.NewCtx()
+		ins := InsertKeys(ctx, FromSeqTreap(eng, tr), batch)
+		okIns := seqtreap.Equal(ToSeqTreap(ins), seqtreap.Union(tr, seqtreap.FromKeys(batch)))
+
+		eng2 := core.NewEngine(nil)
+		ctx2 := eng2.NewCtx()
+		del := DeleteKeys(ctx2, FromSeqTreap(eng2, tr), batch)
+		okDel := seqtreap.Equal(ToSeqTreap(del), seqtreap.Diff(tr, seqtreap.FromKeys(batch)))
+		return okIns && okDel
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildTreapMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8 uint8) bool {
+		n := int(n8 % 200)
+		rng := workload.NewRNG(uint64(seed))
+		keys := workload.DistinctKeys(rng, n, 4*n+4)
+
+		eng := core.NewEngine(nil)
+		got := BuildTreap(eng.NewCtx(), keys)
+		res := ToSeqTreap(got)
+		costs := eng.Finish()
+		return seqtreap.Equal(res, seqtreap.FromKeys(keys)) && costs.Linear()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildTreapDepthShape: expected build depth is O(lg² n) — lg n levels
+// of O(lg)-deep pipelined unions — so depth/lg² n must be flat-ish and
+// clearly below the O(n) of a sequential build.
+func TestBuildTreapDepthShape(t *testing.T) {
+	var ratios []float64
+	for e := 8; e <= 13; e++ {
+		n := 1 << e
+		rng := workload.NewRNG(5)
+		keys := workload.DistinctKeys(rng, n, 4*n)
+		eng := core.NewEngine(nil)
+		r := BuildTreap(eng.NewCtx(), keys)
+		CompletionTime(r)
+		c := eng.Finish()
+		lg := stats.Lg(float64(n))
+		ratios = append(ratios, float64(c.Depth)/(lg*lg))
+		if c.Depth > int64(n) {
+			t.Fatalf("n=2^%d: build depth %d not sublinear", e, c.Depth)
+		}
+	}
+	if g := stats.GrowthFactor(ratios); g > 2.0 {
+		t.Errorf("build depth/lg² n growth factor %.2f (%v)", g, ratios)
+	}
+}

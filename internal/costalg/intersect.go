@@ -1,0 +1,60 @@
+package costalg
+
+import "pipefut/internal/core"
+
+// Intersect returns the treap of keys present in both input treaps. The
+// paper analyzes union (§3.2) and difference (§3.3); intersection is the
+// natural third member of the family and pipelines exactly like
+// difference — splitm on the way down, joins on the way back up wherever a
+// root key is missing from the other treap. By the same τ/ρ-value
+// arguments its expected depth is O(lg n + lg m). Included as an extension
+// (it is not a result of the paper).
+func Intersect(t *core.Ctx, a, b Tree) Tree {
+	return core.Fork1(t, func(th *core.Ctx) *Node { return intersectBody(th, a, b) })
+}
+
+func intersectBody(th *core.Ctx, a, b Tree) *Node {
+	n1 := core.Touch(th, a)
+	if n1 == nil {
+		return nil
+	}
+	n2 := core.Touch(th, b)
+	if n2 == nil {
+		return nil
+	}
+	th.Step(1)
+	l2, r2, dup := splitMFromNode(th, n1.Key, n2)
+	l := Intersect(th, n1.Left, l2)
+	r := Intersect(th, n1.Right, r2)
+	if core.Touch(th, dup) != nil {
+		return &Node{Key: n1.Key, Prio: n1.Prio, Left: l, Right: r}
+	}
+	return joinCells(th, l, r)
+}
+
+// IntersectNoPipe is the non-pipelined baseline: sequential splitm on the
+// descent, a completion barrier before every join on the ascent.
+func IntersectNoPipe(t *core.Ctx, a, b Tree) Tree {
+	return core.Fork1(t, func(th *core.Ctx) *Node { return intersectNoPipeBody(th, a, b) })
+}
+
+func intersectNoPipeBody(th *core.Ctx, a, b Tree) *Node {
+	n1 := core.Touch(th, a)
+	if n1 == nil {
+		return nil
+	}
+	n2 := core.Touch(th, b)
+	if n2 == nil {
+		return nil
+	}
+	th.Step(1)
+	l2, r2, dup := splitMSeqNode(th, n1.Key, n2)
+	l := IntersectNoPipe(th, n1.Left, l2)
+	r := IntersectNoPipe(th, n1.Right, r2)
+	if core.Touch(th, dup) != nil {
+		return &Node{Key: n1.Key, Prio: n1.Prio, Left: l, Right: r}
+	}
+	th.AdvanceTo(CompletionTime(l))
+	th.AdvanceTo(CompletionTime(r))
+	return joinSeq(th, l, r)
+}

@@ -1,0 +1,88 @@
+package costalg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/core"
+	"pipefut/internal/seqtreap"
+)
+
+func TestIntersectMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8, ov uint8) bool {
+		n, m := int(n8%120)+1, int(m8%120)+1
+		ta, tb := treapInputs(uint64(seed), n, m, float64(ov%4)/4)
+		want := seqtreap.Intersect(ta, tb)
+
+		eng := core.NewEngine(nil)
+		got := Intersect(eng.NewCtx(), FromSeqTreap(eng, ta), FromSeqTreap(eng, tb))
+		res := ToSeqTreap(got)
+		costs := eng.Finish()
+		return seqtreap.Equal(res, want) && costs.Linear()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectNoPipeMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8, ov uint8) bool {
+		n, m := int(n8%120)+1, int(m8%120)+1
+		ta, tb := treapInputs(uint64(seed), n, m, float64(ov%4)/4)
+		want := seqtreap.Intersect(ta, tb)
+
+		eng := core.NewEngine(nil)
+		got := IntersectNoPipe(eng.NewCtx(), FromSeqTreap(eng, ta), FromSeqTreap(eng, tb))
+		res := ToSeqTreap(got)
+		return seqtreap.Equal(res, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectIdentities(t *testing.T) {
+	ta, tb := treapInputs(7, 50, 50, 0.5)
+	eng := core.NewEngine(nil)
+	ctx := eng.NewCtx()
+	// A ∩ A = A.
+	same := Intersect(ctx, FromSeqTreap(eng, ta), FromSeqTreap(eng, ta))
+	if !seqtreap.Equal(ToSeqTreap(same), ta) {
+		t.Fatal("A ∩ A ≠ A")
+	}
+	// A ∩ ∅ = ∅.
+	empty := Intersect(ctx, FromSeqTreap(eng, ta), FromSeqTreap(eng, nil))
+	if ToSeqTreap(empty) != nil {
+		t.Fatal("A ∩ ∅ ≠ ∅")
+	}
+	// ∅ ∩ B = ∅.
+	empty2 := Intersect(ctx, FromSeqTreap(eng, nil), FromSeqTreap(eng, tb))
+	if ToSeqTreap(empty2) != nil {
+		t.Fatal("∅ ∩ B ≠ ∅")
+	}
+	eng.Finish()
+}
+
+// TestSetAlgebra: (A \ B) ⊎ (A ∩ B) = A, computed entirely with the
+// pipelined operations chained through futures.
+func TestSetAlgebra(t *testing.T) {
+	f := func(seed uint16, n8, m8 uint8) bool {
+		n, m := int(n8%100)+1, int(m8%100)+1
+		ta, tb := treapInputs(uint64(seed), n, m, 0.5)
+
+		eng := core.NewEngine(nil)
+		ctx := eng.NewCtx()
+		a := FromSeqTreap(eng, ta)
+		b := FromSeqTreap(eng, tb)
+		// Note: a is consumed twice here — acceptable for this algebra
+		// test (it breaks linearity, which we deliberately do not
+		// assert), and it exercises multi-read cells.
+		diff := Diff(ctx, a, b)
+		inter := Intersect(ctx, a, b)
+		back := Union(ctx, diff, inter)
+		return seqtreap.Equal(ToSeqTreap(back), ta)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

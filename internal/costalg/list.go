@@ -1,0 +1,158 @@
+package costalg
+
+import "pipefut/internal/core"
+
+// LNode is a cons cell in the cost model; the tail is a future, so lists
+// are produced and consumed incrementally — the pipelining mechanism of the
+// producer/consumer example (Figure 1) and of Halstead's quicksort
+// (Figure 2).
+type LNode struct {
+	Head int
+	Tail *core.Cell[*LNode]
+}
+
+// List is a (possibly future) reference to a cost-model list.
+type List = *core.Cell[*LNode]
+
+// FromSlice builds a fully materialized (time 0) cost-model list.
+func FromSlice(e *core.Engine, xs []int) List {
+	tail := core.Done[*LNode](e, nil)
+	for i := len(xs) - 1; i >= 0; i-- {
+		tail = core.Done(e, &LNode{Head: xs[i], Tail: tail})
+	}
+	return tail
+}
+
+// ToSlice forces the whole list and returns its elements.
+func ToSlice(l List) []int {
+	var out []int
+	for {
+		n, _ := l.Force()
+		if n == nil {
+			return out
+		}
+		out = append(out, n.Head)
+		l = n.Tail
+	}
+}
+
+// ListCompletionTime forces the list and returns the maximum cell write
+// time.
+func ListCompletionTime(l List) int64 {
+	var max int64
+	for {
+		n, wt := l.Force()
+		if wt > max {
+			max = wt
+		}
+		if n == nil {
+			return max
+		}
+		l = n.Tail
+	}
+}
+
+// Produce builds the list n, n-1, ..., 0 with one future per element — the
+// producer of Figure 1. Each cons cell is written O(1) after the previous,
+// so a consumer can chase the list at full speed.
+func Produce(t *core.Ctx, n int) List {
+	return core.Fork1(t, func(th *core.Ctx) *LNode {
+		if n < 0 {
+			return nil
+		}
+		th.Step(1)
+		return &LNode{Head: n, Tail: Produce(th, n-1)}
+	})
+}
+
+// Consume sums the list in the calling thread, touching each cons cell as
+// it becomes available — the consumer of Figure 1. Run against Produce it
+// overlaps with production: total depth Θ(n) with a small constant instead
+// of produce-everything-then-consume.
+func Consume(t *core.Ctx, l List) int64 {
+	var sum int64
+	for {
+		n := core.Touch(t, l)
+		if n == nil {
+			return sum
+		}
+		t.Step(1) // add
+		sum += int64(n.Head)
+		l = n.Tail
+	}
+}
+
+// Quicksort is Halstead's future-based quicksort (Figure 2, transcribed
+// from Multilisp): sort l and append rest. The partition's output lists
+// pipeline into the recursive calls, but — as Section 1 discusses — the
+// expected depth is still Θ(n), no better asymptotically than the
+// non-pipelined version; futures buy only a constant factor here.
+func Quicksort(t *core.Ctx, l, rest List) List {
+	return core.Fork1(t, func(th *core.Ctx) *LNode { return qsBody(th, l, rest) })
+}
+
+func qsBody(th *core.Ctx, l, rest List) *LNode {
+	n := core.Touch(th, l)
+	if n == nil {
+		return core.Touch(th, rest)
+	}
+	th.Step(1)
+	les, grt := PartitionF(th, n.Head, n.Tail)
+	mid := core.NowCell(th, &LNode{Head: n.Head, Tail: Quicksort(th, grt, rest)})
+	return qsBody(th, les, mid)
+}
+
+// PartitionF partitions list l around pivot as a future call with two
+// result cells; each element is emitted onto its output list as soon as it
+// is scanned, one fork per element.
+func PartitionF(t *core.Ctx, pivot int, l List) (les, grt List) {
+	return core.Fork2(t, func(th *core.Ctx, lo, gro *core.Cell[*LNode]) {
+		n := core.Touch(th, l)
+		if n == nil {
+			core.Write(th, lo, nil)
+			core.Write(th, gro, nil)
+			return
+		}
+		th.Step(1)
+		l1, g1 := PartitionF(th, pivot, n.Tail)
+		if n.Head < pivot {
+			core.Write(th, lo, &LNode{Head: n.Head, Tail: l1})
+			core.Forward(th, g1, gro)
+		} else {
+			core.Write(th, gro, &LNode{Head: n.Head, Tail: g1})
+			core.Forward(th, l1, lo)
+		}
+	})
+}
+
+// QuicksortNoPipe is the non-pipelined comparison: the partition runs
+// sequentially to completion, then the recursive call on the greater side
+// forks. Also Θ(n) expected depth — the point of the Figure 2 experiment.
+func QuicksortNoPipe(t *core.Ctx, l, rest List) List {
+	return core.Fork1(t, func(th *core.Ctx) *LNode { return qsNoPipeBody(th, l, rest) })
+}
+
+func qsNoPipeBody(th *core.Ctx, l, rest List) *LNode {
+	n := core.Touch(th, l)
+	if n == nil {
+		return core.Touch(th, rest)
+	}
+	th.Step(1)
+	les, grt := partitionSeq(th, n.Head, n.Tail)
+	mid := core.NowCell(th, &LNode{Head: n.Head, Tail: QuicksortNoPipe(th, grt, rest)})
+	return qsNoPipeBody(th, les, mid)
+}
+
+func partitionSeq(th *core.Ctx, pivot int, l List) (les, grt List) {
+	n := core.Touch(th, l)
+	if n == nil {
+		e := core.NowCell[*LNode](th, nil)
+		return e, core.NowCell[*LNode](th, nil)
+	}
+	th.Step(1)
+	l1, g1 := partitionSeq(th, pivot, n.Tail)
+	if n.Head < pivot {
+		return core.NowCell(th, &LNode{Head: n.Head, Tail: l1}), g1
+	}
+	return l1, core.NowCell(th, &LNode{Head: n.Head, Tail: g1})
+}

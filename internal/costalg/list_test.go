@@ -1,0 +1,160 @@
+package costalg
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/core"
+	"pipefut/internal/seqlist"
+	"pipefut/internal/workload"
+)
+
+func TestListRoundTrip(t *testing.T) {
+	eng := core.NewEngine(nil)
+	xs := []int{5, 3, 8, 1}
+	l := FromSlice(eng, xs)
+	got := ToSlice(l)
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("roundtrip[%d] = %d", i, got[i])
+		}
+	}
+	if ToSlice(FromSlice(eng, nil)) != nil {
+		t.Fatal("empty list wrong")
+	}
+}
+
+func TestProduceConsume(t *testing.T) {
+	eng := core.NewEngine(nil)
+	ctx := eng.NewCtx()
+	sum := Consume(ctx, Produce(ctx, 100))
+	if sum != 5050 {
+		t.Fatalf("sum = %d", sum)
+	}
+	c := eng.Finish()
+	if !c.Linear() {
+		t.Fatal("producer/consumer must be linear")
+	}
+	// Depth must be Θ(n) with small constant (the Figure 1 pipeline).
+	if c.Depth > 3*101 {
+		t.Fatalf("depth = %d, want ≈ 2n", c.Depth)
+	}
+}
+
+func TestProduceNegative(t *testing.T) {
+	eng := core.NewEngine(nil)
+	ctx := eng.NewCtx()
+	if got := Consume(ctx, Produce(ctx, -1)); got != 0 {
+		t.Fatalf("sum of empty production = %d", got)
+	}
+	eng.Finish()
+}
+
+func TestQuicksortMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8 uint8) bool {
+		n := int(n8 % 150)
+		rng := workload.NewRNG(uint64(seed))
+		xs := rng.Perm(n)
+
+		eng := core.NewEngine(nil)
+		ctx := eng.NewCtx()
+		r := Quicksort(ctx, FromSlice(eng, xs), core.Done[*LNode](eng, nil))
+		got := ToSlice(r)
+		costs := eng.Finish()
+
+		want := seqlist.ToSlice(seqlist.Quicksort(seqlist.FromSlice(xs), nil))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return sort.IntsAreSorted(got) && costs.Linear()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuicksortNoPipeMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8 uint8) bool {
+		n := int(n8 % 150)
+		rng := workload.NewRNG(uint64(seed))
+		xs := rng.Perm(n)
+
+		eng := core.NewEngine(nil)
+		ctx := eng.NewCtx()
+		r := QuicksortNoPipe(ctx, FromSlice(eng, xs), core.Done[*LNode](eng, nil))
+		got := ToSlice(r)
+		eng.Finish()
+		return sort.IntsAreSorted(got) && len(got) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuicksortWithDuplicates(t *testing.T) {
+	xs := []int{3, 1, 3, 3, 2, 1}
+	eng := core.NewEngine(nil)
+	ctx := eng.NewCtx()
+	r := Quicksort(ctx, FromSlice(eng, xs), core.Done[*LNode](eng, nil))
+	got := ToSlice(r)
+	eng.Finish()
+	want := append([]int{}, xs...)
+	sort.Ints(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQuicksortBothLinearInDepth: the Figure 2 point — pipelining does not
+// change the Θ(n) expected depth; it only shrinks the constant.
+func TestQuicksortDepthLinearBothVariants(t *testing.T) {
+	n := 1 << 10
+	rng := workload.NewRNG(5)
+	xs := rng.Perm(n)
+
+	eng := core.NewEngine(nil)
+	r := Quicksort(eng.NewCtx(), FromSlice(eng, xs), core.Done[*LNode](eng, nil))
+	ListCompletionTime(r)
+	c := eng.Finish()
+
+	eng2 := core.NewEngine(nil)
+	r2 := QuicksortNoPipe(eng2.NewCtx(), FromSlice(eng2, xs), core.Done[*LNode](eng2, nil))
+	ListCompletionTime(r2)
+	c2 := eng2.Finish()
+
+	if c.Depth < int64(n) || c.Depth > 20*int64(n) {
+		t.Fatalf("pipelined depth %d not Θ(n) for n=%d", c.Depth, n)
+	}
+	if c2.Depth < int64(n) || c2.Depth > 40*int64(n) {
+		t.Fatalf("non-pipelined depth %d not Θ(n)", c2.Depth)
+	}
+	if c.Depth >= c2.Depth {
+		t.Fatalf("pipelining should still shrink the constant: %d ≥ %d", c.Depth, c2.Depth)
+	}
+	gain := float64(c2.Depth) / float64(c.Depth)
+	if gain > 6 {
+		t.Fatalf("gain %.1f too large to be a constant factor", gain)
+	}
+}
+
+func TestListCompletionTime(t *testing.T) {
+	eng := core.NewEngine(nil)
+	ctx := eng.NewCtx()
+	l := Produce(ctx, 50)
+	ct := ListCompletionTime(l)
+	if ct < 50 {
+		t.Fatalf("completion %d, want ≥ 50", ct)
+	}
+	costs := eng.Finish()
+	if ct > costs.Depth {
+		t.Fatalf("completion %d exceeds depth %d", ct, costs.Depth)
+	}
+}

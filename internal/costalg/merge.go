@@ -1,0 +1,107 @@
+package costalg
+
+import "pipefut/internal/core"
+
+// Merge merges two binary search trees with disjoint key sets, sorted
+// in-order, into one tree sorted in-order — the pipelined algorithm of
+// Section 3.1 (Figure 3). It is a future call: the caller gets the result
+// tree immediately and its nodes materialize over time.
+//
+// The pipelining is implicit: Split returns its result trees as futures
+// whose upper nodes are written in constant time, so the recursive merges
+// start consuming a split's output long before the split finishes, across
+// every level of the recursion at once. Theorem 3.1: for balanced inputs of
+// sizes n and m the depth is O(lg n + lg m); without the pipeline it would
+// be O(lg n · lg m).
+func Merge(t *core.Ctx, a, b Tree) Tree {
+	return core.Fork1(t, func(th *core.Ctx) *Node { return mergeBody(th, a, b) })
+}
+
+func mergeBody(th *core.Ctx, a, b Tree) *Node {
+	n1 := core.Touch(th, a)
+	if n1 == nil {
+		// merge(leaf, B) = B. The returned value is written to the
+		// result cell, which is strict: wait for B's root.
+		return core.Touch(th, b)
+	}
+	th.Step(1)
+	l2, r2 := Split(th, n1.Key, b)
+	return &Node{
+		Key:   n1.Key,
+		Prio:  n1.Prio,
+		Left:  Merge(th, n1.Left, l2),
+		Right: Merge(th, n1.Right, r2),
+	}
+}
+
+// Split divides tree t into the keys < s and the keys ≥ s (the split of
+// Figure 3, in the linearized form of Figure 12). It is a future call with
+// two result cells, written independently: at each step the untraversed
+// side is written in constant time (its child is the recursive future),
+// while the traversed side is forwarded from the recursive call — the
+// data-dependent pipeline delays Lemma 3.4 bounds with τ-values.
+func Split(t *core.Ctx, s int, tree Tree) (lt, ge Tree) {
+	return core.Fork2(t, func(th *core.Ctx, lo, ro *core.Cell[*Node]) {
+		splitBody(th, s, tree, lo, ro)
+	})
+}
+
+func splitBody(th *core.Ctx, s int, tree Tree, lo, ro *core.Cell[*Node]) {
+	n := core.Touch(th, tree)
+	if n == nil {
+		core.Write(th, lo, nil)
+		core.Write(th, ro, nil)
+		return
+	}
+	th.Step(1)
+	if s <= n.Key {
+		l1, r1 := Split(th, s, n.Left)
+		core.Write(th, ro, &Node{Key: n.Key, Prio: n.Prio, Left: r1, Right: n.Right})
+		core.Forward(th, l1, lo)
+	} else {
+		l1, r1 := Split(th, s, n.Right)
+		core.Write(th, lo, &Node{Key: n.Key, Prio: n.Prio, Left: n.Left, Right: l1})
+		core.Forward(th, r1, ro)
+	}
+}
+
+// MergeNoPipe is the non-pipelined parallel merge the paper compares
+// against: the split at each node runs to completion sequentially before
+// the two recursive merges fork. Depth O(lg n · lg m) for balanced inputs.
+func MergeNoPipe(t *core.Ctx, a, b Tree) Tree {
+	return core.Fork1(t, func(th *core.Ctx) *Node { return mergeNoPipeBody(th, a, b) })
+}
+
+func mergeNoPipeBody(th *core.Ctx, a, b Tree) *Node {
+	n1 := core.Touch(th, a)
+	if n1 == nil {
+		return core.Touch(th, b)
+	}
+	th.Step(1)
+	l2, r2 := SplitSeq(th, n1.Key, b)
+	return &Node{
+		Key:   n1.Key,
+		Prio:  n1.Prio,
+		Left:  MergeNoPipe(th, n1.Left, l2),
+		Right: MergeNoPipe(th, n1.Right, r2),
+	}
+}
+
+// SplitSeq is the sequential split: same traversal as Split but executed
+// entirely by the calling thread, so the caller's clock advances by the
+// whole path length before it continues.
+func SplitSeq(th *core.Ctx, s int, tree Tree) (lt, ge Tree) {
+	n := core.Touch(th, tree)
+	if n == nil {
+		return core.NowCell[*Node](th, nil), core.NowCell[*Node](th, nil)
+	}
+	th.Step(1)
+	if s <= n.Key {
+		l1, r1 := SplitSeq(th, s, n.Left)
+		r := core.NowCell(th, &Node{Key: n.Key, Prio: n.Prio, Left: r1, Right: n.Right})
+		return l1, r
+	}
+	l1, r1 := SplitSeq(th, s, n.Right)
+	l := core.NowCell(th, &Node{Key: n.Key, Prio: n.Prio, Left: n.Left, Right: l1})
+	return l, r1
+}

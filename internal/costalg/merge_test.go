@@ -1,0 +1,219 @@
+package costalg
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/core"
+	"pipefut/internal/seqtree"
+	"pipefut/internal/stats"
+	"pipefut/internal/workload"
+)
+
+// mergeInputs builds two balanced disjoint-key trees.
+func mergeInputs(seed uint64, n, m int) (*seqtree.Node, *seqtree.Node) {
+	rng := workload.NewRNG(seed)
+	ka, kb := workload.DisjointKeySets(rng, n, m)
+	sort.Ints(ka)
+	sort.Ints(kb)
+	return seqtree.FromSortedBalanced(ka), seqtree.FromSortedBalanced(kb)
+}
+
+func TestMergeMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8 uint8) bool {
+		n, m := int(n8%120)+1, int(m8%120)+1
+		t1, t2 := mergeInputs(uint64(seed), n, m)
+		want := seqtree.Merge(t1, t2)
+
+		eng := core.NewEngine(nil)
+		got := Merge(eng.NewCtx(), FromSeqTree(eng, t1), FromSeqTree(eng, t2))
+		res := ToSeqTree(got)
+		costs := eng.Finish()
+		return seqtree.Equal(res, want) && costs.Linear()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeNoPipeMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8 uint8) bool {
+		n, m := int(n8%120)+1, int(m8%120)+1
+		t1, t2 := mergeInputs(uint64(seed), n, m)
+		want := seqtree.Merge(t1, t2)
+
+		eng := core.NewEngine(nil)
+		got := MergeNoPipe(eng.NewCtx(), FromSeqTree(eng, t1), FromSeqTree(eng, t2))
+		res := ToSeqTree(got)
+		costs := eng.Finish()
+		return seqtree.Equal(res, want) && costs.Linear()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEmptyCases(t *testing.T) {
+	t1, _ := mergeInputs(3, 10, 10)
+	for _, pair := range [][2]*seqtree.Node{{nil, nil}, {t1, nil}, {nil, t1}} {
+		eng := core.NewEngine(nil)
+		got := Merge(eng.NewCtx(), FromSeqTree(eng, pair[0]), FromSeqTree(eng, pair[1]))
+		if !seqtree.Equal(ToSeqTree(got), seqtree.Merge(pair[0], pair[1])) {
+			t.Fatal("empty-case merge wrong")
+		}
+		eng.Finish()
+	}
+}
+
+// TestMergeDepthShape verifies Theorem 3.1's shape: pipelined depth grows
+// like lg n (ratio to lg n bounded), non-pipelined clearly faster than
+// lg n but consistent with lg² n.
+func TestMergeDepthShape(t *testing.T) {
+	var ratios, npRatios []float64
+	for e := 8; e <= 13; e++ {
+		n := 1 << e
+		t1, t2 := mergeInputs(1, n, n)
+		eng := core.NewEngine(nil)
+		r := Merge(eng.NewCtx(), FromSeqTree(eng, t1), FromSeqTree(eng, t2))
+		CompletionTime(r)
+		c := eng.Finish()
+		lg := stats.Lg(float64(n))
+		ratios = append(ratios, float64(c.Depth)/lg)
+
+		eng2 := core.NewEngine(nil)
+		r2 := MergeNoPipe(eng2.NewCtx(), FromSeqTree(eng2, t1), FromSeqTree(eng2, t2))
+		CompletionTime(r2)
+		c2 := eng2.Finish()
+		npRatios = append(npRatios, float64(c2.Depth)/(lg*lg))
+
+		if c.Depth >= c2.Depth {
+			t.Errorf("n=%d: pipelined depth %d ≥ non-pipelined %d", n, c.Depth, c2.Depth)
+		}
+	}
+	if g := stats.GrowthFactor(ratios); g > 1.5 {
+		t.Errorf("pipelined depth/lg n not flat: growth factor %.2f (%v)", g, ratios)
+	}
+	if g := stats.GrowthFactor(npRatios); g > 1.6 {
+		t.Errorf("non-pipelined depth/lg² n not flat: growth factor %.2f (%v)", g, npRatios)
+	}
+}
+
+// TestMergeWorkLinearish: merge work is O(n + m·lg(n/m)) — for n=m it must
+// be linear in n.
+func TestMergeWorkLinearish(t *testing.T) {
+	var perKey []float64
+	for e := 8; e <= 13; e++ {
+		n := 1 << e
+		t1, t2 := mergeInputs(2, n, n)
+		eng := core.NewEngine(nil)
+		r := Merge(eng.NewCtx(), FromSeqTree(eng, t1), FromSeqTree(eng, t2))
+		CompletionTime(r)
+		c := eng.Finish()
+		perKey = append(perKey, float64(c.Work)/float64(2*n))
+	}
+	if g := stats.GrowthFactor(perKey); g > 1.3 {
+		t.Errorf("merge work not linear for n=m: work/key %v (growth %.2f)", perKey, g)
+	}
+}
+
+func TestSplitProperty(t *testing.T) {
+	f := func(seed uint16, n8, sRaw uint8) bool {
+		n := int(n8%120) + 1
+		rng := workload.NewRNG(uint64(seed))
+		keys := workload.SortedDistinct(rng, n, 5*n)
+		tr := seqtree.FromSortedBalanced(keys)
+		s := int(sRaw) * 2
+
+		eng := core.NewEngine(nil)
+		ctx := eng.NewCtx()
+		lo, ro := Split(ctx, s, FromSeqTree(eng, tr))
+		wl, wr := seqtree.Split(s, tr)
+		okL := seqtree.Equal(ToSeqTree(lo), wl)
+		okR := seqtree.Equal(ToSeqTree(ro), wr)
+		return okL && okR && eng.Finish().Linear()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitPartialAvailability is the pipelining mechanism itself: the
+// untraversed side's root must be written long before the whole split
+// completes.
+func TestSplitPartialAvailability(t *testing.T) {
+	// A right spine: 0 < 1 < ... < 99, all right children.
+	var tr *seqtree.Node
+	for k := 99; k >= 0; k-- {
+		tr = &seqtree.Node{Key: k, Right: tr}
+	}
+	eng := core.NewEngine(nil)
+	ctx := eng.NewCtx()
+	// Splitter above everything: split walks the whole 100-node spine;
+	// every node lands on the < side, whose root is written in O(1); the
+	// ≥ side (empty) is forwarded from the bottom of the recursion and
+	// arrives only after the whole traversal.
+	lo, ro := Split(ctx, 1000, FromSeqTree(eng, tr))
+	n, wtL := lo.Force()
+	if n == nil || n.Key != 0 {
+		t.Fatal("left result wrong")
+	}
+	if wtL > 10 {
+		t.Fatalf("untraversed side's root written at %d, want O(1)", wtL)
+	}
+	empty, wtR := ro.Force()
+	if empty != nil {
+		t.Fatal("right side must be empty")
+	}
+	if wtR < 100 {
+		t.Fatalf("forwarded side write time %d, want ≥ spine length 100", wtR)
+	}
+	// Deeper nodes of the < side become available progressively — the
+	// k-th spine node at Θ(k), not all at the end: that is the pipeline.
+	cur := n
+	prev := wtL
+	for i := 0; i < 99; i++ {
+		next, wt := cur.Right.Force()
+		if next == nil {
+			t.Fatalf("spine ended early at %d", i)
+		}
+		if wt < prev {
+			t.Fatalf("spine node %d written at %d, before its parent at %d", i+1, wt, prev)
+		}
+		cur, prev = next, wt
+	}
+	if prev < 100 {
+		t.Fatalf("deepest spine node at %d, want ≥ 100", prev)
+	}
+	eng.Finish()
+}
+
+func TestCompletionTimeIsMaxWriteTime(t *testing.T) {
+	eng := core.NewEngine(nil)
+	ctx := eng.NewCtx()
+	t1, t2 := mergeInputs(9, 64, 64)
+	r := Merge(ctx, FromSeqTree(eng, t1), FromSeqTree(eng, t2))
+	ct := CompletionTime(r)
+	costs := eng.Finish()
+	if ct > costs.Depth {
+		t.Fatalf("completion time %d exceeds engine depth %d", ct, costs.Depth)
+	}
+	if ct <= 0 {
+		t.Fatal("completion time must be positive")
+	}
+}
+
+func TestMergeOnAdversarialInterleaving(t *testing.T) {
+	ka, kb := workload.Interleaved(512, 512)
+	t1 := seqtree.FromSortedBalanced(ka)
+	t2 := seqtree.FromSortedBalanced(kb)
+	eng := core.NewEngine(nil)
+	got := Merge(eng.NewCtx(), FromSeqTree(eng, t1), FromSeqTree(eng, t2))
+	if !seqtree.Equal(ToSeqTree(got), seqtree.Merge(t1, t2)) {
+		t.Fatal("interleaved merge differs from oracle")
+	}
+	c := eng.Finish()
+	if !c.Linear() {
+		t.Fatal("must stay linear on adversarial input")
+	}
+}

@@ -1,0 +1,59 @@
+package costalg
+
+import "pipefut/internal/core"
+
+// Mergesort is the tree mergesort the paper's conclusion (Section 5)
+// conjectures about: sort by recursively mergesorting the two halves as
+// futures and merging the results with the pipelined tree Merge of Section
+// 3.1. The pipeline is three levels deep — splits pipeline into merges,
+// which pipeline into the merges above them — and the conjecture is that
+// the expected depth over random inputs is close to O(lg n), perhaps
+// O(lg n · lg lg n), versus O(lg³ n) without pipelining.
+//
+// The result is a binary search tree sorted in-order (not necessarily
+// balanced); use ToSeqTree/seqtree.Keys to extract the sorted order.
+func Mergesort(t *core.Ctx, xs []int) Tree {
+	switch len(xs) {
+	case 0:
+		return core.Done[*Node](t.Engine(), nil)
+	case 1:
+		t.Step(1)
+		e := t.Engine()
+		return core.NowCell(t, &Node{
+			Key:  xs[0],
+			Left: core.Done[*Node](e, nil), Right: core.Done[*Node](e, nil),
+		})
+	}
+	return core.Fork1(t, func(th *core.Ctx) *Node {
+		th.Step(1)
+		a := Mergesort(th, xs[:len(xs)/2])
+		b := Mergesort(th, xs[len(xs)/2:])
+		return core.Touch(th, Merge(th, a, b))
+	})
+}
+
+// MergesortNoPipe is the fork-join baseline: recursive sorts run as
+// futures but each merge waits for both inputs to be completely
+// materialized (a barrier) and merges with the non-pipelined merge.
+// Expected depth O(lg³ n).
+func MergesortNoPipe(t *core.Ctx, xs []int) Tree {
+	switch len(xs) {
+	case 0:
+		return core.Done[*Node](t.Engine(), nil)
+	case 1:
+		t.Step(1)
+		e := t.Engine()
+		return core.NowCell(t, &Node{
+			Key:  xs[0],
+			Left: core.Done[*Node](e, nil), Right: core.Done[*Node](e, nil),
+		})
+	}
+	return core.Fork1(t, func(th *core.Ctx) *Node {
+		th.Step(1)
+		a := MergesortNoPipe(th, xs[:len(xs)/2])
+		b := MergesortNoPipe(th, xs[len(xs)/2:])
+		th.AdvanceTo(CompletionTime(a))
+		th.AdvanceTo(CompletionTime(b))
+		return core.Touch(th, MergeNoPipe(th, a, b))
+	})
+}

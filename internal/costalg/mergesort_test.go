@@ -1,0 +1,99 @@
+package costalg
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/core"
+	"pipefut/internal/seqtree"
+	"pipefut/internal/stats"
+	"pipefut/internal/workload"
+)
+
+func TestMergesortSortsProperty(t *testing.T) {
+	f := func(seed uint16, n8 uint8) bool {
+		n := int(n8 % 200)
+		rng := workload.NewRNG(uint64(seed))
+		xs := rng.Perm(n)
+
+		eng := core.NewEngine(nil)
+		r := Mergesort(eng.NewCtx(), xs)
+		got := seqtree.Keys(ToSeqTree(r))
+		costs := eng.Finish()
+
+		want := append([]int{}, xs...)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return costs.Linear()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergesortNoPipeSortsProperty(t *testing.T) {
+	f := func(seed uint16, n8 uint8) bool {
+		n := int(n8 % 200)
+		rng := workload.NewRNG(uint64(seed))
+		xs := rng.Perm(n)
+
+		eng := core.NewEngine(nil)
+		r := MergesortNoPipe(eng.NewCtx(), xs)
+		got := seqtree.Keys(ToSeqTree(r))
+		eng.Finish()
+		return sort.IntsAreSorted(got) && len(got) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergesortEmptyAndSingleton(t *testing.T) {
+	eng := core.NewEngine(nil)
+	ctx := eng.NewCtx()
+	if ToSeqTree(Mergesort(ctx, nil)) != nil {
+		t.Fatal("empty sort must be empty")
+	}
+	one := ToSeqTree(Mergesort(ctx, []int{42}))
+	if one == nil || one.Key != 42 {
+		t.Fatal("singleton sort wrong")
+	}
+	eng.Finish()
+}
+
+// TestMergesortDepthConjecture: measured depth must be far below the
+// non-pipelined O(lg³ n) and within the conjectured O(lg n · lg lg n)
+// envelope (generous constant).
+func TestMergesortDepthConjecture(t *testing.T) {
+	for _, e := range []int{9, 12} {
+		n := 1 << e
+		rng := workload.NewRNG(9)
+		xs := rng.Perm(n)
+
+		eng := core.NewEngine(nil)
+		r := Mergesort(eng.NewCtx(), xs)
+		CompletionTime(r)
+		c := eng.Finish()
+
+		eng2 := core.NewEngine(nil)
+		r2 := MergesortNoPipe(eng2.NewCtx(), xs)
+		CompletionTime(r2)
+		c2 := eng2.Finish()
+
+		lg := stats.Lg(float64(n))
+		if float64(c.Depth) > 60*lg*stats.Lg(lg) {
+			t.Errorf("n=2^%d: pipelined depth %d outside O(lg n lglg n) envelope", e, c.Depth)
+		}
+		if c2.Depth < 2*c.Depth {
+			t.Errorf("n=2^%d: non-pipelined %d not clearly above pipelined %d", e, c2.Depth, c.Depth)
+		}
+	}
+}

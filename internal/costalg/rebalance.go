@@ -1,0 +1,133 @@
+package costalg
+
+import "pipefut/internal/core"
+
+// The rebalancing pass sketched at the end of Section 3.1: the merge of two
+// balanced trees can be up to lg n + lg m deep; a pipelined rank-split pass
+// rebuilds it perfectly balanced in O(lg n + lg m) depth and O(n+m) work.
+//
+// Phase 1 (Annotate) computes the size of every subtree bottom-up — no
+// pipelining needed. Phase 2 (Rebalance) repeatedly splits by rank around
+// the midpoint, using a split that returns the two sides and the rank-mid
+// node; like merge, the splits pipeline into the recursive rebalances.
+
+// SNode is a size-annotated tree node. LSize is the size of the left
+// subtree, stored in the parent so rank navigation never has to touch a
+// child just to learn its size (which would break linearity).
+type SNode struct {
+	Key   int
+	Prio  int64
+	Size  int // nodes in this subtree
+	LSize int // nodes in the left subtree
+	Left  *core.Cell[*SNode]
+	Right *core.Cell[*SNode]
+}
+
+// STree is a (possibly future) reference to a size-annotated tree.
+type STree = *core.Cell[*SNode]
+
+// Annotate computes subtree sizes bottom-up: each node's thread touches its
+// annotated children (strict — it needs their sizes), so the result's root
+// is ready O(h) after the input's deepest node. Depth O(h), work O(n).
+func Annotate(t *core.Ctx, tree Tree) STree {
+	return core.Fork1(t, func(th *core.Ctx) *SNode {
+		n := core.Touch(th, tree)
+		if n == nil {
+			return nil
+		}
+		th.Step(1)
+		lc := Annotate(th, n.Left)
+		rc := Annotate(th, n.Right)
+		l := core.Touch(th, lc)
+		r := core.Touch(th, rc)
+		ls, rs := 0, 0
+		if l != nil {
+			ls = l.Size
+		}
+		if r != nil {
+			rs = r.Size
+		}
+		return &SNode{
+			Key: n.Key, Prio: n.Prio,
+			Size: 1 + ls + rs, LSize: ls,
+			Left: core.NowCell(th, l), Right: core.NowCell(th, r),
+		}
+	})
+}
+
+// Rebalance returns a perfectly balanced tree with the same keys as the
+// size-annotated tree, of known total size n. Pipelined like Merge: each
+// rank split's partial output feeds the recursive rebalances immediately.
+func Rebalance(t *core.Ctx, tree STree, n int) Tree {
+	return core.Fork1(t, func(th *core.Ctx) *Node { return rebalanceBody(th, tree, n) })
+}
+
+func rebalanceBody(th *core.Ctx, tree STree, n int) *Node {
+	if n == 0 {
+		// Consume the (empty) tree so linearity accounting stays exact.
+		core.Touch(th, tree)
+		return nil
+	}
+	root := core.Touch(th, tree)
+	th.Step(1)
+	mid := n / 2
+	ao, lo, ro := core.Fork3(th, func(t2 *core.Ctx, ao, lo, ro *core.Cell[*SNode]) {
+		splitRankWalk(t2, root, mid, ao, lo, ro)
+	})
+	// Fork the recursive rebalances before waiting for the rank-mid
+	// node: only this node's write needs it strictly, and waiting first
+	// would serialize the per-level mid-node searches down the whole
+	// recursion.
+	l := Rebalance(th, lo, mid)
+	r := Rebalance(th, ro, n-mid-1)
+	at := core.Touch(th, ao)
+	return &Node{Key: at.Key, Prio: at.Prio, Left: l, Right: r}
+}
+
+// SplitRank splits the size-annotated tree by in-order rank r into three
+// futures: the subtree of smaller ranks, the node at rank r, and the
+// subtree of larger ranks.
+func SplitRank(t *core.Ctx, tree STree, r int) (lt STree, at *core.Cell[*SNode], gt STree) {
+	a, l, g := core.Fork3(t, func(th *core.Ctx, ao, lo, ro *core.Cell[*SNode]) {
+		n := core.Touch(th, tree)
+		splitRankWalk(th, n, r, ao, lo, ro)
+	})
+	return l, a, g
+}
+
+func splitRankWalk(th *core.Ctx, n *SNode, r int, ao, lo, ro *core.Cell[*SNode]) {
+	if n == nil {
+		panic("costalg: rank out of range in SplitRank")
+	}
+	th.Step(1)
+	switch {
+	case r < n.LSize:
+		a1, l1, r1 := core.Fork3(th, func(t2 *core.Ctx, ao2, lo2, ro2 *core.Cell[*SNode]) {
+			c := core.Touch(t2, n.Left)
+			splitRankWalk(t2, c, r, ao2, lo2, ro2)
+		})
+		core.Write(th, ro, &SNode{
+			Key: n.Key, Prio: n.Prio,
+			Size: n.Size - r - 1, LSize: n.LSize - r - 1,
+			Left: r1, Right: n.Right,
+		})
+		core.Forward(th, a1, ao)
+		core.Forward(th, l1, lo)
+	case r == n.LSize:
+		core.Write(th, ao, n)
+		core.Forward(th, n.Left, lo)
+		core.Forward(th, n.Right, ro)
+	default:
+		a1, l1, r1 := core.Fork3(th, func(t2 *core.Ctx, ao2, lo2, ro2 *core.Cell[*SNode]) {
+			c := core.Touch(t2, n.Right)
+			splitRankWalk(t2, c, r-n.LSize-1, ao2, lo2, ro2)
+		})
+		core.Write(th, lo, &SNode{
+			Key: n.Key, Prio: n.Prio,
+			Size: r, LSize: n.LSize,
+			Left: n.Left, Right: l1,
+		})
+		core.Forward(th, a1, ao)
+		core.Forward(th, r1, ro)
+	}
+}

@@ -1,0 +1,127 @@
+package costalg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/core"
+	"pipefut/internal/seqtree"
+	"pipefut/internal/workload"
+)
+
+// degenerateTree builds an unbalanced BST by repeated single-node merges.
+func degenerateTree(keys []int) *seqtree.Node {
+	var tr *seqtree.Node
+	for _, k := range keys {
+		tr = seqtree.Merge(tr, &seqtree.Node{Key: k})
+	}
+	return tr
+}
+
+func TestAnnotateSizes(t *testing.T) {
+	f := func(seed uint16, n8 uint8) bool {
+		n := int(n8%100) + 1
+		rng := workload.NewRNG(uint64(seed))
+		keys := workload.SortedDistinct(rng, n, 10*n)
+		tr := seqtree.FromSortedBalanced(keys)
+
+		eng := core.NewEngine(nil)
+		ann := Annotate(eng.NewCtx(), FromSeqTree(eng, tr))
+		ok := checkSizes(ann, tr)
+		return ok && eng.Finish().Linear()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkSizes(ann STree, want *seqtree.Node) bool {
+	n, _ := ann.Force()
+	if n == nil || want == nil {
+		return (n == nil) == (want == nil)
+	}
+	if n.Key != want.Key || n.Size != seqtree.Size(want) {
+		return false
+	}
+	if n.LSize != seqtree.Size(want.Left) {
+		return false
+	}
+	return checkSizes(n.Left, want.Left) && checkSizes(n.Right, want.Right)
+}
+
+func TestRebalanceProperty(t *testing.T) {
+	f := func(seed uint16, n8 uint8) bool {
+		n := int(n8%120) + 1
+		rng := workload.NewRNG(uint64(seed))
+		keys := workload.SortedDistinct(rng, n, 10*n)
+		tr := degenerateTree(keys)
+
+		eng := core.NewEngine(nil)
+		ctx := eng.NewCtx()
+		ann := Annotate(ctx, FromSeqTree(eng, tr))
+		reb := Rebalance(ctx, ann, n)
+		out := ToSeqTree(reb)
+		costs := eng.Finish()
+
+		got := seqtree.Keys(out)
+		if len(got) != n {
+			return false
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				return false
+			}
+		}
+		// Balanced: height ≤ ⌈lg(n+1)⌉ (+1 slack for the midpoint
+		// convention).
+		maxH := 0
+		for 1<<(maxH+1) < n+1 {
+			maxH++
+		}
+		return seqtree.Height(out) <= maxH+1 && costs.Linear()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebalanceEmpty(t *testing.T) {
+	eng := core.NewEngine(nil)
+	ctx := eng.NewCtx()
+	ann := Annotate(ctx, FromSeqTree(eng, nil))
+	reb := Rebalance(ctx, ann, 0)
+	if ToSeqTree(reb) != nil {
+		t.Fatal("rebalance of empty must be empty")
+	}
+	eng.Finish()
+}
+
+func TestSplitRankAgainstOracle(t *testing.T) {
+	keys := []int{10, 20, 30, 40, 50, 60, 70}
+	tr := seqtree.FromSortedBalanced(keys)
+	for r := 0; r < len(keys); r++ {
+		eng := core.NewEngine(nil)
+		ctx := eng.NewCtx()
+		ann := Annotate(ctx, FromSeqTree(eng, tr))
+		lt, at, gt := SplitRank(ctx, ann, r)
+		a, _ := at.Force()
+		if a.Key != keys[r] {
+			t.Fatalf("rank %d: key %d, want %d", r, a.Key, keys[r])
+		}
+		if got := sSize(lt); got != r {
+			t.Fatalf("rank %d: left size %d", r, got)
+		}
+		if got := sSize(gt); got != len(keys)-r-1 {
+			t.Fatalf("rank %d: right size %d", r, got)
+		}
+		eng.Finish()
+	}
+}
+
+func sSize(t STree) int {
+	n, _ := t.Force()
+	if n == nil {
+		return 0
+	}
+	return 1 + sSize(n.Left) + sSize(n.Right)
+}

@@ -1,0 +1,85 @@
+package costalg
+
+import (
+	"sort"
+	"testing"
+
+	"pipefut/internal/core"
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/seqtree"
+	"pipefut/internal/workload"
+)
+
+// TestSmokeMergeDepth sanity-checks the headline result on one size: the
+// pipelined merge's depth is near-linear in lg n while the non-pipelined
+// merge's is clearly superlinear, and both produce the oracle's tree.
+func TestSmokeMergeDepth(t *testing.T) {
+	rng := workload.NewRNG(1)
+	for _, n := range []int{1 << 8, 1 << 12} {
+		ka, kb := workload.DisjointKeySets(rng, n, n)
+		sort.Ints(ka)
+		sort.Ints(kb)
+		t1 := seqtree.FromSortedBalanced(ka)
+		t2 := seqtree.FromSortedBalanced(kb)
+		want := seqtree.Merge(t1, t2)
+
+		eng := core.NewEngine(nil)
+		ctx := eng.NewCtx()
+		got := Merge(ctx, FromSeqTree(eng, t1), FromSeqTree(eng, t2))
+		res := ToSeqTree(got)
+		costs := eng.Finish()
+		if !seqtree.Equal(res, want) {
+			t.Fatalf("n=%d: pipelined merge differs from oracle", n)
+		}
+		if !costs.Linear() {
+			t.Errorf("n=%d: pipelined merge not linear: %+v", n, costs)
+		}
+
+		eng2 := core.NewEngine(nil)
+		ctx2 := eng2.NewCtx()
+		got2 := MergeNoPipe(ctx2, FromSeqTree(eng2, t1), FromSeqTree(eng2, t2))
+		res2 := ToSeqTree(got2)
+		costs2 := eng2.Finish()
+		if !seqtree.Equal(res2, want) {
+			t.Fatalf("n=%d: non-pipelined merge differs from oracle", n)
+		}
+		t.Logf("n=%d: pipelined depth=%d work=%d | nopipe depth=%d work=%d",
+			n, costs.Depth, costs.Work, costs2.Depth, costs2.Work)
+		if costs.Depth >= costs2.Depth {
+			t.Errorf("n=%d: pipelined depth %d not below non-pipelined %d", n, costs.Depth, costs2.Depth)
+		}
+	}
+}
+
+// TestSmokeUnionDiff sanity-checks treap union and difference against the
+// oracle on one size.
+func TestSmokeUnionDiff(t *testing.T) {
+	rng := workload.NewRNG(2)
+	ka, kb := workload.OverlappingKeySets(rng, 1000, 600, 0.3)
+	ta := seqtreap.FromKeys(ka)
+	tb := seqtreap.FromKeys(kb)
+
+	eng := core.NewEngine(nil)
+	ctx := eng.NewCtx()
+	u := Union(ctx, FromSeqTreap(eng, ta), FromSeqTreap(eng, tb))
+	if got, want := ToSeqTreap(u), seqtreap.Union(ta, tb); !seqtreap.Equal(got, want) {
+		t.Fatal("union differs from oracle")
+	}
+	uc := eng.Finish()
+	if !uc.Linear() {
+		t.Errorf("union not linear: %+v", uc)
+	}
+
+	eng2 := core.NewEngine(nil)
+	ctx2 := eng2.NewCtx()
+	d := Diff(ctx2, FromSeqTreap(eng2, ta), FromSeqTreap(eng2, tb))
+	if got, want := ToSeqTreap(d), seqtreap.Diff(ta, tb); !seqtreap.Equal(got, want) {
+		t.Fatal("difference differs from oracle")
+	}
+	dc := eng2.Finish()
+	if !dc.Linear() {
+		t.Errorf("diff not linear: %+v", dc)
+	}
+	t.Logf("union: %v", uc)
+	t.Logf("diff:  %v", dc)
+}

@@ -1,0 +1,237 @@
+package costalg
+
+import (
+	"fmt"
+	"sort"
+
+	"pipefut/internal/core"
+	"pipefut/internal/t26"
+)
+
+// TNode is a 2-6 tree node in the cost model (Section 3.4): one to five
+// sorted keys and, for internal nodes, one future cell per child. Because
+// insertion returns the root with its key structure decided while the
+// children are still futures, the next well-separated key array can start
+// descending after O(1) depth — the pipelining of Figure 11.
+type TNode struct {
+	Keys []int
+	Kids []*core.Cell[*TNode] // nil for leaf
+}
+
+// T26 is a (possibly future) reference to a cost-model 2-6 tree.
+type T26 = *core.Cell[*TNode]
+
+// IsLeaf reports whether n is a leaf.
+func (n *TNode) IsLeaf() bool { return len(n.Kids) == 0 }
+
+// FromSeqT26 converts a sequential 2-6 tree into a cost-model tree written
+// at time 0.
+func FromSeqT26(e *core.Engine, t *t26.Node) T26 {
+	n := &TNode{Keys: append([]int(nil), t.Keys...)}
+	for _, kid := range t.Kids {
+		n.Kids = append(n.Kids, FromSeqT26(e, kid))
+	}
+	return core.Done(e, n)
+}
+
+// ToSeqT26 forces the whole tree and converts it back for validation.
+func ToSeqT26(t T26) *t26.Node {
+	n, _ := t.Force()
+	out := &t26.Node{Keys: append([]int(nil), n.Keys...)}
+	for _, kid := range n.Kids {
+		out.Kids = append(out.Kids, ToSeqT26(kid))
+	}
+	return out
+}
+
+// T26CompletionTime forces the tree and returns the maximum cell write
+// time.
+func T26CompletionTime(t T26) int64 {
+	n, wt := t.Force()
+	for _, kid := range n.Kids {
+		if kt := T26CompletionTime(kid); kt > wt {
+			wt = kt
+		}
+	}
+	return wt
+}
+
+// T26Insert inserts one well-separated sorted key array (Section 3.4) as a
+// future call: the new root, with all its keys and structural decisions
+// made, is written in constant depth; the children are futures filled by
+// the recursive calls. Descending the tree costs O(1) per level plus the
+// array_split primitive (ParWork) at each node.
+func T26Insert(t *core.Ctx, tree T26, ws []int) T26 {
+	return core.Fork1(t, func(th *core.Ctx) *TNode {
+		n := core.Touch(th, tree)
+		if len(ws) == 0 {
+			return n
+		}
+		th.Step(1)
+		// Maintain the 2-3 root invariant (split an overfull root,
+		// growing the tree by one level).
+		if len(n.Keys) >= t26SplitThreshold {
+			l, mid, r := splitTNode(th, n)
+			n = &TNode{Keys: []int{mid}, Kids: []*core.Cell[*TNode]{
+				core.NowCell(th, l), core.NowCell(th, r),
+			}}
+		}
+		return t26InsertBody(th, n, ws)
+	})
+}
+
+const t26SplitThreshold = 3
+
+// splitTNode splits an overfull node around its middle key. O(1): node
+// arity is bounded by a constant.
+func splitTNode(th *core.Ctx, n *TNode) (l *TNode, mid int, r *TNode) {
+	th.Step(1)
+	m := len(n.Keys) / 2
+	mid = n.Keys[m]
+	l = &TNode{Keys: append([]int(nil), n.Keys[:m]...)}
+	r = &TNode{Keys: append([]int(nil), n.Keys[m+1:]...)}
+	if !n.IsLeaf() {
+		l.Kids = append([]*core.Cell[*TNode](nil), n.Kids[:m+1]...)
+		r.Kids = append([]*core.Cell[*TNode](nil), n.Kids[m+1:]...)
+	}
+	return l, mid, r
+}
+
+// t26InsertBody inserts ws into the 2-3 node n and returns the new node.
+// The recursive inserts are futures; the returned node is complete except
+// for its child cells.
+func t26InsertBody(th *core.Ctx, n *TNode, ws []int) *TNode {
+	if n.IsLeaf() {
+		th.ParWork(int64(len(ws))) // merge the keys into the leaf
+		merged := mergeUniqueInts(n.Keys, ws)
+		if len(merged) > t26.MaxKeys {
+			panic(fmt.Sprintf("costalg: leaf would hold %d keys — insert array not well separated", len(merged)))
+		}
+		return &TNode{Keys: merged}
+	}
+	// array_split of ws around the node's keys: O(1) depth, O(|ws|) work.
+	th.ParWork(int64(len(ws)))
+	parts := partitionInts(ws, n.Keys)
+	newKeys := append([]int(nil), n.Keys...)
+	newKids := append([]*core.Cell[*TNode](nil), n.Kids...)
+	for i := len(parts) - 1; i >= 0; i-- {
+		sub := parts[i]
+		if len(sub) == 0 {
+			continue
+		}
+		// The child's key structure is needed now (to decide whether
+		// to split it): strict — touch the cell.
+		child := core.Touch(th, newKids[i])
+		if len(child.Keys) >= t26SplitThreshold {
+			l, mid, r := splitTNode(th, child)
+			th.ParWork(int64(len(sub))) // array_split around the promoted key
+			wl, wr := splitAroundInt(sub, mid)
+			var nl, nr *core.Cell[*TNode]
+			if len(wl) > 0 {
+				nl = core.Fork1(th, func(t2 *core.Ctx) *TNode { return t26InsertBody(t2, l, wl) })
+			} else {
+				nl = core.NowCell(th, l)
+			}
+			if len(wr) > 0 {
+				nr = core.Fork1(th, func(t2 *core.Ctx) *TNode { return t26InsertBody(t2, r, wr) })
+			} else {
+				nr = core.NowCell(th, r)
+			}
+			newKeys = insertIntAt(newKeys, i, mid)
+			newKids[i] = nl
+			newKids = insertCellAt(newKids, i+1, nr)
+		} else {
+			c := child
+			newKids[i] = core.Fork1(th, func(t2 *core.Ctx) *TNode { return t26InsertBody(t2, c, sub) })
+		}
+	}
+	if len(newKeys) > t26.MaxKeys {
+		panic(fmt.Sprintf("costalg: node would hold %d keys — invariant violated", len(newKeys)))
+	}
+	return &TNode{Keys: newKeys, Kids: newKids}
+}
+
+// T26BulkInsert pipelines the insertion of the well-separated level arrays
+// into the tree (Theorem 3.13): each array starts descending as soon as the
+// previous insertion's root is written, so an array can be in flight at
+// every level of the tree at once. Depth O(lg n + lg m), work O(m lg n).
+func T26BulkInsert(t *core.Ctx, tree T26, levels [][]int) T26 {
+	for _, lv := range levels {
+		t.Step(1) // produce the next well-separated array from the previous
+		tree = T26Insert(t, tree, lv)
+	}
+	return tree
+}
+
+// T26BulkInsertNoPipe is the non-pipelined baseline: a barrier after every
+// level array — the next insertion starts only when the previous tree is
+// completely materialized. Depth O(lg n · lg m).
+func T26BulkInsertNoPipe(t *core.Ctx, tree T26, levels [][]int) T26 {
+	for _, lv := range levels {
+		t.Step(1)
+		tree = T26Insert(t, tree, lv)
+		t.AdvanceTo(T26CompletionTime(tree))
+	}
+	return tree
+}
+
+// --- small sorted-array helpers (constant node arity keeps them O(1) or
+// --- one array_split, charged by the callers) ---
+
+func partitionInts(ws []int, keys []int) [][]int {
+	out := make([][]int, 0, len(keys)+1)
+	rest := ws
+	for _, k := range keys {
+		i := sort.SearchInts(rest, k)
+		out = append(out, rest[:i])
+		if i < len(rest) && rest[i] == k {
+			i++ // already in the tree
+		}
+		rest = rest[i:]
+	}
+	return append(out, rest)
+}
+
+func splitAroundInt(ws []int, k int) (lt, gt []int) {
+	i := sort.SearchInts(ws, k)
+	lt = ws[:i]
+	if i < len(ws) && ws[i] == k {
+		i++
+	}
+	return lt, ws[i:]
+}
+
+func insertIntAt(xs []int, i, v int) []int {
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
+func insertCellAt(xs []*core.Cell[*TNode], i int, v *core.Cell[*TNode]) []*core.Cell[*TNode] {
+	xs = append(xs, nil)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
+func mergeUniqueInts(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

@@ -1,0 +1,174 @@
+package costalg
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/core"
+	"pipefut/internal/stats"
+	"pipefut/internal/t26"
+	"pipefut/internal/workload"
+)
+
+func t26Inputs(seed uint64, n, m int) (*t26.Node, [][]int, []int) {
+	rng := workload.NewRNG(seed)
+	all := workload.DistinctKeys(rng, n+m, 4*(n+m))
+	base := t26.FromKeys(all[:n])
+	ins := append([]int(nil), all[n:]...)
+	sort.Ints(ins)
+	return base, workload.WellSeparatedLevels(ins), all
+}
+
+func TestT26InsertMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8 uint8) bool {
+		n, m := int(n8%150)+1, int(m8%150)+1
+		base, levels, all := t26Inputs(uint64(seed), n, m)
+
+		eng := core.NewEngine(nil)
+		got := T26BulkInsert(eng.NewCtx(), FromSeqT26(eng, base), levels)
+		res := ToSeqT26(got)
+		costs := eng.Finish()
+
+		if ok, _ := t26.Check(res); !ok {
+			return false
+		}
+		want := append([]int{}, all...)
+		sort.Ints(want)
+		gotKeys := t26.Keys(res)
+		if len(gotKeys) != len(want) {
+			return false
+		}
+		for i := range want {
+			if gotKeys[i] != want[i] {
+				return false
+			}
+		}
+		return costs.Linear()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestT26NoPipeMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8 uint8) bool {
+		n, m := int(n8%150)+1, int(m8%150)+1
+		base, levels, all := t26Inputs(uint64(seed), n, m)
+
+		eng := core.NewEngine(nil)
+		got := T26BulkInsertNoPipe(eng.NewCtx(), FromSeqT26(eng, base), levels)
+		res := ToSeqT26(got)
+		if ok, _ := t26.Check(res); !ok {
+			return false
+		}
+		want := append([]int{}, all...)
+		sort.Ints(want)
+		gotKeys := t26.Keys(res)
+		if len(gotKeys) != len(want) {
+			return false
+		}
+		for i := range want {
+			if gotKeys[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestT26PipelineRootAvailability: the defining property of Figure 11 —
+// after inserting level array i, the next insertion can start in O(1)
+// because the root is written in constant depth.
+func TestT26RootWrittenInConstantDepth(t *testing.T) {
+	base, levels, _ := t26Inputs(11, 1024, 1024)
+	eng := core.NewEngine(nil)
+	ctx := eng.NewCtx()
+	tree := FromSeqT26(eng, base)
+	prevRoot := int64(0)
+	for _, lv := range levels {
+		ctx.Step(1)
+		tree = T26Insert(ctx, tree, lv)
+		_, wt := tree.Force()
+		// Each successive root is written a constant number of ticks
+		// after the previous one — not after a full O(lg n) descent.
+		if wt-prevRoot > 30 {
+			t.Fatalf("root write gap %d, want O(1)", wt-prevRoot)
+		}
+		prevRoot = wt
+	}
+	eng.Finish()
+}
+
+func TestT26DepthShape(t *testing.T) {
+	var ratios, npRatios []float64
+	for e := 8; e <= 12; e++ {
+		n := 1 << e
+		base, levels, _ := t26Inputs(2, n, n)
+
+		eng := core.NewEngine(nil)
+		r := T26BulkInsert(eng.NewCtx(), FromSeqT26(eng, base), levels)
+		T26CompletionTime(r)
+		c := eng.Finish()
+		lg := stats.Lg(float64(n))
+		ratios = append(ratios, float64(c.Depth)/lg)
+
+		eng2 := core.NewEngine(nil)
+		r2 := T26BulkInsertNoPipe(eng2.NewCtx(), FromSeqT26(eng2, base), levels)
+		T26CompletionTime(r2)
+		c2 := eng2.Finish()
+		npRatios = append(npRatios, float64(c2.Depth)/(lg*lg))
+		if c.Depth >= c2.Depth {
+			t.Errorf("n=2^%d: pipelined depth %d ≥ non-pipelined %d", e, c.Depth, c2.Depth)
+		}
+	}
+	if g := stats.GrowthFactor(ratios); g > 1.5 {
+		t.Errorf("pipelined t26 depth/lg n growth factor %.2f (%v)", g, ratios)
+	}
+	if g := stats.GrowthFactor(npRatios); g > 1.5 {
+		t.Errorf("non-pipelined t26 depth/lg² n growth factor %.2f (%v)", g, npRatios)
+	}
+}
+
+func TestT26InsertIntoEmpty(t *testing.T) {
+	rng := workload.NewRNG(3)
+	keys := workload.SortedDistinct(rng, 100, 1000)
+	eng := core.NewEngine(nil)
+	r := T26BulkInsert(eng.NewCtx(), FromSeqT26(eng, t26.Empty()), workload.WellSeparatedLevels(keys))
+	res := ToSeqT26(r)
+	eng.Finish()
+	if ok, why := t26.Check(res); !ok {
+		t.Fatal(why)
+	}
+	got := t26.Keys(res)
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatal("keys differ")
+		}
+	}
+}
+
+func TestT26InsertDuplicatesNoop(t *testing.T) {
+	base := t26.FromKeys([]int{1, 2, 3, 4, 5, 6, 7, 8})
+	eng := core.NewEngine(nil)
+	// Re-insert keys already present.
+	r := T26BulkInsert(eng.NewCtx(), FromSeqT26(eng, base), [][]int{{4}, {2, 6}})
+	res := ToSeqT26(r)
+	eng.Finish()
+	if got := t26.Keys(res); len(got) != 8 {
+		t.Fatalf("keys = %v", got)
+	}
+}
+
+func TestT26EmptyLevelList(t *testing.T) {
+	base := t26.FromKeys([]int{1, 2, 3})
+	eng := core.NewEngine(nil)
+	r := T26BulkInsert(eng.NewCtx(), FromSeqT26(eng, base), nil)
+	if got := t26.Keys(ToSeqT26(r)); len(got) != 3 {
+		t.Fatal("no-op insert changed the tree")
+	}
+	eng.Finish()
+}

@@ -1,0 +1,263 @@
+package costalg
+
+import "pipefut/internal/core"
+
+// Union returns the union of two treaps, discarding duplicate keys — the
+// pipelined algorithm of Section 3.2 (Figure 4). The root with the higher
+// priority becomes the root of the result and the other treap is split by
+// its key with SplitM; both recursive unions and the split are futures, so
+// split output pipelines into the unions at every level. Corollary 3.6:
+// expected depth O(lg n + lg m); Theorem 3.7: expected work O(m·lg(n/m)).
+func Union(t *core.Ctx, a, b Tree) Tree {
+	return core.Fork1(t, func(th *core.Ctx) *Node { return unionBody(th, a, b) })
+}
+
+func unionBody(th *core.Ctx, a, b Tree) *Node {
+	n1 := core.Touch(th, a)
+	if n1 == nil {
+		return core.Touch(th, b)
+	}
+	n2 := core.Touch(th, b)
+	if n2 == nil {
+		return n1
+	}
+	th.Step(1) // compare priorities
+	hi, lo := n1, n2
+	if hi.Prio < lo.Prio {
+		hi, lo = lo, hi
+	}
+	l2, r2, _ := splitMFromNode(th, hi.Key, lo)
+	return &Node{
+		Key:   hi.Key,
+		Prio:  hi.Prio,
+		Left:  Union(th, hi.Left, l2),
+		Right: Union(th, hi.Right, r2),
+	}
+}
+
+// SplitM splits treap tree by key s into the keys < s and the keys > s;
+// if s itself occurs in the treap it is excluded and returned through the
+// third cell (nil otherwise). It is a future call with three independently
+// written result cells and "completes as soon as it finds the splitter in
+// the treap" (Section 3.2).
+func SplitM(t *core.Ctx, s int, tree Tree) (lt, gt, dup Tree) {
+	return core.Fork3(t, func(th *core.Ctx, lo, ro, do *core.Cell[*Node]) {
+		n := core.Touch(th, tree)
+		splitMBody(th, s, n, lo, ro, do)
+	})
+}
+
+// splitMFromNode is SplitM for a root the caller has already touched —
+// union and difference compare the root's key before splitting, and
+// re-touching the cell would both break linearity and double-charge the
+// read.
+func splitMFromNode(t *core.Ctx, s int, n *Node) (lt, gt, dup Tree) {
+	return core.Fork3(t, func(th *core.Ctx, lo, ro, do *core.Cell[*Node]) {
+		splitMBody(th, s, n, lo, ro, do)
+	})
+}
+
+func splitMBody(th *core.Ctx, s int, n *Node, lo, ro, do *core.Cell[*Node]) {
+	if n == nil {
+		core.Write(th, lo, nil)
+		core.Write(th, ro, nil)
+		core.Write(th, do, nil)
+		return
+	}
+	th.Step(1) // compare s with the root key
+	switch {
+	case s == n.Key:
+		// Splitter found: both subtrees are immediate; the duplicate
+		// is reported and excluded.
+		core.Write(th, do, n)
+		core.Forward(th, n.Left, lo)
+		core.Forward(th, n.Right, ro)
+	case s < n.Key:
+		l1, r1, d1 := SplitM(th, s, n.Left)
+		core.Write(th, ro, &Node{Key: n.Key, Prio: n.Prio, Left: r1, Right: n.Right})
+		// Forward the traversed side first: it is on the consumer's
+		// critical path; the duplicate report trails it.
+		core.Forward(th, l1, lo)
+		core.Forward(th, d1, do)
+	default:
+		l1, r1, d1 := SplitM(th, s, n.Right)
+		core.Write(th, lo, &Node{Key: n.Key, Prio: n.Prio, Left: n.Left, Right: l1})
+		core.Forward(th, r1, ro)
+		core.Forward(th, d1, do)
+	}
+}
+
+// Diff returns treap a with every key of treap b removed — the pipelined
+// algorithm of Section 3.3 (Figure 7). The descent pipelines exactly like
+// Union; on the way back up, a root whose key occurred in b is dropped and
+// the recursive results are joined. Corollary 3.12: expected depth
+// O(lg n + lg m).
+func Diff(t *core.Ctx, a, b Tree) Tree {
+	return core.Fork1(t, func(th *core.Ctx) *Node { return diffBody(th, a, b) })
+}
+
+func diffBody(th *core.Ctx, a, b Tree) *Node {
+	n1 := core.Touch(th, a)
+	if n1 == nil {
+		return nil
+	}
+	n2 := core.Touch(th, b)
+	if n2 == nil {
+		return n1
+	}
+	th.Step(1)
+	l2, r2, dup := splitMFromNode(th, n1.Key, n2)
+	l := Diff(th, n1.Left, l2)
+	r := Diff(th, n1.Right, r2)
+	if core.Touch(th, dup) == nil {
+		return &Node{Key: n1.Key, Prio: n1.Prio, Left: l, Right: r}
+	}
+	return joinCells(th, l, r)
+}
+
+// Join joins two treaps where every key of a precedes every key of b,
+// interleaving their right and left spines by priority (Figure 8). Lemma
+// 3.10: the joined treap's time stamps exceed the inputs' ρ-values by O(1)
+// per level.
+func Join(t *core.Ctx, a, b Tree) Tree {
+	return core.Fork1(t, func(th *core.Ctx) *Node { return joinCells(th, a, b) })
+}
+
+func joinCells(th *core.Ctx, a, b Tree) *Node {
+	na := core.Touch(th, a)
+	if na == nil {
+		return core.Touch(th, b)
+	}
+	nb := core.Touch(th, b)
+	if nb == nil {
+		return na
+	}
+	return joinNodes(th, na, nb)
+}
+
+func joinNodes(th *core.Ctx, na, nb *Node) *Node {
+	th.Step(1) // compare priorities
+	if na.Prio > nb.Prio {
+		return &Node{Key: na.Key, Prio: na.Prio, Left: na.Left,
+			Right: core.Fork1(th, func(t2 *core.Ctx) *Node {
+				r := core.Touch(t2, na.Right)
+				if r == nil {
+					return nb
+				}
+				return joinNodes(t2, r, nb)
+			})}
+	}
+	return &Node{Key: nb.Key, Prio: nb.Prio, Right: nb.Right,
+		Left: core.Fork1(th, func(t2 *core.Ctx) *Node {
+			l := core.Touch(t2, nb.Left)
+			if l == nil {
+				return na
+			}
+			return joinNodes(t2, na, l)
+		})}
+}
+
+// UnionNoPipe is the non-pipelined treap union: splitm runs sequentially
+// to completion before the recursive unions fork. Expected depth
+// O(lg n · lg m).
+func UnionNoPipe(t *core.Ctx, a, b Tree) Tree {
+	return core.Fork1(t, func(th *core.Ctx) *Node { return unionNoPipeBody(th, a, b) })
+}
+
+func unionNoPipeBody(th *core.Ctx, a, b Tree) *Node {
+	n1 := core.Touch(th, a)
+	if n1 == nil {
+		return core.Touch(th, b)
+	}
+	n2 := core.Touch(th, b)
+	if n2 == nil {
+		return n1
+	}
+	th.Step(1)
+	hi, lo := n1, n2
+	if hi.Prio < lo.Prio {
+		hi, lo = lo, hi
+	}
+	l2, r2, _ := splitMSeqNode(th, hi.Key, lo)
+	return &Node{
+		Key:   hi.Key,
+		Prio:  hi.Prio,
+		Left:  UnionNoPipe(th, hi.Left, l2),
+		Right: UnionNoPipe(th, hi.Right, r2),
+	}
+}
+
+// SplitMSeq is the sequential splitm used by the non-pipelined variants:
+// the calling thread traverses the whole search path before continuing.
+func SplitMSeq(th *core.Ctx, s int, tree Tree) (lt, gt, dup Tree) {
+	n := core.Touch(th, tree)
+	return splitMSeqNode(th, s, n)
+}
+
+func splitMSeqNode(th *core.Ctx, s int, n *Node) (lt, gt, dup Tree) {
+	if n == nil {
+		return core.NowCell[*Node](th, nil), core.NowCell[*Node](th, nil), core.NowCell[*Node](th, nil)
+	}
+	th.Step(1)
+	switch {
+	case s == n.Key:
+		return n.Left, n.Right, core.NowCell(th, n)
+	case s < n.Key:
+		child := core.Touch(th, n.Left)
+		l1, r1, d1 := splitMSeqNode(th, s, child)
+		r := core.NowCell(th, &Node{Key: n.Key, Prio: n.Prio, Left: r1, Right: n.Right})
+		return l1, r, d1
+	default:
+		child := core.Touch(th, n.Right)
+		l1, r1, d1 := splitMSeqNode(th, s, child)
+		l := core.NowCell(th, &Node{Key: n.Key, Prio: n.Prio, Left: n.Left, Right: l1})
+		return l, r1, d1
+	}
+}
+
+// DiffNoPipe is the non-pipelined treap difference: sequential splitm on
+// the way down and a barrier before each join on the way up (the join only
+// starts once both recursive results are completely materialized).
+func DiffNoPipe(t *core.Ctx, a, b Tree) Tree {
+	return core.Fork1(t, func(th *core.Ctx) *Node { return diffNoPipeBody(th, a, b) })
+}
+
+func diffNoPipeBody(th *core.Ctx, a, b Tree) *Node {
+	n1 := core.Touch(th, a)
+	if n1 == nil {
+		return nil
+	}
+	n2 := core.Touch(th, b)
+	if n2 == nil {
+		return n1
+	}
+	th.Step(1)
+	l2, r2, dup := splitMSeqNode(th, n1.Key, n2)
+	l := DiffNoPipe(th, n1.Left, l2)
+	r := DiffNoPipe(th, n1.Right, r2)
+	if core.Touch(th, dup) == nil {
+		return &Node{Key: n1.Key, Prio: n1.Prio, Left: l, Right: r}
+	}
+	// Barrier: wait for both subtrees to finish, then join sequentially.
+	th.AdvanceTo(CompletionTime(l))
+	th.AdvanceTo(CompletionTime(r))
+	return joinSeq(th, l, r)
+}
+
+func joinSeq(th *core.Ctx, a, b Tree) *Node {
+	na := core.Touch(th, a)
+	if na == nil {
+		return core.Touch(th, b)
+	}
+	nb := core.Touch(th, b)
+	if nb == nil {
+		return na
+	}
+	th.Step(1)
+	if na.Prio > nb.Prio {
+		return &Node{Key: na.Key, Prio: na.Prio, Left: na.Left,
+			Right: core.NowCell(th, joinSeq(th, na.Right, core.NowCell(th, nb)))}
+	}
+	return &Node{Key: nb.Key, Prio: nb.Prio, Right: nb.Right,
+		Left: core.NowCell(th, joinSeq(th, core.NowCell(th, na), nb.Left))}
+}

@@ -1,0 +1,203 @@
+package costalg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/core"
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/stats"
+	"pipefut/internal/workload"
+)
+
+func treapInputs(seed uint64, n, m int, overlap float64) (*seqtreap.Node, *seqtreap.Node) {
+	rng := workload.NewRNG(seed)
+	ka, kb := workload.OverlappingKeySets(rng, n, m, overlap)
+	return seqtreap.FromKeys(ka), seqtreap.FromKeys(kb)
+}
+
+func TestUnionMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8, ov uint8) bool {
+		n, m := int(n8%120)+1, int(m8%120)+1
+		ta, tb := treapInputs(uint64(seed), n, m, float64(ov%4)/4)
+		want := seqtreap.Union(ta, tb)
+
+		eng := core.NewEngine(nil)
+		got := Union(eng.NewCtx(), FromSeqTreap(eng, ta), FromSeqTreap(eng, tb))
+		res := ToSeqTreap(got)
+		costs := eng.Finish()
+		return seqtreap.Equal(res, want) && costs.Linear()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionNoPipeMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8, ov uint8) bool {
+		n, m := int(n8%120)+1, int(m8%120)+1
+		ta, tb := treapInputs(uint64(seed), n, m, float64(ov%4)/4)
+		want := seqtreap.Union(ta, tb)
+
+		eng := core.NewEngine(nil)
+		got := UnionNoPipe(eng.NewCtx(), FromSeqTreap(eng, ta), FromSeqTreap(eng, tb))
+		res := ToSeqTreap(got)
+		costs := eng.Finish()
+		return seqtreap.Equal(res, want) && costs.Linear()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8, ov uint8) bool {
+		n, m := int(n8%120)+1, int(m8%120)+1
+		ta, tb := treapInputs(uint64(seed), n, m, float64(ov%4)/4)
+		want := seqtreap.Diff(ta, tb)
+
+		eng := core.NewEngine(nil)
+		got := Diff(eng.NewCtx(), FromSeqTreap(eng, ta), FromSeqTreap(eng, tb))
+		res := ToSeqTreap(got)
+		costs := eng.Finish()
+		return seqtreap.Equal(res, want) && costs.Linear()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffNoPipeMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8, ov uint8) bool {
+		n, m := int(n8%120)+1, int(m8%120)+1
+		ta, tb := treapInputs(uint64(seed), n, m, float64(ov%4)/4)
+		want := seqtreap.Diff(ta, tb)
+
+		eng := core.NewEngine(nil)
+		got := DiffNoPipe(eng.NewCtx(), FromSeqTreap(eng, ta), FromSeqTreap(eng, tb))
+		res := ToSeqTreap(got)
+		return seqtreap.Equal(res, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitMProperty(t *testing.T) {
+	f := func(seed uint16, n8 uint8, pick uint8) bool {
+		n := int(n8%120) + 1
+		rng := workload.NewRNG(uint64(seed))
+		keys := workload.DistinctKeys(rng, n, 4*n)
+		tr := seqtreap.FromKeys(keys)
+		var s int
+		if pick%2 == 0 {
+			s = keys[int(pick)%len(keys)] // present
+		} else {
+			s = rng.Intn(4 * n)
+		}
+		wl, wg, wd := seqtreap.SplitM(s, tr)
+
+		eng := core.NewEngine(nil)
+		ctx := eng.NewCtx()
+		lo, gt, dup := SplitM(ctx, s, FromSeqTreap(eng, tr))
+		okL := seqtreap.Equal(ToSeqTreap(lo), wl)
+		okG := seqtreap.Equal(ToSeqTreap(gt), wg)
+		d, _ := dup.Force()
+		okD := (d == nil) == (wd == nil) && (d == nil || d.Key == s)
+		return okL && okG && okD && eng.Finish().Linear()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8 uint8) bool {
+		n, m := int(n8%100)+1, int(m8%100)+1
+		rng := workload.NewRNG(uint64(seed))
+		keys := workload.SortedDistinct(rng, n+m, 5*(n+m))
+		ta := seqtreap.FromKeys(keys[:n])
+		tb := seqtreap.FromKeys(keys[n:])
+		want := seqtreap.Join(ta, tb)
+
+		eng := core.NewEngine(nil)
+		got := Join(eng.NewCtx(), FromSeqTreap(eng, ta), FromSeqTreap(eng, tb))
+		res := ToSeqTreap(got)
+		costs := eng.Finish()
+		return seqtreap.Equal(res, want) && costs.Linear()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionEmptyCases(t *testing.T) {
+	ta, _ := treapInputs(5, 20, 20, 0)
+	for _, pair := range [][2]*seqtreap.Node{{nil, nil}, {ta, nil}, {nil, ta}} {
+		eng := core.NewEngine(nil)
+		got := Union(eng.NewCtx(), FromSeqTreap(eng, pair[0]), FromSeqTreap(eng, pair[1]))
+		if !seqtreap.Equal(ToSeqTreap(got), seqtreap.Union(pair[0], pair[1])) {
+			t.Fatal("empty-case union wrong")
+		}
+		eng.Finish()
+	}
+}
+
+func TestDiffEverythingRemoved(t *testing.T) {
+	ta, _ := treapInputs(6, 50, 1, 0)
+	eng := core.NewEngine(nil)
+	a := FromSeqTreap(eng, ta)
+	b := FromSeqTreap(eng, ta) // b == a: everything removed
+	got := Diff(eng.NewCtx(), a, b)
+	if ToSeqTreap(got) != nil {
+		t.Fatal("A \\ A must be empty")
+	}
+	eng.Finish()
+}
+
+// TestUnionDepthShape: Corollary 3.6 — pipelined expected depth O(lg n),
+// and it beats the non-pipelined variant at practical sizes.
+func TestUnionDepthShape(t *testing.T) {
+	var ratios []float64
+	for e := 9; e <= 13; e++ {
+		n := 1 << e
+		ta, tb := treapInputs(3, n, n, 0.25)
+		eng := core.NewEngine(nil)
+		r := Union(eng.NewCtx(), FromSeqTreap(eng, ta), FromSeqTreap(eng, tb))
+		CompletionTime(r)
+		c := eng.Finish()
+		ratios = append(ratios, float64(c.Depth)/stats.Lg(float64(n)))
+
+		eng2 := core.NewEngine(nil)
+		r2 := UnionNoPipe(eng2.NewCtx(), FromSeqTreap(eng2, ta), FromSeqTreap(eng2, tb))
+		CompletionTime(r2)
+		c2 := eng2.Finish()
+		if e >= 10 && c.Depth >= c2.Depth {
+			t.Errorf("n=2^%d: pipelined union depth %d ≥ non-pipelined %d", e, c.Depth, c2.Depth)
+		}
+	}
+	// Treap heights converge slowly; allow some slack but reject lg².
+	if g := stats.GrowthFactor(ratios); g > 1.6 {
+		t.Errorf("pipelined union depth/lg n growth factor %.2f (%v)", g, ratios)
+	}
+}
+
+// TestDupReportingTimes: splitm must report a found duplicate without
+// waiting for the untraversed side's forwarding chain to finish (the
+// "completes as soon as it finds the splitter" property).
+func TestDupReportingTimes(t *testing.T) {
+	// Root = key 50; split exactly at the root.
+	keys := []int{10, 20, 30, 40, 50, 60, 70}
+	tr := seqtreap.FromKeys(keys)
+	eng := core.NewEngine(nil)
+	ctx := eng.NewCtx()
+	_, _, dup := SplitM(ctx, tr.Key, FromSeqTreap(eng, tr))
+	d, wt := dup.Force()
+	if d == nil || d.Key != tr.Key {
+		t.Fatal("dup not reported")
+	}
+	if wt > 8 {
+		t.Fatalf("dup for root splitter reported at %d, want O(1)", wt)
+	}
+	eng.Finish()
+}

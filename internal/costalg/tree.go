@@ -1,0 +1,104 @@
+// Package costalg implements the algorithms of "Pipelining with Futures"
+// on the virtual-time cost engine (package core), each in the pipelined
+// form the paper analyzes and in the non-pipelined form it compares
+// against:
+//
+//   - merging binary search trees (Section 3.1, Theorem 3.1),
+//   - rebalancing a merged tree by rank splitting (end of Section 3.1),
+//   - treap union (Section 3.2, Corollary 3.6 / Theorem 3.7),
+//   - treap difference with join (Section 3.3, Corollary 3.12),
+//   - bulk insertion into 2-6 trees (Section 3.4, Theorem 3.13),
+//   - Halstead's quicksort (Figure 2 — futures give no asymptotic gain),
+//   - the producer/consumer pipeline of Figure 1, and
+//   - the pipelined mergesort the conclusion (Section 5) conjectures about.
+//
+// Running any of these under an engine yields the work and depth of the
+// computation in the paper's DAG model; the pipelined and non-pipelined
+// variants differ only in whether the split phases run as futures.
+package costalg
+
+import (
+	"pipefut/internal/core"
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/seqtree"
+)
+
+// Node is a binary-search-tree / treap node in the cost model. Child links
+// are future cells, which is what lets partially built trees flow between
+// pipeline stages: a node can exist (and be compared against, split around,
+// merged under) while its subtrees are still being computed. A cell holding
+// nil is an empty subtree (leaf).
+type Node struct {
+	Key   int
+	Prio  int64 // treap priority; 0 in plain BSTs
+	Left  *core.Cell[*Node]
+	Right *core.Cell[*Node]
+}
+
+// Tree is a (possibly future) reference to a cost-model tree.
+type Tree = *core.Cell[*Node]
+
+// FromSeqTree converts a sequential BST into a cost-model tree whose cells
+// are all written at time 0 — an input that exists before the computation
+// starts.
+func FromSeqTree(e *core.Engine, t *seqtree.Node) Tree {
+	if t == nil {
+		return core.Done[*Node](e, nil)
+	}
+	return core.Done(e, &Node{
+		Key:   t.Key,
+		Left:  FromSeqTree(e, t.Left),
+		Right: FromSeqTree(e, t.Right),
+	})
+}
+
+// FromSeqTreap converts a sequential treap into a cost-model tree written
+// at time 0.
+func FromSeqTreap(e *core.Engine, t *seqtreap.Node) Tree {
+	if t == nil {
+		return core.Done[*Node](e, nil)
+	}
+	return core.Done(e, &Node{
+		Key:   t.Key,
+		Prio:  t.Prio,
+		Left:  FromSeqTreap(e, t.Left),
+		Right: FromSeqTreap(e, t.Right),
+	})
+}
+
+// ToSeqTree forces the whole tree (without charging read actions) and
+// returns it as a sequential BST, for validation against the oracle.
+func ToSeqTree(t Tree) *seqtree.Node {
+	n, _ := t.Force()
+	if n == nil {
+		return nil
+	}
+	return &seqtree.Node{Key: n.Key, Left: ToSeqTree(n.Left), Right: ToSeqTree(n.Right)}
+}
+
+// ToSeqTreap forces the whole tree and returns it as a sequential treap.
+func ToSeqTreap(t Tree) *seqtreap.Node {
+	n, _ := t.Force()
+	if n == nil {
+		return nil
+	}
+	return &seqtreap.Node{Key: n.Key, Prio: n.Prio, Left: ToSeqTreap(n.Left), Right: ToSeqTreap(n.Right)}
+}
+
+// CompletionTime forces the whole tree and returns the maximum write time
+// of any of its cells: the time stamp at which the result is entirely
+// materialized ("the maximum time stamp on any of the nodes of the result"
+// in the paper's theorems).
+func CompletionTime(t Tree) int64 {
+	n, wt := t.Force()
+	if n == nil {
+		return wt
+	}
+	if lt := CompletionTime(n.Left); lt > wt {
+		wt = lt
+	}
+	if rt := CompletionTime(n.Right); rt > wt {
+		wt = rt
+	}
+	return wt
+}

@@ -1,0 +1,59 @@
+package future
+
+import "sync"
+
+// MutexCell is an alternative future-cell implementation using a mutex and
+// condition variable instead of a closed channel — the classic
+// queue-of-suspended-threads design that Section 4 of the paper describes
+// (suspended readers wait on the cell; the write reactivates them all).
+//
+// It exists as an implementation ablation: BenchmarkCellImplementations
+// compares it against the channel-based Cell for write-then-read,
+// read-then-write (suspension), and many-reader patterns. The channel cell
+// is the package default because closed-channel reads have a cheap
+// atomic-load fast path and compose with select.
+type MutexCell[T any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	val     T
+	written bool
+}
+
+// NewMutex returns an empty MutexCell.
+func NewMutex[T any]() *MutexCell[T] {
+	c := &MutexCell[T]{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Write stores v and wakes all suspended readers. Writing twice panics.
+func (c *MutexCell[T]) Write(v T) {
+	c.mu.Lock()
+	if c.written {
+		c.mu.Unlock()
+		panic("future: MutexCell written twice")
+	}
+	c.val = v
+	c.written = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Read returns the value, suspending the calling goroutine until the write
+// happens.
+func (c *MutexCell[T]) Read() T {
+	c.mu.Lock()
+	for !c.written {
+		c.cond.Wait()
+	}
+	v := c.val
+	c.mu.Unlock()
+	return v
+}
+
+// Ready reports whether the cell has been written.
+func (c *MutexCell[T]) Ready() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.written
+}

@@ -1,0 +1,108 @@
+package future
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMutexCellWriteThenRead(t *testing.T) {
+	c := NewMutex[int]()
+	if c.Ready() {
+		t.Fatal("fresh cell ready")
+	}
+	c.Write(9)
+	if !c.Ready() || c.Read() != 9 {
+		t.Fatal("write/read wrong")
+	}
+}
+
+func TestMutexCellSuspendedReaders(t *testing.T) {
+	c := NewMutex[string]()
+	var wg sync.WaitGroup
+	var hits atomic.Int32
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c.Read() == "v" {
+				hits.Add(1)
+			}
+		}()
+	}
+	c.Write("v")
+	wg.Wait()
+	if hits.Load() != 50 {
+		t.Fatalf("hits = %d", hits.Load())
+	}
+}
+
+func TestMutexCellDoubleWritePanics(t *testing.T) {
+	c := NewMutex[int]()
+	c.Write(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Write(2)
+}
+
+// --- the implementation ablation ------------------------------------------
+
+// BenchmarkCellImplementations compares the channel cell and the mutex
+// cell on the three access patterns that dominate the algorithms.
+func BenchmarkCellImplementations(b *testing.B) {
+	b.Run("chan/write-then-read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := New[int]()
+			c.Write(i)
+			_ = c.Read()
+		}
+	})
+	b.Run("mutex/write-then-read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := NewMutex[int]()
+			c.Write(i)
+			_ = c.Read()
+		}
+	})
+	b.Run("chan/suspend-read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := New[int]()
+			done := make(chan int)
+			go func() { done <- c.Read() }()
+			c.Write(i)
+			<-done
+		}
+	})
+	b.Run("mutex/suspend-read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := NewMutex[int]()
+			done := make(chan int)
+			go func() { done <- c.Read() }()
+			c.Write(i)
+			<-done
+		}
+	})
+	b.Run("chan/read-ready-x8", func(b *testing.B) {
+		c := New[int]()
+		c.Write(7)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 8; j++ {
+				_ = c.Read()
+			}
+		}
+	})
+	b.Run("mutex/read-ready-x8", func(b *testing.B) {
+		c := NewMutex[int]()
+		c.Write(7)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 8; j++ {
+				_ = c.Read()
+			}
+		}
+	})
+}

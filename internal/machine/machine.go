@@ -1,0 +1,221 @@
+// Package machine simulates the implementation of futures described in
+// Section 4 of "Pipelining with Futures" (Lemma 4.1): a step-synchronous
+// machine with p processors that maintains a set S of active threads,
+// removes min(|S|, p) of them each step, executes one action on each, and
+// returns the newly active threads to S. The paper stores S as a stack and
+// uses a unit-time plus-scan for load balancing, giving a greedy schedule
+// whose step count is bounded by w/p + d (Brent / Blumofe-Leiserson).
+//
+// The simulator executes recorded computation DAGs (package trace). A node
+// becomes active when its last unfinished parent completes — which models
+// both thread continuation and the suspension/reactivation protocol on
+// future cells: a reader suspended on an unwritten cell is exactly a node
+// whose data-edge parent has not executed yet, and the write reactivates it.
+//
+// Besides the step count the simulator evaluates the paper's machine-model
+// time bounds:
+//
+//	scan model:        O(w/p + d)              — steps × O(1)
+//	EREW PRAM:         O(w/p + d·lg p)         — steps × (1 + ⌈lg p⌉)
+//	asynchronous EREW: O(w/p + d·lg p)
+//	BSP:               O(g·w/p + d·(Ts(p)+L))  — per-step cost g + (Ts+L)
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"pipefut/internal/trace"
+)
+
+// Discipline selects how the active set S is stored. The paper uses a stack
+// (better for space); a FIFO queue is provided as an ablation.
+type Discipline uint8
+
+const (
+	// Stack pops the most recently activated threads first (the paper's
+	// discipline; depth-first-ish, space-friendly).
+	Stack Discipline = iota
+	// Queue pops the least recently activated threads first
+	// (breadth-first-ish; a space-hungry ablation).
+	Queue
+)
+
+func (d Discipline) String() string {
+	if d == Queue {
+		return "queue"
+	}
+	return "stack"
+}
+
+// Result reports one simulated execution.
+type Result struct {
+	P          int        // processors
+	Discipline Discipline // active-set discipline
+
+	Work  int64 // actions executed (trace work)
+	Depth int64 // critical path of the trace
+
+	Steps     int64 // machine steps taken
+	MaxActive int64 // max |S| observed (a space proxy, cf. Blumofe-Leiserson)
+	SumActive int64 // Σ per-step |S| (ΣS/steps = average occupancy)
+
+	// Suspensions counts reads that found their future cell unwritten
+	// and had to suspend: the thread arrived (its thread/fork
+	// predecessor completed) before the cell's write did, so the write
+	// reactivated it later — the queue-on-cell protocol of Section 4.
+	// Reads of already-written cells cost nothing extra.
+	Suspensions int64
+
+	BrentBound int64 // ⌈w/p⌉ + d, the Lemma 4.1 guarantee
+}
+
+// GreedyOK reports whether the run obeyed the greedy-schedule bound
+// steps ≤ ⌈w/p⌉ + d of Lemma 4.1.
+func (r Result) GreedyOK() bool { return r.Steps <= r.BrentBound }
+
+// Utilization returns w/(p·steps) ∈ (0,1]: the fraction of processor-steps
+// doing useful work.
+func (r Result) Utilization() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return float64(r.Work) / (float64(r.P) * float64(r.Steps))
+}
+
+// Speedup returns w/steps: the speedup over a 1-processor execution of the
+// same work.
+func (r Result) Speedup() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return float64(r.Work) / float64(r.Steps)
+}
+
+// TimeScanModel returns the simulated time on the EREW scan model of
+// [Blelloch 89], where the per-step scan is unit time: exactly Steps.
+func (r Result) TimeScanModel() int64 { return r.Steps }
+
+// TimeEREW returns the simulated time on a plain EREW PRAM, where each
+// step's load-balancing scan costs Ts(p) = ⌈lg p⌉: Steps × (1 + ⌈lg p⌉).
+func (r Result) TimeEREW() int64 { return r.Steps * (1 + ceilLg(r.P)) }
+
+// TimeBSP returns the simulated time on the BSP model with gap g and
+// periodicity L: each step costs g (work phase) + Ts(p) + L (scan and
+// barrier), so Steps × (g + ⌈lg p⌉ + L).
+func (r Result) TimeBSP(g, L int64) int64 { return r.Steps * (g + ceilLg(r.P) + L) }
+
+func ceilLg(p int) int64 {
+	if p <= 1 {
+		return 0
+	}
+	return int64(math.Ceil(math.Log2(float64(p))))
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("p=%d %s: steps=%d (bound %d, ok=%v) util=%.3f maxActive=%d",
+		r.P, r.Discipline, r.Steps, r.BrentBound, r.GreedyOK(), r.Utilization(), r.MaxActive)
+}
+
+// Run executes the trace on p virtual processors with the given active-set
+// discipline and returns the measured schedule. It panics if p < 1. If the
+// trace has a cycle (impossible for traces produced by the core engine) the
+// run reports an error.
+func Run(tr *trace.Trace, p int, disc Discipline) (Result, error) {
+	if p < 1 {
+		panic("machine: p must be ≥ 1")
+	}
+	n := tr.Len()
+	res := Result{
+		P:          p,
+		Discipline: disc,
+		Work:       tr.Work(),
+		Depth:      tr.Depth(),
+	}
+	res.BrentBound = (res.Work+int64(p)-1)/int64(p) + res.Depth
+
+	children := tr.Children()
+	pending := make([]int32, n)
+	for id := 0; id < n; id++ {
+		pending[id] = int32(tr.InDegree(int32(id)))
+	}
+
+	// The active set S. Root anchors are free (level 0, not actions):
+	// executing them costs no step; their children seed S.
+	var active []int32
+	var head int // queue head for the Queue discipline
+	push := func(id int32) { active = append(active, id) }
+	size := func() int { return len(active) - head }
+
+	executed := int64(0)
+	complete := func(id int32) {
+		for _, ch := range children[id] {
+			pending[ch]--
+			if pending[ch] == 0 {
+				// If the edge that made ch ready is its data edge,
+				// the reading thread had already arrived and was
+				// suspended on the cell; this write reactivates it.
+				if tr.DataParent(ch) == id && tr.InDegree(ch) > 1 {
+					res.Suspensions++
+				}
+				push(ch)
+			}
+		}
+	}
+	for _, r := range tr.Roots() {
+		complete(r)
+	}
+
+	batch := make([]int32, 0, p)
+	for size() > 0 {
+		if s := int64(size()); s > res.MaxActive {
+			res.MaxActive = s
+		}
+		res.SumActive += int64(size())
+
+		// Take min(|S|, p) threads from S.
+		k := size()
+		if k > p {
+			k = p
+		}
+		batch = batch[:0]
+		if disc == Stack {
+			top := len(active)
+			batch = append(batch, active[top-k:top]...)
+			active = active[:top-k]
+		} else {
+			batch = append(batch, active[head:head+k]...)
+			head += k
+			if head > 4096 && head*2 > len(active) {
+				active = append(active[:0], active[head:]...)
+				head = 0
+			}
+		}
+
+		// Execute one action on each, then return newly active threads.
+		for _, id := range batch {
+			executed++
+			complete(id)
+		}
+		res.Steps++
+	}
+
+	if executed != res.Work {
+		return res, fmt.Errorf("machine: executed %d of %d actions — trace has unreachable nodes or a cycle", executed, res.Work)
+	}
+	return res, nil
+}
+
+// Sweep runs the trace for every processor count in ps and returns the
+// results in order.
+func Sweep(tr *trace.Trace, ps []int, disc Discipline) ([]Result, error) {
+	out := make([]Result, 0, len(ps))
+	for _, p := range ps {
+		r, err := Run(tr, p, disc)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

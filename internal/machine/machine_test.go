@@ -1,0 +1,273 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/core"
+	"pipefut/internal/costalg"
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/trace"
+	"pipefut/internal/workload"
+)
+
+// chainTrace builds a pure sequential chain of n actions.
+func chainTrace(n int64) *trace.Trace {
+	tr := trace.New()
+	r := tr.Root()
+	tr.StepN(r, n, core.ThreadEdge)
+	return tr
+}
+
+// wideTrace builds w independent chains of length d hanging off one root
+// each (perfectly parallel work).
+func wideTrace(chains int, depth int64) *trace.Trace {
+	tr := trace.New()
+	for i := 0; i < chains; i++ {
+		r := tr.Root()
+		tr.StepN(r, depth, core.ThreadEdge)
+	}
+	return tr
+}
+
+func TestChainTakesDepthSteps(t *testing.T) {
+	tr := chainTrace(100)
+	for _, p := range []int{1, 4, 1000} {
+		r, err := Run(tr, p, Stack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Steps != 100 {
+			t.Fatalf("p=%d: steps = %d, want 100 (chain is sequential)", p, r.Steps)
+		}
+		if !r.GreedyOK() {
+			t.Fatal("bound violated")
+		}
+	}
+}
+
+func TestP1TakesWorkSteps(t *testing.T) {
+	tr := wideTrace(8, 13)
+	r, err := Run(tr, 1, Stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps != r.Work {
+		t.Fatalf("p=1 steps = %d, want work = %d", r.Steps, r.Work)
+	}
+	if r.Speedup() != 1 || r.Utilization() != 1 {
+		t.Fatal("p=1 speedup/util must be 1")
+	}
+}
+
+func TestPerfectlyParallelSaturates(t *testing.T) {
+	tr := wideTrace(64, 10)
+	r, err := Run(tr, 64, Stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps != 10 {
+		t.Fatalf("steps = %d, want 10 (all 64 chains in lockstep)", r.Steps)
+	}
+	if r.MaxActive != 64 {
+		t.Fatalf("maxActive = %d, want 64", r.MaxActive)
+	}
+}
+
+func TestQueueAndStackBothGreedy(t *testing.T) {
+	tr := wideTrace(37, 11)
+	for _, d := range []Discipline{Stack, Queue} {
+		r, err := Run(tr, 8, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.GreedyOK() {
+			t.Fatalf("%v: steps %d > bound %d", d, r.Steps, r.BrentBound)
+		}
+		if r.String() == "" {
+			t.Fatal("empty result string")
+		}
+	}
+}
+
+func TestRunPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(chainTrace(1), 0, Stack)
+}
+
+func TestTimeModels(t *testing.T) {
+	r := Result{P: 8, Steps: 100}
+	if r.TimeScanModel() != 100 {
+		t.Fatal("scan model time must equal steps")
+	}
+	if r.TimeEREW() != 100*(1+3) { // lg 8 = 3
+		t.Fatalf("EREW time = %d", r.TimeEREW())
+	}
+	if r.TimeBSP(2, 8) != 100*(2+3+8) {
+		t.Fatalf("BSP time = %d", r.TimeBSP(2, 8))
+	}
+	if ceilLg(1) != 0 || ceilLg(2) != 1 || ceilLg(5) != 3 {
+		t.Fatal("ceilLg wrong")
+	}
+}
+
+// TestBrentBoundOnRealTraces is the Lemma 4.1 property test: greedy stack
+// and queue schedules of real pipelined computations satisfy
+// steps ≤ ⌈w/p⌉ + d and steps ≥ max(⌈w/p⌉, "some lower bound").
+func TestBrentBoundOnRealTraces(t *testing.T) {
+	tr := trace.New()
+	eng := core.NewEngine(tr)
+	ctx := eng.NewCtx()
+	rng := workload.NewRNG(7)
+	keysA := workload.DistinctKeys(rng, 200, 10000)
+	keysB := workload.DistinctKeys(rng, 150, 10000)
+	u := costalg.Union(ctx,
+		costalg.FromSeqTreap(eng, seqtreap.FromKeys(keysA)),
+		costalg.FromSeqTreap(eng, seqtreap.FromKeys(keysB)))
+	costalg.CompletionTime(u)
+	costs := eng.Finish()
+
+	if got := tr.Depth(); got != costs.Depth {
+		t.Fatalf("trace/engine depth mismatch: %d vs %d", got, costs.Depth)
+	}
+	for _, p := range []int{1, 2, 3, 7, 16, 100, 5000} {
+		for _, d := range []Discipline{Stack, Queue} {
+			r, err := Run(tr, p, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.GreedyOK() {
+				t.Fatalf("p=%d %v: steps %d > ⌈w/p⌉+d = %d", p, d, r.Steps, r.BrentBound)
+			}
+			lower := r.Work / int64(p)
+			if r.Steps < lower {
+				t.Fatalf("p=%d: steps %d below work lower bound %d", p, r.Steps, lower)
+			}
+			if r.Steps < minSteps(r) {
+				t.Fatalf("p=%d: steps %d below critical path-ish lower bound", p, r.Steps)
+			}
+		}
+	}
+}
+
+// minSteps: any schedule needs at least ⌈w/p⌉ steps and at least enough
+// steps to cover the critical path when p is huge. With unit nodes the
+// depth itself is a lower bound.
+func minSteps(r Result) int64 {
+	lo := (r.Work + int64(r.P) - 1) / int64(r.P)
+	if r.Depth > lo {
+		return r.Depth
+	}
+	return lo
+}
+
+// TestBrentBoundRandomDAGs drives random fork/touch programs through the
+// engine+trace and checks the schedule bound with testing/quick.
+func TestBrentBoundRandomDAGs(t *testing.T) {
+	f := func(seed uint16, pRaw uint8) bool {
+		p := int(pRaw%64) + 1
+		tr := trace.New()
+		eng := core.NewEngine(tr)
+		ctx := eng.NewCtx()
+		rng := workload.NewRNG(uint64(seed))
+		var cells []*core.Cell[int]
+		for i := 0; i < 30; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				ctx.Step(int64(rng.Intn(5) + 1))
+			case 1:
+				deps := append([]*core.Cell[int](nil), cells...)
+				n := int64(rng.Intn(4))
+				cells = append(cells, core.Fork1(ctx, func(th *core.Ctx) int {
+					th.Step(n)
+					s := 0
+					if len(deps) > 0 && n%2 == 0 {
+						s = core.Touch(th, deps[len(deps)-1])
+					}
+					return s + 1
+				}))
+			case 2:
+				if len(cells) > 0 {
+					core.Touch(ctx, cells[rng.Intn(len(cells))])
+				}
+			}
+		}
+		costs := eng.Finish()
+		if tr.Depth() != costs.Depth {
+			return false
+		}
+		r, err := Run(tr, p, Stack)
+		if err != nil {
+			return false
+		}
+		return r.GreedyOK() && r.Steps >= minSteps(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSuspensionAccounting: with one processor and the stack discipline,
+// the schedule is depth-first, so a writer always runs before its reader
+// arrives... except when the reader was pushed first. A pure chain has no
+// data edges and hence no suspensions; a reader that provably arrives
+// early must count one.
+func TestSuspensionAccounting(t *testing.T) {
+	tr := chainTrace(50)
+	r, err := Run(tr, 4, Stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Suspensions != 0 {
+		t.Fatalf("chain has %d suspensions, want 0", r.Suspensions)
+	}
+
+	// A slow fork whose result the parent touches immediately: the
+	// parent's touch node becomes ready via the data edge, so the read
+	// suspended.
+	tr2 := trace.New()
+	eng := core.NewEngine(tr2)
+	ctx := eng.NewCtx()
+	c := core.Fork1(ctx, func(th *core.Ctx) int { th.Step(40); return 1 })
+	core.Touch(ctx, c)
+	eng.Finish()
+	r2, err := Run(tr2, 2, Stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Suspensions != 1 {
+		t.Fatalf("suspensions = %d, want 1", r2.Suspensions)
+	}
+}
+
+// TestCyclicTraceReportsError: a trace with a forward-pointing data edge
+// (reader recorded before its writer — impossible from the engine, but
+// constructible through the API) must be reported, not hang.
+func TestCyclicTraceReportsError(t *testing.T) {
+	tr := trace.New()
+	r := tr.Root()
+	a := tr.Step(r, core.ThreadEdge)
+	b := tr.Step(a, core.ThreadEdge)
+	tr.DataEdge(b, a) // a depends on b, but b also depends on a's chain
+	if _, err := Run(tr, 2, Stack); err == nil {
+		t.Fatal("expected an unreachable-nodes error for a cyclic trace")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	tr := wideTrace(16, 5)
+	rs, err := Sweep(tr, []int{1, 2, 4}, Stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	if rs[0].Steps < rs[1].Steps || rs[1].Steps < rs[2].Steps {
+		t.Fatal("steps must not increase with p")
+	}
+}

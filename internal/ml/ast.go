@@ -1,0 +1,135 @@
+package ml
+
+// Abstract syntax for the Figure 13 subset:
+//
+//	program  := (datatype | fun)*
+//	datatype := "datatype" ident "=" ctor ("|" ctor)*
+//	ctor     := ident ["of" type]            (types are parsed and ignored)
+//	fun      := "fun" clause ("|" clause)*
+//	clause   := ident "(" pat ("," pat)* ")" "=" expr
+//	pat      := ident | "_" | int | "nil" | "[" "]"
+//	          | ident "(" pat ("," pat)* ")" | pat "::" pat | "(" pats ")"
+//	expr     := application, infix ::/arithmetic/comparison, if/then/else,
+//	            let val ... in ... end, tuples, "?" expr (future)
+//
+// Precedence (loosest to tightest): orelse, andalso, comparisons,
+// ::, + -, *, application/atoms. `?` binds to the following call/atom.
+
+// Expr is an expression node.
+type Expr interface{ isExpr() }
+
+type (
+	// IntLit is an integer literal.
+	IntLit struct{ Val int64 }
+	// VarRef references a variable or a nullary constructor.
+	VarRef struct{ Name string }
+	// NilLit is the empty list (nil or []).
+	NilLit struct{}
+	// TupleExpr builds a tuple (a, b, ...).
+	TupleExpr struct{ Elems []Expr }
+	// CallExpr applies a named function or constructor to arguments.
+	CallExpr struct {
+		Name string
+		Args []Expr
+	}
+	// BinExpr is an infix primitive: :: + - * < > <= >= = <> andalso orelse.
+	BinExpr struct {
+		Op   string
+		L, R Expr
+	}
+	// IfExpr is if/then/else.
+	IfExpr struct{ Cond, Then, Else Expr }
+	// LetExpr is let val p1 = e1 ... in body end.
+	LetExpr struct {
+		Binds []ValBind
+		Body  Expr
+	}
+	// FutureExpr is ?e — evaluate e in a new thread.
+	FutureExpr struct{ Body Expr }
+	// CaseExpr is case e of p1 => e1 | p2 => e2 ... (clauses bind
+	// greedily, as in ML: parenthesize a case that is not the last
+	// thing in its enclosing clause).
+	CaseExpr struct {
+		Scrut   Expr
+		Clauses []CaseClause
+	}
+)
+
+// CaseClause is one arm of a case expression.
+type CaseClause struct {
+	Pat  Pattern
+	Body Expr
+}
+
+// ValBind is one `val pat = expr` binding.
+type ValBind struct {
+	Pat Pattern
+	RHS Expr
+}
+
+func (IntLit) isExpr()     {}
+func (VarRef) isExpr()     {}
+func (NilLit) isExpr()     {}
+func (TupleExpr) isExpr()  {}
+func (CallExpr) isExpr()   {}
+func (BinExpr) isExpr()    {}
+func (IfExpr) isExpr()     {}
+func (LetExpr) isExpr()    {}
+func (FutureExpr) isExpr() {}
+func (CaseExpr) isExpr()   {}
+
+// Pattern is a match pattern.
+type Pattern interface{ isPat() }
+
+type (
+	// VarPat binds a variable (no forcing).
+	VarPat struct{ Name string }
+	// WildPat is _.
+	WildPat struct{}
+	// IntPat matches an integer (strict).
+	IntPat struct{ Val int64 }
+	// NilPat matches the empty list (strict).
+	NilPat struct{}
+	// ConsPat matches h::t (strict on the cell, not the fields).
+	ConsPat struct{ Head, Tail Pattern }
+	// CtorPat matches a datatype constructor (strict on the cell).
+	CtorPat struct {
+		Name string
+		Args []Pattern
+	}
+	// TuplePat matches a tuple (p1, ..., pk).
+	TuplePat struct{ Elems []Pattern }
+)
+
+func (VarPat) isPat()   {}
+func (WildPat) isPat()  {}
+func (IntPat) isPat()   {}
+func (NilPat) isPat()   {}
+func (ConsPat) isPat()  {}
+func (CtorPat) isPat()  {}
+func (TuplePat) isPat() {}
+
+// Clause is one pattern-match clause of a function.
+type Clause struct {
+	Params []Pattern
+	Body   Expr
+}
+
+// FunDef is a named function with ordered clauses.
+type FunDef struct {
+	Name    string
+	Arity   int
+	Clauses []Clause
+}
+
+// CtorDef declares a datatype constructor and its arity.
+type CtorDef struct {
+	Name  string
+	Arity int
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Funs  map[string]*FunDef
+	Ctors map[string]CtorDef
+}

@@ -1,0 +1,149 @@
+package ml
+
+import (
+	"testing"
+
+	"pipefut/internal/core"
+)
+
+func TestCaseExpression(t *testing.T) {
+	prog, err := Parse(`
+datatype shape = circle of int | square of int | dot
+
+fun area(s) =
+  case s of
+    circle(r) => 3 * r * r
+  | square(w) => w * w
+  | dot => 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		v    Value
+		want int64
+	}{
+		{MkCtor("circle", MkInt(2)), 12},
+		{MkCtor("square", MkInt(5)), 25},
+		{MkCtor("dot"), 0},
+	}
+	for _, c := range cases {
+		v, _ := run(t, prog, "area", c.v)
+		if got, _ := ToInt(v); got != c.want {
+			t.Fatalf("area(%s) = %d, want %d", Show(c.v), got, c.want)
+		}
+	}
+}
+
+func TestCaseOnFutureIsStrictOnce(t *testing.T) {
+	prog, err := Parse(`
+datatype shape = circle of int | dot
+
+fun mk(n) = if n = 0 then dot else circle(n)
+
+fun peek(n) =
+  case ?mk(n) of
+    dot => 0
+  | circle(r) => r
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, costs := run(t, prog, "peek", MkInt(9))
+	if got, _ := ToInt(v); got != 9 {
+		t.Fatalf("peek = %d", got)
+	}
+	// The future is forced exactly once across the fallthrough clauses.
+	if !costs.Linear() {
+		t.Fatalf("case fallthrough re-touched the future: %+v", costs)
+	}
+}
+
+func TestCaseWithListPatterns(t *testing.T) {
+	prog, err := Parse(`
+fun sum(l) =
+  case l of
+    nil => 0
+  | h::t => h + sum(t)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := run(t, prog, "sum", MkList([]int{1, 2, 3, 4}))
+	if got, _ := ToInt(v); got != 10 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+func TestCaseNoMatch(t *testing.T) {
+	prog, err := Parse(`
+fun f(x) = case x of 1 => 10 | 2 => 20
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(nil)
+	in := NewInterp(prog, eng)
+	if _, err := in.Apply(eng.NewCtx(), "f", MkInt(3)); err == nil {
+		t.Fatal("expected no-matching-clause error")
+	}
+}
+
+func TestFunAfterCaseBody(t *testing.T) {
+	// A case as a clause body parses greedily; a following fun
+	// declaration must still be recognized.
+	prog, err := Parse(`
+fun sign(x) = case x of 0 => 0 | _ => 1
+fun two(x) = 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Funs) != 2 {
+		t.Fatalf("parsed %d functions, want 2", len(prog.Funs))
+	}
+	v, _ := run(t, prog, "sign", MkInt(7))
+	if got, _ := ToInt(v); got != 1 {
+		t.Fatalf("sign = %d", got)
+	}
+}
+
+func TestParenthesizedTypes(t *testing.T) {
+	prog, err := Parse(`
+datatype pairbox = box of (int * int) | emptybox
+fun getfst(box(a, b)) = a
+  | getfst(emptybox) = 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Ctors["box"].Arity != 1 {
+		// A parenthesized type is one type atom: box carries one
+		// (tuple) argument in real ML. Our transcriptions always use
+		// unparenthesized products, so this documents the behaviour.
+		t.Fatalf("box arity = %d", prog.Ctors["box"].Arity)
+	}
+}
+
+func TestPostfixTypeConstructors(t *testing.T) {
+	prog, err := Parse(`
+datatype wrap = many of int list | one of int
+fun unwrapOne(one(x)) = x
+  | unwrapOne(many(l)) = 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Ctors["many"].Arity != 1 || prog.Ctors["one"].Arity != 1 {
+		t.Fatal("postfix type constructor arity wrong")
+	}
+}
+
+func TestCaseParseError(t *testing.T) {
+	if _, err := Parse(`fun f(x) = case x of 1 => `); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := Parse(`fun f(x) = case x of 1`); err == nil {
+		t.Fatal("expected parse error (missing =>)")
+	}
+}

@@ -1,0 +1,73 @@
+package ml
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/core"
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/workload"
+)
+
+func TestFigure8JoinMatchesOracle(t *testing.T) {
+	f := func(seed uint16, n8, m8 uint8) bool {
+		n, m := int(n8%60)+1, int(m8%60)+1
+		rng := workload.NewRNG(uint64(seed))
+		keys := workload.SortedDistinct(rng, n+m, 5*(n+m))
+		ta := seqtreap.FromKeys(keys[:n])
+		tb := seqtreap.FromKeys(keys[n:])
+
+		prog := ParsePaper()
+		eng := core.NewEngine(nil)
+		in := NewInterp(prog, eng)
+		v, err := in.Apply(eng.NewCtx(), "join", TreapValue(ta), TreapValue(tb))
+		if err != nil {
+			return false
+		}
+		return seqtreap.Equal(ValueTreap(v), seqtreap.Join(ta, tb))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure7DiffMatchesOracle(t *testing.T) {
+	f := func(seed uint16, n8, m8, ov uint8) bool {
+		n, m := int(n8%60)+1, int(m8%60)+1
+		rng := workload.NewRNG(uint64(seed))
+		ka, kb := workload.OverlappingKeySets(rng, n, m, float64(ov%4)/4)
+		ta, tb := seqtreap.FromKeys(ka), seqtreap.FromKeys(kb)
+
+		prog := ParsePaper()
+		eng := core.NewEngine(nil)
+		in := NewInterp(prog, eng)
+		v, err := in.Apply(eng.NewCtx(), "diff", TreapValue(ta), TreapValue(tb))
+		if err != nil {
+			return false
+		}
+		got := ValueTreap(v)
+		if !eng.Finish().Linear() {
+			return false
+		}
+		return seqtreap.Equal(got, seqtreap.Diff(ta, tb))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure7DiffSelf(t *testing.T) {
+	rng := workload.NewRNG(4)
+	keys := workload.DistinctKeys(rng, 100, 1000)
+	ta := seqtreap.FromKeys(keys)
+	prog := ParsePaper()
+	eng := core.NewEngine(nil)
+	in := NewInterp(prog, eng)
+	v, err := in.Apply(eng.NewCtx(), "diff", TreapValue(ta), TreapValue(ta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ValueTreap(v); got != nil {
+		t.Fatalf("A \\ A = %v, want empty", seqtreap.Keys(got))
+	}
+}

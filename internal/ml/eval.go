@@ -1,0 +1,380 @@
+package ml
+
+import (
+	"fmt"
+
+	"pipefut/internal/core"
+)
+
+// Interp evaluates a parsed program under a cost engine. One Interp may
+// run many evaluations; it is not safe for concurrent use (the cost engine
+// is a sequential instrument).
+type Interp struct {
+	prog *Program
+	eng  *core.Engine
+}
+
+// NewInterp pairs a program with an engine.
+func NewInterp(prog *Program, eng *core.Engine) *Interp {
+	return &Interp{prog: prog, eng: eng}
+}
+
+// mlError carries runtime errors through panics; Apply recovers them.
+type mlError struct{ msg string }
+
+func throw(format string, args ...any) {
+	panic(mlError{msg: fmt.Sprintf(format, args...)})
+}
+
+// Apply calls the named program function on the given argument values in
+// the root thread ctx and returns its (possibly future-containing) result.
+// Use Deep/ToInt/ToIntList to extract, and the engine's Finish for costs.
+func (in *Interp) Apply(ctx *core.Ctx, fname string, args ...Value) (v Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(mlError); ok {
+				v, err = nil, fmt.Errorf("ml: %s", e.msg)
+				return
+			}
+			panic(r)
+		}
+	}()
+	return in.call(ctx, fname, args), nil
+}
+
+// EvalExpr evaluates an expression source string (for tests and small
+// drivers) with the given variable bindings.
+func (in *Interp) EvalExpr(ctx *core.Ctx, src string, env map[string]Value) (v Value, err error) {
+	e, perr := ParseExpr(src)
+	if perr != nil {
+		return nil, perr
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(mlError); ok {
+				v, err = nil, fmt.Errorf("ml: %s", e.msg)
+				return
+			}
+			panic(r)
+		}
+	}()
+	scope := map[string]Value{}
+	for k, val := range env {
+		scope[k] = val
+	}
+	return in.eval(ctx, e, scope), nil
+}
+
+// call invokes a function: one action for the call, then clause selection
+// (pattern matching forces scrutinized futures — the data edges), then the
+// body in the same thread.
+func (in *Interp) call(ctx *core.Ctx, fname string, args []Value) Value {
+	def, ok := in.prog.Funs[fname]
+	if !ok {
+		throw("undefined function %s", fname)
+	}
+	if len(args) != def.Arity {
+		throw("%s called with %d arguments, want %d", fname, len(args), def.Arity)
+	}
+	ctx.Step(1)
+	// Arguments are shared across clause attempts; forcing memoizes in
+	// place so each future is touched at most once (the compiled,
+	// linear form of the match).
+	slots := make([]Value, len(args))
+	copy(slots, args)
+	for ci := range def.Clauses {
+		cl := &def.Clauses[ci]
+		env := map[string]Value{}
+		ok := true
+		for i, pat := range cl.Params {
+			if !in.match(ctx, pat, &slots[i], env) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return in.eval(ctx, cl.Body, env)
+		}
+	}
+	throw("no clause of %s matches %s", fname, Show(TupleV(slots)))
+	return nil
+}
+
+// forceSlot touches futures at *slot until concrete, writing the result
+// back so later strict uses of the same position cost nothing more.
+func (in *Interp) forceSlot(ctx *core.Ctx, slot *Value) Value {
+	for {
+		f, ok := (*slot).(FutureV)
+		if !ok {
+			return *slot
+		}
+		*slot = core.Touch(ctx, f.Cell)
+	}
+}
+
+// match matches pat against *slot, binding variables into env. Strict
+// patterns (ints, constructors, tuples) force the slot first.
+func (in *Interp) match(ctx *core.Ctx, pat Pattern, slot *Value, env map[string]Value) bool {
+	switch p := pat.(type) {
+	case VarPat:
+		env[p.Name] = *slot
+		return true
+	case WildPat:
+		return true
+	case IntPat:
+		v := in.forceSlot(ctx, slot)
+		i, ok := v.(IntV)
+		return ok && int64(i) == p.Val
+	case NilPat:
+		v := in.forceSlot(ctx, slot)
+		c, ok := v.(*CtorV)
+		return ok && c.Name == "nil"
+	case ConsPat:
+		v := in.forceSlot(ctx, slot)
+		c, ok := v.(*CtorV)
+		if !ok || c.Name != "::" {
+			return false
+		}
+		return in.match(ctx, p.Head, &c.Args[0], env) && in.match(ctx, p.Tail, &c.Args[1], env)
+	case CtorPat:
+		v := in.forceSlot(ctx, slot)
+		c, ok := v.(*CtorV)
+		if !ok || c.Name != p.Name || len(c.Args) != len(p.Args) {
+			return false
+		}
+		for i, sub := range p.Args {
+			if !in.match(ctx, sub, &c.Args[i], env) {
+				return false
+			}
+		}
+		return true
+	case TuplePat:
+		v := in.forceSlot(ctx, slot)
+		t, ok := v.(TupleV)
+		if !ok || len(t) != len(p.Elems) {
+			return false
+		}
+		for i, sub := range p.Elems {
+			if !in.match(ctx, sub, &t[i], env) {
+				return false
+			}
+		}
+		return true
+	default:
+		throw("unknown pattern %T", pat)
+		return false
+	}
+}
+
+// eval evaluates e in env as thread ctx.
+func (in *Interp) eval(ctx *core.Ctx, e Expr, env map[string]Value) Value {
+	switch x := e.(type) {
+	case IntLit:
+		return IntV(x.Val)
+	case NilLit:
+		return MkNil()
+	case VarRef:
+		if v, ok := env[x.Name]; ok {
+			return v
+		}
+		if c, ok := in.prog.Ctors[x.Name]; ok {
+			if c.Arity != 0 {
+				throw("constructor %s needs %d arguments", x.Name, c.Arity)
+			}
+			return &CtorV{Name: x.Name}
+		}
+		throw("unbound variable %s", x.Name)
+		return nil
+	case TupleExpr:
+		out := make(TupleV, len(x.Elems))
+		for i, el := range x.Elems {
+			out[i] = in.eval(ctx, el, env)
+		}
+		return out
+	case CallExpr:
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = in.eval(ctx, a, env)
+		}
+		if c, ok := in.prog.Ctors[x.Name]; ok {
+			if len(args) != c.Arity {
+				throw("constructor %s applied to %d arguments, want %d", x.Name, len(args), c.Arity)
+			}
+			ctx.Step(1) // allocate the node
+			return &CtorV{Name: x.Name, Args: args}
+		}
+		return in.call(ctx, x.Name, args)
+	case BinExpr:
+		return in.evalBin(ctx, x, env)
+	case IfExpr:
+		cond := in.eval(ctx, x.Cond, env)
+		cslot := cond
+		b, ok := in.forceSlot(ctx, &cslot).(BoolV)
+		if !ok {
+			throw("if condition is not a boolean: %s", Show(cslot))
+		}
+		if bool(b) {
+			return in.eval(ctx, x.Then, env)
+		}
+		return in.eval(ctx, x.Else, env)
+	case LetExpr:
+		// Bindings extend a copied scope so callers are unaffected.
+		scope := copyEnv(env)
+		for _, b := range x.Binds {
+			in.evalBind(ctx, b, scope)
+		}
+		return in.eval(ctx, x.Body, scope)
+	case CaseExpr:
+		scrut := in.eval(ctx, x.Scrut, env)
+		slot := scrut
+		for _, cl := range x.Clauses {
+			scope := copyEnv(env)
+			if in.match(ctx, cl.Pat, &slot, scope) {
+				return in.eval(ctx, cl.Body, scope)
+			}
+		}
+		throw("no case clause matches %s", Show(slot))
+		return nil
+	case FutureExpr:
+		// Snapshot the environment: the forked body runs lazily and
+		// must not observe later bindings in the same let.
+		snap := copyEnv(env)
+		cells := core.ForkN(ctx, 1, func(th *core.Ctx, cs []*core.Cell[Value]) {
+			v := in.eval(th, x.Body, snap)
+			vslot := v
+			in.forceSlot(th, &vslot) // writes are strict: no cell chains
+			core.Write(th, cs[0], vslot)
+		})
+		return FutureV{Cell: cells[0]}
+	default:
+		throw("unknown expression %T", e)
+		return nil
+	}
+}
+
+// evalBind executes one `val pat = e` binding into scope. A future RHS
+// with a tuple-of-variables pattern allocates one cell per variable — the
+// paper's multi-cell future call (footnote 1: "the ability to return
+// multiple values and have separate future cells created for a single fork
+// is actually quite important").
+func (in *Interp) evalBind(ctx *core.Ctx, b ValBind, scope map[string]Value) {
+	if fut, ok := b.RHS.(FutureExpr); ok {
+		if names, ok := varTuple(b.Pat); ok && len(names) > 1 {
+			env := copyEnv(scope)
+			cells := core.ForkN(ctx, len(names), func(th *core.Ctx, cs []*core.Cell[Value]) {
+				v := in.eval(th, fut.Body, env)
+				vslot := v
+				t, ok := in.forceSlot(th, &vslot).(TupleV)
+				if !ok || len(t) != len(cs) {
+					throw("future result %s does not match %d-variable pattern", Show(vslot), len(cs))
+				}
+				// Each component write is strict, at the time the
+				// component's value is available.
+				for i := range cs {
+					in.forceSlot(th, &t[i])
+					core.Write(th, cs[i], t[i])
+				}
+			})
+			for i, n := range names {
+				scope[n] = FutureV{Cell: cells[i]}
+			}
+			return
+		}
+	}
+	v := in.eval(ctx, b.RHS, scope)
+	slot := v
+	if !in.match(ctx, b.Pat, &slot, scope) {
+		throw("val pattern does not match %s", Show(slot))
+	}
+}
+
+// varTuple reports whether pat is a tuple of plain variables (or a single
+// variable) and returns the names.
+func varTuple(pat Pattern) ([]string, bool) {
+	switch p := pat.(type) {
+	case VarPat:
+		return []string{p.Name}, true
+	case TuplePat:
+		names := make([]string, 0, len(p.Elems))
+		for _, e := range p.Elems {
+			v, ok := e.(VarPat)
+			if !ok {
+				return nil, false
+			}
+			names = append(names, v.Name)
+		}
+		return names, true
+	default:
+		return nil, false
+	}
+}
+
+func copyEnv(env map[string]Value) map[string]Value {
+	out := make(map[string]Value, len(env)+4)
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+func (in *Interp) evalBin(ctx *core.Ctx, x BinExpr, env map[string]Value) Value {
+	if x.Op == "::" {
+		h := in.eval(ctx, x.L, env)
+		t := in.eval(ctx, x.R, env)
+		ctx.Step(1)
+		return &CtorV{Name: "::", Args: []Value{h, t}}
+	}
+	if x.Op == "andalso" || x.Op == "orelse" {
+		lv := in.eval(ctx, x.L, env)
+		slot := lv
+		b, ok := in.forceSlot(ctx, &slot).(BoolV)
+		if !ok {
+			throw("%s operand is not a boolean", x.Op)
+		}
+		if x.Op == "andalso" && !bool(b) {
+			return BoolV(false)
+		}
+		if x.Op == "orelse" && bool(b) {
+			return BoolV(true)
+		}
+		rv := in.eval(ctx, x.R, env)
+		rslot := rv
+		rb, ok := in.forceSlot(ctx, &rslot).(BoolV)
+		if !ok {
+			throw("%s operand is not a boolean", x.Op)
+		}
+		return rb
+	}
+	lv := in.eval(ctx, x.L, env)
+	rv := in.eval(ctx, x.R, env)
+	ls, rs := lv, rv
+	l, lok := in.forceSlot(ctx, &ls).(IntV)
+	r, rok := in.forceSlot(ctx, &rs).(IntV)
+	if !lok || !rok {
+		throw("arithmetic on non-integers: %s %s %s", Show(ls), x.Op, Show(rs))
+	}
+	ctx.Step(1)
+	switch x.Op {
+	case "+":
+		return IntV(l + r)
+	case "-":
+		return IntV(l - r)
+	case "*":
+		return IntV(l * r)
+	case "<":
+		return BoolV(l < r)
+	case ">":
+		return BoolV(l > r)
+	case "<=":
+		return BoolV(l <= r)
+	case ">=":
+		return BoolV(l >= r)
+	case "=":
+		return BoolV(l == r)
+	case "<>":
+		return BoolV(l != r)
+	default:
+		throw("unknown operator %s", x.Op)
+		return nil
+	}
+}

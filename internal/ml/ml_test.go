@@ -1,0 +1,387 @@
+package ml
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/core"
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/seqtree"
+	"pipefut/internal/stats"
+	"pipefut/internal/workload"
+)
+
+func run(t *testing.T, prog *Program, fname string, args ...Value) (Value, core.Costs) {
+	t.Helper()
+	eng := core.NewEngine(nil)
+	in := NewInterp(prog, eng)
+	v, err := in.Apply(eng.NewCtx(), fname, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = Deep(v)
+	return v, eng.Finish()
+}
+
+// --- language basics -------------------------------------------------------
+
+func TestArithmeticAndCalls(t *testing.T) {
+	prog, err := Parse(`
+fun double(x) = x + x
+fun fact(n) = if n <= 1 then 1 else n * fact(n - 1)
+fun pick(0, a, b) = a
+  | pick(_, a, b) = b
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := run(t, prog, "double", MkInt(21))
+	if got, _ := ToInt(v); got != 42 {
+		t.Fatalf("double = %d", got)
+	}
+	v, _ = run(t, prog, "fact", MkInt(6))
+	if got, _ := ToInt(v); got != 720 {
+		t.Fatalf("fact = %d", got)
+	}
+	v, _ = run(t, prog, "pick", MkInt(0), MkInt(7), MkInt(8))
+	if got, _ := ToInt(v); got != 7 {
+		t.Fatalf("pick(0) = %d", got)
+	}
+	v, _ = run(t, prog, "pick", MkInt(3), MkInt(7), MkInt(8))
+	if got, _ := ToInt(v); got != 8 {
+		t.Fatalf("pick(3) = %d", got)
+	}
+}
+
+func TestListsAndBooleans(t *testing.T) {
+	prog, err := Parse(`
+fun len(nil) = 0
+  | len(_::t) = 1 + len(t)
+fun within(x, lo, hi) = lo <= x andalso x <= hi
+fun outside(x, lo, hi) = x < lo orelse x > hi
+fun append(nil, ys) = ys
+  | append(h::t, ys) = h :: append(t, ys)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := run(t, prog, "len", MkList([]int{5, 6, 7}))
+	if got, _ := ToInt(v); got != 3 {
+		t.Fatalf("len = %d", got)
+	}
+	v, _ = run(t, prog, "within", MkInt(5), MkInt(1), MkInt(9))
+	if b, ok := v.(BoolV); !ok || !bool(b) {
+		t.Fatal("within wrong")
+	}
+	v, _ = run(t, prog, "outside", MkInt(5), MkInt(1), MkInt(9))
+	if b, ok := v.(BoolV); !ok || bool(b) {
+		t.Fatal("outside wrong")
+	}
+	v, _ = run(t, prog, "append", MkList([]int{1, 2}), MkList([]int{3}))
+	if got, _ := ToIntList(v); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("append = %v", got)
+	}
+}
+
+func TestFutureSemantics(t *testing.T) {
+	prog, err := Parse(`
+fun slow(n) = if n = 0 then 99 else slow(n - 1)
+fun pipeline(n) =
+  let val x = ?slow(n)
+  in x + 1 end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, costs := run(t, prog, "pipeline", MkInt(50))
+	if got, _ := ToInt(v); got != 100 {
+		t.Fatalf("pipeline = %d", got)
+	}
+	if costs.Forks != 1 || costs.Cells != 1 {
+		t.Fatalf("forks=%d cells=%d, want 1/1", costs.Forks, costs.Cells)
+	}
+	if !costs.Linear() {
+		t.Fatal("must be linear")
+	}
+}
+
+func TestMultiCellFutureIndependentTimes(t *testing.T) {
+	prog, err := Parse(`
+fun slow(n) = if n = 0 then 7 else slow(n - 1)
+fun pair(n) = (1, slow(n))
+fun firstOf(n) =
+  let val (a, b) = ?pair(n)
+  in a end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// firstOf touches only the first cell. With per-component strict
+	// writes, component a is written only after slow finishes? No: the
+	// tuple (1, slow(n)) is built strictly inside the fork, so both are
+	// written late — but the FORKED evaluation of pair costs only one
+	// thread. The value must still be right.
+	v, costs := run(t, prog, "firstOf", MkInt(30))
+	if got, _ := ToInt(v); got != 1 {
+		t.Fatalf("firstOf = %d", got)
+	}
+	if costs.Cells != 2 {
+		t.Fatalf("cells = %d, want 2 (one per pattern variable)", costs.Cells)
+	}
+}
+
+func TestPatternMatchOrderAndMemoizedForcing(t *testing.T) {
+	prog, err := Parse(`
+datatype tree = node of int * tree * tree | leaf
+fun classify(leaf, leaf) = 0
+  | classify(leaf, _)    = 1
+  | classify(_, leaf)    = 2
+  | classify(_, _)       = 3
+fun mk(0) = leaf
+  | mk(n) = node(n, ?mk(n - 1), ?mk(n - 1))
+fun drive(a, b) = classify(?mk(a), ?mk(b))
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][3]int64{{0, 0, 0}, {0, 1, 1}, {1, 0, 2}, {2, 2, 3}}
+	for _, c := range cases {
+		v, costs := run(t, prog, "drive", MkInt(c[0]), MkInt(c[1]))
+		if got, _ := ToInt(v); got != c[2] {
+			t.Fatalf("classify(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+		// Clause fallthrough must not re-touch cells.
+		if !costs.Linear() {
+			t.Fatalf("classify(%d,%d) not linear: %+v", c[0], c[1], costs)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	prog, err := Parse(`
+fun head(h::t) = h
+fun boom(x) = x + nil
+fun loopy(x) = undefinedFun(x)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(nil)
+	in := NewInterp(prog, eng)
+	if _, err := in.Apply(eng.NewCtx(), "head", MkNil()); err == nil {
+		t.Fatal("expected no-matching-clause error")
+	}
+	if _, err := in.Apply(eng.NewCtx(), "boom", MkInt(1)); err == nil {
+		t.Fatal("expected type error")
+	}
+	if _, err := in.Apply(eng.NewCtx(), "loopy", MkInt(1)); err == nil {
+		t.Fatal("expected undefined-function error")
+	}
+	if _, err := in.Apply(eng.NewCtx(), "nosuch"); err == nil {
+		t.Fatal("expected undefined-function error")
+	}
+	if _, err := in.Apply(eng.NewCtx(), "head"); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"fun f(x) = ",
+		"fun f(x) = y +",
+		"datatype t = ",
+		"fun f(x) = let val y = 1 in y", // missing end
+		"fun f(x = 3",
+		"@",
+		"fun f(x) = (* unterminated",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestEvalExprDriver(t *testing.T) {
+	prog, err := Parse(`fun inc(x) = x + 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(nil)
+	in := NewInterp(prog, eng)
+	v, err := in.EvalExpr(eng.NewCtx(), "inc(inc(y))", map[string]Value{"y": MkInt(40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ToInt(v); got != 42 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestShow(t *testing.T) {
+	v := MkTuple(MkInt(1), MkCtor("node", MkInt(2), MkNil()), MkList([]int{3}))
+	s := Show(v)
+	for _, want := range []string{"1", "node(2, nil)", "3::nil"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Show = %s, missing %s", s, want)
+		}
+	}
+}
+
+// --- the paper's own programs ----------------------------------------------
+
+func TestPaperSourceParses(t *testing.T) {
+	prog := ParsePaper()
+	for _, f := range []string{"produce", "consume", "part", "qs", "split", "merge", "splitm", "union", "join", "diff"} {
+		if _, ok := prog.Funs[f]; !ok {
+			t.Fatalf("missing function %s", f)
+		}
+	}
+	for _, c := range []string{"node", "leaf", "tnode", "tleaf", "some", "none"} {
+		if _, ok := prog.Ctors[c]; !ok {
+			t.Fatalf("missing constructor %s", c)
+		}
+	}
+}
+
+func TestFigure1ProducerConsumer(t *testing.T) {
+	prog := ParsePaper()
+	eng := core.NewEngine(nil)
+	in := NewInterp(prog, eng)
+	ctx := eng.NewCtx()
+	v, err := in.EvalExpr(ctx, "consume(?produce(n), 0)", map[string]Value{"n": MkInt(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ToInt(v); got != 5050 {
+		t.Fatalf("sum = %d", got)
+	}
+	costs := eng.Finish()
+	if !costs.Linear() {
+		t.Fatal("Figure 1 must be linear")
+	}
+	// The pipeline keeps depth linear with a small constant.
+	if costs.Depth > 8*101 {
+		t.Fatalf("depth = %d, want Θ(n) with small constant", costs.Depth)
+	}
+}
+
+func TestFigure2Quicksort(t *testing.T) {
+	f := func(seed uint16, n8 uint8) bool {
+		n := int(n8 % 100)
+		rng := workload.NewRNG(uint64(seed))
+		xs := rng.Perm(n)
+
+		prog := ParsePaper()
+		eng := core.NewEngine(nil)
+		in := NewInterp(prog, eng)
+		v, err := in.Apply(eng.NewCtx(), "qs", MkList(xs), MkNil())
+		if err != nil {
+			return false
+		}
+		got, err := ToIntList(v)
+		if err != nil {
+			return false
+		}
+		if !eng.Finish().Linear() {
+			return false
+		}
+		want := append([]int{}, xs...)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure3MergeMatchesOracle(t *testing.T) {
+	f := func(seed uint16, n8, m8 uint8) bool {
+		n, m := int(n8%60)+1, int(m8%60)+1
+		rng := workload.NewRNG(uint64(seed))
+		ka, kb := workload.DisjointKeySets(rng, n, m)
+		sort.Ints(ka)
+		sort.Ints(kb)
+		t1 := seqtree.FromSortedBalanced(ka)
+		t2 := seqtree.FromSortedBalanced(kb)
+
+		prog := ParsePaper()
+		eng := core.NewEngine(nil)
+		in := NewInterp(prog, eng)
+		v, err := in.Apply(eng.NewCtx(), "merge", TreeValue(t1), TreeValue(t2))
+		if err != nil {
+			return false
+		}
+		got := ValueTree(v)
+		if !eng.Finish().Linear() {
+			return false
+		}
+		return seqtree.Equal(got, seqtree.Merge(t1, t2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure4UnionMatchesOracle(t *testing.T) {
+	f := func(seed uint16, n8, m8 uint8) bool {
+		n, m := int(n8%60)+1, int(m8%60)+1
+		rng := workload.NewRNG(uint64(seed))
+		ka, kb := workload.OverlappingKeySets(rng, n, m, 0.25)
+		ta, tb := seqtreap.FromKeys(ka), seqtreap.FromKeys(kb)
+
+		prog := ParsePaper()
+		eng := core.NewEngine(nil)
+		in := NewInterp(prog, eng)
+		v, err := in.Apply(eng.NewCtx(), "union", TreapValue(ta), TreapValue(tb))
+		if err != nil {
+			return false
+		}
+		got := ValueTreap(v)
+		if !eng.Finish().Linear() {
+			return false
+		}
+		return seqtreap.Equal(got, seqtreap.Union(ta, tb))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaperMergeDepthShape: the headline Theorem 3.1 shape, measured on
+// the paper's own code running in the interpreter.
+func TestPaperMergeDepthShape(t *testing.T) {
+	prog := ParsePaper()
+	var ratios []float64
+	for e := 7; e <= 10; e++ {
+		n := 1 << e
+		rng := workload.NewRNG(1)
+		ka, kb := workload.DisjointKeySets(rng, n, n)
+		sort.Ints(ka)
+		sort.Ints(kb)
+		eng := core.NewEngine(nil)
+		in := NewInterp(prog, eng)
+		v, err := in.Apply(eng.NewCtx(),
+			"merge",
+			TreeValue(seqtree.FromSortedBalanced(ka)),
+			TreeValue(seqtree.FromSortedBalanced(kb)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		Deep(v)
+		costs := eng.Finish()
+		ratios = append(ratios, float64(costs.Depth)/stats.Lg(float64(n)))
+	}
+	if g := stats.GrowthFactor(ratios); g > 1.5 {
+		t.Fatalf("interpreted merge depth/lg n not flat: %v", ratios)
+	}
+}

@@ -1,0 +1,151 @@
+package ml
+
+import (
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/seqtree"
+)
+
+// PaperSource is the paper's algorithms transcribed into the Figure 13
+// syntax: the producer/consumer of Figure 1, Halstead's quicksort of
+// Figure 2, the merge/split of Figure 3 (split in the linearized shape of
+// Figure 12), the treap union/splitm of Figure 4 (the optional duplicate
+// encoded with an explicit option datatype), and the treap join and
+// difference of Figures 8 and 7. Parsing this source and running it under
+// the cost engine measures the paper's own code.
+const PaperSource = `
+(* ---- Figure 1: producer/consumer pipeline ---- *)
+fun produce(n) = if n < 0 then nil else n :: ?produce(n - 1)
+
+fun consume(nil, s)  = s
+  | consume(h::t, s) = consume(t, s + h)
+
+(* ---- Figure 2: Halstead's quicksort ---- *)
+fun part(p, nil)  = (nil, nil)
+  | part(p, h::t) =
+      let val (les, grt) = ?part(p, t)
+      in if h < p then (h::les, grt) else (les, h::grt) end
+
+fun qs(nil, rest)  = rest
+  | qs(h::t, rest) =
+      let val (les, grt) = ?part(h, t)
+      in qs(les, h :: ?qs(grt, rest)) end
+
+(* ---- Figure 3: merging binary search trees ---- *)
+datatype tree = node of int * tree * tree | leaf
+
+fun split(s, leaf) = (leaf, leaf)
+  | split(s, node(v, L, R)) =
+      if s <= v then
+        let val (L1, R1) = ?split(s, L)
+        in (L1, node(v, R1, R)) end
+      else
+        let val (L1, R1) = ?split(s, R)
+        in (node(v, L, L1), R1) end
+
+fun merge(leaf, B) = B
+  | merge(A, leaf) = A
+  | merge(node(v, L, R), B) =
+      let val (L2, R2) = ?split(v, B)
+      in node(v, ?merge(L, L2), ?merge(R, R2)) end
+
+(* ---- Figure 4: treap union ---- *)
+datatype treap = tnode of int * int * treap * treap | tleaf
+datatype found = some of int * int | none
+
+fun splitm(s, tleaf) = (tleaf, tleaf, none)
+  | splitm(s, tnode(k, p, L, R)) =
+      if s = k then (L, R, some(k, p))
+      else if s < k then
+        let val (L1, R1, m) = ?splitm(s, L)
+        in (L1, tnode(k, p, R1, R), m) end
+      else
+        let val (L1, R1, m) = ?splitm(s, R)
+        in (tnode(k, p, L, L1), R1, m) end
+
+fun union(tleaf, B) = B
+  | union(A, tleaf) = A
+  | union(tnode(k1, p1, L1, R1), tnode(k2, p2, L2, R2)) =
+      if p1 >= p2 then
+        let val (A2, B2, m) = ?splitm(k1, tnode(k2, p2, L2, R2))
+        in tnode(k1, p1, ?union(L1, A2), ?union(R1, B2)) end
+      else
+        let val (A1, B1, m) = ?splitm(k2, tnode(k1, p1, L1, R1))
+        in tnode(k2, p2, ?union(A1, L2), ?union(B1, R2)) end
+
+(* ---- Figure 8: treap join (all keys of A precede all keys of B) ---- *)
+fun join(tleaf, B) = B
+  | join(A, tleaf) = A
+  | join(tnode(k1, p1, L1, R1), tnode(k2, p2, L2, R2)) =
+      if p1 > p2 then tnode(k1, p1, L1, ?join(R1, tnode(k2, p2, L2, R2)))
+      else tnode(k2, p2, ?join(tnode(k1, p1, L1, R1), L2), R2)
+
+(* ---- Figure 7: treap difference ---- *)
+fun diff(tleaf, B) = tleaf
+  | diff(A, tleaf) = A
+  | diff(tnode(k, p, L, R), B) =
+      let val (L2, R2, m) = ?splitm(k, B)
+          val Ld = ?diff(L, L2)
+          val Rd = ?diff(R, R2)
+      in case m of
+           none => tnode(k, p, Ld, Rd)
+         | some(k2, p2) => join(Ld, Rd)
+      end
+`
+
+// ParsePaper parses PaperSource; it panics on error (the source is a
+// compile-time constant validated by tests).
+func ParsePaper() *Program {
+	prog, err := Parse(PaperSource)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// TreeValue converts a sequential BST into the Figure 3 tree datatype.
+func TreeValue(t *seqtree.Node) Value {
+	if t == nil {
+		return &CtorV{Name: "leaf"}
+	}
+	return &CtorV{Name: "node", Args: []Value{
+		IntV(int64(t.Key)), TreeValue(t.Left), TreeValue(t.Right),
+	}}
+}
+
+// ValueTree converts a (deeply forced) Figure 3 tree value back into a
+// sequential BST.
+func ValueTree(v Value) *seqtree.Node {
+	c := Deep(v).(*CtorV)
+	if c.Name == "leaf" {
+		return nil
+	}
+	return &seqtree.Node{
+		Key:   int(c.Args[0].(IntV)),
+		Left:  ValueTree(c.Args[1]),
+		Right: ValueTree(c.Args[2]),
+	}
+}
+
+// TreapValue converts a sequential treap into the Figure 4 treap datatype.
+func TreapValue(t *seqtreap.Node) Value {
+	if t == nil {
+		return &CtorV{Name: "tleaf"}
+	}
+	return &CtorV{Name: "tnode", Args: []Value{
+		IntV(int64(t.Key)), IntV(t.Prio), TreapValue(t.Left), TreapValue(t.Right),
+	}}
+}
+
+// ValueTreap converts a (deeply forced) treap value back.
+func ValueTreap(v Value) *seqtreap.Node {
+	c := Deep(v).(*CtorV)
+	if c.Name == "tleaf" {
+		return nil
+	}
+	return &seqtreap.Node{
+		Key:   int(c.Args[0].(IntV)),
+		Prio:  int64(c.Args[1].(IntV)),
+		Left:  ValueTreap(c.Args[2]),
+		Right: ValueTreap(c.Args[3]),
+	}
+}

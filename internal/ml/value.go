@@ -1,0 +1,158 @@
+package ml
+
+import (
+	"fmt"
+	"strings"
+
+	"pipefut/internal/core"
+)
+
+// Value is an ML runtime value.
+type Value interface{ isValue() }
+
+type (
+	// IntV is an integer.
+	IntV int64
+	// BoolV is a boolean (produced by comparisons).
+	BoolV bool
+	// TupleV is a tuple of values.
+	TupleV []Value
+	// CtorV is a datatype constructor application. Lists use the
+	// built-in constructors "nil" (arity 0) and "::" (arity 2).
+	CtorV struct {
+		Name string
+		Args []Value
+	}
+	// FutureV is a reference to a future cell holding a Value.
+	FutureV struct{ Cell *core.Cell[Value] }
+)
+
+func (IntV) isValue()    {}
+func (BoolV) isValue()   {}
+func (TupleV) isValue()  {}
+func (*CtorV) isValue()  {}
+func (FutureV) isValue() {}
+
+// MkInt builds an integer value.
+func MkInt(v int64) Value { return IntV(v) }
+
+// MkTuple builds a tuple value.
+func MkTuple(elems ...Value) Value { return TupleV(elems) }
+
+// MkCtor builds a constructor value.
+func MkCtor(name string, args ...Value) Value { return &CtorV{Name: name, Args: args} }
+
+// MkNil is the empty list.
+func MkNil() Value { return &CtorV{Name: "nil"} }
+
+// MkList builds a list value from ints.
+func MkList(xs []int) Value {
+	out := MkNil()
+	for i := len(xs) - 1; i >= 0; i-- {
+		out = &CtorV{Name: "::", Args: []Value{IntV(xs[i]), out}}
+	}
+	return out
+}
+
+// Deep fully forces a value — every future at every position — without
+// charging any cost (core.Cell.Force), for extracting results after a
+// measured run.
+func Deep(v Value) Value {
+	for {
+		f, ok := v.(FutureV)
+		if !ok {
+			break
+		}
+		v, _ = f.Cell.Force()
+	}
+	switch x := v.(type) {
+	case TupleV:
+		out := make(TupleV, len(x))
+		for i, e := range x {
+			out[i] = Deep(e)
+		}
+		return out
+	case *CtorV:
+		out := &CtorV{Name: x.Name, Args: make([]Value, len(x.Args))}
+		for i, e := range x.Args {
+			out.Args[i] = Deep(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// ToInt extracts an integer (forcing without cost).
+func ToInt(v Value) (int64, error) {
+	i, ok := Deep(v).(IntV)
+	if !ok {
+		return 0, fmt.Errorf("ml: value %s is not an integer", Show(v))
+	}
+	return int64(i), nil
+}
+
+// ToIntList extracts a list of integers.
+func ToIntList(v Value) ([]int, error) {
+	var out []int
+	cur := Deep(v)
+	for {
+		c, ok := cur.(*CtorV)
+		if !ok {
+			return nil, fmt.Errorf("ml: value %s is not a list", Show(cur))
+		}
+		switch c.Name {
+		case "nil":
+			return out, nil
+		case "::":
+			h, ok := c.Args[0].(IntV)
+			if !ok {
+				return nil, fmt.Errorf("ml: list element %s is not an integer", Show(c.Args[0]))
+			}
+			out = append(out, int(h))
+			cur = c.Args[1]
+		default:
+			return nil, fmt.Errorf("ml: value %s is not a list", Show(cur))
+		}
+	}
+}
+
+// Show renders a value for error messages and tests (forcing nothing:
+// unwritten futures print as ?).
+func Show(v Value) string {
+	switch x := v.(type) {
+	case IntV:
+		return fmt.Sprintf("%d", int64(x))
+	case BoolV:
+		return fmt.Sprintf("%v", bool(x))
+	case TupleV:
+		parts := make([]string, len(x))
+		for i, e := range x {
+			parts[i] = Show(e)
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	case *CtorV:
+		if x.Name == "nil" && len(x.Args) == 0 {
+			return "nil"
+		}
+		if x.Name == "::" && len(x.Args) == 2 {
+			return Show(x.Args[0]) + "::" + Show(x.Args[1])
+		}
+		if len(x.Args) == 0 {
+			return x.Name
+		}
+		parts := make([]string, len(x.Args))
+		for i, e := range x.Args {
+			parts[i] = Show(e)
+		}
+		return x.Name + "(" + strings.Join(parts, ", ") + ")"
+	case FutureV:
+		if x.Cell.Ready() {
+			val, _ := x.Cell.Force()
+			return Show(val)
+		}
+		return "?"
+	default:
+		return fmt.Sprintf("%#v", v)
+	}
+}

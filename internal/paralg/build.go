@@ -1,0 +1,35 @@
+package paralg
+
+import (
+	"pipefut/internal/future"
+	"pipefut/internal/seqtreap"
+)
+
+// BuildTreap builds a treap over the keys by divide-and-conquer pipelined
+// unions on goroutines. The root becomes available while most of the tree
+// is still under construction, so queries and further set operations can
+// start immediately — the asynchronous-construction use of futures.
+func (c Config) BuildTreap(keys []int) Tree {
+	return c.buildTreap(0, keys)
+}
+
+func (c Config) buildTreap(d int, keys []int) Tree {
+	if len(keys) <= 64 || !c.spawn(d) {
+		// Small or below the grain bound: build directly.
+		return FromSeqTreap(seqtreap.FromKeys(keys))
+	}
+	a := future.Spawn(func() Tree { return c.buildTreap(d+1, keys[:len(keys)/2]) })
+	b := c.buildTreap(d+1, keys[len(keys)/2:])
+	return c.union(d, a.Read(), b)
+}
+
+// InsertKeys returns the treap with all keys added, as one pipelined union.
+func (c Config) InsertKeys(tree Tree, keys []int) Tree {
+	return c.Union(tree, c.BuildTreap(keys))
+}
+
+// DeleteKeys returns the treap with all keys removed, as one pipelined
+// difference.
+func (c Config) DeleteKeys(tree Tree, keys []int) Tree {
+	return c.Diff(tree, c.BuildTreap(keys))
+}

@@ -1,0 +1,74 @@
+package paralg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/workload"
+)
+
+func TestBuildTreapMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, cfgPick uint8) bool {
+		n := int(n8)*4 + 1 // up to ~1k, crossing the direct-build cutoff
+		rng := workload.NewRNG(uint64(seed))
+		keys := workload.DistinctKeys(rng, n, 4*n)
+		cfg := testCfgs[int(cfgPick)%len(testCfgs)]
+		got := cfg.BuildTreap(keys)
+		return seqtreap.Equal(ToSeqTreap(got), seqtreap.FromKeys(keys))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDeleteKeys(t *testing.T) {
+	rng := workload.NewRNG(2)
+	base := workload.DistinctKeys(rng, 1000, 100000)
+	batch := workload.DistinctKeys(rng, 1000, 100000)
+	tr := seqtreap.FromKeys(base)
+	cfg := Config{SpawnDepth: 8}
+
+	ins := cfg.InsertKeys(FromSeqTreap(tr), batch)
+	if !seqtreap.Equal(ToSeqTreap(ins), seqtreap.Union(tr, seqtreap.FromKeys(batch))) {
+		t.Fatal("InsertKeys differs from oracle")
+	}
+	del := cfg.DeleteKeys(FromSeqTreap(tr), batch)
+	if !seqtreap.Equal(ToSeqTreap(del), seqtreap.Diff(tr, seqtreap.FromKeys(batch))) {
+		t.Fatal("DeleteKeys differs from oracle")
+	}
+}
+
+func TestBuildTreapRootAvailableEarly(t *testing.T) {
+	rng := workload.NewRNG(3)
+	keys := workload.DistinctKeys(rng, 50000, 1<<20)
+	tr := Config{SpawnDepth: 10}.BuildTreap(keys)
+	// The root (and any search path) must be readable without waiting
+	// for full construction; just proving it terminates while valid.
+	n := tr.Read()
+	if n == nil {
+		t.Fatal("empty root")
+	}
+	found := 0
+	for _, k := range keys[:100] {
+		cur := tr
+		for {
+			c := cur.Read()
+			if c == nil {
+				break
+			}
+			if c.Key == k {
+				found++
+				break
+			}
+			if k < c.Key {
+				cur = c.Left
+			} else {
+				cur = c.Right
+			}
+		}
+	}
+	if found != 100 {
+		t.Fatalf("found %d of 100 keys during construction", found)
+	}
+}

@@ -1,0 +1,31 @@
+package paralg
+
+import "pipefut/internal/future"
+
+// Intersect returns the treap of keys present in both treaps — the
+// extension companion of Union and Diff, pipelined the same way.
+func (c Config) Intersect(a, b Tree) Tree { return c.intersect(0, a, b) }
+
+func (c Config) intersect(d int, a, b Tree) Tree {
+	body := func() *Node {
+		n1 := a.Read()
+		if n1 == nil {
+			return nil
+		}
+		n2 := b.Read()
+		if n2 == nil {
+			return nil
+		}
+		l2, r2, dup := c.splitM(d, n1.Key, n2)
+		l := c.intersect(d+1, n1.Left, l2)
+		r := c.intersect(d+1, n1.Right, r2)
+		if dup.Read() != nil {
+			return &Node{Key: n1.Key, Prio: n1.Prio, Left: l, Right: r}
+		}
+		return c.joinCells(d, l, r)
+	}
+	if c.spawn(d) {
+		return future.Spawn(body)
+	}
+	return future.Done(body())
+}

@@ -1,0 +1,166 @@
+package paralg
+
+import "pipefut/internal/future"
+
+// LNode is a real (goroutine-built) cons cell; the tail is a future, so
+// lists stream between producers and consumers — Figure 1 and Figure 2
+// executed for real.
+type LNode struct {
+	Head int
+	Tail *future.Cell[*LNode]
+}
+
+// List is a (possibly future) reference to a list.
+type List = *future.Cell[*LNode]
+
+// FromSlice builds a fully materialized list.
+func FromSlice(xs []int) List {
+	tail := future.Done[*LNode](nil)
+	for i := len(xs) - 1; i >= 0; i-- {
+		tail = future.Done(&LNode{Head: xs[i], Tail: tail})
+	}
+	return tail
+}
+
+// ToSlice reads the whole list (blocking as needed).
+func ToSlice(l List) []int {
+	var out []int
+	for {
+		n := l.Read()
+		if n == nil {
+			return out
+		}
+		out = append(out, n.Head)
+		l = n.Tail
+	}
+}
+
+// Produce builds the list n, n-1, ..., 0, one goroutine per chunk of
+// elements (chunking keeps goroutine counts sane for large n while
+// preserving incremental availability).
+func Produce(n, chunk int) List {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return future.Spawn(func() *LNode { return produceChunk(n, chunk) })
+}
+
+func produceChunk(n, chunk int) *LNode {
+	if n < 0 {
+		return nil
+	}
+	// Produce `chunk` elements inline, then fork the rest.
+	head := &LNode{Head: n}
+	cur := head
+	for i := 1; i < chunk && n-i >= 0; i++ {
+		next := &LNode{Head: n - i}
+		cur.Tail = future.Done(next)
+		cur = next
+	}
+	rest := n - chunk
+	cur.Tail = future.Spawn(func() *LNode { return produceChunk(rest, chunk) })
+	return head
+}
+
+// Consume sums a (possibly still materializing) list.
+func Consume(l List) int64 {
+	var sum int64
+	for {
+		n := l.Read()
+		if n == nil {
+			return sum
+		}
+		sum += int64(n.Head)
+		l = n.Tail
+	}
+}
+
+// Quicksort is Halstead's future-based quicksort (Figure 2) on real
+// goroutines, with a length-estimate grain bound d (recursion depth).
+func (c Config) Quicksort(l, rest List) List {
+	return c.qs(0, l, rest)
+}
+
+func (c Config) qs(d int, l, rest List) List {
+	body := func() *LNode { return c.qsBody(d, l, rest) }
+	if c.spawn(d) {
+		return future.Spawn(body)
+	}
+	return future.Done(body())
+}
+
+func (c Config) qsBody(d int, l, rest List) *LNode {
+	n := l.Read()
+	if n == nil {
+		return rest.Read()
+	}
+	les, grt := c.partition(d, n.Head, n.Tail)
+	return c.qsBody(d, les, future.Done(&LNode{Head: n.Head, Tail: c.qs(d+1, grt, rest)}))
+}
+
+func (c Config) partition(d int, pivot int, l List) (les, grt List) {
+	body := func(lo, gro *future.Cell[*LNode]) {
+		c.partitionBody(d, pivot, l, lo, gro)
+	}
+	if c.spawn(d) {
+		return future.Spawn2(body)
+	}
+	return future.Call2(body)
+}
+
+func (c Config) partitionBody(d int, pivot int, l List, lo, gro *future.Cell[*LNode]) {
+	n := l.Read()
+	if n == nil {
+		lo.Write(nil)
+		gro.Write(nil)
+		return
+	}
+	// Below the spawn bound, partition the whole remaining list
+	// iteratively (no recursion, no cells in the middle).
+	if !c.spawn(d) {
+		lh, gh := seqPartition(pivot, n)
+		lo.Write(lh)
+		gro.Write(gh)
+		return
+	}
+	l1, g1 := c.partition(d+1, pivot, n.Tail)
+	if n.Head < pivot {
+		lo.Write(&LNode{Head: n.Head, Tail: l1})
+		gro.Write(g1.Read())
+	} else {
+		gro.Write(&LNode{Head: n.Head, Tail: g1})
+		lo.Write(l1.Read())
+	}
+}
+
+// seqPartition partitions the materializing list starting at n entirely in
+// the calling goroutine, blocking on tails as needed.
+func seqPartition(pivot int, n *LNode) (les, grt *LNode) {
+	var lt, gt *LNode // tails of the output lists
+	for n != nil {
+		node := &LNode{Head: n.Head}
+		if n.Head < pivot {
+			if lt == nil {
+				les = node
+			} else {
+				lt.Tail = future.Done(node)
+			}
+			lt = node
+		} else {
+			if gt == nil {
+				grt = node
+			} else {
+				gt.Tail = future.Done(node)
+			}
+			gt = node
+		}
+		n = n.Tail.Read()
+	}
+	if lt != nil {
+		lt.Tail = future.Done[*LNode](nil)
+	}
+	if gt != nil {
+		gt.Tail = future.Done[*LNode](nil)
+	}
+	return les, grt
+}

@@ -1,0 +1,72 @@
+package paralg
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/workload"
+)
+
+func TestListRoundTrip(t *testing.T) {
+	xs := []int{4, 2, 7}
+	got := ToSlice(FromSlice(xs))
+	if len(got) != 3 || got[0] != 4 || got[2] != 7 {
+		t.Fatalf("roundtrip = %v", got)
+	}
+	if ToSlice(FromSlice(nil)) != nil {
+		t.Fatal("empty wrong")
+	}
+}
+
+func TestProduceConsume(t *testing.T) {
+	for _, chunk := range []int{1, 7, 1000} {
+		if got := Consume(Produce(1000, chunk)); got != 500500 {
+			t.Fatalf("chunk %d: sum = %d", chunk, got)
+		}
+	}
+	if Consume(Produce(-1, 4)) != 0 {
+		t.Fatal("empty production must sum to 0")
+	}
+}
+
+func TestQuicksortSortsProperty(t *testing.T) {
+	f := func(seed uint16, n8, cfgPick uint8) bool {
+		n := int(n8 % 200)
+		rng := workload.NewRNG(uint64(seed))
+		xs := rng.Perm(n)
+		cfg := testCfgs[int(cfgPick)%len(testCfgs)]
+		got := ToSlice(cfg.Quicksort(FromSlice(xs), FromSlice(nil)))
+		if len(got) != n {
+			return false
+		}
+		return sort.IntsAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuicksortConsumesStreamingInput(t *testing.T) {
+	// Sort a list that is still being produced: the pipeline composes.
+	l := Produce(2000, 16) // 2000, 1999, ..., 0 (reverse sorted)
+	got := ToSlice(Config{SpawnDepth: 8}.Quicksort(l, FromSlice(nil)))
+	if len(got) != 2001 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestQuicksortDuplicates(t *testing.T) {
+	xs := []int{2, 2, 1, 2, 0}
+	got := ToSlice(DefaultConfig.Quicksort(FromSlice(xs), FromSlice(nil)))
+	want := append([]int{}, xs...)
+	sort.Ints(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}

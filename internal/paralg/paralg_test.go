@@ -1,0 +1,162 @@
+package paralg
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/seqtree"
+	"pipefut/internal/workload"
+)
+
+var testCfgs = []Config{
+	{SpawnDepth: 0},  // fully sequential
+	{SpawnDepth: 3},  // shallow parallelism
+	{SpawnDepth: 64}, // spawn everywhere
+}
+
+func TestMergeMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8 uint8, cfgPick uint8) bool {
+		n, m := int(n8%100)+1, int(m8%100)+1
+		rng := workload.NewRNG(uint64(seed))
+		ka, kb := workload.DisjointKeySets(rng, n, m)
+		sort.Ints(ka)
+		sort.Ints(kb)
+		t1 := seqtree.FromSortedBalanced(ka)
+		t2 := seqtree.FromSortedBalanced(kb)
+		want := seqtree.Merge(t1, t2)
+
+		cfg := testCfgs[int(cfgPick)%len(testCfgs)]
+		got := cfg.Merge(FromSeqTree(t1), FromSeqTree(t2))
+		return seqtree.Equal(ToSeqTree(got), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8, cfgPick uint8) bool {
+		n, m := int(n8%100)+1, int(m8%100)+1
+		rng := workload.NewRNG(uint64(seed))
+		ka, kb := workload.OverlappingKeySets(rng, n, m, float64(cfgPick%4)/4)
+		ta, tb := seqtreap.FromKeys(ka), seqtreap.FromKeys(kb)
+		want := seqtreap.Union(ta, tb)
+
+		cfg := testCfgs[int(cfgPick)%len(testCfgs)]
+		got := cfg.Union(FromSeqTreap(ta), FromSeqTreap(tb))
+		return seqtreap.Equal(ToSeqTreap(got), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8, cfgPick uint8) bool {
+		n, m := int(n8%100)+1, int(m8%100)+1
+		rng := workload.NewRNG(uint64(seed))
+		ka, kb := workload.OverlappingKeySets(rng, n, m, float64(cfgPick%4)/4)
+		ta, tb := seqtreap.FromKeys(ka), seqtreap.FromKeys(kb)
+		want := seqtreap.Diff(ta, tb)
+
+		cfg := testCfgs[int(cfgPick)%len(testCfgs)]
+		got := cfg.Diff(FromSeqTreap(ta), FromSeqTreap(tb))
+		return seqtreap.Equal(ToSeqTreap(got), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinMatchesOracle(t *testing.T) {
+	rng := workload.NewRNG(3)
+	keys := workload.SortedDistinct(rng, 200, 2000)
+	ta := seqtreap.FromKeys(keys[:120])
+	tb := seqtreap.FromKeys(keys[120:])
+	want := seqtreap.Join(ta, tb)
+	got := DefaultConfig.Join(FromSeqTreap(ta), FromSeqTreap(tb))
+	if !seqtreap.Equal(ToSeqTreap(got), want) {
+		t.Fatal("join differs from oracle")
+	}
+}
+
+func TestMergesortSorts(t *testing.T) {
+	f := func(seed uint16, n8 uint8, cfgPick uint8) bool {
+		n := int(n8 % 200)
+		rng := workload.NewRNG(uint64(seed))
+		xs := rng.Perm(n)
+		cfg := testCfgs[int(cfgPick)%len(testCfgs)]
+		got := seqtree.Keys(ToSeqTree(cfg.Mergesort(xs)))
+		if len(got) != n {
+			return false
+		}
+		return sort.IntsAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyCases(t *testing.T) {
+	e := FromSeqTree(nil)
+	if got := DefaultConfig.Merge(e, e).Read(); got != nil {
+		t.Fatal("merge of empties not empty")
+	}
+	if got := DefaultConfig.Union(FromSeqTreap(nil), FromSeqTreap(nil)).Read(); got != nil {
+		t.Fatal("union of empties not empty")
+	}
+	if got := DefaultConfig.Diff(FromSeqTreap(nil), FromSeqTreap(nil)).Read(); got != nil {
+		t.Fatal("diff of empties not empty")
+	}
+	Wait(e) // must not hang
+}
+
+// TestPipelineOverlap verifies real pipelining: a union consuming the
+// output of another union completes without waiting for the first to be
+// fully materialized (we can only check it completes and is correct — the
+// overlap itself is what makes this terminate quickly).
+func TestPipelineOverlap(t *testing.T) {
+	rng := workload.NewRNG(4)
+	ka := workload.DistinctKeys(rng, 2000, 100000)
+	kb := workload.DistinctKeys(rng, 2000, 100000)
+	kc := workload.DistinctKeys(rng, 2000, 100000)
+	ta, tb, tc := seqtreap.FromKeys(ka), seqtreap.FromKeys(kb), seqtreap.FromKeys(kc)
+
+	cfg := Config{SpawnDepth: 10}
+	// (A ∪ B) ∪ C where the second union starts immediately on the
+	// still-materializing first result.
+	u1 := cfg.Union(FromSeqTreap(ta), FromSeqTreap(tb))
+	u2 := cfg.Union(u1, FromSeqTreap(tc))
+	want := seqtreap.Union(seqtreap.Union(ta, tb), tc)
+	if !seqtreap.Equal(ToSeqTreap(u2), want) {
+		t.Fatal("chained unions differ from oracle")
+	}
+}
+
+func TestWaitBlocksUntilComplete(t *testing.T) {
+	rng := workload.NewRNG(5)
+	ka, kb := workload.DisjointKeySets(rng, 3000, 3000)
+	sort.Ints(ka)
+	sort.Ints(kb)
+	got := DefaultConfig.Merge(
+		FromSeqTree(seqtree.FromSortedBalanced(ka)),
+		FromSeqTree(seqtree.FromSortedBalanced(kb)))
+	Wait(got)
+	// After Wait, every cell must be ready without blocking.
+	var walk func(tr Tree) int
+	walk = func(tr Tree) int {
+		n, ok := tr.TryRead()
+		if !ok {
+			t.Fatal("cell not ready after Wait")
+		}
+		if n == nil {
+			return 0
+		}
+		return 1 + walk(n.Left) + walk(n.Right)
+	}
+	if walk(got) != 6000 {
+		t.Fatal("wrong size")
+	}
+}

@@ -1,0 +1,132 @@
+package paralg
+
+import "pipefut/internal/future"
+
+// SNode is a size-annotated tree node for the real-execution rebalancing
+// pass (end of Section 3.1).
+type SNode struct {
+	Key   int
+	Prio  int64
+	Size  int
+	LSize int
+	Left  *future.Cell[*SNode]
+	Right *future.Cell[*SNode]
+}
+
+// STree is a (possibly future) reference to a size-annotated tree.
+type STree = *future.Cell[*SNode]
+
+// Annotate computes subtree sizes bottom-up on goroutines.
+func (c Config) Annotate(tree Tree) STree {
+	return c.annotate(0, tree)
+}
+
+func (c Config) annotate(d int, tree Tree) STree {
+	body := func() *SNode {
+		n := tree.Read()
+		if n == nil {
+			return nil
+		}
+		lc := c.annotate(d+1, n.Left)
+		rc := c.annotate(d+1, n.Right)
+		l, r := lc.Read(), rc.Read()
+		ls, rs := 0, 0
+		if l != nil {
+			ls = l.Size
+		}
+		if r != nil {
+			rs = r.Size
+		}
+		return &SNode{
+			Key: n.Key, Prio: n.Prio,
+			Size: 1 + ls + rs, LSize: ls,
+			Left: future.Done(l), Right: future.Done(r),
+		}
+	}
+	if c.spawn(d) {
+		return future.Spawn(body)
+	}
+	return future.Done(body())
+}
+
+// Rebalance rebuilds the size-annotated tree (of known size n) perfectly
+// balanced, pipelining the rank splits into the recursive rebalances.
+func (c Config) Rebalance(tree STree, n int) Tree {
+	return c.rebalance(0, tree, n)
+}
+
+func (c Config) rebalance(d int, tree STree, n int) Tree {
+	body := func() *Node {
+		if n == 0 {
+			tree.Read()
+			return nil
+		}
+		root := tree.Read()
+		mid := n / 2
+		ao, lo, ro := c.splitRank(d, root, mid)
+		l := c.rebalance(d+1, lo, mid)
+		r := c.rebalance(d+1, ro, n-mid-1)
+		at := ao.Read()
+		return &Node{Key: at.Key, Prio: at.Prio, Left: l, Right: r}
+	}
+	if c.spawn(d) {
+		return future.Spawn(body)
+	}
+	return future.Done(body())
+}
+
+func (c Config) splitRank(d int, n *SNode, r int) (at, lo, ro STree) {
+	body := func(ao, lo, ro *future.Cell[*SNode]) {
+		c.splitRankWalk(d, n, r, ao, lo, ro)
+	}
+	if c.spawn(d) {
+		return future.Spawn3(body)
+	}
+	return future.Call3(body)
+}
+
+func (c Config) splitRankWalk(d int, n *SNode, r int, ao, lo, ro *future.Cell[*SNode]) {
+	if n == nil {
+		panic("paralg: rank out of range in splitRank")
+	}
+	switch {
+	case r < n.LSize:
+		a1, l1, r1 := c.splitRankCell(d+1, n.Left, r)
+		ro.Write(&SNode{
+			Key: n.Key, Prio: n.Prio,
+			Size: n.Size - r - 1, LSize: n.LSize - r - 1,
+			Left: r1, Right: n.Right,
+		})
+		ao.Write(a1.Read())
+		lo.Write(l1.Read())
+	case r == n.LSize:
+		ao.Write(n)
+		lo.Write(n.Left.Read())
+		ro.Write(n.Right.Read())
+	default:
+		a1, l1, r1 := c.splitRankCell(d+1, n.Right, r-n.LSize-1)
+		lo.Write(&SNode{
+			Key: n.Key, Prio: n.Prio,
+			Size: r, LSize: n.LSize,
+			Left: n.Left, Right: l1,
+		})
+		ao.Write(a1.Read())
+		ro.Write(r1.Read())
+	}
+}
+
+func (c Config) splitRankCell(d int, tree STree, r int) (at, lo, ro STree) {
+	body := func(ao, lo, ro *future.Cell[*SNode]) {
+		c.splitRankWalk(d, tree.Read(), r, ao, lo, ro)
+	}
+	if c.spawn(d) {
+		return future.Spawn3(body)
+	}
+	return future.Call3(body)
+}
+
+// MergeBalanced merges two trees and rebalances the result — the full
+// Section 3.1 composition on goroutines.
+func (c Config) MergeBalanced(a, b Tree, total int) Tree {
+	return c.Rebalance(c.Annotate(c.Merge(a, b)), total)
+}

@@ -1,0 +1,88 @@
+package paralg
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/t26"
+	"pipefut/internal/workload"
+)
+
+func TestT26BulkInsertMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8, cfgPick uint8) bool {
+		n, m := int(n8%150)+1, int(m8%150)+1
+		rng := workload.NewRNG(uint64(seed))
+		all := workload.DistinctKeys(rng, n+m, 4*(n+m))
+		base := t26.FromKeys(all[:n])
+		ins := append([]int(nil), all[n:]...)
+		sort.Ints(ins)
+		levels := workload.WellSeparatedLevels(ins)
+
+		cfg := testCfgs[int(cfgPick)%len(testCfgs)]
+		got := ToSeqT26(cfg.T26BulkInsert(FromSeqT26(base), levels))
+		if ok, _ := t26.Check(got); !ok {
+			return false
+		}
+		want := append([]int{}, all...)
+		sort.Ints(want)
+		gotKeys := t26.Keys(got)
+		if len(gotKeys) != len(want) {
+			return false
+		}
+		for i := range want {
+			if gotKeys[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestT26PipelinedWavesOverlapSafely(t *testing.T) {
+	// Larger run with full spawning: many waves in flight at once.
+	rng := workload.NewRNG(9)
+	all := workload.DistinctKeys(rng, 20000, 1<<20)
+	base := t26.FromKeys(all[:10000])
+	ins := append([]int(nil), all[10000:]...)
+	sort.Ints(ins)
+	cfg := Config{SpawnDepth: 32}
+	got := cfg.T26BulkInsert(FromSeqT26(base), workload.WellSeparatedLevels(ins))
+	WaitT26(got)
+	res := ToSeqT26(got)
+	if ok, why := t26.Check(res); !ok {
+		t.Fatal(why)
+	}
+	if t26.Size(res) != 20000 {
+		t.Fatalf("size = %d", t26.Size(res))
+	}
+}
+
+func TestT26InsertEmptyArray(t *testing.T) {
+	base := t26.FromKeys([]int{1, 2, 3})
+	got := DefaultConfig.T26Insert(FromSeqT26(base), nil)
+	if t26.Size(ToSeqT26(got)) != 3 {
+		t.Fatal("no-op insert changed the tree")
+	}
+}
+
+func TestIntersectMatchesOracleProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8, cfgPick uint8) bool {
+		n, m := int(n8%100)+1, int(m8%100)+1
+		rng := workload.NewRNG(uint64(seed))
+		ka, kb := workload.OverlappingKeySets(rng, n, m, float64(cfgPick%4)/4)
+		ta, tb := seqtreap.FromKeys(ka), seqtreap.FromKeys(kb)
+		want := seqtreap.Intersect(ta, tb)
+
+		cfg := testCfgs[int(cfgPick)%len(testCfgs)]
+		got := cfg.Intersect(FromSeqTreap(ta), FromSeqTreap(tb))
+		return seqtreap.Equal(ToSeqTreap(got), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

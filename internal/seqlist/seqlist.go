@@ -1,0 +1,74 @@
+// Package seqlist is a persistent singly linked list with the sequential
+// version of Halstead's quicksort (Figure 2 of "Pipelining with Futures",
+// with the futures erased). It is the oracle and work baseline for the
+// cost-model quicksort of the Fig 2 experiment.
+package seqlist
+
+// List is a persistent cons list; nil is the empty list.
+type List struct {
+	Head int
+	Tail *List
+}
+
+// Cons prepends h to t.
+func Cons(h int, t *List) *List { return &List{Head: h, Tail: t} }
+
+// FromSlice builds a list with the elements of xs in order.
+func FromSlice(xs []int) *List {
+	var l *List
+	for i := len(xs) - 1; i >= 0; i-- {
+		l = Cons(xs[i], l)
+	}
+	return l
+}
+
+// ToSlice returns the list's elements in order.
+func ToSlice(l *List) []int {
+	var out []int
+	for ; l != nil; l = l.Tail {
+		out = append(out, l.Head)
+	}
+	return out
+}
+
+// Len returns the number of elements.
+func Len(l *List) int {
+	n := 0
+	for ; l != nil; l = l.Tail {
+		n++
+	}
+	return n
+}
+
+// Partition splits l into the elements less than pivot and the elements
+// greater than or equal to it, preserving relative order within each side.
+func Partition(pivot int, l *List) (les, grt *List) {
+	if l == nil {
+		return nil, nil
+	}
+	les, grt = Partition(pivot, l.Tail)
+	if l.Head < pivot {
+		return Cons(l.Head, les), grt
+	}
+	return les, Cons(l.Head, grt)
+}
+
+// Quicksort sorts l, appending rest after the sorted elements — the exact
+// accumulator structure of Halstead's algorithm (Figure 2).
+func Quicksort(l, rest *List) *List {
+	if l == nil {
+		return rest
+	}
+	les, grt := Partition(l.Head, l.Tail)
+	return Quicksort(les, Cons(l.Head, Quicksort(grt, rest)))
+}
+
+// IsSorted reports whether the list is in non-decreasing order.
+func IsSorted(l *List) bool {
+	for ; l != nil && l.Tail != nil; l = l.Tail {
+		if l.Head > l.Tail.Head {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,85 @@
+package seqlist
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	xs := []int{3, 1, 4, 1, 5}
+	l := FromSlice(xs)
+	got := ToSlice(l)
+	if len(got) != 5 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("roundtrip[%d] = %d", i, got[i])
+		}
+	}
+	if Len(l) != 5 {
+		t.Fatal("Len wrong")
+	}
+	if FromSlice(nil) != nil || Len(nil) != 0 || ToSlice(nil) != nil {
+		t.Fatal("empty list wrong")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	les, grt := Partition(3, FromSlice([]int{5, 1, 3, 0, 9}))
+	if got := ToSlice(les); !(len(got) == 2 && got[0] == 1 && got[1] == 0) {
+		t.Fatalf("les = %v", got)
+	}
+	if got := ToSlice(grt); !(len(got) == 3 && got[0] == 5 && got[1] == 3 && got[2] == 9) {
+		t.Fatalf("grt = %v", got)
+	}
+}
+
+func TestQuicksortProperty(t *testing.T) {
+	f := func(seed uint16, n8 uint8) bool {
+		n := int(n8 % 200)
+		rng := workload.NewRNG(uint64(seed))
+		xs := rng.Perm(n)
+		got := ToSlice(Quicksort(FromSlice(xs), nil))
+		want := append([]int{}, xs...)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return IsSorted(Quicksort(FromSlice(xs), nil))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuicksortWithRest(t *testing.T) {
+	rest := FromSlice([]int{100, 99}) // appended verbatim, not sorted in
+	got := ToSlice(Quicksort(FromSlice([]int{2, 1}), rest))
+	want := []int{1, 2, 100, 99}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted(FromSlice([]int{1, 2, 2, 3})) {
+		t.Fatal("sorted list rejected")
+	}
+	if IsSorted(FromSlice([]int{2, 1})) {
+		t.Fatal("unsorted list accepted")
+	}
+	if !IsSorted(nil) {
+		t.Fatal("empty list is sorted")
+	}
+}

@@ -1,0 +1,252 @@
+// Package seqtreap is a sequential treap (randomized balanced search tree,
+// Seidel–Aragon) with the split/splitm/join/union/difference operations of
+// Sections 3.2–3.3 of "Pipelining with Futures". Priorities are a pure hash
+// of the key (workload.Priority), so every implementation in this repository
+// builds structurally identical treaps for the same key set — the parallel
+// variants are validated by exact structural equality against this oracle.
+package seqtreap
+
+import (
+	"sort"
+
+	"pipefut/internal/workload"
+)
+
+// Node is a treap node. A nil *Node is the empty treap. Keys obey
+// binary-search-tree order; priorities obey max-heap order.
+type Node struct {
+	Key   int
+	Prio  int64
+	Left  *Node
+	Right *Node
+}
+
+// New returns a single-node treap holding key with its hash priority.
+func New(key int) *Node {
+	return &Node{Key: key, Prio: workload.Priority(key)}
+}
+
+// FromKeys builds a treap containing the distinct keys (duplicates in the
+// input are ignored). It sorts a copy and builds top-down by priority in
+// O(n lg n) time.
+func FromKeys(keys []int) *Node {
+	cp := append([]int(nil), keys...)
+	sort.Ints(cp)
+	// Deduplicate.
+	out := cp[:0]
+	for i, k := range cp {
+		if i == 0 || k != cp[i-1] {
+			out = append(out, k)
+		}
+	}
+	return fromSorted(out)
+}
+
+// fromSorted builds a treap from ascending distinct keys by choosing the
+// max-priority key as root and recursing — O(n lg n) expected, determined
+// entirely by the key set.
+func fromSorted(sorted []int) *Node {
+	if len(sorted) == 0 {
+		return nil
+	}
+	best := 0
+	bestPrio := workload.Priority(sorted[0])
+	for i := 1; i < len(sorted); i++ {
+		if p := workload.Priority(sorted[i]); p > bestPrio {
+			best, bestPrio = i, p
+		}
+	}
+	return &Node{
+		Key:   sorted[best],
+		Prio:  bestPrio,
+		Left:  fromSorted(sorted[:best]),
+		Right: fromSorted(sorted[best+1:]),
+	}
+}
+
+// SplitM splits t by key s into the treap of keys < s and the treap of keys
+// > s. If s occurs in t it is excluded from both results and returned as
+// dup (the splitm operation of Figure 4, which "completes as soon as it
+// finds the splitter in the treap").
+func SplitM(s int, t *Node) (lt, gt *Node, dup *Node) {
+	if t == nil {
+		return nil, nil, nil
+	}
+	switch {
+	case s == t.Key:
+		return t.Left, t.Right, t
+	case s < t.Key:
+		l, g, d := SplitM(s, t.Left)
+		return l, &Node{Key: t.Key, Prio: t.Prio, Left: g, Right: t.Right}, d
+	default:
+		l, g, d := SplitM(s, t.Right)
+		return &Node{Key: t.Key, Prio: t.Prio, Left: t.Left, Right: l}, g, d
+	}
+}
+
+// Join joins two treaps where every key of a precedes every key of b,
+// descending the rightmost path of a and the leftmost path of b and
+// interleaving by priority (Figure 8).
+func Join(a, b *Node) *Node {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.Prio > b.Prio {
+		return &Node{Key: a.Key, Prio: a.Prio, Left: a.Left, Right: Join(a.Right, b)}
+	}
+	return &Node{Key: b.Key, Prio: b.Prio, Left: Join(a, b.Left), Right: b.Right}
+}
+
+// Union returns the union of two treaps, discarding duplicate keys, exactly
+// as the union function of Figure 4: the higher-priority root wins and the
+// other treap is split by its key.
+func Union(t1, t2 *Node) *Node {
+	if t1 == nil {
+		return t2
+	}
+	if t2 == nil {
+		return t1
+	}
+	if t1.Prio < t2.Prio {
+		t1, t2 = t2, t1
+	}
+	l2, r2, _ := SplitM(t1.Key, t2)
+	return &Node{
+		Key:   t1.Key,
+		Prio:  t1.Prio,
+		Left:  Union(t1.Left, l2),
+		Right: Union(t1.Right, r2),
+	}
+}
+
+// Diff returns t1 with every key of t2 removed (Figure 7): split t2 by t1's
+// root key; if the root key occurs in t2 the root is dropped and the
+// recursive results are joined.
+func Diff(t1, t2 *Node) *Node {
+	if t1 == nil {
+		return nil
+	}
+	if t2 == nil {
+		return t1
+	}
+	l2, r2, dup := SplitM(t1.Key, t2)
+	l := Diff(t1.Left, l2)
+	r := Diff(t1.Right, r2)
+	if dup != nil {
+		return Join(l, r)
+	}
+	return &Node{Key: t1.Key, Prio: t1.Prio, Left: l, Right: r}
+}
+
+// Intersect returns the treap of keys present in both treaps. Not analyzed
+// in the paper, but the natural third set operation; used by tests.
+func Intersect(t1, t2 *Node) *Node {
+	if t1 == nil || t2 == nil {
+		return nil
+	}
+	l2, r2, dup := SplitM(t1.Key, t2)
+	l := Intersect(t1.Left, l2)
+	r := Intersect(t1.Right, r2)
+	if dup != nil {
+		return &Node{Key: t1.Key, Prio: t1.Prio, Left: l, Right: r}
+	}
+	return Join(l, r)
+}
+
+// Insert returns t with key added (no-op if present).
+func Insert(t *Node, key int) *Node { return Union(t, New(key)) }
+
+// Delete returns t with key removed (no-op if absent).
+func Delete(t *Node, key int) *Node {
+	l, g, _ := SplitM(key, t)
+	return Join(l, g)
+}
+
+// Contains reports whether key occurs in t.
+func Contains(t *Node, key int) bool {
+	for t != nil {
+		switch {
+		case key == t.Key:
+			return true
+		case key < t.Key:
+			t = t.Left
+		default:
+			t = t.Right
+		}
+	}
+	return false
+}
+
+// Size returns the number of keys in t.
+func Size(t *Node) int {
+	if t == nil {
+		return 0
+	}
+	return 1 + Size(t.Left) + Size(t.Right)
+}
+
+// Height returns the height of t in edges (-1 for the empty treap).
+func Height(t *Node) int {
+	if t == nil {
+		return -1
+	}
+	lh, rh := Height(t.Left), Height(t.Right)
+	if lh > rh {
+		return lh + 1
+	}
+	return rh + 1
+}
+
+// Keys returns t's keys in ascending order.
+func Keys(t *Node) []int { return inorder(t, nil) }
+
+func inorder(t *Node, out []int) []int {
+	if t == nil {
+		return out
+	}
+	out = inorder(t.Left, out)
+	out = append(out, t.Key)
+	return inorder(t.Right, out)
+}
+
+// Check verifies the treap invariants: strictly increasing keys in-order,
+// max-heap priorities, and priorities equal to the key hash.
+func Check(t *Node) (bool, string) {
+	keys := Keys(t)
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			return false, "keys not strictly increasing in-order"
+		}
+	}
+	return heapOK(t)
+}
+
+func heapOK(t *Node) (bool, string) {
+	if t == nil {
+		return true, ""
+	}
+	if t.Prio != workload.Priority(t.Key) {
+		return false, "priority is not the key hash"
+	}
+	if t.Left != nil && t.Left.Prio > t.Prio {
+		return false, "left child has higher priority than parent"
+	}
+	if t.Right != nil && t.Right.Prio > t.Prio {
+		return false, "right child has higher priority than parent"
+	}
+	if ok, why := heapOK(t.Left); !ok {
+		return false, why
+	}
+	return heapOK(t.Right)
+}
+
+// Equal reports whether two treaps are structurally identical.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Key == b.Key && a.Prio == b.Prio && Equal(a.Left, b.Left) && Equal(a.Right, b.Right)
+}

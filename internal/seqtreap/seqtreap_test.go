@@ -1,0 +1,281 @@
+package seqtreap
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/workload"
+)
+
+func keysOf(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func eq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randomSets(seed uint16, n8, m8, ov uint8) (a, b []int) {
+	n, m := int(n8%120)+1, int(m8%120)+1
+	frac := float64(ov%4) / 4
+	rng := workload.NewRNG(uint64(seed))
+	return workload.OverlappingKeySets(rng, n, m, frac)
+}
+
+func TestFromKeysInvariants(t *testing.T) {
+	f := func(seed uint16, n8 uint8) bool {
+		n := int(n8%200) + 1
+		rng := workload.NewRNG(uint64(seed))
+		keys := workload.DistinctKeys(rng, n, 4*n)
+		tr := FromKeys(keys)
+		if ok, _ := Check(tr); !ok {
+			return false
+		}
+		sort.Ints(keys)
+		return eq(Keys(tr), keys)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromKeysDeduplicates(t *testing.T) {
+	tr := FromKeys([]int{3, 1, 3, 2, 1})
+	if !eq(Keys(tr), []int{1, 2, 3}) {
+		t.Fatalf("keys = %v", Keys(tr))
+	}
+}
+
+func TestShapeIsCanonical(t *testing.T) {
+	// Same key set in different insertion orders → identical treap.
+	a := FromKeys([]int{5, 2, 9, 1, 7})
+	b := FromKeys([]int{7, 1, 9, 2, 5})
+	if !Equal(a, b) {
+		t.Fatal("treap shape must depend only on contents")
+	}
+}
+
+func TestSplitMProperty(t *testing.T) {
+	f := func(seed uint16, n8 uint8, pick uint8) bool {
+		n := int(n8%100) + 1
+		rng := workload.NewRNG(uint64(seed))
+		keys := workload.DistinctKeys(rng, n, 4*n)
+		tr := FromKeys(keys)
+		// Half the time use a key in the treap as the splitter.
+		var s int
+		if pick%2 == 0 {
+			s = keys[int(pick)%len(keys)]
+		} else {
+			s = rng.Intn(4 * n) // may or may not be present
+		}
+		lt, gt, dup := SplitM(s, tr)
+		if ok, _ := Check(lt); !ok {
+			return false
+		}
+		if ok, _ := Check(gt); !ok {
+			return false
+		}
+		for _, k := range Keys(lt) {
+			if k >= s {
+				return false
+			}
+		}
+		for _, k := range Keys(gt) {
+			if k <= s {
+				return false
+			}
+		}
+		if (dup != nil) != Contains(tr, s) {
+			return false
+		}
+		if dup != nil && dup.Key != s {
+			return false
+		}
+		total := Size(lt) + Size(gt)
+		if dup != nil {
+			total++
+		}
+		return total == Size(tr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinInverseOfSplit(t *testing.T) {
+	f := func(seed uint16, n8 uint8, sRaw uint8) bool {
+		n := int(n8%100) + 1
+		rng := workload.NewRNG(uint64(seed))
+		keys := workload.DistinctKeys(rng, n, 4*n)
+		tr := FromKeys(keys)
+		s := rng.Intn(4 * n)
+		lt, gt, dup := SplitM(s, tr)
+		if dup != nil {
+			return true // join rebuilds only the dup-free case cleanly
+		}
+		re := Join(lt, gt)
+		return Equal(re, tr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionMatchesMapOracle(t *testing.T) {
+	f := func(seed uint16, n8, m8, ov uint8) bool {
+		ka, kb := randomSets(seed, n8, m8, ov)
+		got := Union(FromKeys(ka), FromKeys(kb))
+		if ok, _ := Check(got); !ok {
+			return false
+		}
+		want := map[int]bool{}
+		for _, k := range ka {
+			want[k] = true
+		}
+		for _, k := range kb {
+			want[k] = true
+		}
+		return eq(Keys(got), keysOf(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionIsCanonical(t *testing.T) {
+	// union(A,B) must be structurally identical to building from the
+	// union key set — the property the parallel tests rely on.
+	f := func(seed uint16, n8, m8, ov uint8) bool {
+		ka, kb := randomSets(seed, n8, m8, ov)
+		u := Union(FromKeys(ka), FromKeys(kb))
+		return Equal(u, FromKeys(append(append([]int{}, ka...), kb...)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffMatchesMapOracle(t *testing.T) {
+	f := func(seed uint16, n8, m8, ov uint8) bool {
+		ka, kb := randomSets(seed, n8, m8, ov)
+		got := Diff(FromKeys(ka), FromKeys(kb))
+		if ok, _ := Check(got); !ok {
+			return false
+		}
+		inB := map[int]bool{}
+		for _, k := range kb {
+			inB[k] = true
+		}
+		want := map[int]bool{}
+		for _, k := range ka {
+			if !inB[k] {
+				want[k] = true
+			}
+		}
+		return eq(Keys(got), keysOf(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectMatchesMapOracle(t *testing.T) {
+	f := func(seed uint16, n8, m8, ov uint8) bool {
+		ka, kb := randomSets(seed, n8, m8, ov)
+		got := Intersect(FromKeys(ka), FromKeys(kb))
+		if ok, _ := Check(got); !ok {
+			return false
+		}
+		inA := map[int]bool{}
+		for _, k := range ka {
+			inA[k] = true
+		}
+		want := map[int]bool{}
+		for _, k := range kb {
+			if inA[k] {
+				want[k] = true
+			}
+		}
+		return eq(Keys(got), keysOf(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	tr := FromKeys([]int{1, 3, 5})
+	tr = Insert(tr, 4)
+	if !Contains(tr, 4) || Size(tr) != 4 {
+		t.Fatal("insert failed")
+	}
+	tr = Insert(tr, 4) // idempotent
+	if Size(tr) != 4 {
+		t.Fatal("duplicate insert must be a no-op")
+	}
+	tr = Delete(tr, 3)
+	if Contains(tr, 3) || Size(tr) != 3 {
+		t.Fatal("delete failed")
+	}
+	tr = Delete(tr, 99) // absent
+	if Size(tr) != 3 {
+		t.Fatal("absent delete must be a no-op")
+	}
+	if ok, _ := Check(tr); !ok {
+		t.Fatal("invariants broken")
+	}
+}
+
+func TestContains(t *testing.T) {
+	tr := FromKeys([]int{2, 4, 6})
+	for _, k := range []int{2, 4, 6} {
+		if !Contains(tr, k) {
+			t.Fatalf("missing %d", k)
+		}
+	}
+	for _, k := range []int{1, 3, 5, 7} {
+		if Contains(tr, k) {
+			t.Fatalf("phantom %d", k)
+		}
+	}
+	if Contains(nil, 0) {
+		t.Fatal("empty treap contains nothing")
+	}
+}
+
+func TestHeightExpectedLogarithmic(t *testing.T) {
+	rng := workload.NewRNG(77)
+	n := 1 << 14
+	tr := FromKeys(workload.DistinctKeys(rng, n, 4*n))
+	h := Height(tr)
+	// E[h] ≈ 3 lg n; fail only on gross violations.
+	if h < 14 || h > 14*6 {
+		t.Fatalf("height %d implausible for n=2^14", h)
+	}
+}
+
+func TestCheckDetectsHeapViolation(t *testing.T) {
+	bad := &Node{Key: 2, Prio: workload.Priority(2),
+		Left: &Node{Key: 1, Prio: workload.Priority(2) + 1}}
+	if ok, _ := Check(bad); ok {
+		t.Fatal("Check must reject heap violation")
+	}
+	badPrio := &Node{Key: 2, Prio: 12345}
+	if ok, _ := Check(badPrio); ok {
+		t.Fatal("Check must reject non-hash priority")
+	}
+}

@@ -1,0 +1,164 @@
+// Package seqtree is a plain sequential binary search tree with the exact
+// split/merge structure of Section 3.1 of "Pipelining with Futures". It is
+// the semantic oracle for the cost-model and parallel merge implementations:
+// because split and merge are deterministic given the input trees, the
+// pipelined variants must produce structurally identical results.
+package seqtree
+
+import "sort"
+
+// Node is a binary search tree node. A nil *Node is the empty tree (a leaf
+// in the paper's terminology).
+type Node struct {
+	Key   int
+	Left  *Node
+	Right *Node
+}
+
+// FromSortedBalanced builds a perfectly balanced tree over the given
+// ascending keys.
+func FromSortedBalanced(sorted []int) *Node {
+	if len(sorted) == 0 {
+		return nil
+	}
+	mid := len(sorted) / 2
+	return &Node{
+		Key:   sorted[mid],
+		Left:  FromSortedBalanced(sorted[:mid]),
+		Right: FromSortedBalanced(sorted[mid+1:]),
+	}
+}
+
+// FromKeys sorts a copy of keys and builds a balanced tree.
+func FromKeys(keys []int) *Node {
+	cp := append([]int(nil), keys...)
+	sort.Ints(cp)
+	return FromSortedBalanced(cp)
+}
+
+// Split divides t into the subtree of keys < s and the subtree of keys ≥ s,
+// exactly as the split function of Figure 3: it traverses one root-to-leaf
+// path, reusing untouched subtrees.
+func Split(s int, t *Node) (lt, ge *Node) {
+	if t == nil {
+		return nil, nil
+	}
+	if s <= t.Key {
+		l, g := Split(s, t.Left)
+		return l, &Node{Key: t.Key, Left: g, Right: t.Right}
+	}
+	l, g := Split(s, t.Right)
+	return &Node{Key: t.Key, Left: t.Left, Right: l}, g
+}
+
+// Merge merges two binary search trees with disjoint key sets into one tree
+// sorted in-order, exactly as the merge function of Figure 3: the root of
+// the first tree becomes the root of the result.
+func Merge(t1, t2 *Node) *Node {
+	if t1 == nil {
+		return t2
+	}
+	if t2 == nil {
+		return t1
+	}
+	l2, r2 := Split(t1.Key, t2)
+	return &Node{
+		Key:   t1.Key,
+		Left:  Merge(t1.Left, l2),
+		Right: Merge(t1.Right, r2),
+	}
+}
+
+// SplitRank divides t into the nodes with in-order rank < r, the node with
+// rank r, and the nodes with rank > r, given per-node subtree sizes in
+// sizes (as computed by Sizes). It is the split the rebalancing pass at the
+// end of Section 3.1 uses.
+func SplitRank(t *Node, r int) (lt *Node, at *Node, gt *Node) {
+	if t == nil {
+		return nil, nil, nil
+	}
+	ls := Size(t.Left)
+	switch {
+	case r < ls:
+		l, a, g := SplitRank(t.Left, r)
+		return l, a, &Node{Key: t.Key, Left: g, Right: t.Right}
+	case r == ls:
+		return t.Left, &Node{Key: t.Key}, t.Right
+	default:
+		l, a, g := SplitRank(t.Right, r-ls-1)
+		return &Node{Key: t.Key, Left: t.Left, Right: l}, a, g
+	}
+}
+
+// Rebalance returns a balanced tree with the same keys as t, via the
+// rank-split algorithm sketched at the end of Section 3.1.
+func Rebalance(t *Node) *Node {
+	n := Size(t)
+	return rebal(t, n)
+}
+
+func rebal(t *Node, n int) *Node {
+	if t == nil || n == 0 {
+		return nil
+	}
+	mid := n / 2
+	l, a, g := SplitRank(t, mid)
+	a.Left = rebal(l, mid)
+	a.Right = rebal(g, n-mid-1)
+	return a
+}
+
+// Size returns the number of nodes in t. O(n); the experiments memoize via
+// Sizes when needed.
+func Size(t *Node) int {
+	if t == nil {
+		return 0
+	}
+	return 1 + Size(t.Left) + Size(t.Right)
+}
+
+// Height returns the height of t in edges; the empty tree has height -1 and
+// a single node height 0.
+func Height(t *Node) int {
+	if t == nil {
+		return -1
+	}
+	lh, rh := Height(t.Left), Height(t.Right)
+	if lh > rh {
+		return lh + 1
+	}
+	return rh + 1
+}
+
+// InOrder appends t's keys in order to out and returns the result.
+func InOrder(t *Node, out []int) []int {
+	if t == nil {
+		return out
+	}
+	out = InOrder(t.Left, out)
+	out = append(out, t.Key)
+	return InOrder(t.Right, out)
+}
+
+// Keys returns t's keys in order.
+func Keys(t *Node) []int { return InOrder(t, nil) }
+
+// Check verifies the binary-search-tree invariant and key uniqueness,
+// returning false with a reason when violated.
+func Check(t *Node) (bool, string) {
+	keys := Keys(t)
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			return false, "keys not strictly increasing in-order"
+		}
+	}
+	return true, ""
+}
+
+// Equal reports whether two trees are structurally identical.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Key == b.Key && Equal(a.Left, b.Left) && Equal(a.Right, b.Right)
+}

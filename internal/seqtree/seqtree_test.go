@@ -1,0 +1,158 @@
+package seqtree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/workload"
+)
+
+func TestFromSortedBalanced(t *testing.T) {
+	tr := FromSortedBalanced([]int{1, 2, 3, 4, 5, 6, 7})
+	if Height(tr) != 2 {
+		t.Fatalf("height = %d, want 2", Height(tr))
+	}
+	if got := Keys(tr); !eq(got, []int{1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatalf("keys = %v", got)
+	}
+	if ok, why := Check(tr); !ok {
+		t.Fatal(why)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	if FromSortedBalanced(nil) != nil {
+		t.Fatal("empty build must be nil")
+	}
+	if Height(nil) != -1 || Size(nil) != 0 {
+		t.Fatal("nil tree height/size wrong")
+	}
+	if Merge(nil, nil) != nil {
+		t.Fatal("merge of empties must be nil")
+	}
+	if ok, _ := Check(nil); !ok {
+		t.Fatal("nil tree must check")
+	}
+}
+
+func TestSplitProperty(t *testing.T) {
+	f := func(seed uint16, sRaw uint8) bool {
+		rng := workload.NewRNG(uint64(seed))
+		keys := workload.SortedDistinct(rng, 50, 200)
+		tr := FromSortedBalanced(keys)
+		s := int(sRaw)
+		lt, ge := Split(s, tr)
+		for _, k := range Keys(lt) {
+			if k >= s {
+				return false
+			}
+		}
+		for _, k := range Keys(ge) {
+			if k < s {
+				return false
+			}
+		}
+		merged := append(Keys(lt), Keys(ge)...)
+		return eq(merged, keys)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeProperty(t *testing.T) {
+	f := func(seed uint16, n8, m8 uint8) bool {
+		n, m := int(n8%100)+1, int(m8%100)+1
+		rng := workload.NewRNG(uint64(seed))
+		ka, kb := workload.DisjointKeySets(rng, n, m)
+		sort.Ints(ka)
+		sort.Ints(kb)
+		merged := Merge(FromSortedBalanced(ka), FromSortedBalanced(kb))
+		if ok, _ := Check(merged); !ok {
+			return false
+		}
+		want := append(append([]int{}, ka...), kb...)
+		sort.Ints(want)
+		return eq(Keys(merged), want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeWithEmpty(t *testing.T) {
+	tr := FromKeys([]int{3, 1, 2})
+	if Merge(tr, nil) != tr || Merge(nil, tr) != tr {
+		t.Fatal("merge with empty must return the other tree")
+	}
+}
+
+func TestSplitRank(t *testing.T) {
+	keys := []int{10, 20, 30, 40, 50}
+	tr := FromSortedBalanced(keys)
+	for r := 0; r < 5; r++ {
+		lt, at, gt := SplitRank(tr, r)
+		if at.Key != keys[r] {
+			t.Fatalf("rank %d: key %d, want %d", r, at.Key, keys[r])
+		}
+		if Size(lt) != r || Size(gt) != 4-r {
+			t.Fatalf("rank %d: sizes %d/%d", r, Size(lt), Size(gt))
+		}
+	}
+}
+
+func TestRebalanceProperty(t *testing.T) {
+	f := func(seed uint16, n8 uint8) bool {
+		n := int(n8%120) + 1
+		rng := workload.NewRNG(uint64(seed))
+		// Build a degenerate (unbalanced) tree by merging many tiny
+		// trees.
+		keys := workload.SortedDistinct(rng, n, 10*n+5)
+		var tr *Node
+		for _, k := range keys {
+			tr = Merge(tr, &Node{Key: k})
+		}
+		re := Rebalance(tr)
+		if !eq(Keys(re), keys) {
+			return false
+		}
+		// Perfectly balanced: height ≤ ⌈lg(n+1)⌉.
+		maxH := 0
+		for 1<<(maxH+1) < n+1 {
+			maxH++
+		}
+		return Height(re) <= maxH+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckDetectsViolation(t *testing.T) {
+	bad := &Node{Key: 1, Left: &Node{Key: 5}}
+	if ok, _ := Check(bad); ok {
+		t.Fatal("Check must reject out-of-order tree")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromKeys([]int{1, 2, 3})
+	b := FromKeys([]int{1, 2, 3})
+	c := FromKeys([]int{1, 2, 4})
+	if !Equal(a, b) || Equal(a, c) || !Equal(nil, nil) || Equal(a, nil) {
+		t.Fatal("Equal wrong")
+	}
+}
+
+func eq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

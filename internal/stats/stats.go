@@ -1,0 +1,181 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to check asymptotic shape: least-squares fits of measured
+// depth/work against candidate growth functions (lg n, lg² n, n, n lg n) and
+// basic summaries. The experiments do not try to match the paper's absolute
+// constants — only which growth law fits, who wins, and where crossovers
+// fall.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Lg returns log base 2 of x (x > 0).
+func Lg(x float64) float64 { return math.Log2(x) }
+
+// Summary describes a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. It returns the zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		s.Median = cp[mid]
+	} else {
+		s.Median = (cp[mid-1] + cp[mid]) / 2
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f±%.2f median=%.2f range=[%.2f,%.2f]",
+		s.N, s.Mean, s.Std, s.Median, s.Min, s.Max)
+}
+
+// Fit is a least-squares fit y ≈ A + B·f(x) with goodness R².
+type Fit struct {
+	Name string // name of f, e.g. "lg n"
+	A, B float64
+	R2   float64
+}
+
+func (f Fit) String() string {
+	return fmt.Sprintf("y ≈ %.3f + %.3f·%s (R²=%.4f)", f.A, f.B, f.Name, f.R2)
+}
+
+// LinFit fits y ≈ A + B·u by ordinary least squares. It returns a zero fit
+// if fewer than two points or u is constant.
+func LinFit(name string, u, y []float64) Fit {
+	if len(u) != len(y) || len(u) < 2 {
+		return Fit{Name: name}
+	}
+	n := float64(len(u))
+	var su, sy, suu, suy float64
+	for i := range u {
+		su += u[i]
+		sy += y[i]
+		suu += u[i] * u[i]
+		suy += u[i] * y[i]
+	}
+	den := n*suu - su*su
+	if den == 0 {
+		return Fit{Name: name}
+	}
+	b := (n*suy - su*sy) / den
+	a := (sy - b*su) / n
+	// R²
+	my := sy / n
+	var ssTot, ssRes float64
+	for i := range u {
+		pred := a + b*u[i]
+		ssTot += (y[i] - my) * (y[i] - my)
+		ssRes += (y[i] - pred) * (y[i] - pred)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Name: name, A: a, B: b, R2: r2}
+}
+
+// GrowthModel is a candidate growth law for shape checking.
+type GrowthModel struct {
+	Name string
+	F    func(n float64) float64
+}
+
+// Models returns the candidate growth laws the experiments compare against:
+// lg n, lg² n, n, and n·lg n.
+func Models() []GrowthModel {
+	return []GrowthModel{
+		{"lg n", func(n float64) float64 { return Lg(n) }},
+		{"lg² n", func(n float64) float64 { l := Lg(n); return l * l }},
+		{"n", func(n float64) float64 { return n }},
+		{"n·lg n", func(n float64) float64 { return n * Lg(n) }},
+	}
+}
+
+// BestModel fits y against every candidate model over sizes n and returns
+// all fits sorted by descending R², best first.
+func BestModel(n []float64, y []float64) []Fit {
+	fits := make([]Fit, 0, 4)
+	for _, m := range Models() {
+		u := make([]float64, len(n))
+		for i, v := range n {
+			u[i] = m.F(v)
+		}
+		fits = append(fits, LinFit(m.Name, u, y))
+	}
+	sort.Slice(fits, func(i, j int) bool { return fits[i].R2 > fits[j].R2 })
+	return fits
+}
+
+// Ratio returns elementwise y[i]/x[i]; entries with x[i]==0 become NaN.
+func Ratio(y, x []float64) []float64 {
+	out := make([]float64, len(y))
+	for i := range y {
+		if x[i] == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = y[i] / x[i]
+		}
+	}
+	return out
+}
+
+// GrowthFactor reports max(ratio)/min(ratio) over positive entries: how far
+// from constant the ratio sequence is. A bounded factor (≲2 across a wide
+// size sweep) is the experiments' operational test for "Θ(f)".
+func GrowthFactor(ratios []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range ratios {
+		if math.IsNaN(r) || r <= 0 {
+			continue
+		}
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if math.IsInf(lo, 1) || lo == 0 {
+		return math.NaN()
+	}
+	return hi / lo
+}

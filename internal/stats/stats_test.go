@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.Std-1.2909944) > 1e-6 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestSummarizeOdd(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3})
+	if s.Median != 3 {
+		t.Fatalf("median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+}
+
+func TestLinFitExact(t *testing.T) {
+	// y = 3 + 2u exactly.
+	u := []float64{0, 1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9, 11}
+	f := LinFit("u", u, y)
+	if math.Abs(f.A-3) > 1e-9 || math.Abs(f.B-2) > 1e-9 || math.Abs(f.R2-1) > 1e-9 {
+		t.Fatalf("fit = %+v", f)
+	}
+	if f.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestLinFitDegenerate(t *testing.T) {
+	if f := LinFit("u", []float64{1}, []float64{2}); f.B != 0 {
+		t.Fatal("single point must give zero fit")
+	}
+	if f := LinFit("u", []float64{2, 2, 2}, []float64{1, 2, 3}); f.B != 0 {
+		t.Fatal("constant u must give zero fit")
+	}
+}
+
+// TestLinFitRecovers checks by property that LinFit recovers a planted
+// linear relationship exactly.
+func TestLinFitRecovers(t *testing.T) {
+	f := func(a8, b8 int8) bool {
+		a, b := float64(a8), float64(b8)
+		u := []float64{1, 2, 5, 9, 14}
+		y := make([]float64, len(u))
+		for i := range u {
+			y[i] = a + b*u[i]
+		}
+		fit := LinFit("u", u, y)
+		return math.Abs(fit.A-a) < 1e-6 && math.Abs(fit.B-b) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestModelPicksPlantedLaw(t *testing.T) {
+	ns := []float64{256, 1024, 4096, 16384, 65536, 262144}
+	cases := []struct {
+		name string
+		f    func(n float64) float64
+	}{
+		{"lg n", func(n float64) float64 { return 10 * Lg(n) }},
+		{"lg² n", func(n float64) float64 { l := Lg(n); return 3 * l * l }},
+		{"n", func(n float64) float64 { return 2 * n }},
+		{"n·lg n", func(n float64) float64 { return n * Lg(n) }},
+	}
+	for _, c := range cases {
+		y := make([]float64, len(ns))
+		for i, n := range ns {
+			y[i] = c.f(n)
+		}
+		fits := BestModel(ns, y)
+		if fits[0].Name != c.name {
+			t.Errorf("planted %s, best fit said %s", c.name, fits[0].Name)
+		}
+	}
+}
+
+func TestRatioAndGrowthFactor(t *testing.T) {
+	r := Ratio([]float64{10, 20, 40}, []float64{10, 10, 10})
+	if r[0] != 1 || r[1] != 2 || r[2] != 4 {
+		t.Fatalf("ratio = %v", r)
+	}
+	if g := GrowthFactor(r); g != 4 {
+		t.Fatalf("growth factor = %v", g)
+	}
+	r2 := Ratio([]float64{1}, []float64{0})
+	if !math.IsNaN(r2[0]) {
+		t.Fatal("division by zero must give NaN")
+	}
+	if !math.IsNaN(GrowthFactor(nil)) {
+		t.Fatal("empty growth factor must be NaN")
+	}
+}

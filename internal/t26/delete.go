@@ -1,0 +1,154 @@
+package t26
+
+import "sort"
+
+// Delete returns the tree with key removed (a no-op if absent). It is the
+// classic top-down B-tree deletion with preemptive repair: before
+// descending into a child the child is guaranteed at least two keys (by
+// borrowing from a sibling or merging with one), so removing a key can
+// never underflow below. A key found in an internal node is replaced by
+// its in-order predecessor, whose removal continues down the same
+// (already repaired) path.
+//
+// The paper pipelines only insertion (Section 3.4); deletion is provided
+// for substrate completeness — the PVW dictionaries the section builds on
+// support both. Like everything in this package it is persistent: the
+// input tree is not modified.
+func Delete(t *Node, key int) *Node {
+	if len(t.Keys) == 0 && t.IsLeaf() {
+		return t // empty tree
+	}
+	out := del(t, key)
+	// Shrink the root: an internal root left with no keys has exactly
+	// one child, which becomes the new root.
+	if len(out.Keys) == 0 && !out.IsLeaf() {
+		return out.Kids[0]
+	}
+	return out
+}
+
+// del removes key from the subtree rooted at n. n is guaranteed to have
+// at least two keys (or to be the root).
+func del(n *Node, key int) *Node {
+	i := sort.SearchInts(n.Keys, key)
+	found := i < len(n.Keys) && n.Keys[i] == key
+
+	if n.IsLeaf() {
+		if !found {
+			return n
+		}
+		keys := make([]int, 0, len(n.Keys)-1)
+		keys = append(keys, n.Keys[:i]...)
+		keys = append(keys, n.Keys[i+1:]...)
+		return &Node{Keys: keys}
+	}
+
+	if found {
+		// Repair the key's left child, then replace the key with its
+		// in-order predecessor and delete the predecessor down the
+		// repaired path.
+		child, rest := repair(n, i)
+		keys := append([]int(nil), rest.Keys...)
+		// The key may have moved during repair; locate it again.
+		j := sort.SearchInts(keys, key)
+		if j >= len(keys) || keys[j] != key {
+			// Repair rotated the key down into the child.
+			return descend(rest, key)
+		}
+		pred := maxKey(child)
+		keys[j] = pred
+		kids := append([]*Node(nil), rest.Kids...)
+		kids[j] = del(child, pred)
+		return &Node{Keys: keys, Kids: kids}
+	}
+	return descend(n, key)
+}
+
+// descend deletes key from child i of n after repairing that child.
+func descend(n *Node, key int) *Node {
+	i := sort.SearchInts(n.Keys, key)
+	if i < len(n.Keys) && n.Keys[i] == key {
+		return del(n, key) // repair moved the key up into n
+	}
+	child, rest := repair(n, i)
+	kids := append([]*Node(nil), rest.Kids...)
+	j := sort.SearchInts(rest.Keys, key)
+	kids[j] = del(child, key)
+	return &Node{Keys: append([]int(nil), rest.Keys...), Kids: kids}
+}
+
+// repair ensures child i of n has at least two keys, borrowing from an
+// adjacent sibling or merging with one. It returns the repaired child and
+// the (possibly rewritten) parent whose child slot i holds it. The
+// returned parent shares untouched children with n.
+func repair(n *Node, i int) (child *Node, parent *Node) {
+	c := n.Kids[i]
+	if len(c.Keys) >= 2 {
+		return c, n
+	}
+	// Try borrowing from the left sibling.
+	if i > 0 && len(n.Kids[i-1].Keys) >= 2 {
+		l := n.Kids[i-1]
+		sep := n.Keys[i-1]
+		newChild := &Node{Keys: append([]int{sep}, c.Keys...)}
+		newLeft := &Node{Keys: append([]int(nil), l.Keys[:len(l.Keys)-1]...)}
+		if !c.IsLeaf() {
+			newChild.Kids = append([]*Node{l.Kids[len(l.Kids)-1]}, c.Kids...)
+			newLeft.Kids = append([]*Node(nil), l.Kids[:len(l.Kids)-1]...)
+		}
+		keys := append([]int(nil), n.Keys...)
+		keys[i-1] = l.Keys[len(l.Keys)-1]
+		kids := append([]*Node(nil), n.Kids...)
+		kids[i-1] = newLeft
+		kids[i] = newChild
+		return newChild, &Node{Keys: keys, Kids: kids}
+	}
+	// Try borrowing from the right sibling.
+	if i < len(n.Kids)-1 && len(n.Kids[i+1].Keys) >= 2 {
+		r := n.Kids[i+1]
+		sep := n.Keys[i]
+		newChild := &Node{Keys: append(append([]int(nil), c.Keys...), sep)}
+		newRight := &Node{Keys: append([]int(nil), r.Keys[1:]...)}
+		if !c.IsLeaf() {
+			newChild.Kids = append(append([]*Node(nil), c.Kids...), r.Kids[0])
+			newRight.Kids = append([]*Node(nil), r.Kids[1:]...)
+		}
+		keys := append([]int(nil), n.Keys...)
+		keys[i] = r.Keys[0]
+		kids := append([]*Node(nil), n.Kids...)
+		kids[i] = newChild
+		kids[i+1] = newRight
+		return newChild, &Node{Keys: keys, Kids: kids}
+	}
+	// Merge with a sibling (both have exactly one key here).
+	j := i - 1 // merge children j and j+1 around separator j
+	if i == 0 {
+		j = 0
+	}
+	l, r := n.Kids[j], n.Kids[j+1]
+	merged := &Node{Keys: append(append(append([]int(nil), l.Keys...), n.Keys[j]), r.Keys...)}
+	if !l.IsLeaf() {
+		merged.Kids = append(append([]*Node(nil), l.Kids...), r.Kids...)
+	}
+	keys := append(append([]int(nil), n.Keys[:j]...), n.Keys[j+1:]...)
+	kids := append([]*Node(nil), n.Kids[:j]...)
+	kids = append(kids, merged)
+	kids = append(kids, n.Kids[j+2:]...)
+	return merged, &Node{Keys: keys, Kids: kids}
+}
+
+// maxKey returns the largest key in the subtree.
+func maxKey(n *Node) int {
+	for !n.IsLeaf() {
+		n = n.Kids[len(n.Kids)-1]
+	}
+	return n.Keys[len(n.Keys)-1]
+}
+
+// DeleteAll removes every key in ks, one top-down pass per key.
+func DeleteAll(t *Node, ks []int) *Node {
+	for _, k := range ks {
+		t = Delete(t, k)
+	}
+	return t
+}

@@ -1,0 +1,186 @@
+package t26
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/workload"
+)
+
+func TestDeleteSingle(t *testing.T) {
+	tr := FromKeys([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	tr = Delete(tr, 5)
+	if Contains(tr, 5) || Size(tr) != 9 {
+		t.Fatal("delete failed")
+	}
+	if ok, why := Check(tr); !ok {
+		t.Fatal(why)
+	}
+}
+
+func TestDeleteAbsentIsNoop(t *testing.T) {
+	tr := FromKeys([]int{2, 4, 6})
+	out := Delete(tr, 5)
+	if Size(out) != 3 {
+		t.Fatal("absent delete changed size")
+	}
+	if ok, _ := Check(out); !ok {
+		t.Fatal("invariants broken")
+	}
+}
+
+func TestDeleteFromEmpty(t *testing.T) {
+	if got := Delete(Empty(), 1); Size(got) != 0 {
+		t.Fatal("delete from empty wrong")
+	}
+}
+
+func TestDeleteToEmpty(t *testing.T) {
+	tr := FromKeys([]int{7})
+	tr = Delete(tr, 7)
+	if Size(tr) != 0 {
+		t.Fatal("tree not empty")
+	}
+	if ok, _ := Check(tr); !ok {
+		t.Fatal("empty tree must check")
+	}
+	// And it must accept inserts again.
+	tr = BulkInsert(tr, []int{1, 2, 3})
+	if Size(tr) != 3 {
+		t.Fatal("reuse after emptying failed")
+	}
+}
+
+// TestDeleteProperty: delete random subsets and compare against the sorted
+// set oracle, checking the 2-6 invariants after every single deletion.
+func TestDeleteProperty(t *testing.T) {
+	f := func(seed uint16, n8, d8 uint8) bool {
+		n := int(n8%150) + 1
+		rng := workload.NewRNG(uint64(seed))
+		keys := workload.DistinctKeys(rng, n, 4*n)
+		tr := FromKeys(keys)
+
+		// Delete a random subset (some present, some absent).
+		nd := int(d8)%n + 1
+		doomed := map[int]bool{}
+		for i := 0; i < nd; i++ {
+			doomed[keys[rng.Intn(n)]] = true
+		}
+		doomed[4*n+1] = false // one absent key
+		for k := range doomed {
+			tr = Delete(tr, k)
+			if ok, _ := Check(tr); !ok {
+				return false
+			}
+		}
+		want := []int{}
+		for _, k := range keys {
+			if !doomed[k] {
+				want = append(want, k)
+			}
+		}
+		sort.Ints(want)
+		got := Keys(tr)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeleteEverything drains a large tree completely, in three different
+// orders, checking invariants throughout.
+func TestDeleteEverything(t *testing.T) {
+	rng := workload.NewRNG(9)
+	keys := workload.DistinctKeys(rng, 1000, 8000)
+	orders := map[string][]int{
+		"insertion": append([]int(nil), keys...),
+		"sorted":    func() []int { c := append([]int(nil), keys...); sort.Ints(c); return c }(),
+		"reverse": func() []int {
+			c := append([]int(nil), keys...)
+			sort.Sort(sort.Reverse(sort.IntSlice(c)))
+			return c
+		}(),
+	}
+	for name, order := range orders {
+		tr := FromKeys(keys)
+		for i, k := range order {
+			tr = Delete(tr, k)
+			if i%97 == 0 {
+				if ok, why := Check(tr); !ok {
+					t.Fatalf("%s order, step %d: %s", name, i, why)
+				}
+			}
+		}
+		if Size(tr) != 0 {
+			t.Fatalf("%s order: %d keys left", name, Size(tr))
+		}
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := FromKeys([]int{1, 2, 3, 4, 5, 6, 7, 8})
+	tr = DeleteAll(tr, []int{2, 4, 6, 8})
+	got := Keys(tr)
+	want := []int{1, 3, 5, 7}
+	if len(got) != 4 {
+		t.Fatalf("keys = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys = %v", got)
+		}
+	}
+}
+
+func TestDeletePersistence(t *testing.T) {
+	a := FromKeys([]int{10, 20, 30, 40, 50, 60, 70, 80})
+	before := append([]int{}, Keys(a)...)
+	Delete(a, 40)
+	got := Keys(a)
+	for i := range before {
+		if got[i] != before[i] {
+			t.Fatal("delete mutated the original tree")
+		}
+	}
+}
+
+// TestInsertDeleteInterleaved exercises repair paths under churn.
+func TestInsertDeleteInterleaved(t *testing.T) {
+	rng := workload.NewRNG(11)
+	live := map[int]bool{}
+	tr := Empty()
+	for round := 0; round < 50; round++ {
+		var add []int
+		for i := 0; i < 20; i++ {
+			k := rng.Intn(2000)
+			if !live[k] {
+				add = append(add, k)
+				live[k] = true
+			}
+		}
+		tr = BulkInsert(tr, add)
+		for i := 0; i < 10; i++ {
+			k := rng.Intn(2000)
+			if live[k] {
+				tr = Delete(tr, k)
+				delete(live, k)
+			}
+		}
+		if ok, why := Check(tr); !ok {
+			t.Fatalf("round %d: %s", round, why)
+		}
+		if Size(tr) != len(live) {
+			t.Fatalf("round %d: size %d, want %d", round, Size(tr), len(live))
+		}
+	}
+}

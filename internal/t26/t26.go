@@ -1,0 +1,316 @@
+// Package t26 is a sequential 2-6 tree: the top-down variant of the
+// Paul–Vishkin–Wagener 2-3 trees that Section 3.4 of "Pipelining with
+// Futures" pipelines. Each node holds one to five sorted keys and, if
+// internal, one child per key gap; every key appears exactly once and all
+// leaves are at the same level.
+//
+// Insertion proceeds top-down one *well-separated* sorted key array at a
+// time: between each pair of adjacent new keys there is at least one key
+// already in the tree. The insert maintains the invariant that it only ever
+// descends into 2-3 nodes (at most two keys) by splitting any overfull child
+// before recursing and absorbing the promoted key — which is why a node can
+// temporarily grow to five keys and six children, hence "2-6 tree".
+// BulkInsert inserts an arbitrary sorted key set by decomposing it into the
+// level arrays (median, quartiles, octiles, ...), each well separated with
+// respect to the tree built so far.
+//
+// This package is the semantic oracle for the pipelined cost-model and
+// parallel variants; like them it is purely functional (persistent).
+package t26
+
+import (
+	"fmt"
+	"sort"
+
+	"pipefut/internal/workload"
+)
+
+// MaxKeys is the maximum number of keys a node may hold.
+const MaxKeys = 5
+
+// splitThreshold: children with at least this many keys are split before
+// the insertion descends into them, re-establishing the 2-3 invariant.
+const splitThreshold = 3
+
+// Node is a 2-6 tree node. Leaves have nil Kids; internal nodes have
+// len(Keys)+1 children. The empty tree is a leaf with no keys (only legal
+// as the root).
+type Node struct {
+	Keys []int
+	Kids []*Node
+}
+
+// Empty returns the empty tree.
+func Empty() *Node { return &Node{} }
+
+// IsLeaf reports whether n is a leaf.
+func (n *Node) IsLeaf() bool { return len(n.Kids) == 0 }
+
+// splitNode splits an overfull node around its middle key, returning the
+// two halves and the promoted key. The caller absorbs the key.
+func splitNode(n *Node) (l *Node, mid int, r *Node) {
+	m := len(n.Keys) / 2
+	mid = n.Keys[m]
+	l = &Node{Keys: append([]int(nil), n.Keys[:m]...)}
+	r = &Node{Keys: append([]int(nil), n.Keys[m+1:]...)}
+	if !n.IsLeaf() {
+		l.Kids = append([]*Node(nil), n.Kids[:m+1]...)
+		r.Kids = append([]*Node(nil), n.Kids[m+1:]...)
+	}
+	return l, mid, r
+}
+
+// partition splits the sorted array ws around each key in keys, dropping
+// elements equal to a key (they are already present in the tree). It
+// returns len(keys)+1 subarrays (sub-slices of ws).
+func partition(ws []int, keys []int) [][]int {
+	out := make([][]int, 0, len(keys)+1)
+	rest := ws
+	for _, k := range keys {
+		i := sort.SearchInts(rest, k)
+		out = append(out, rest[:i])
+		if i < len(rest) && rest[i] == k {
+			i++ // drop the duplicate
+		}
+		rest = rest[i:]
+	}
+	out = append(out, rest)
+	return out
+}
+
+// InsertWS inserts a well-separated sorted key array into the tree and
+// returns the new tree. The input tree is not modified. It panics if ws is
+// not sorted or not well separated with respect to t (a leaf would overflow)
+// — use BulkInsert for arbitrary sorted key sets.
+func InsertWS(t *Node, ws []int) *Node {
+	for i := 1; i < len(ws); i++ {
+		if ws[i-1] >= ws[i] {
+			panic("t26: insert array not sorted and distinct")
+		}
+	}
+	if len(ws) == 0 {
+		return t
+	}
+	// Maintain the 2-3 root invariant: split an overfull root first,
+	// growing the tree by one level.
+	if len(t.Keys) >= splitThreshold {
+		l, mid, r := splitNode(t)
+		t = &Node{Keys: []int{mid}, Kids: []*Node{l, r}}
+	}
+	return insertWS(t, ws)
+}
+
+// insertWS does the top-down descent. t has at most two keys (2-3 node) —
+// except the initial root, which may be an empty leaf.
+func insertWS(t *Node, ws []int) *Node {
+	if t.IsLeaf() {
+		merged := mergeUnique(t.Keys, ws)
+		if len(merged) > MaxKeys {
+			panic(fmt.Sprintf("t26: leaf would hold %d keys — insert array not well separated", len(merged)))
+		}
+		return &Node{Keys: merged}
+	}
+	parts := partition(ws, t.Keys)
+	newKeys := append([]int(nil), t.Keys...)
+	newKids := append([]*Node(nil), t.Kids...)
+	// Walk children right to left so index arithmetic survives insertions.
+	for i := len(parts) - 1; i >= 0; i-- {
+		sub := parts[i]
+		if len(sub) == 0 {
+			continue
+		}
+		child := newKids[i]
+		if len(child.Keys) >= splitThreshold {
+			l, mid, r := splitNode(child)
+			wl, wr := splitAround(sub, mid)
+			var nl, nr *Node = l, r
+			if len(wl) > 0 {
+				nl = insertWS(l, wl)
+			}
+			if len(wr) > 0 {
+				nr = insertWS(r, wr)
+			}
+			newKeys = insertAt(newKeys, i, mid)
+			newKids[i] = nl
+			newKids = insertKidAt(newKids, i+1, nr)
+		} else {
+			newKids[i] = insertWS(child, sub)
+		}
+	}
+	if len(newKeys) > MaxKeys {
+		panic(fmt.Sprintf("t26: node would hold %d keys — invariant violated", len(newKeys)))
+	}
+	return &Node{Keys: newKeys, Kids: newKids}
+}
+
+// splitAround divides sorted ws into the part < k and the part > k,
+// dropping an element equal to k.
+func splitAround(ws []int, k int) (lt, gt []int) {
+	i := sort.SearchInts(ws, k)
+	lt = ws[:i]
+	if i < len(ws) && ws[i] == k {
+		i++
+	}
+	return lt, ws[i:]
+}
+
+func insertAt(xs []int, i, v int) []int {
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
+func insertKidAt(xs []*Node, i int, v *Node) []*Node {
+	xs = append(xs, nil)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
+// mergeUnique merges two sorted arrays, dropping duplicates across them.
+func mergeUnique(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// BulkInsert inserts an arbitrary set of keys (any order, duplicates
+// allowed) by sorting, deduplicating, decomposing into well-separated level
+// arrays (Section 3.4), and inserting the arrays in order.
+func BulkInsert(t *Node, keys []int) *Node {
+	cp := append([]int(nil), keys...)
+	sort.Ints(cp)
+	out := cp[:0]
+	for i, k := range cp {
+		if i == 0 || k != cp[i-1] {
+			out = append(out, k)
+		}
+	}
+	for _, level := range workload.WellSeparatedLevels(out) {
+		t = InsertWS(t, level)
+	}
+	return t
+}
+
+// FromKeys builds a 2-6 tree over the given keys.
+func FromKeys(keys []int) *Node { return BulkInsert(Empty(), keys) }
+
+// Contains reports whether key occurs in the tree.
+func Contains(t *Node, key int) bool {
+	for {
+		i := sort.SearchInts(t.Keys, key)
+		if i < len(t.Keys) && t.Keys[i] == key {
+			return true
+		}
+		if t.IsLeaf() {
+			return false
+		}
+		t = t.Kids[i]
+	}
+}
+
+// Keys returns every key in the tree in ascending order.
+func Keys(t *Node) []int { return appendKeys(t, nil) }
+
+func appendKeys(t *Node, out []int) []int {
+	if t.IsLeaf() {
+		return append(out, t.Keys...)
+	}
+	for i, k := range t.Keys {
+		out = appendKeys(t.Kids[i], out)
+		out = append(out, k)
+	}
+	return appendKeys(t.Kids[len(t.Keys)], out)
+}
+
+// Size returns the number of keys in the tree.
+func Size(t *Node) int {
+	n := len(t.Keys)
+	for _, k := range t.Kids {
+		n += Size(k)
+	}
+	return n
+}
+
+// Height returns the number of edges from the root to the leaves.
+func Height(t *Node) int {
+	h := 0
+	for !t.IsLeaf() {
+		t = t.Kids[0]
+		h++
+	}
+	return h
+}
+
+// Check verifies the 2-6 tree invariants: node capacities, sorted keys,
+// uniform leaf depth, and global key order. An empty tree passes.
+func Check(t *Node) (bool, string) {
+	if len(t.Keys) == 0 && t.IsLeaf() {
+		return true, "" // empty tree
+	}
+	leafDepth := -1
+	var walk func(n *Node, depth int, lo, hi int, hasLo, hasHi bool) (bool, string)
+	walk = func(n *Node, depth int, lo, hi int, hasLo, hasHi bool) (bool, string) {
+		if len(n.Keys) < 1 {
+			return false, "non-root node with no keys"
+		}
+		if len(n.Keys) > MaxKeys {
+			return false, fmt.Sprintf("node with %d keys", len(n.Keys))
+		}
+		for i := 1; i < len(n.Keys); i++ {
+			if n.Keys[i-1] >= n.Keys[i] {
+				return false, "node keys not strictly increasing"
+			}
+		}
+		if hasLo && n.Keys[0] <= lo {
+			return false, "key below subtree lower bound"
+		}
+		if hasHi && n.Keys[len(n.Keys)-1] >= hi {
+			return false, "key above subtree upper bound"
+		}
+		if n.IsLeaf() {
+			if leafDepth == -1 {
+				leafDepth = depth
+			}
+			if depth != leafDepth {
+				return false, "leaves at different depths"
+			}
+			return true, ""
+		}
+		if len(n.Kids) != len(n.Keys)+1 {
+			return false, "internal node with wrong child count"
+		}
+		for i, kid := range n.Kids {
+			cLo, cHasLo := lo, hasLo
+			cHi, cHasHi := hi, hasHi
+			if i > 0 {
+				cLo, cHasLo = n.Keys[i-1], true
+			}
+			if i < len(n.Keys) {
+				cHi, cHasHi = n.Keys[i], true
+			}
+			if ok, why := walk(kid, depth+1, cLo, cHi, cHasLo, cHasHi); !ok {
+				return false, why
+			}
+		}
+		return true, ""
+	}
+	return walk(t, 0, 0, 0, false, false)
+}

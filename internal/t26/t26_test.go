@@ -1,0 +1,191 @@
+package t26
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/workload"
+)
+
+func eq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmpty(t *testing.T) {
+	e := Empty()
+	if !e.IsLeaf() || len(e.Keys) != 0 {
+		t.Fatal("empty tree wrong")
+	}
+	if ok, why := Check(e); !ok {
+		t.Fatal(why)
+	}
+	if Size(e) != 0 || Height(e) != 0 {
+		t.Fatal("empty size/height wrong")
+	}
+	if Contains(e, 5) {
+		t.Fatal("empty contains nothing")
+	}
+}
+
+func TestBulkInsertProperty(t *testing.T) {
+	f := func(seed uint16, n8 uint8) bool {
+		n := int(n8%250) + 1
+		rng := workload.NewRNG(uint64(seed))
+		keys := workload.DistinctKeys(rng, n, 4*n)
+		tr := FromKeys(keys)
+		if ok, _ := Check(tr); !ok {
+			return false
+		}
+		sort.Ints(keys)
+		return eq(Keys(tr), keys)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalBulkInsert(t *testing.T) {
+	f := func(seed uint16, n8, m8 uint8) bool {
+		n, m := int(n8%150)+1, int(m8%150)+1
+		rng := workload.NewRNG(uint64(seed))
+		all := workload.DistinctKeys(rng, n+m, 4*(n+m))
+		tr := FromKeys(all[:n])
+		tr = BulkInsert(tr, all[n:])
+		if ok, _ := Check(tr); !ok {
+			return false
+		}
+		want := append([]int{}, all...)
+		sort.Ints(want)
+		return eq(Keys(tr), want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkInsertWithDuplicates(t *testing.T) {
+	tr := FromKeys([]int{5, 1, 5, 3, 1})
+	if !eq(Keys(tr), []int{1, 3, 5}) {
+		t.Fatalf("keys = %v", Keys(tr))
+	}
+	// Re-inserting existing keys must be a no-op.
+	tr2 := BulkInsert(tr, []int{1, 3, 5})
+	if !eq(Keys(tr2), []int{1, 3, 5}) {
+		t.Fatalf("keys = %v", Keys(tr2))
+	}
+}
+
+func TestContains(t *testing.T) {
+	rng := workload.NewRNG(4)
+	keys := workload.DistinctKeys(rng, 500, 2000)
+	tr := FromKeys(keys)
+	in := map[int]bool{}
+	for _, k := range keys {
+		in[k] = true
+	}
+	for k := 0; k < 2000; k++ {
+		if Contains(tr, k) != in[k] {
+			t.Fatalf("Contains(%d) wrong", k)
+		}
+	}
+}
+
+func TestUniformLeafDepthAndCapacities(t *testing.T) {
+	rng := workload.NewRNG(5)
+	tr := FromKeys(workload.DistinctKeys(rng, 4096, 1<<20))
+	if ok, why := Check(tr); !ok {
+		t.Fatal(why)
+	}
+	// Height must be logarithmic: a 2-6 tree over n keys has height
+	// ≥ log6(n) and ≤ ~log2(n).
+	h := Height(tr)
+	if h < 4 || h > 13 {
+		t.Fatalf("height %d implausible for 4096 keys", h)
+	}
+}
+
+func TestInsertWSPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	InsertWS(Empty(), []int{3, 1})
+}
+
+func TestInsertWSPanicsOnNonSeparated(t *testing.T) {
+	// 8 keys into an empty tree in one array: leaves must overflow.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	InsertWS(Empty(), []int{1, 2, 3, 4, 5, 6, 7, 8})
+}
+
+func TestInsertWSEmptyArray(t *testing.T) {
+	tr := FromKeys([]int{1, 2, 3})
+	if InsertWS(tr, nil) != tr {
+		t.Fatal("empty insert must return the tree unchanged")
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	// BulkInsert must not mutate the original tree.
+	a := FromKeys([]int{10, 20, 30, 40, 50, 60, 70})
+	before := append([]int{}, Keys(a)...)
+	BulkInsert(a, []int{15, 25, 35, 45})
+	if !eq(Keys(a), before) {
+		t.Fatal("insert mutated the original tree")
+	}
+}
+
+func TestCheckDetectsViolations(t *testing.T) {
+	if ok, _ := Check(&Node{Keys: []int{3, 1}}); ok {
+		t.Fatal("unsorted keys accepted")
+	}
+	if ok, _ := Check(&Node{Keys: []int{1, 2, 3, 4, 5, 6}}); ok {
+		t.Fatal("overfull node accepted")
+	}
+	// Leaves at different depths.
+	bad := &Node{
+		Keys: []int{10},
+		Kids: []*Node{
+			{Keys: []int{5}},
+			{Keys: []int{20}, Kids: []*Node{{Keys: []int{15}}, {Keys: []int{25}}}},
+		},
+	}
+	if ok, _ := Check(bad); ok {
+		t.Fatal("ragged leaves accepted")
+	}
+	// Wrong child count.
+	bad2 := &Node{Keys: []int{10}, Kids: []*Node{{Keys: []int{5}}}}
+	if ok, _ := Check(bad2); ok {
+		t.Fatal("wrong child count accepted")
+	}
+}
+
+func TestHeightGrowsByAtMostOnePerInsert(t *testing.T) {
+	rng := workload.NewRNG(6)
+	all := workload.DistinctKeys(rng, 300, 3000)
+	sort.Ints(all)
+	tr := Empty()
+	prevH := 0
+	for _, level := range workload.WellSeparatedLevels(all) {
+		tr = InsertWS(tr, level)
+		h := Height(tr)
+		if h > prevH+1 {
+			t.Fatalf("height jumped %d → %d in one insertion", prevH, h)
+		}
+		prevH = h
+	}
+}

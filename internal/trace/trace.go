@@ -1,0 +1,279 @@
+// Package trace records the computation DAG unfolded by the core cost
+// engine and analyzes it: work (node count), depth (critical path), edge
+// statistics, and DOT export. Traces are the input to the machine simulator
+// (package machine), which executes them on p virtual processors.
+//
+// Node IDs are dense int32s in creation order; every edge points from a
+// lower ID to a higher ID, so the node order is already topological. Each
+// node stores at most two inline parents (the common case: a thread edge
+// plus possibly a data edge); rarer multi-parent nodes (the sinks of
+// parallel-array fans) spill into an overflow list.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"pipefut/internal/core"
+)
+
+// none marks an absent parent.
+const none int32 = -1
+
+// Trace is a recorded computation DAG. It implements core.Tracer.
+type Trace struct {
+	// parent1/kind1 is the primary in-edge (thread or fork), parent2 the
+	// data edge; none if absent.
+	parent1 []int32
+	kind1   []core.EdgeKind
+	parent2 []int32
+
+	// extra holds in-edges beyond the two inline slots (fan sinks).
+	extra map[int32][]int32
+
+	roots []int32
+
+	edgeCount [3]int64 // indexed by core.EdgeKind
+}
+
+// New returns an empty trace ready to be passed to core.NewEngine.
+func New() *Trace {
+	return &Trace{extra: make(map[int32][]int32)}
+}
+
+// Len returns the number of nodes recorded.
+func (t *Trace) Len() int { return len(t.parent1) }
+
+// Roots returns the IDs of top-level thread anchors (level-0 nodes).
+func (t *Trace) Roots() []int32 { return t.roots }
+
+// EdgeCount returns the number of recorded edges of the given kind.
+func (t *Trace) EdgeCount(k core.EdgeKind) int64 { return t.edgeCount[k] }
+
+func (t *Trace) newNode(p1 int32, k core.EdgeKind) int32 {
+	id := int32(len(t.parent1))
+	t.parent1 = append(t.parent1, p1)
+	t.kind1 = append(t.kind1, k)
+	t.parent2 = append(t.parent2, none)
+	if p1 != none {
+		t.edgeCount[k]++
+	}
+	return id
+}
+
+// Root implements core.Tracer.
+func (t *Trace) Root() int32 {
+	id := t.newNode(none, core.ThreadEdge)
+	t.roots = append(t.roots, id)
+	return id
+}
+
+// Step implements core.Tracer.
+func (t *Trace) Step(prev int32, kind core.EdgeKind) int32 {
+	return t.newNode(prev, kind)
+}
+
+// StepN implements core.Tracer.
+func (t *Trace) StepN(prev int32, n int64, kind core.EdgeKind) int32 {
+	if n <= 0 {
+		return prev
+	}
+	id := t.newNode(prev, kind)
+	for i := int64(1); i < n; i++ {
+		id = t.newNode(id, core.ThreadEdge)
+	}
+	return id
+}
+
+// Fan implements core.Tracer: the Figure 9 DAG of the parallel array
+// primitive — source, n parallel middles, sink.
+func (t *Trace) Fan(prev int32, n int64, kind core.EdgeKind) int32 {
+	src := t.newNode(prev, kind)
+	if n == 0 {
+		// Degenerate fan: source then sink.
+		mid := t.newNode(src, core.ThreadEdge)
+		return t.newNode(mid, core.ThreadEdge)
+	}
+	first := t.newNode(src, core.ThreadEdge)
+	mids := make([]int32, 0, n)
+	mids = append(mids, first)
+	for i := int64(1); i < n; i++ {
+		mids = append(mids, t.newNode(src, core.ThreadEdge))
+	}
+	sink := t.newNode(mids[0], core.ThreadEdge)
+	if len(mids) > 1 {
+		rest := make([]int32, len(mids)-1)
+		copy(rest, mids[1:])
+		t.extra[sink] = rest
+		t.edgeCount[core.ThreadEdge] += int64(len(rest))
+	}
+	return sink
+}
+
+// DataEdge implements core.Tracer.
+func (t *Trace) DataEdge(from, to int32) {
+	if t.parent2[to] == none {
+		t.parent2[to] = from
+	} else {
+		t.extra[to] = append(t.extra[to], from)
+	}
+	t.edgeCount[core.DataEdgeKind]++
+}
+
+// DataParent returns the node's data-edge parent (the write its first read
+// depends on), or -1 if it has none. Fan-sink overflow parents are thread
+// edges and are not reported here; extra data edges beyond the first are
+// rare (multi-read cells) and also not reported.
+func (t *Trace) DataParent(id int32) int32 {
+	return t.parent2[id]
+}
+
+// Parents calls fn for every in-edge of node id.
+func (t *Trace) Parents(id int32, fn func(parent int32)) {
+	if p := t.parent1[id]; p != none {
+		fn(p)
+	}
+	if p := t.parent2[id]; p != none {
+		fn(p)
+	}
+	for _, p := range t.extra[id] {
+		fn(p)
+	}
+}
+
+// InDegree returns the number of in-edges of node id.
+func (t *Trace) InDegree(id int32) int {
+	d := 0
+	t.Parents(id, func(int32) { d++ })
+	return d
+}
+
+// Work returns the number of actions in the trace: all nodes except the
+// level-0 root anchors (which exist only to anchor top-level threads).
+func (t *Trace) Work() int64 {
+	return int64(t.Len() - len(t.roots))
+}
+
+// Depth returns the critical path length, measured in edges from the root
+// anchors — exactly the clock the core engine reports as depth.
+func (t *Trace) Depth() int64 {
+	level := t.Levels()
+	var d int64
+	for _, l := range level {
+		if l > d {
+			d = l
+		}
+	}
+	return d
+}
+
+// Levels returns, for every node, the length of the longest path from a
+// root anchor to it (its earliest possible execution time minus one).
+func (t *Trace) Levels() []int64 {
+	level := make([]int64, t.Len())
+	for id := 0; id < t.Len(); id++ {
+		var max int64 = -1
+		t.Parents(int32(id), func(p int32) {
+			if level[p] > max {
+				max = level[p]
+			}
+		})
+		level[id] = max + 1
+	}
+	// Root anchors have no parents and land at level 0 via max=-1+1.
+	return level
+}
+
+// Children builds the forward adjacency structure: for each node, the list
+// of nodes depending on it. The returned slices share one backing array.
+func (t *Trace) Children() [][]int32 {
+	counts := make([]int32, t.Len())
+	var total int64
+	for id := 0; id < t.Len(); id++ {
+		t.Parents(int32(id), func(p int32) {
+			counts[p]++
+			total++
+		})
+	}
+	backing := make([]int32, total)
+	children := make([][]int32, t.Len())
+	off := int64(0)
+	for id := range children {
+		children[id] = backing[off : off : off+int64(counts[id])]
+		off += int64(counts[id])
+	}
+	for id := 0; id < t.Len(); id++ {
+		t.Parents(int32(id), func(p int32) {
+			children[p] = append(children[p], int32(id))
+		})
+	}
+	return children
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Nodes       int64
+	Work        int64
+	Depth       int64
+	Roots       int
+	ThreadEdges int64
+	ForkEdges   int64
+	DataEdges   int64
+}
+
+// Summary computes trace statistics.
+func (t *Trace) Summary() Stats {
+	return Stats{
+		Nodes:       int64(t.Len()),
+		Work:        t.Work(),
+		Depth:       t.Depth(),
+		Roots:       len(t.roots),
+		ThreadEdges: t.EdgeCount(core.ThreadEdge),
+		ForkEdges:   t.EdgeCount(core.ForkEdge),
+		DataEdges:   t.EdgeCount(core.DataEdgeKind),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d work=%d depth=%d threads+forks+data=%d+%d+%d",
+		s.Nodes, s.Work, s.Depth, s.ThreadEdges, s.ForkEdges, s.DataEdges)
+}
+
+// WriteDOT writes the DAG in Graphviz DOT format. Intended for small traces
+// (teaching figures like Figure 1 of the paper); it refuses traces with more
+// than maxDOTNodes nodes.
+func (t *Trace) WriteDOT(w io.Writer, name string) error {
+	const maxDOTNodes = 20000
+	if t.Len() > maxDOTNodes {
+		return fmt.Errorf("trace: %d nodes is too large for DOT export (max %d)", t.Len(), maxDOTNodes)
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=point];\n", name); err != nil {
+		return err
+	}
+	for id := 0; id < t.Len(); id++ {
+		if p := t.parent1[id]; p != none {
+			style := ""
+			switch t.kind1[id] {
+			case core.ForkEdge:
+				style = " [color=blue]"
+			case core.DataEdgeKind:
+				style = " [color=red,style=dashed]"
+			}
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d%s;\n", p, id, style); err != nil {
+				return err
+			}
+		}
+		if p := t.parent2[id]; p != none {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d [color=red,style=dashed];\n", p, id); err != nil {
+				return err
+			}
+		}
+		for _, p := range t.extra[int32(id)] {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", p, id); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"pipefut/internal/core"
+)
+
+func TestChainDepthAndWork(t *testing.T) {
+	tr := New()
+	r := tr.Root()
+	tr.StepN(r, 5, core.ThreadEdge)
+	if got := tr.Work(); got != 5 {
+		t.Fatalf("work = %d, want 5 (root anchor excluded)", got)
+	}
+	if got := tr.Depth(); got != 5 {
+		t.Fatalf("depth = %d, want 5", got)
+	}
+}
+
+func TestStepNZero(t *testing.T) {
+	tr := New()
+	r := tr.Root()
+	if got := tr.StepN(r, 0, core.ThreadEdge); got != r {
+		t.Fatal("StepN(0) must return prev unchanged")
+	}
+}
+
+func TestForkAndDataEdges(t *testing.T) {
+	tr := New()
+	r := tr.Root()
+	forkNode := tr.Step(r, core.ThreadEdge)
+	childFirst := tr.Step(forkNode, core.ForkEdge)
+	childWrite := tr.Step(childFirst, core.ThreadEdge)
+	parentTouch := tr.Step(forkNode, core.ThreadEdge)
+	tr.DataEdge(childWrite, parentTouch)
+
+	if tr.EdgeCount(core.ForkEdge) != 1 {
+		t.Fatal("fork edge not counted")
+	}
+	if tr.EdgeCount(core.DataEdgeKind) != 1 {
+		t.Fatal("data edge not counted")
+	}
+	// Critical path: root → fork → childFirst → childWrite → parentTouch.
+	if got := tr.Depth(); got != 4 {
+		t.Fatalf("depth = %d, want 4", got)
+	}
+	if got := tr.InDegree(parentTouch); got != 2 {
+		t.Fatalf("indegree = %d, want 2", got)
+	}
+}
+
+func TestFanShape(t *testing.T) {
+	tr := New()
+	r := tr.Root()
+	sink := tr.Fan(r, 10, core.ThreadEdge)
+	// source + 10 middles + sink = 12 nodes, plus the root anchor.
+	if tr.Len() != 13 {
+		t.Fatalf("nodes = %d, want 13", tr.Len())
+	}
+	if tr.Work() != 12 {
+		t.Fatalf("work = %d, want 12 (n+2)", tr.Work())
+	}
+	if tr.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", tr.Depth())
+	}
+	if got := tr.InDegree(sink); got != 10 {
+		t.Fatalf("sink indegree = %d, want 10", got)
+	}
+}
+
+func TestFanZero(t *testing.T) {
+	tr := New()
+	r := tr.Root()
+	tr.Fan(r, 0, core.ThreadEdge)
+	if tr.Depth() != 3 || tr.Work() != 3 {
+		t.Fatalf("degenerate fan: depth=%d work=%d, want 3/3", tr.Depth(), tr.Work())
+	}
+}
+
+func TestChildrenMatchesParents(t *testing.T) {
+	tr := New()
+	r := tr.Root()
+	a := tr.Step(r, core.ThreadEdge)
+	b := tr.Step(a, core.ForkEdge)
+	c := tr.Step(a, core.ThreadEdge)
+	tr.DataEdge(b, c)
+	children := tr.Children()
+	got := append([]int32(nil), children[a]...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != b || got[1] != c {
+		t.Fatalf("children of a = %v, want [%d %d]", got, b, c)
+	}
+	if len(children[b]) != 1 || children[b][0] != c {
+		t.Fatalf("children of b = %v", children[b])
+	}
+}
+
+// TestEngineTraceConsistency is the load-bearing cross-check: the trace's
+// critical path must equal the engine's measured depth, and the trace's
+// work the engine's work, for a computation that exercises Fork/Touch/
+// Write/Step/ParWork (no AdvanceTo).
+func TestEngineTraceConsistency(t *testing.T) {
+	tr := New()
+	eng := core.NewEngine(tr)
+	ctx := eng.NewCtx()
+	ctx.Step(3)
+	a := core.Fork1(ctx, func(th *core.Ctx) int {
+		th.Step(4)
+		th.ParWork(7)
+		return 1
+	})
+	b := core.Fork1(ctx, func(th *core.Ctx) int {
+		return core.Touch(th, a) + 1
+	})
+	ctx.ParWork(2)
+	core.Touch(ctx, b)
+	core.Touch(ctx, a)
+	costs := eng.Finish()
+
+	if got := tr.Depth(); got != costs.Depth {
+		t.Fatalf("trace depth %d != engine depth %d", got, costs.Depth)
+	}
+	if got := tr.Work(); got != costs.Work {
+		t.Fatalf("trace work %d != engine work %d", got, costs.Work)
+	}
+	s := tr.Summary()
+	if s.Roots != 1 {
+		t.Fatalf("roots = %d", s.Roots)
+	}
+	if s.ForkEdges != 2 {
+		t.Fatalf("fork edges = %d, want 2", s.ForkEdges)
+	}
+	if s.DataEdges != 3 {
+		t.Fatalf("data edges = %d, want 3", s.DataEdges)
+	}
+	if s.String() == "" {
+		t.Fatal("summary string empty")
+	}
+}
+
+func TestLevelsMonotoneAlongEdges(t *testing.T) {
+	tr := New()
+	eng := core.NewEngine(tr)
+	ctx := eng.NewCtx()
+	c := core.Fork1(ctx, func(th *core.Ctx) int { th.Step(3); return 0 })
+	ctx.Step(2)
+	core.Touch(ctx, c)
+	eng.Finish()
+
+	level := tr.Levels()
+	for id := 0; id < tr.Len(); id++ {
+		tr.Parents(int32(id), func(p int32) {
+			if level[p] >= level[id] {
+				t.Fatalf("level not increasing along edge %d→%d", p, id)
+			}
+		})
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	tr := New()
+	eng := core.NewEngine(tr)
+	ctx := eng.NewCtx()
+	c := core.Fork1(ctx, func(th *core.Ctx) int { th.Step(1); return 0 })
+	ctx.ParWork(3)
+	core.Touch(ctx, c)
+	eng.Finish()
+
+	var sb strings.Builder
+	if err := tr.WriteDOT(&sb, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph") || !strings.Contains(out, "->") {
+		t.Fatalf("not DOT: %s", out)
+	}
+	if !strings.Contains(out, "color=blue") {
+		t.Fatal("fork edge styling missing")
+	}
+	if !strings.Contains(out, "color=red") {
+		t.Fatal("data edge styling missing")
+	}
+}
+
+func TestWriteDOTRefusesHugeTraces(t *testing.T) {
+	tr := New()
+	r := tr.Root()
+	tr.StepN(r, 30000, core.ThreadEdge)
+	if err := tr.WriteDOT(&strings.Builder{}, "big"); err == nil {
+		t.Fatal("expected size refusal")
+	}
+}

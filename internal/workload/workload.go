@@ -1,0 +1,214 @@
+// Package workload generates deterministic inputs for the experiments:
+// random permutations, disjoint and overlapping key sets, sorted arrays, and
+// the per-key random priorities treaps need. All randomness comes from a
+// splitmix64 generator seeded explicitly, so every experiment is exactly
+// reproducible offline.
+package workload
+
+import "sort"
+
+// RNG is a splitmix64 pseudo-random generator. The zero value is a valid
+// generator seeded with 0; prefer NewRNG for clarity.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator with the given seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a pseudo-random non-negative int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }
+
+// Perm returns a pseudo-random permutation of 0..n-1.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes xs in place (Fisher–Yates).
+func (r *RNG) Shuffle(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Priority returns the random treap priority associated with key. It is a
+// pure hash of the key (splitmix64 finalizer), so the sequential oracle and
+// every parallel variant assign identical priorities — identical treap
+// shapes — making structural comparison exact.
+func Priority(key int) int64 {
+	z := uint64(key) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64((z ^ (z >> 31)) >> 1)
+}
+
+// DistinctKeys returns n distinct pseudo-random keys in [0, bound), in
+// random order. It panics if n > bound.
+func DistinctKeys(r *RNG, n, bound int) []int {
+	if n > bound {
+		panic("workload: n > bound")
+	}
+	seen := make(map[int]struct{}, n)
+	out := make([]int, 0, n)
+	for len(out) < n {
+		k := r.Intn(bound)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, k)
+	}
+	return out
+}
+
+// DisjointKeySets returns two disjoint key sets of sizes n and m drawn from
+// [0, 4(n+m)), each in random order. Disjointness matches the merge
+// algorithm's precondition that keys are unique across both trees.
+func DisjointKeySets(r *RNG, n, m int) (a, b []int) {
+	all := DistinctKeys(r, n+m, 4*(n+m))
+	return all[:n], all[n:]
+}
+
+// OverlappingKeySets returns key sets of sizes n and m where approximately
+// frac·m of b's keys also appear in a. Used by the union and difference
+// experiments to control how often splitm finds its splitter.
+func OverlappingKeySets(r *RNG, n, m int, frac float64) (a, b []int) {
+	shared := int(frac * float64(m))
+	if shared > m {
+		shared = m
+	}
+	if shared > n {
+		shared = n
+	}
+	all := DistinctKeys(r, n+m-shared, 4*(n+m))
+	a = all[:n]
+	b = make([]int, 0, m)
+	b = append(b, all[n:]...)
+	// Take the shared keys from a random prefix of a shuffled copy of a.
+	cp := make([]int, n)
+	copy(cp, a)
+	r.Shuffle(cp)
+	b = append(b, cp[:shared]...)
+	r.Shuffle(b)
+	return a, b
+}
+
+// SortedDistinct returns n distinct pseudo-random keys in ascending order.
+func SortedDistinct(r *RNG, n, bound int) []int {
+	ks := DistinctKeys(r, n, bound)
+	sort.Ints(ks)
+	return ks
+}
+
+// Interleaved returns two sorted key sets of sizes n and m that perfectly
+// interleave (a[0] < b[0] < a[1] < b[1] < ...), an adversarial pattern for
+// split-based merging: every split traverses deep into the tree.
+func Interleaved(n, m int) (a, b []int) {
+	a = make([]int, n)
+	b = make([]int, m)
+	for i := range a {
+		a[i] = 2 * i
+	}
+	for i := range b {
+		b[i] = 2*i + 1
+	}
+	return a, b
+}
+
+// Runs returns two sorted key sets where b's keys fall into r contiguous
+// runs between a's keys — the friendly pattern for merging (few splits do
+// all the work).
+func Runs(rng *RNG, n, m, r int) (a, b []int) {
+	if r < 1 {
+		r = 1
+	}
+	per := m / r
+	if per < 1 {
+		per = 1
+	}
+	gap := 2*per + 4 // room for a whole cluster between adjacent a-keys
+	a = make([]int, n)
+	for i := range a {
+		a[i] = (i + 1) * gap
+	}
+	b = make([]int, 0, m)
+	for run := 0; run < r; run++ {
+		// Place the cluster in the gap just above a random a-key.
+		base := a[rng.Intn(n)] + 1
+		cnt := per
+		if run == r-1 {
+			cnt = m - len(b)
+		}
+		for j := 0; j < cnt && j < gap-2; j++ {
+			b = append(b, base+j)
+		}
+	}
+	sort.Ints(b)
+	b = dedupe(b)
+	return a, b
+}
+
+func dedupe(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// WellSeparatedLevels decomposes sorted keys into the level arrays of
+// Section 3.4: the first array holds the median, the second the first and
+// third quartiles, and so on — the BFS levels of a conceptual balanced
+// binary tree over the keys. Inserting the arrays in order guarantees each
+// array is well separated with respect to the tree built so far.
+func WellSeparatedLevels(sorted []int) [][]int {
+	var levels [][]int
+	type span struct{ lo, hi int }
+	cur := []span{{0, len(sorted)}}
+	for len(cur) > 0 {
+		var level []int
+		var next []span
+		for _, s := range cur {
+			if s.lo >= s.hi {
+				continue
+			}
+			mid := (s.lo + s.hi) / 2
+			level = append(level, sorted[mid])
+			next = append(next, span{s.lo, mid}, span{mid + 1, s.hi})
+		}
+		if len(level) > 0 {
+			levels = append(levels, level)
+		}
+		cur = next
+	}
+	return levels
+}

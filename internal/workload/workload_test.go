@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 must be non-negative")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint16, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		p := NewRNG(uint64(seed)).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorityIsPureFunction(t *testing.T) {
+	if Priority(12345) != Priority(12345) {
+		t.Fatal("priority must be deterministic per key")
+	}
+	if Priority(1) == Priority(2) {
+		t.Fatal("distinct keys should (almost surely) differ")
+	}
+	if Priority(-7) < 0 {
+		t.Fatal("priorities must be non-negative")
+	}
+}
+
+func TestDistinctKeys(t *testing.T) {
+	r := NewRNG(8)
+	ks := DistinctKeys(r, 500, 1000)
+	seen := map[int]bool{}
+	for _, k := range ks {
+		if k < 0 || k >= 1000 || seen[k] {
+			t.Fatalf("bad key %d", k)
+		}
+		seen[k] = true
+	}
+	if len(ks) != 500 {
+		t.Fatal("wrong count")
+	}
+}
+
+func TestDistinctKeysPanicsWhenImpossible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DistinctKeys(NewRNG(1), 10, 5)
+}
+
+func TestDisjointKeySets(t *testing.T) {
+	r := NewRNG(9)
+	a, b := DisjointKeySets(r, 300, 200)
+	if len(a) != 300 || len(b) != 200 {
+		t.Fatal("wrong sizes")
+	}
+	inA := map[int]bool{}
+	for _, k := range a {
+		inA[k] = true
+	}
+	for _, k := range b {
+		if inA[k] {
+			t.Fatalf("key %d in both sets", k)
+		}
+	}
+}
+
+func TestOverlappingKeySets(t *testing.T) {
+	for _, frac := range []float64{0, 0.5, 1} {
+		r := NewRNG(10)
+		a, b := OverlappingKeySets(r, 400, 200, frac)
+		if len(a) != 400 || len(b) != 200 {
+			t.Fatalf("sizes: %d %d", len(a), len(b))
+		}
+		inA := map[int]bool{}
+		for _, k := range a {
+			inA[k] = true
+		}
+		shared := 0
+		for _, k := range b {
+			if inA[k] {
+				shared++
+			}
+		}
+		want := int(frac * 200)
+		if shared != want {
+			t.Fatalf("frac=%v: shared = %d, want %d", frac, shared, want)
+		}
+	}
+}
+
+func TestSortedDistinct(t *testing.T) {
+	ks := SortedDistinct(NewRNG(11), 100, 10000)
+	if !sort.IntsAreSorted(ks) {
+		t.Fatal("not sorted")
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i] == ks[i-1] {
+			t.Fatal("duplicate")
+		}
+	}
+}
+
+func TestInterleaved(t *testing.T) {
+	a, b := Interleaved(5, 5)
+	for i := 0; i < 5; i++ {
+		if a[i] != 2*i || b[i] != 2*i+1 {
+			t.Fatal("interleaving wrong")
+		}
+	}
+}
+
+func TestRuns(t *testing.T) {
+	a, b := Runs(NewRNG(12), 50, 200, 4)
+	if !sort.IntsAreSorted(a) || !sort.IntsAreSorted(b) {
+		t.Fatal("not sorted")
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] == b[i-1] {
+			t.Fatal("duplicate in b")
+		}
+	}
+}
+
+func TestWellSeparatedLevelsReconstruct(t *testing.T) {
+	f := func(seed uint16, nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		sorted := SortedDistinct(NewRNG(uint64(seed)), n, 10*n+10)
+		levels := WellSeparatedLevels(sorted)
+		var all []int
+		for _, lv := range levels {
+			if !sort.IntsAreSorted(lv) {
+				return false
+			}
+			all = append(all, lv...)
+		}
+		sort.Ints(all)
+		if len(all) != n {
+			return false
+		}
+		for i := range all {
+			if all[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWellSeparatedLevelsAreWellSeparated checks the Section 3.4
+// precondition: between each pair of adjacent keys in level i there is at
+// least one key from levels 0..i-1.
+func TestWellSeparatedLevelsAreWellSeparated(t *testing.T) {
+	sorted := SortedDistinct(NewRNG(13), 257, 5000)
+	levels := WellSeparatedLevels(sorted)
+	prev := map[int]bool{}
+	for li, lv := range levels {
+		for i := 1; i < len(lv); i++ {
+			found := false
+			for k := range prev {
+				if k > lv[i-1] && k < lv[i] {
+					found = true
+					break
+				}
+			}
+			if li > 0 && !found {
+				t.Fatalf("level %d: no separator between %d and %d", li, lv[i-1], lv[i])
+			}
+		}
+		for _, k := range lv {
+			prev[k] = true
+		}
+	}
+	// Level sizes follow the binary-tree pattern 1, 2, 4, ...
+	for i := 0; i < len(levels)-1 && i < 5; i++ {
+		if len(levels[i]) != 1<<i {
+			t.Fatalf("level %d size = %d, want %d", i, len(levels[i]), 1<<i)
+		}
+	}
+}

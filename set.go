@@ -1,0 +1,162 @@
+package pipefut
+
+import (
+	"pipefut/internal/paralg"
+	"pipefut/internal/seqtreap"
+)
+
+// Set is an immutable ordered set of ints backed by a treap whose edges are
+// future cells. Bulk operations (Union, Subtract, Intersect) run the
+// paper's pipelined parallel algorithms on goroutines and return
+// immediately; the result's nodes materialize concurrently and any
+// operation that needs them blocks only as far as it must. Because sets
+// are immutable they may be shared freely between goroutines.
+//
+// Priorities are a pure hash of the key, so a set's tree shape depends only
+// on its contents — two sets with equal contents are structurally
+// identical no matter how they were computed.
+type Set struct {
+	root paralg.Tree
+	cfg  paralg.Config
+}
+
+// NewSet returns the set of the given keys (duplicates are fine).
+func NewSet(keys ...int) *Set {
+	return &Set{
+		root: paralg.FromSeqTreap(seqtreap.FromKeys(keys)),
+		cfg:  paralg.DefaultConfig,
+	}
+}
+
+// NewSetAsync returns the set of the given keys, constructing the treap
+// concurrently by divide-and-conquer pipelined unions: the call returns
+// immediately and queries (Contains, further set operations) run against
+// the in-flight structure, blocking only as far as they must. Prefer it
+// over NewSet for large key sets when you have work to overlap.
+func NewSetAsync(keys ...int) *Set {
+	cfg := paralg.DefaultConfig
+	return &Set{root: cfg.BuildTreap(keys), cfg: cfg}
+}
+
+// WithSpawnDepth returns a set that runs its bulk operations spawning
+// goroutines only down to the given recursion depth (0 = sequential). The
+// contents are shared, not copied.
+func (s *Set) WithSpawnDepth(d int) *Set {
+	return &Set{root: s.root, cfg: paralg.Config{SpawnDepth: d}}
+}
+
+// Union returns s ∪ t (Section 3.2 of the paper, pipelined).
+func (s *Set) Union(t *Set) *Set {
+	return &Set{root: s.cfg.Union(s.root, t.root), cfg: s.cfg}
+}
+
+// Subtract returns s \ t (Section 3.3 of the paper, pipelined).
+func (s *Set) Subtract(t *Set) *Set {
+	return &Set{root: s.cfg.Diff(s.root, t.root), cfg: s.cfg}
+}
+
+// Intersect returns s ∩ t (an extension of the paper's algorithm family,
+// pipelined like Subtract).
+func (s *Set) Intersect(t *Set) *Set {
+	return &Set{root: s.cfg.Intersect(s.root, t.root), cfg: s.cfg}
+}
+
+// Insert returns s with key added.
+func (s *Set) Insert(key int) *Set { return s.Union(NewSet(key)) }
+
+// Delete returns s with key removed.
+func (s *Set) Delete(key int) *Set { return s.Subtract(NewSet(key)) }
+
+// Contains reports whether key is in the set. It blocks only on the cells
+// along the search path, so it can run while the set is still being
+// computed.
+func (s *Set) Contains(key int) bool {
+	t := s.root
+	for {
+		n := t.Read()
+		if n == nil {
+			return false
+		}
+		switch {
+		case key == n.Key:
+			return true
+		case key < n.Key:
+			t = n.Left
+		default:
+			t = n.Right
+		}
+	}
+}
+
+// Keys returns the set's contents in ascending order, blocking until the
+// whole set is materialized.
+func (s *Set) Keys() []int {
+	var out []int
+	var walk func(t paralg.Tree)
+	walk = func(t paralg.Tree) {
+		n := t.Read()
+		if n == nil {
+			return
+		}
+		walk(n.Left)
+		out = append(out, n.Key)
+		walk(n.Right)
+	}
+	walk(s.root)
+	return out
+}
+
+// Len returns the number of keys, blocking until the set is materialized.
+func (s *Set) Len() int { return len(s.Keys()) }
+
+// Wait blocks until the set is completely materialized. Useful for timing.
+func (s *Set) Wait() { paralg.Wait(s.root) }
+
+// Equal reports whether two sets have the same contents.
+func (s *Set) Equal(t *Set) bool {
+	a, b := s.Keys(), t.Keys()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sort sorts xs (ascending, duplicates removed) with the future-based tree
+// mergesort of the paper's Section 5 conjecture, running on goroutines.
+func Sort(xs []int) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	t := paralg.DefaultConfig.Mergesort(xs)
+	out := keysOf(t)
+	// Mergesort keeps duplicates adjacent but a Set would not; dedupe to
+	// match the documented contract.
+	dst := out[:0]
+	for i, k := range out {
+		if i == 0 || k != dst[len(dst)-1] {
+			dst = append(dst, k)
+		}
+	}
+	return dst
+}
+
+func keysOf(t paralg.Tree) []int {
+	var out []int
+	var walk func(t paralg.Tree)
+	walk = func(t paralg.Tree) {
+		n := t.Read()
+		if n == nil {
+			return
+		}
+		walk(n.Left)
+		out = append(out, n.Key)
+		walk(n.Right)
+	}
+	walk(t)
+	return out
+}
