@@ -8,6 +8,12 @@
 //	dagdump -alg merge -n 8 -dot > merge8.dot   # drawable DAG
 //	dagdump -alg union -n 4096                  # statistics + schedule
 //	dagdump -alg prodcons -n 10 -dot
+//	dagdump -alg quicksort -n 512 -verify       # re-check model invariants
+//
+// With -verify the recorded DAG is checked against the cost-model
+// invariants (trace.Verify: topological IDs, single-assignment cells,
+// write-before-touch data edges, consistent edge counts) before any
+// output; verification failure exits nonzero.
 package main
 
 import (
@@ -28,10 +34,11 @@ import (
 
 func main() {
 	var (
-		alg  = flag.String("alg", "merge", "algorithm: merge|union|diff|intersect|t26|quicksort|prodcons|mergesort")
-		n    = flag.Int("n", 1024, "input size (per tree where applicable)")
-		seed = flag.Uint64("seed", 42, "workload seed")
-		dot  = flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+		alg    = flag.String("alg", "merge", "algorithm: merge|union|diff|intersect|t26|quicksort|prodcons|mergesort")
+		n      = flag.Int("n", 1024, "input size (per tree where applicable)")
+		seed   = flag.Uint64("seed", 42, "workload seed")
+		dot    = flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+		verify = flag.Bool("verify", false, "check the recorded DAG against the model invariants (trace.Verify)")
 	)
 	flag.Parse()
 
@@ -85,6 +92,17 @@ func main() {
 		os.Exit(2)
 	}
 	costs := eng.Finish()
+
+	if *verify {
+		// No linearity bound: some algorithms (deliberately) re-read
+		// cells; the structural and single-assignment invariants must
+		// hold regardless.
+		if err := trace.Verify(tr); err != nil {
+			fmt.Fprintln(os.Stderr, "dagdump: verification FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dagdump: trace verified: %d nodes, all model invariants hold\n", tr.Len())
+	}
 
 	if *dot {
 		if err := tr.WriteDOT(os.Stdout, *alg); err != nil {

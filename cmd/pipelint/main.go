@@ -1,0 +1,155 @@
+// Command pipelint runs the pipefut futures-correctness analyzer suite
+// (internal/analysis): doublewrite, neverwritten, leakedfork, nonlinear.
+// These passes check the static preconditions behind the paper's cost and
+// machine bounds — single-assignment cells, every write capability
+// exercised, no dead speculative forks, linear touch patterns (§4,
+// Lemma 4.1).
+//
+// It runs in two modes:
+//
+//	pipelint ./...                      # standalone, over go list patterns
+//	go vet -vettool=$(which pipelint) ./...   # as a go vet tool
+//
+// The vettool mode implements the go vet driver protocol (the same
+// contract as x/tools' unitchecker): a -V=full version handshake, a
+// -flags enumeration, and per-package .cfg invocations whose dependency
+// types are read from compiler export data. The implementation is
+// standard-library only; see internal/analysis for the framework.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pipefut/internal/analysis"
+	"pipefut/internal/analysis/load"
+)
+
+func main() {
+	versionFlag := flag.String("V", "", "print version and exit (go vet handshake)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (go vet handshake)")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *versionFlag != "" {
+		printVersion()
+		return
+	}
+	if *flagsFlag {
+		// No exposed analyzer flags; the driver only needs valid JSON.
+		fmt.Println("[]")
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(standalone(args))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: pipelint [packages]\n"+
+		"   or: go vet -vettool=$(which pipelint) [packages]\n\nanalyzers:\n")
+	for _, a := range analysis.All() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}
+
+// printVersion implements the -V=full handshake: the go command derives
+// the tool's cache-busting ID from the trailing buildID field, so it is a
+// content hash of the executable (matching unitchecker's behaviour).
+func printVersion() {
+	progname := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if f, err := os.Open(os.Args[0]); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil)[:12])
+}
+
+// standalone lists, loads, and analyzes the packages matching the
+// patterns, printing diagnostics to stderr. Exit code 1 means findings,
+// 2 means operational failure.
+func standalone(patterns []string) int {
+	pkgs, err := load.GoList(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipelint:", err)
+		return 2
+	}
+
+	// Export data of the whole graph, for fast dependency importing.
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	found := 0
+	failed := false
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if len(p.GoFiles) == 0 {
+			// go list -e turns an unresolvable pattern into a stub
+			// package carrying the error; surface it instead of
+			// silently analyzing nothing.
+			if p.Error != nil {
+				fmt.Fprintf(os.Stderr, "pipelint: %s: %s\n", p.ImportPath, p.Error.Err)
+				failed = true
+			}
+			continue
+		}
+		if len(p.CgoFiles) > 0 {
+			fmt.Fprintf(os.Stderr, "pipelint: skipping %s (cgo)\n", p.ImportPath)
+			continue
+		}
+		diags, err := checkPackage(fset, p.ImportPath, p.Dir, p.AbsFiles(), nil, exports)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipelint: %s: %v\n", p.ImportPath, err)
+			failed = true
+			continue
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Category)
+			found++
+		}
+	}
+	switch {
+	case failed:
+		return 2
+	case found > 0:
+		return 1
+	}
+	return 0
+}
+
+// checkPackage typechecks one package — via export data when available,
+// falling back to typechecking dependencies from source — and runs the
+// analyzer suite over it.
+func checkPackage(fset *token.FileSet, pkgPath, dir string, files []string, importMap, exports map[string]string) ([]analysis.Diagnostic, error) {
+	pkg, err := load.ParseAndCheck(fset, pkgPath, files, load.ExportImporter(fset, importMap, exports))
+	if err != nil {
+		// Export data may be missing (e.g. go list -export failed for a
+		// dependency) or in an unreadable format; retry from source.
+		var srcErr error
+		pkg, srcErr = load.ParseAndCheck(fset, pkgPath, files, load.SourceImporter(fset, dir))
+		if srcErr != nil {
+			return nil, fmt.Errorf("typecheck failed: %v (source fallback: %v)", err, srcErr)
+		}
+	}
+	return analysis.Run(analysis.All(), fset, pkg.Files, pkg.Types, pkg.Info)
+}

@@ -1,0 +1,181 @@
+// Package analysistest runs a pipelint analyzer over a testdata package
+// and checks its diagnostics against // want "regexp" comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest (reimplemented on
+// the standard library; see internal/analysis for why).
+//
+// A want comment asserts that the analyzer reports a diagnostic on that
+// comment's line whose message matches the regular expression:
+//
+//	core.Write(t, c, 1) // want `written twice`
+//
+// Several quoted or backquoted expressions may follow one want. Every
+// expectation must be matched by a diagnostic and every diagnostic must
+// be matched by an expectation, or the test fails.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pipefut/internal/analysis"
+	"pipefut/internal/analysis/load"
+)
+
+// TestData returns the caller's testdata directory (tests run with the
+// working directory set to their package directory).
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads the package in dir/src/pkg, applies the analyzer, and checks
+// diagnostics against the package's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	pkgDir := filepath.Join(dir, "src", pkg)
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(pkgDir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", pkgDir)
+	}
+	sort.Strings(filenames)
+
+	fset := token.NewFileSet()
+	loaded, err := load.ParseAndCheck(fset, pkg, filenames, load.SourceImporter(fset, pkgDir))
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", pkg, err)
+	}
+
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, fset, loaded.Files, loaded.Types, loaded.Info)
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, loaded.Files)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "want ")
+				if !strings.HasPrefix(text, "//") || idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				res, err := parseWant(text[idx+len("want "):])
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", pos, err)
+				}
+				for _, re := range res {
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant extracts the sequence of quoted or backquoted regular
+// expressions following a want marker.
+func parseWant(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			break
+		}
+		var lit string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted expression")
+			}
+			lit = s[1 : 1+end]
+			s = s[2+end:]
+		case '"':
+			// Scan to the closing unescaped quote, then unquote.
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quoted expression")
+			}
+			var err error
+			lit, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			s = s[end+1:]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp, found %q", s)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no expressions")
+	}
+	return out, nil
+}

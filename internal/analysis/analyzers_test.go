@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pipefut/internal/analysis"
+	"pipefut/internal/analysis/analysistest"
+)
+
+func TestDoubleWrite(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.DoubleWrite, "doublewrite")
+}
+
+func TestNeverWritten(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.NeverWritten, "neverwritten")
+}
+
+func TestLeakedFork(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.LeakedFork, "leakedfork")
+}
+
+func TestNonLinear(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.NonLinear, "nonlinear")
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakedFork flags fork result cells that are never consumed: the fork
+// call's results are discarded outright, bound to the blank identifier,
+// or bound to variables with no further use in the scope. The forked
+// thread's work is still charged in full when the engine finishes
+// (speculative forks are forced), so a leaked fork is pure dead parallel
+// work — and under the goroutine runtime a leaked Spawn is a goroutine
+// whose result nobody will ever read.
+var LeakedFork = &Analyzer{
+	Name: "leakedfork",
+	Doc: "report fork result cells that are never touched, returned, or " +
+		"passed on (dead parallel work)",
+	Run: runLeakedFork,
+}
+
+func runLeakedFork(pass *Pass) error {
+	info := pass.TypesInfo
+	scopes(pass.Files, func(name string, body *ast.BlockStmt) {
+		// Only this scope's statements: nested literals are their own
+		// scopes with their own bindings.
+		for _, s := range flattenStmts(body) {
+			switch s := s.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+					if _, ok := forkCall(info, call); ok {
+						pass.Reportf(call.Pos(),
+							"fork result discarded: the forked thread's cells are never touched or returned, its work is dead parallel work")
+					}
+				}
+			case *ast.AssignStmt:
+				if len(s.Rhs) != 1 {
+					continue
+				}
+				call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if _, ok := forkCall(info, call); !ok {
+					continue
+				}
+				allBlank := true
+				for _, lhs := range s.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); !ok || id.Name != "_" {
+						allBlank = false
+					}
+				}
+				if allBlank {
+					pass.Reportf(s.Pos(),
+						"every result cell of this fork is discarded (blank identifiers): dead parallel work")
+					continue
+				}
+				for _, lhs := range s.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj, _ := info.Defs[id].(*types.Var)
+					if obj == nil {
+						continue // plain `=` to an outer variable: escapes
+					}
+					if countUses(info, body, obj) == 0 {
+						pass.Reportf(id.Pos(),
+							"fork result cell %s is never touched, returned, or passed on: dead parallel work", id.Name)
+					}
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// flattenStmts returns every statement in the body, at any nesting depth,
+// excluding those inside nested function literals.
+func flattenStmts(body *ast.BlockStmt) []ast.Stmt {
+	var out []ast.Stmt
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case ast.Stmt:
+			out = append(out, n.(ast.Stmt))
+		}
+		return true
+	}
+	for _, s := range body.List {
+		ast.Inspect(s, visit)
+	}
+	return out
+}
+
+// countUses counts identifier uses of obj in body. Captures by nested
+// function literals are uses too, so literals are included. Uses whose
+// entire purpose is to silence the compiler's unused-variable check
+// (`_ = r`) are not counted: they are discards, not consumption.
+func countUses(info *types.Info, body *ast.BlockStmt, obj *types.Var) int {
+	discards := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok || lhs.Name != "_" {
+			return true
+		}
+		if rhs, ok := ast.Unparen(as.Rhs[0]).(*ast.Ident); ok {
+			discards[rhs] = true
+		}
+		return true
+	})
+	n := 0
+	ast.Inspect(body, func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok && info.Uses[id] == types.Object(obj) && !discards[id] {
+			n++
+		}
+		return true
+	})
+	return n
+}

@@ -1,0 +1,166 @@
+// Package load locates and typechecks packages for pipelint without
+// golang.org/x/tools: package file lists come from the go command
+// (`go list -export -json`), and dependency type information comes from
+// compiler export data via go/importer's gc lookup mode, with a
+// typecheck-from-source fallback (go/importer's "source" mode) for
+// environments where export data is unavailable or unreadable.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"pipefut/internal/analysis"
+)
+
+// Package is one parsed and typechecked package, ready for analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// ParseAndCheck parses the named files and typechecks them as one package
+// using the given importer for dependencies.
+func ParseAndCheck(fset *token.FileSet, pkgPath string, filenames []string, imp types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	dir := ""
+	if len(filenames) > 0 {
+		dir = filepath.Dir(filenames[0])
+	}
+	return &Package{PkgPath: pkgPath, Dir: dir, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// SourceImporter returns an importer that typechecks dependencies from
+// source. dir anchors module-aware import resolution (the go/build
+// context resolves module import paths relative to it).
+func SourceImporter(fset *token.FileSet, dir string) types.Importer {
+	if dir != "" {
+		build.Default.Dir = dir
+	}
+	return importer.ForCompiler(fset, "source", nil)
+}
+
+// ExportImporter returns an importer that reads compiler export data.
+// importMap translates source-level import paths to canonical package
+// paths (vendoring); packageFile maps canonical paths to export data
+// files. Both may be incomplete: lookups outside the maps fail, which
+// callers should treat as a cue to retry with SourceImporter.
+func ExportImporter(fset *token.FileSet, importMap, packageFile map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &mappedImporter{importMap: importMap, gc: importer.ForCompiler(fset, "gc", lookup)}
+}
+
+type mappedImporter struct {
+	importMap map[string]string
+	gc        types.Importer
+}
+
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return m.gc.Import(path)
+}
+
+// ListedPackage is the subset of `go list -json` output pipelint needs.
+type ListedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *ListError
+}
+
+// ListError is the load error `go list -e` attaches to packages it could
+// not resolve (nonexistent directory, no Go files, syntax-broken go.mod).
+type ListError struct {
+	Err string
+}
+
+// GoList runs `go list -export -deps -json` on the patterns from dir and
+// returns every listed package (dependencies included, so that the export
+// data of the full graph is available to ExportImporter).
+func GoList(dir string, patterns ...string) ([]*ListedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(out)
+	var pkgs []*ListedPackage
+	for {
+		p := new(ListedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("load: go list: %v\n%s", err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// AbsFiles joins a package's GoFiles onto its directory.
+func (p *ListedPackage) AbsFiles() []string {
+	files := make([]string, 0, len(p.GoFiles))
+	for _, f := range p.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(p.Dir, f)
+		}
+		files = append(files, f)
+	}
+	return files
+}

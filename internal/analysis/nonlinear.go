@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NonLinear flags touches of a loop-invariant future cell inside a loop
+// whose trip count is not a compile-time constant. Lemma 4.1 of
+// "Pipelining with Futures" (§4) proves the O(w/p + d) universal machine
+// bound for *linear* computations — each cell touched at most once (a
+// constant number of touches only costs a constant factor). A touch of
+// the same cell under a data-dependent loop breaks that precondition:
+// the cell becomes a concurrent-read hot spot, the EREW implementation
+// of §4 no longer applies, and the bound degrades by the fan-in.
+//
+// Cursor-style loops that re-bind the cell variable each iteration
+// (l = n.Tail, the Figure 1 consumer) touch a fresh cell every time and
+// are not reported.
+var NonLinear = &Analyzer{
+	Name: "nonlinear",
+	Doc: "report touches of one future cell inside a non-constant loop " +
+		"(breaks the linearity precondition of the O(w/p+d) bound, " +
+		"Pipelining with Futures §4, Lemma 4.1)",
+	Run: runNonLinear,
+}
+
+func runNonLinear(pass *Pass) error {
+	info := pass.TypesInfo
+	type touchSite struct {
+		obj *types.Var
+		id  *ast.Ident
+		ctx callCtx
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			decl, ok := n.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				return true
+			}
+			var touches []touchSite
+			assigns := make(map[*types.Var][]token.Pos)
+			// Descend into nested literals: a fork body created inside a
+			// loop runs (up to) once per iteration, so its touches repeat.
+			scopeWalk(info, decl.Body, true, scopeVisitor{
+				call: func(call *ast.CallExpr, ctx callCtx) {
+					for _, t := range touchTargets(info, call) {
+						if id, obj := identNode(info, t); obj != nil {
+							touches = append(touches, touchSite{obj: obj, id: id, ctx: ctx})
+						}
+					}
+				},
+				assign: func(obj *types.Var, at ast.Node, ctx callCtx) {
+					assigns[obj] = append(assigns[obj], at.Pos())
+				},
+			})
+			reported := make(map[*types.Var]bool)
+			for _, t := range touches {
+				if reported[t.obj] {
+					continue
+				}
+				for _, l := range t.ctx.loops {
+					if within(t.obj.Pos(), l) {
+						continue // cell bound inside the loop: fresh each iteration
+					}
+					if reboundIn(assigns[t.obj], l) {
+						continue // cursor pattern: variable re-bound per iteration
+					}
+					if constantTrip(info, l) {
+						continue // constant re-reads cost only a constant factor
+					}
+					reported[t.obj] = true
+					pass.Reportf(t.id.Pos(),
+						"future cell %s is touched on each iteration of a non-constant loop: "+
+							"this breaks the linearity restriction of Pipelining with Futures §4 "+
+							"(Lemma 4.1's O(w/p + d) bound assumes each cell is read O(1) times)", t.obj.Name())
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reboundIn reports whether any of the assignment positions lies inside
+// the loop.
+func reboundIn(rebinds []token.Pos, loop ast.Node) bool {
+	for _, p := range rebinds {
+		if within(p, loop) {
+			return true
+		}
+	}
+	return false
+}
+
+// constantTrip reports whether the loop's trip count is a compile-time
+// constant: `for i := 0; i < 4; i++`, `for range 8`, or a range over an
+// array type. Everything else — condition-less loops, data-dependent
+// bounds, ranges over slices/maps/channels — is non-constant.
+func constantTrip(info *types.Info, loop ast.Node) bool {
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		tv, ok := info.Types[l.X]
+		if !ok {
+			return false
+		}
+		if tv.Value != nil {
+			return true // range over an integer constant
+		}
+		t := tv.Type
+		if t == nil {
+			return false
+		}
+		u := t.Underlying()
+		if p, ok := u.(*types.Pointer); ok {
+			u = p.Elem().Underlying()
+		}
+		_, isArray := u.(*types.Array)
+		return isArray
+	case *ast.ForStmt:
+		if l.Cond == nil {
+			return false
+		}
+		if b, ok := ast.Unparen(l.Cond).(*ast.BinaryExpr); ok {
+			xv, xok := info.Types[b.X]
+			yv, yok := info.Types[b.Y]
+			return (xok && xv.Value != nil) || (yok && yv.Value != nil)
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+// Seeded violations for the doublewrite analyzer.
+package doublewrite
+
+import (
+	"pipefut/internal/core"
+	"pipefut/internal/future"
+)
+
+// seq writes the same cell twice in straight-line code.
+func seq(t *core.Ctx) {
+	a, b := core.Fork2(t, func(th *core.Ctx, a2, b2 *core.Cell[int]) {
+		core.Write(th, a2, 1)
+		core.Write(th, a2, 2) // want `may already have been written`
+		core.Write(th, b2, 3)
+	})
+	core.Touch(t, a)
+	core.Touch(t, b)
+}
+
+// branches writes in mutually exclusive arms: no diagnostic.
+func branches(t *core.Ctx, cond bool) {
+	a, _ := core.Fork2(t, func(th *core.Ctx, a2, b2 *core.Cell[int]) {
+		if cond {
+			core.Write(th, a2, 1)
+		} else {
+			core.Write(th, a2, 2)
+		}
+		core.Write(th, b2, 3)
+	})
+	core.Touch(t, a)
+}
+
+// earlyExit's first write returns out of the body: no diagnostic.
+func earlyExit(t *core.Ctx, cond bool) {
+	a, _ := core.Fork2(t, func(th *core.Ctx, a2, b2 *core.Cell[int]) {
+		core.Write(th, b2, 0)
+		if cond {
+			core.Write(th, a2, 1)
+			return
+		}
+		core.Write(th, a2, 2)
+	})
+	core.Touch(t, a)
+}
+
+// condThenSeq writes under a non-terminating condition and then again
+// unconditionally: both can execute.
+func condThenSeq(t *core.Ctx, cond bool) {
+	a, _ := core.Fork2(t, func(th *core.Ctx, a2, b2 *core.Cell[int]) {
+		core.Write(th, b2, 0)
+		if cond {
+			core.Write(th, a2, 1)
+		}
+		core.Write(th, a2, 2) // want `may already have been written`
+	})
+	core.Touch(t, a)
+}
+
+// loop writes a loop-invariant cell on every iteration.
+func loop(th *core.Ctx, c *core.Cell[int], n int) {
+	for i := 0; i < n; i++ {
+		core.Write(th, c, i) // want `written on every iteration`
+	}
+}
+
+// loopFresh writes a cell created inside the loop: no diagnostic.
+func loopFresh(th *core.Ctx, n int) []*core.Cell[int] {
+	out := make([]*core.Cell[int], 0, n)
+	for i := 0; i < n; i++ {
+		c := core.Fork1(th, func(t2 *core.Ctx) int { return i })
+		out = append(out, c)
+	}
+	return out
+}
+
+// afterDone writes a cell that was born written.
+func afterDone(t *core.Ctx, e *core.Engine) int {
+	c := core.Done(e, 1)
+	core.Write(t, c, 2) // want `created already written`
+	return core.Touch(t, c)
+}
+
+// futureTwice double-writes a goroutine-runtime cell through its method.
+func futureTwice() *future.Cell[int] {
+	c := future.New[int]()
+	c.Write(1)
+	c.Write(2) // want `may already have been written`
+	return c
+}

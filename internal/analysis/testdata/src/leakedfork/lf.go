@@ -1,0 +1,47 @@
+// Seeded violations for the leakedfork analyzer.
+package leakedfork
+
+import (
+	"pipefut/internal/core"
+	"pipefut/internal/future"
+)
+
+// discarded forks a thread and drops its result cell on the floor.
+func discarded(t *core.Ctx) {
+	core.Fork1(t, func(th *core.Ctx) int { return 1 }) // want `fork result discarded`
+}
+
+// allBlank binds every result cell to the blank identifier.
+func allBlank(t *core.Ctx) {
+	_, _ = core.Fork2(t, func(th *core.Ctx, a, b *core.Cell[int]) { // want `every result cell of this fork is discarded`
+		core.Write(th, a, 1)
+		core.Write(th, b, 2)
+	})
+}
+
+// silenced launders the leak through _ = r.
+func silenced() {
+	r := future.Spawn(func() int { return 1 }) // want `never touched, returned, or passed on`
+	_ = r
+}
+
+// partial uses one of two cells: the used result keeps the fork alive.
+func partial(t *core.Ctx) int {
+	a, _ := core.Fork2(t, func(th *core.Ctx, a2, b2 *core.Cell[int]) {
+		core.Write(th, a2, 1)
+		core.Write(th, b2, 2)
+	})
+	return core.Touch(t, a)
+}
+
+// consumed touches its result: no diagnostic.
+func consumed(t *core.Ctx) int {
+	r := core.Fork1(t, func(th *core.Ctx) int { return 1 })
+	return core.Touch(t, r)
+}
+
+// returned passes the cell to its caller: no diagnostic.
+func returned(t *core.Ctx) *core.Cell[int] {
+	r := core.Fork1(t, func(th *core.Ctx) int { return 1 })
+	return r
+}

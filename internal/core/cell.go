@@ -21,6 +21,7 @@ const (
 // requires touching it first — see the split and splitm algorithms.
 type Cell[T any] struct {
 	eng   *Engine
+	id    int64 // dense 1-based allocation index, for cell tracing
 	state cellState
 	val   T
 	wtime int64 // time stamp of the writing action
@@ -53,7 +54,7 @@ func (f *forkRec) force() {
 
 func newCell[T any](e *Engine) *Cell[T] {
 	e.cells++
-	return &Cell[T]{eng: e, writeNode: -1}
+	return &Cell[T]{eng: e, id: e.cells, writeNode: -1}
 }
 
 // Done returns a cell that is already written with value v at time 0. Use
@@ -62,6 +63,10 @@ func Done[T any](e *Engine, v T) *Cell[T] {
 	c := newCell[T](e)
 	c.state = cellReady
 	c.val = v
+	if e.cellTracer != nil {
+		// Input cells are written "before the computation": no node.
+		e.cellTracer.CellWrite(c.id, -1)
+	}
 	return c
 }
 
@@ -112,6 +117,9 @@ func writeCell[T any](t *Ctx, c *Cell[T], v T) {
 	c.val = v
 	c.wtime = t.clock
 	c.writeNode = t.lastNode
+	if e := t.eng; e.cellTracer != nil {
+		e.cellTracer.CellWrite(c.id, c.writeNode)
+	}
 }
 
 // Force ensures the cell is written — running its fork now if needed — and
@@ -170,6 +178,9 @@ func Touch[T any](t *Ctx, c *Cell[T]) T {
 		t.nextKind = ThreadEdge
 		if c.writeNode >= 0 {
 			e.tracer.DataEdge(c.writeNode, t.lastNode)
+		}
+		if e.cellTracer != nil {
+			e.cellTracer.CellTouch(c.id, t.lastNode)
 		}
 	}
 	return c.val

@@ -49,13 +49,21 @@ type Engine struct {
 
 	pending []*forkRec // forks not yet forced
 
-	tracer Tracer // optional DAG recorder; nil disables tracing
+	tracer     Tracer     // optional DAG recorder; nil disables tracing
+	cellTracer CellTracer // tracer's cell-event extension, if implemented
 }
 
 // NewEngine returns an empty engine. If tr is non-nil every action is also
-// recorded in it as an explicit DAG node (see the Tracer interface).
+// recorded in it as an explicit DAG node (see the Tracer interface); if tr
+// additionally implements CellTracer, cell writes and touches are reported
+// to it so recorded DAGs can be verified against the model's
+// single-assignment and linearity invariants (trace.Verify).
 func NewEngine(tr Tracer) *Engine {
-	return &Engine{tracer: tr}
+	e := &Engine{tracer: tr}
+	if ct, ok := tr.(CellTracer); ok {
+		e.cellTracer = ct
+	}
+	return e
 }
 
 // Costs is the measured cost of a computation in the model of Section 2.
@@ -137,6 +145,20 @@ type Tracer interface {
 	Fan(prev int32, n int64, kind EdgeKind) int32
 	// DataEdge adds a data edge between two existing nodes.
 	DataEdge(from, to int32)
+}
+
+// CellTracer is an optional extension of Tracer: a tracer that also wants
+// the engine's cell events, keyed by the engine's dense 1-based cell IDs.
+// Together with the DAG structure they let a verifier re-check the model
+// invariants offline: one write per cell, every touch preceded by its
+// write, touch counts within the linearity bound of Section 4.
+type CellTracer interface {
+	// CellWrite reports that the cell was written by the action at the
+	// given node; node is -1 for input cells that exist before the
+	// computation starts (Done cells, written at time 0).
+	CellWrite(cell int64, node int32)
+	// CellTouch reports that the cell was read by the action at node.
+	CellTouch(cell int64, node int32)
 }
 
 // EdgeKind labels a DAG dependence edge.
@@ -236,8 +258,11 @@ func (c *Ctx) AdvanceTo(ts int64) {
 // array_scan. Its DAG is a fan: one source action, n parallel actions, one
 // sink action, so work += n+2 and clock += 3.
 func (c *Ctx) ParWork(n int64) {
-	if n < 0 {
-		n = 0
+	if n <= 0 {
+		// Degenerate fan: the primitive still runs source → (one idle
+		// middle) → sink, so work and the clock agree with the 3-node
+		// DAG the tracer records (a 3-long path needs 3 unit actions).
+		n = 1
 	}
 	e := c.eng
 	e.work += n + 2

@@ -43,9 +43,9 @@ func TestParWorkCosts(t *testing.T) {
 	if c.Depth != 3 {
 		t.Errorf("depth = %d, want 3 (source, middle, sink)", c.Depth)
 	}
-	ctx.ParWork(-5) // clamped to 0
-	if got := eng.Costs().Work; got != 102+2 {
-		t.Errorf("work after negative ParWork = %d, want 104", got)
+	ctx.ParWork(-5) // clamped to the degenerate fan
+	if got := eng.Costs().Work; got != 102+3 {
+		t.Errorf("work after negative ParWork = %d, want 105 (source, idle middle, sink)", got)
 	}
 }
 

@@ -1,0 +1,112 @@
+// Verification wiring: every traced engine computation in this file is
+// cross-checked with trace.Verify, the offline DAG-invariant verifier. The
+// file lives in package core_test because trace imports core.
+package core_test
+
+import (
+	"testing"
+
+	"pipefut/internal/core"
+	"pipefut/internal/trace"
+)
+
+// runTraced executes body against a freshly traced engine, finishes it, and
+// asserts that the recorded DAG verifies and agrees with the engine clocks.
+func runTraced(t *testing.T, name string, body func(eng *core.Engine, ctx *core.Ctx)) (*trace.Trace, core.Costs) {
+	t.Helper()
+	tr := trace.New()
+	eng := core.NewEngine(tr)
+	ctx := eng.NewCtx()
+	body(eng, ctx)
+	costs := eng.Finish()
+
+	if err := trace.Verify(tr); err != nil {
+		t.Fatalf("%s: trace.Verify = %v, want nil", name, err)
+	}
+	if w := tr.Work(); w != costs.Work {
+		t.Errorf("%s: trace work %d != engine work %d", name, w, costs.Work)
+	}
+	if d := tr.Depth(); d != costs.Depth {
+		t.Errorf("%s: trace depth %d != engine depth %d", name, d, costs.Depth)
+	}
+	return tr, costs
+}
+
+func TestVerifyEngineComputations(t *testing.T) {
+	t.Run("steps and fans", func(t *testing.T) {
+		runTraced(t, "steps", func(eng *core.Engine, ctx *core.Ctx) {
+			ctx.Step(3)
+			ctx.ParWork(5)
+			ctx.Step(1)
+			ctx.ParWork(0) // degenerate fan
+		})
+	})
+
+	t.Run("pipelined forks", func(t *testing.T) {
+		tr, costs := runTraced(t, "pipeline", func(eng *core.Engine, ctx *core.Ctx) {
+			in := core.Done(eng, 10)
+			// A three-stage pipeline: each stage reads its predecessor's
+			// first cell long before the second is written.
+			a1, a2 := core.Fork2(ctx, func(th *core.Ctx, x, y *core.Cell[int]) {
+				core.Write(th, x, core.Touch(th, in))
+				th.Step(4)
+				core.Write(th, y, 1)
+			})
+			b1, b2 := core.Fork2(ctx, func(th *core.Ctx, x, y *core.Cell[int]) {
+				core.Write(th, x, core.Touch(th, a1))
+				th.Step(4)
+				core.Write(th, y, core.Touch(th, a2))
+			})
+			core.Touch(ctx, b1)
+			core.Touch(ctx, b2)
+		})
+		if !costs.Linear() {
+			t.Errorf("pipeline computation should be linear, got %+v", costs)
+		}
+		// Strictly linear traces must verify under the Section 4 bound.
+		tr.LinearBound = 1
+		if err := trace.Verify(tr); err != nil {
+			t.Errorf("Verify with LinearBound=1 on a linear pipeline = %v, want nil", err)
+		}
+	})
+
+	t.Run("speculative fork forced by Finish", func(t *testing.T) {
+		runTraced(t, "speculative", func(eng *core.Engine, ctx *core.Ctx) {
+			core.Fork1(ctx, func(th *core.Ctx) int {
+				th.Step(7)
+				return 0
+			})
+			ctx.Step(1)
+			// The fork's cell is never touched; Finish runs the body so
+			// its work lands in the trace, with no data edge.
+		})
+	})
+
+	t.Run("forward and nowcell", func(t *testing.T) {
+		runTraced(t, "forward", func(eng *core.Engine, ctx *core.Ctx) {
+			src := core.NowCell(ctx, 5)
+			dst := core.Fork1(ctx, func(th *core.Ctx) int { return 0 })
+			_ = dst
+			sink := core.Fork1(ctx, func(th *core.Ctx) int {
+				return core.Touch(th, src)
+			})
+			core.Touch(ctx, sink)
+		})
+	})
+
+	t.Run("multiple roots", func(t *testing.T) {
+		tr := trace.New()
+		eng := core.NewEngine(tr)
+		c1 := eng.NewCtx()
+		c2 := eng.NewCtx()
+		cell := core.Fork1(c1, func(th *core.Ctx) int { th.Step(2); return 1 })
+		core.Touch(c2, cell)
+		eng.Finish()
+		if err := trace.Verify(tr); err != nil {
+			t.Fatalf("two-root trace: Verify = %v, want nil", err)
+		}
+		if got := len(tr.Roots()); got != 2 {
+			t.Errorf("trace has %d roots, want 2", got)
+		}
+	})
+}

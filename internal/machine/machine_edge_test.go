@@ -1,0 +1,125 @@
+package machine
+
+import (
+	"testing"
+
+	"pipefut/internal/core"
+	"pipefut/internal/trace"
+)
+
+// smallTrace records a little pipelined computation: 2 forks, staggered
+// writes, a few touches. Used by the edge-case tests below.
+func smallTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr := trace.New()
+	eng := core.NewEngine(tr)
+	ctx := eng.NewCtx()
+	a, b := core.Fork2(ctx, func(th *core.Ctx, a, b *core.Cell[int]) {
+		core.Write(th, a, 1)
+		th.Step(3)
+		core.Write(th, b, 2)
+	})
+	c := core.Fork1(ctx, func(th *core.Ctx) int { return core.Touch(th, a) })
+	ctx.Step(2)
+	core.Touch(ctx, b)
+	core.Touch(ctx, c)
+	eng.Finish()
+	if err := trace.Verify(tr); err != nil {
+		t.Fatalf("small trace does not verify: %v", err)
+	}
+	return tr
+}
+
+// TestEmptyTrace: a trace with no nodes at all executes in zero steps on
+// any p, trivially within the Lemma 4.1 bound ⌈0/p⌉ + 0 = 0.
+func TestEmptyTrace(t *testing.T) {
+	tr := trace.New()
+	for _, p := range []int{1, 7, 1024} {
+		r, err := Run(tr, p, Stack)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if r.Steps != 0 || r.Work != 0 || r.Depth != 0 {
+			t.Errorf("p=%d: steps=%d work=%d depth=%d, want all 0", p, r.Steps, r.Work, r.Depth)
+		}
+		if !r.GreedyOK() {
+			t.Errorf("p=%d: empty trace misses its own bound", p)
+		}
+	}
+}
+
+// TestRootOnlyTrace: root anchors are not actions; a trace containing only
+// them also runs in zero steps.
+func TestRootOnlyTrace(t *testing.T) {
+	tr := trace.New()
+	eng := core.NewEngine(tr)
+	eng.NewCtx()
+	eng.NewCtx()
+	eng.Finish()
+	r, err := Run(tr, 4, Stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps != 0 || r.Work != 0 {
+		t.Errorf("steps=%d work=%d, want 0/0 (roots are free)", r.Steps, r.Work)
+	}
+}
+
+// TestPBeyondNodeCount: with more processors than the trace has nodes the
+// schedule degenerates to level-order execution — exactly depth steps, and
+// still within ⌈w/p⌉ + d.
+func TestPBeyondNodeCount(t *testing.T) {
+	tr := smallTrace(t)
+	p := tr.Len() * 10
+	for _, disc := range []Discipline{Stack, Queue} {
+		r, err := Run(tr, p, disc)
+		if err != nil {
+			t.Fatalf("%v: %v", disc, err)
+		}
+		if r.Steps != tr.Depth() {
+			t.Errorf("%v: steps=%d with p=%d ≥ nodes, want depth=%d", disc, r.Steps, p, tr.Depth())
+		}
+		if !r.GreedyOK() {
+			t.Errorf("%v: steps=%d above bound %d", disc, r.Steps, r.BrentBound)
+		}
+		if r.MaxActive > int64(tr.Len()) {
+			t.Errorf("%v: maxActive=%d exceeds node count %d", disc, r.MaxActive, tr.Len())
+		}
+	}
+}
+
+// TestP1LemmaBound: on one processor the greedy schedule takes exactly w
+// steps, matching Lemma 4.1's ⌈w/1⌉ + d bound with room to spare.
+func TestP1LemmaBound(t *testing.T) {
+	tr := smallTrace(t)
+	r, err := Run(tr, 1, Stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps != tr.Work() {
+		t.Errorf("p=1: steps=%d, want work=%d", r.Steps, tr.Work())
+	}
+	if want := tr.Work() + tr.Depth(); r.BrentBound != want {
+		t.Errorf("p=1: BrentBound=%d, want ⌈w/1⌉+d=%d", r.BrentBound, want)
+	}
+	if !r.GreedyOK() {
+		t.Errorf("p=1: steps=%d above bound %d", r.Steps, r.BrentBound)
+	}
+}
+
+// TestLemmaBoundSweepSmall sweeps every p from 1 past the node count on the
+// small pipelined trace and asserts the Lemma 4.1 bound at each point.
+func TestLemmaBoundSweepSmall(t *testing.T) {
+	tr := smallTrace(t)
+	for p := 1; p <= tr.Len()+3; p++ {
+		for _, disc := range []Discipline{Stack, Queue} {
+			r, err := Run(tr, p, disc)
+			if err != nil {
+				t.Fatalf("p=%d %v: %v", p, disc, err)
+			}
+			if !r.GreedyOK() {
+				t.Errorf("p=%d %v: steps=%d above Lemma 4.1 bound %d", p, disc, r.Steps, r.BrentBound)
+			}
+		}
+	}
+}

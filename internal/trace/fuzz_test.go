@@ -1,0 +1,159 @@
+package trace_test
+
+import (
+	"testing"
+
+	"pipefut/internal/core"
+	"pipefut/internal/machine"
+	"pipefut/internal/trace"
+	"pipefut/internal/workload"
+)
+
+// runProgram interprets prog as a random futures program against a traced
+// engine, in the style of the clomachine random-program tests: each opcode
+// byte selects a primitive (step, parallel array, fork, pipelined fork,
+// touch, input cell, forward) and the following byte is its argument. Fork
+// bodies only ever touch cells created strictly before the fork, so every
+// program is deadlock-free by construction and every generated DAG must
+// satisfy the model invariants.
+func runProgram(prog []byte) (*trace.Trace, core.Costs) {
+	tr := trace.New()
+	eng := core.NewEngine(tr)
+	ctx := eng.NewCtx()
+
+	var cells []*core.Cell[int]
+	forks := 0
+	const maxForks = 256 // keep pathological inputs cheap
+
+	for pc := 0; pc < len(prog); pc++ {
+		op := prog[pc] % 8
+		arg := 0
+		if pc+1 < len(prog) {
+			pc++
+			arg = int(prog[pc])
+		}
+		switch op {
+		case 0:
+			ctx.Step(int64(arg%4) + 1)
+		case 1:
+			ctx.ParWork(int64(arg % 9))
+		case 2: // plain fork
+			if forks >= maxForks {
+				continue
+			}
+			forks++
+			w := int64(arg%3) + 1
+			cells = append(cells, core.Fork1(ctx, func(th *core.Ctx) int {
+				th.Step(w)
+				return arg
+			}))
+		case 3: // pipelined fork: reads an earlier cell, staggers two writes
+			if forks >= maxForks {
+				continue
+			}
+			forks++
+			var src *core.Cell[int]
+			if len(cells) > 0 {
+				src = cells[arg%len(cells)]
+			}
+			gap := int64(arg % 5)
+			a, b := core.Fork2(ctx, func(th *core.Ctx, a, b *core.Cell[int]) {
+				v := 0
+				if src != nil {
+					v = core.Touch(th, src)
+				}
+				core.Write(th, a, v+1)
+				th.Step(gap)
+				core.Write(th, b, v+2)
+			})
+			cells = append(cells, a, b)
+		case 4: // touch (possibly a repeat read — nonlinear is legal here)
+			if len(cells) > 0 {
+				core.Touch(ctx, cells[arg%len(cells)])
+			}
+		case 5: // input cell, written before the computation
+			cells = append(cells, core.Done(eng, arg))
+		case 6: // strict cell written by the main thread now
+			cells = append(cells, core.NowCell(ctx, arg))
+		case 7: // forward chain: fork that reads an earlier cell
+			if forks >= maxForks || len(cells) == 0 {
+				continue
+			}
+			forks++
+			src := cells[arg%len(cells)]
+			cells = append(cells, core.Fork1(ctx, func(th *core.Ctx) int {
+				return core.Touch(th, src) + 1
+			}))
+		}
+	}
+	return tr, eng.Finish()
+}
+
+// checkProgram runs prog and asserts every dynamic invariant: the trace
+// verifies (also under the engine's own observed linearity bound), its
+// work/depth agree with the engine clocks, and a greedy schedule meets the
+// Lemma 4.1 bound.
+func checkProgram(t *testing.T, prog []byte) {
+	t.Helper()
+	if len(prog) > 2048 {
+		prog = prog[:2048]
+	}
+	tr, costs := runProgram(prog)
+
+	if err := trace.Verify(tr); err != nil {
+		t.Fatalf("Verify: %v\nprogram: %v", err, prog)
+	}
+	if costs.MaxReads > 0 {
+		tr.LinearBound = int(costs.MaxReads)
+		if err := trace.Verify(tr); err != nil {
+			t.Fatalf("Verify with LinearBound=MaxReads=%d: %v\nprogram: %v",
+				costs.MaxReads, err, prog)
+		}
+		tr.LinearBound = 0
+	}
+
+	if w := tr.Work(); w != costs.Work {
+		t.Errorf("trace work %d != engine work %d\nprogram: %v", w, costs.Work, prog)
+	}
+	if d := tr.Depth(); d != costs.Depth {
+		t.Errorf("trace depth %d != engine depth %d\nprogram: %v", d, costs.Depth, prog)
+	}
+
+	r, err := machine.Run(tr, 3, machine.Stack)
+	if err != nil {
+		t.Fatalf("machine.Run: %v\nprogram: %v", err, prog)
+	}
+	if !r.GreedyOK() {
+		t.Errorf("greedy schedule took %d steps, above the Lemma 4.1 bound %d\nprogram: %v",
+			r.Steps, r.BrentBound, prog)
+	}
+}
+
+// FuzzTraceVerify feeds random programs through the engine and asserts the
+// recorded DAG always verifies. The seed corpus covers the shapes of the
+// repo's example programs: a lone fork, a producer/consumer-style chain of
+// pipelined Fork2s, a forward chain off an input cell, and a mix of fans,
+// forks, and repeated touches.
+func FuzzTraceVerify(f *testing.F) {
+	f.Add([]byte{2, 0, 4, 0, 0, 3})
+	f.Add([]byte{3, 1, 3, 1, 3, 1, 4, 5, 4, 4})
+	f.Add([]byte{5, 9, 7, 0, 7, 1, 7, 2, 4, 3})
+	f.Add([]byte{1, 8, 2, 2, 2, 2, 4, 1, 4, 0, 6, 7, 4, 2, 4, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		checkProgram(t, prog)
+	})
+}
+
+// TestRandomProgramsVerify gives plain `go test` (no -fuzz) coverage over a
+// deterministic batch of random programs from the workload RNG.
+func TestRandomProgramsVerify(t *testing.T) {
+	rng := workload.NewRNG(1)
+	for trial := 0; trial < 64; trial++ {
+		prog := make([]byte, rng.Intn(256))
+		for i := range prog {
+			prog[i] = byte(rng.Uint64())
+		}
+		checkProgram(t, prog)
+	}
+}

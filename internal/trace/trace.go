@@ -20,7 +20,16 @@ import (
 // none marks an absent parent.
 const none int32 = -1
 
-// Trace is a recorded computation DAG. It implements core.Tracer.
+// extraEdge is an in-edge beyond a node's two inline parent slots,
+// tagged with its kind so recorded DAGs can be re-verified against the
+// engine's edge accounting (see Verify).
+type extraEdge struct {
+	from int32
+	kind core.EdgeKind
+}
+
+// Trace is a recorded computation DAG. It implements core.Tracer and
+// core.CellTracer.
 type Trace struct {
 	// parent1/kind1 is the primary in-edge (thread or fork), parent2 the
 	// data edge; none if absent.
@@ -28,17 +37,34 @@ type Trace struct {
 	kind1   []core.EdgeKind
 	parent2 []int32
 
-	// extra holds in-edges beyond the two inline slots (fan sinks).
-	extra map[int32][]int32
+	// extra holds in-edges beyond the two inline slots (fan sinks, and
+	// hypothetically extra data edges of multi-read nodes).
+	extra map[int32][]extraEdge
 
 	roots []int32
 
 	edgeCount [3]int64 // indexed by core.EdgeKind
+
+	// Cell events reported by the engine (core.CellTracer): for each
+	// engine cell ID, the node(s) that wrote it (-1 for input cells that
+	// exist before the computation) and the nodes that touched it.
+	cellWrites  map[int64][]int32
+	cellTouches map[int64][]int32
+
+	// LinearBound, when positive, is the touch bound Verify enforces per
+	// cell: 1 for the strictly linear computations of Section 4, larger
+	// values for algorithms with constant-bounded re-reads, 0 to disable
+	// the check.
+	LinearBound int
 }
 
 // New returns an empty trace ready to be passed to core.NewEngine.
 func New() *Trace {
-	return &Trace{extra: make(map[int32][]int32)}
+	return &Trace{
+		extra:       make(map[int32][]extraEdge),
+		cellWrites:  make(map[int64][]int32),
+		cellTouches: make(map[int64][]int32),
+	}
 }
 
 // Len returns the number of nodes recorded.
@@ -102,8 +128,10 @@ func (t *Trace) Fan(prev int32, n int64, kind core.EdgeKind) int32 {
 	}
 	sink := t.newNode(mids[0], core.ThreadEdge)
 	if len(mids) > 1 {
-		rest := make([]int32, len(mids)-1)
-		copy(rest, mids[1:])
+		rest := make([]extraEdge, 0, len(mids)-1)
+		for _, m := range mids[1:] {
+			rest = append(rest, extraEdge{from: m, kind: core.ThreadEdge})
+		}
 		t.extra[sink] = rest
 		t.edgeCount[core.ThreadEdge] += int64(len(rest))
 	}
@@ -115,9 +143,19 @@ func (t *Trace) DataEdge(from, to int32) {
 	if t.parent2[to] == none {
 		t.parent2[to] = from
 	} else {
-		t.extra[to] = append(t.extra[to], from)
+		t.extra[to] = append(t.extra[to], extraEdge{from: from, kind: core.DataEdgeKind})
 	}
 	t.edgeCount[core.DataEdgeKind]++
+}
+
+// CellWrite implements core.CellTracer.
+func (t *Trace) CellWrite(cell int64, node int32) {
+	t.cellWrites[cell] = append(t.cellWrites[cell], node)
+}
+
+// CellTouch implements core.CellTracer.
+func (t *Trace) CellTouch(cell int64, node int32) {
+	t.cellTouches[cell] = append(t.cellTouches[cell], node)
 }
 
 // DataParent returns the node's data-edge parent (the write its first read
@@ -136,8 +174,8 @@ func (t *Trace) Parents(id int32, fn func(parent int32)) {
 	if p := t.parent2[id]; p != none {
 		fn(p)
 	}
-	for _, p := range t.extra[id] {
-		fn(p)
+	for _, e := range t.extra[id] {
+		fn(e.from)
 	}
 }
 
@@ -268,8 +306,12 @@ func (t *Trace) WriteDOT(w io.Writer, name string) error {
 				return err
 			}
 		}
-		for _, p := range t.extra[int32(id)] {
-			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", p, id); err != nil {
+		for _, e := range t.extra[int32(id)] {
+			style := ""
+			if e.kind == core.DataEdgeKind {
+				style = " [color=red,style=dashed]"
+			}
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d%s;\n", e.from, id, style); err != nil {
 				return err
 			}
 		}

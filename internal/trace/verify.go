@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"fmt"
+
+	"pipefut/internal/core"
+)
+
+// Verify checks a recorded DAG against the invariants of the cost model
+// (Section 2) and of the machine implementation's preconditions (Section
+// 4) of "Pipelining with Futures":
+//
+//   - node IDs are a topological order: every edge points from a lower ID
+//     to a higher ID (the machine simulator and the O(1)-per-step
+//     scheduler both rely on this),
+//   - every non-root node has a thread or fork in-edge (an action belongs
+//     to exactly one thread; a node reachable only through a data edge is
+//     an orphan),
+//   - primary in-edges are thread or fork edges; data dependences arrive
+//     through the data-edge slots,
+//   - the per-kind edge counters agree with the recorded structure,
+//   - depth is monotone along every edge (levels strictly increase),
+//   - every future cell is written at most once (single assignment),
+//   - every touched cell has a write, each touch happens at a node
+//     strictly after the write, and carries the corresponding data edge,
+//   - if LinearBound is positive, no cell is touched more than that many
+//     times (the linearity restriction behind Lemma 4.1's O(w/p + d)
+//     universal bound; 1 = strictly linear = EREW-safe).
+//
+// Verify returns nil for DAGs that satisfy every invariant and an error
+// naming the first violation otherwise.
+func Verify(t *Trace) error {
+	n := int32(t.Len())
+	if len(t.kind1) != int(n) || len(t.parent2) != int(n) {
+		return fmt.Errorf("trace: inconsistent node arrays: %d parents, %d kinds, %d data slots",
+			len(t.parent1), len(t.kind1), len(t.parent2))
+	}
+
+	rootSet := make(map[int32]bool, len(t.roots))
+	for _, r := range t.roots {
+		if r < 0 || r >= n {
+			return fmt.Errorf("trace: root %d out of range [0,%d)", r, n)
+		}
+		if t.parent1[r] != none || t.parent2[r] != none || len(t.extra[r]) > 0 {
+			return fmt.Errorf("trace: root %d has in-edges", r)
+		}
+		rootSet[r] = true
+	}
+
+	// Edge structure: bounds, topological ID order, orphans, kind counts.
+	var count [3]int64
+	checkEdge := func(from, to int32, what string) error {
+		if from < 0 || from >= n {
+			return fmt.Errorf("trace: %s edge into %d from out-of-range node %d", what, to, from)
+		}
+		if from >= to {
+			return fmt.Errorf("trace: %s edge %d→%d does not point from lower to higher ID (topological order violated — possible cycle)", what, from, to)
+		}
+		return nil
+	}
+	for id := int32(0); id < n; id++ {
+		p1 := t.parent1[id]
+		if p1 == none {
+			if !rootSet[id] {
+				return fmt.Errorf("trace: node %d has no thread/fork in-edge but is not a root (orphan%s)", id,
+					map[bool]string{true: " with a dangling data edge", false: ""}[t.parent2[id] != none])
+			}
+		} else {
+			k := t.kind1[id]
+			if k != core.ThreadEdge && k != core.ForkEdge {
+				return fmt.Errorf("trace: node %d's primary in-edge has kind %v; thread or fork expected", id, k)
+			}
+			if err := checkEdge(p1, id, k.String()); err != nil {
+				return err
+			}
+			count[k]++
+		}
+		if p2 := t.parent2[id]; p2 != none {
+			if err := checkEdge(p2, id, "data"); err != nil {
+				return err
+			}
+			count[core.DataEdgeKind]++
+		}
+		for _, e := range t.extra[id] {
+			if err := checkEdge(e.from, id, e.kind.String()); err != nil {
+				return err
+			}
+			if e.kind > core.DataEdgeKind {
+				return fmt.Errorf("trace: node %d has an extra in-edge of unknown kind %d", id, e.kind)
+			}
+			count[e.kind]++
+		}
+	}
+	for k := core.ThreadEdge; k <= core.DataEdgeKind; k++ {
+		if count[k] != t.edgeCount[k] {
+			return fmt.Errorf("trace: %v edge counter (%d) disagrees with recorded structure (%d)",
+				k, t.edgeCount[k], count[k])
+		}
+	}
+
+	// Depth monotonicity: levels strictly increase along every edge.
+	// (Levels are computed as max(parent)+1, so this guards against
+	// structural corruption rather than re-deriving the construction.)
+	level := t.Levels()
+	bad := error(nil)
+	for id := int32(0); id < n && bad == nil; id++ {
+		t.Parents(id, func(p int32) {
+			if bad == nil && level[id] <= level[p] {
+				bad = fmt.Errorf("trace: depth not monotone along edge %d→%d (levels %d → %d)",
+					p, id, level[p], level[id])
+			}
+		})
+	}
+	if bad != nil {
+		return bad
+	}
+
+	// Cell invariants: single assignment, write-before-touch with the
+	// data edge present, and the linearity bound.
+	for cell, writes := range t.cellWrites {
+		if len(writes) > 1 {
+			return fmt.Errorf("trace: cell %d written %d times (future cells are single-assignment)", cell, len(writes))
+		}
+		w := writes[0]
+		if w != -1 && (w < 0 || w >= n) {
+			return fmt.Errorf("trace: cell %d written at out-of-range node %d", cell, w)
+		}
+	}
+	for cell, touches := range t.cellTouches {
+		writes := t.cellWrites[cell]
+		if len(writes) == 0 {
+			return fmt.Errorf("trace: cell %d touched %d times but never written", cell, len(touches))
+		}
+		w := writes[0]
+		for _, r := range touches {
+			if r < 0 || r >= n {
+				return fmt.Errorf("trace: cell %d touched at out-of-range node %d", cell, r)
+			}
+			if w == -1 {
+				continue // input cell: no data edge is recorded
+			}
+			if r <= w {
+				return fmt.Errorf("trace: cell %d touched at node %d, not after its write at node %d", cell, r, w)
+			}
+			if !hasDataParent(t, r, w) {
+				return fmt.Errorf("trace: touch of cell %d at node %d lacks the data edge from its write at node %d", cell, r, w)
+			}
+		}
+		if t.LinearBound > 0 && len(touches) > t.LinearBound {
+			return fmt.Errorf("trace: cell %d touched %d times, above the linearity bound %d (Section 4: Lemma 4.1's O(w/p+d) bound requires touch counts bounded by a constant)",
+				cell, len(touches), t.LinearBound)
+		}
+	}
+	return nil
+}
+
+// hasDataParent reports whether node has a data in-edge from from.
+func hasDataParent(t *Trace, node, from int32) bool {
+	if t.parent2[node] == from {
+		return true
+	}
+	for _, e := range t.extra[node] {
+		if e.kind == core.DataEdgeKind && e.from == from {
+			return true
+		}
+	}
+	return false
+}

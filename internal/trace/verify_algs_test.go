@@ -1,0 +1,106 @@
+package trace_test
+
+import (
+	"sort"
+	"testing"
+
+	"pipefut/internal/core"
+	"pipefut/internal/costalg"
+	"pipefut/internal/machine"
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/seqtree"
+	"pipefut/internal/t26"
+	"pipefut/internal/trace"
+	"pipefut/internal/workload"
+)
+
+// buildAlg records the DAG of one of the paper's algorithms (the same
+// constructions cmd/dagdump uses) and returns the trace plus engine costs.
+func buildAlg(name string, n int) (*trace.Trace, core.Costs) {
+	tr := trace.New()
+	eng := core.NewEngine(tr)
+	ctx := eng.NewCtx()
+	rng := workload.NewRNG(7)
+
+	switch name {
+	case "merge":
+		ka, kb := workload.DisjointKeySets(rng, n, n)
+		sort.Ints(ka)
+		sort.Ints(kb)
+		r := costalg.Merge(ctx,
+			costalg.FromSeqTree(eng, seqtree.FromSortedBalanced(ka)),
+			costalg.FromSeqTree(eng, seqtree.FromSortedBalanced(kb)))
+		costalg.CompletionTime(r)
+	case "union":
+		ka, kb := workload.OverlappingKeySets(rng, n, n, 0.3)
+		r := costalg.Union(ctx,
+			costalg.FromSeqTreap(eng, seqtreap.FromKeys(ka)),
+			costalg.FromSeqTreap(eng, seqtreap.FromKeys(kb)))
+		costalg.CompletionTime(r)
+	case "t26":
+		all := workload.DistinctKeys(rng, 2*n, 8*n)
+		base := t26.FromKeys(all[:n])
+		ins := append([]int(nil), all[n:]...)
+		sort.Ints(ins)
+		r := costalg.T26BulkInsert(ctx, costalg.FromSeqT26(eng, base),
+			workload.WellSeparatedLevels(ins))
+		costalg.T26CompletionTime(r)
+	case "quicksort":
+		r := costalg.Quicksort(ctx, costalg.FromSlice(eng, rng.Perm(n)),
+			core.Done[*costalg.LNode](eng, nil))
+		costalg.ListCompletionTime(r)
+	case "prodcons":
+		costalg.Consume(ctx, costalg.Produce(ctx, n))
+	default:
+		panic("unknown algorithm " + name)
+	}
+	return tr, eng.Finish()
+}
+
+// TestVerifyPaperAlgorithms runs trace.Verify over the DAGs of the four
+// paper algorithms (plus the Figure 2 producer/consumer pipeline): the
+// recorded structure must satisfy every model invariant, the trace-derived
+// work and depth must agree with the engine's virtual-time accounting, and
+// a greedy schedule must meet the Lemma 4.1 bound.
+func TestVerifyPaperAlgorithms(t *testing.T) {
+	for _, name := range []string{"merge", "union", "t26", "quicksort", "prodcons"} {
+		t.Run(name, func(t *testing.T) {
+			tr, costs := buildAlg(name, 96)
+
+			if err := trace.Verify(tr); err != nil {
+				t.Fatalf("Verify(%s trace) = %v, want nil", name, err)
+			}
+
+			// The engine's observed maximum read count is a valid
+			// linearity bound for its own trace; the recorded touch
+			// events must agree with that accounting.
+			if costs.MaxReads > 0 {
+				tr.LinearBound = int(costs.MaxReads)
+				if err := trace.Verify(tr); err != nil {
+					t.Fatalf("Verify with LinearBound=MaxReads=%d = %v, want nil",
+						costs.MaxReads, err)
+				}
+				tr.LinearBound = 0
+			}
+			if costs.Linear() && costs.MaxReads > 1 {
+				t.Fatalf("costs report linear but MaxReads=%d", costs.MaxReads)
+			}
+
+			if w := tr.Work(); w != costs.Work {
+				t.Errorf("trace work %d != engine work %d", w, costs.Work)
+			}
+			if d := tr.Depth(); d != costs.Depth {
+				t.Errorf("trace depth %d != engine depth %d", d, costs.Depth)
+			}
+
+			r, err := machine.Run(tr, 16, machine.Stack)
+			if err != nil {
+				t.Fatalf("machine.Run: %v", err)
+			}
+			if !r.GreedyOK() {
+				t.Errorf("greedy schedule took %d steps, above the Lemma 4.1 bound %d",
+					r.Steps, r.BrentBound)
+			}
+		})
+	}
+}

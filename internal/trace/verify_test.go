@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"pipefut/internal/core"
+)
+
+// sampleTrace records a small pipelined computation with a known node
+// layout, used as the base the corruption tests mutate:
+//
+//	0 root
+//	1 fork action            (ctx.Step inside Fork1)
+//	2 parent step            (ctx.Step)
+//	3,4 fork body steps      (fork edge 1→3, thread edge 3→4)
+//	5 write of cell 1        (thread edge 4→5)
+//	6 touch of cell 1        (thread edge 2→6, data edge 5→6)
+func sampleTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr := New()
+	eng := core.NewEngine(tr)
+	ctx := eng.NewCtx()
+	c := core.Fork1(ctx, func(th *core.Ctx) int {
+		th.Step(2)
+		return 7
+	})
+	ctx.Step(1)
+	core.Touch(ctx, c)
+	eng.Finish()
+	if err := Verify(tr); err != nil {
+		t.Fatalf("sample trace does not verify before corruption: %v", err)
+	}
+	if tr.Len() != 7 {
+		t.Fatalf("sample trace has %d nodes, want 7 (layout comment is stale)", tr.Len())
+	}
+	return tr
+}
+
+func TestVerifyValid(t *testing.T) {
+	sampleTrace(t) // sampleTrace itself asserts Verify == nil
+
+	// A trace using every primitive: input cells, ParWork fans, staggered
+	// Fork2 writes, and Forward.
+	tr := New()
+	eng := core.NewEngine(tr)
+	ctx := eng.NewCtx()
+	in := core.Done(eng, 1)
+	a, b := core.Fork2(ctx, func(th *core.Ctx, a, b *core.Cell[int]) {
+		core.Write(th, a, core.Touch(th, in))
+		th.ParWork(4)
+		core.Write(th, b, 2)
+	})
+	out := core.Fork1(ctx, func(th *core.Ctx) int { return core.Touch(th, a) })
+	core.Touch(ctx, b)
+	core.Touch(ctx, out)
+	eng.Finish()
+	if err := Verify(tr); err != nil {
+		t.Fatalf("Verify(valid trace) = %v, want nil", err)
+	}
+	// Every cell was read at most once, so the strict linearity bound of
+	// Section 4 must also hold.
+	tr.LinearBound = 1
+	if err := Verify(tr); err != nil {
+		t.Fatalf("Verify with LinearBound=1 on a linear trace = %v, want nil", err)
+	}
+}
+
+func TestVerifyInvalid(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(tr *Trace)
+		want    string // substring of the expected error
+	}{
+		{
+			name:    "cycle",
+			corrupt: func(tr *Trace) { tr.parent1[2] = 6 },
+			want:    "topological order violated",
+		},
+		{
+			name: "orphan data edge",
+			// Node 6 keeps its data edge from the write at 5 but loses
+			// its thread edge: reachable only through a data edge.
+			corrupt: func(tr *Trace) { tr.parent1[6] = none },
+			want:    "dangling data edge",
+		},
+		{
+			name:    "double write",
+			corrupt: func(tr *Trace) { tr.cellWrites[1] = append(tr.cellWrites[1], 6) },
+			want:    "written 2 times",
+		},
+		{
+			name:    "touched but never written",
+			corrupt: func(tr *Trace) { delete(tr.cellWrites, 1) },
+			want:    "never written",
+		},
+		{
+			name:    "touch before write",
+			corrupt: func(tr *Trace) { tr.cellTouches[1] = []int32{4} },
+			want:    "not after its write",
+		},
+		{
+			name: "missing data edge",
+			corrupt: func(tr *Trace) {
+				tr.parent2[6] = none
+				tr.edgeCount[core.DataEdgeKind]--
+			},
+			want: "lacks the data edge",
+		},
+		{
+			name:    "edge counter tampered",
+			corrupt: func(tr *Trace) { tr.edgeCount[core.ThreadEdge]++ },
+			want:    "disagrees with recorded structure",
+		},
+		{
+			name:    "root with in-edge",
+			corrupt: func(tr *Trace) { tr.parent1[0] = 3 },
+			want:    "root 0 has in-edges",
+		},
+		{
+			name:    "primary edge of data kind",
+			corrupt: func(tr *Trace) { tr.kind1[6] = core.DataEdgeKind },
+			want:    "thread or fork expected",
+		},
+		{
+			name:    "write node out of range",
+			corrupt: func(tr *Trace) { tr.cellWrites[1] = []int32{42} },
+			want:    "out-of-range",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := sampleTrace(t)
+			tc.corrupt(tr)
+			err := Verify(tr)
+			if err == nil {
+				t.Fatalf("Verify accepted the corrupted trace, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Verify error = %q, want it to contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestVerifyLinearBound(t *testing.T) {
+	tr := New()
+	eng := core.NewEngine(tr)
+	ctx := eng.NewCtx()
+	c := core.Fork1(ctx, func(th *core.Ctx) int { return 1 })
+	core.Touch(ctx, c)
+	core.Touch(ctx, c)
+	core.Touch(ctx, c)
+	eng.Finish()
+
+	if err := Verify(tr); err != nil {
+		t.Fatalf("Verify without a bound = %v, want nil (bound 0 disables the check)", err)
+	}
+	tr.LinearBound = 3
+	if err := Verify(tr); err != nil {
+		t.Fatalf("Verify with LinearBound=3 = %v, want nil (cell read exactly 3 times)", err)
+	}
+	tr.LinearBound = 1
+	err := Verify(tr)
+	if err == nil || !strings.Contains(err.Error(), "linearity bound") {
+		t.Fatalf("Verify with LinearBound=1 = %v, want a linearity-bound error", err)
+	}
+}
+
+// TestVerifyInputCells checks that cells created by Done (written "before
+// the computation", node -1) verify without a data edge, which the engine
+// cannot record for them.
+func TestVerifyInputCells(t *testing.T) {
+	tr := New()
+	eng := core.NewEngine(tr)
+	ctx := eng.NewCtx()
+	in := core.Done(eng, 5)
+	core.Touch(ctx, in)
+	eng.Finish()
+	if err := Verify(tr); err != nil {
+		t.Fatalf("Verify(trace with a touched input cell) = %v, want nil", err)
+	}
+}
