@@ -19,6 +19,7 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -28,12 +29,15 @@ import (
 	"strings"
 
 	"pipefut/internal/analysis"
+	"pipefut/internal/analysis/flow"
 	"pipefut/internal/analysis/load"
 )
 
 func main() {
 	versionFlag := flag.String("V", "", "print version and exit (go vet handshake)")
 	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (go vet handshake)")
+	flowFlag := flag.Bool("flow", false, "also run the flow-sensitive analyzers (flowlinear, mustwrite, deadcycle); standalone mode only")
+	jsonFlag := flag.Bool("json", false, "write diagnostics to stdout as a JSON array instead of text on stderr")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -54,13 +58,21 @@ func main() {
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	os.Exit(standalone(args))
+	suite := analysis.All()
+	if *flowFlag {
+		suite = append(suite, flow.All()...)
+	}
+	os.Exit(standalone(args, suite, *jsonFlag))
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: pipelint [packages]\n"+
+	fmt.Fprintf(os.Stderr, "usage: pipelint [-flow] [-json] [packages]\n"+
 		"   or: go vet -vettool=$(which pipelint) [packages]\n\nanalyzers:\n")
 	for _, a := range analysis.All() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nflow-sensitive analyzers (-flow, standalone mode only):\n")
+	for _, a := range flow.All() {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 	}
 }
@@ -78,10 +90,19 @@ func printVersion() {
 	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil)[:12])
 }
 
+// jsonDiag is the machine-readable diagnostic shape emitted by -json.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // standalone lists, loads, and analyzes the packages matching the
-// patterns, printing diagnostics to stderr. Exit code 1 means findings,
-// 2 means operational failure.
-func standalone(patterns []string) int {
+// patterns, printing diagnostics to stderr (or, with -json, to stdout as
+// a JSON array). Exit code 1 means findings, 2 means operational failure.
+func standalone(patterns []string, suite []*analysis.Analyzer, asJSON bool) int {
 	pkgs, err := load.GoList(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pipelint:", err)
@@ -97,7 +118,7 @@ func standalone(patterns []string) int {
 	}
 
 	fset := token.NewFileSet()
-	found := 0
+	found := []jsonDiag{}
 	failed := false
 	for _, p := range pkgs {
 		if p.DepOnly || p.Standard {
@@ -117,39 +138,50 @@ func standalone(patterns []string) int {
 			fmt.Fprintf(os.Stderr, "pipelint: skipping %s (cgo)\n", p.ImportPath)
 			continue
 		}
-		diags, err := checkPackage(fset, p.ImportPath, p.Dir, p.AbsFiles(), nil, exports)
+		diags, err := checkPackage(fset, p.ImportPath, p.Dir, p.AbsFiles(), nil, exports, suite)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pipelint: %s: %v\n", p.ImportPath, err)
 			failed = true
 			continue
 		}
 		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Category)
-			found++
+			pos := fset.Position(d.Pos)
+			found = append(found, jsonDiag{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Category,
+				Message:  d.Message,
+			})
+			if !asJSON {
+				fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pos, d.Message, d.Category)
+			}
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(found); err != nil {
+			fmt.Fprintln(os.Stderr, "pipelint:", err)
+			return 2
 		}
 	}
 	switch {
 	case failed:
 		return 2
-	case found > 0:
+	case len(found) > 0:
 		return 1
 	}
 	return 0
 }
 
 // checkPackage typechecks one package — via export data when available,
-// falling back to typechecking dependencies from source — and runs the
-// analyzer suite over it.
-func checkPackage(fset *token.FileSet, pkgPath, dir string, files []string, importMap, exports map[string]string) ([]analysis.Diagnostic, error) {
-	pkg, err := load.ParseAndCheck(fset, pkgPath, files, load.ExportImporter(fset, importMap, exports))
+// falling back to typechecking dependencies from source (load.LoadPackage)
+// — and runs the analyzer suite over it.
+func checkPackage(fset *token.FileSet, pkgPath, dir string, files []string, importMap, exports map[string]string, suite []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	pkg, err := load.LoadPackage(fset, pkgPath, dir, files, importMap, exports)
 	if err != nil {
-		// Export data may be missing (e.g. go list -export failed for a
-		// dependency) or in an unreadable format; retry from source.
-		var srcErr error
-		pkg, srcErr = load.ParseAndCheck(fset, pkgPath, files, load.SourceImporter(fset, dir))
-		if srcErr != nil {
-			return nil, fmt.Errorf("typecheck failed: %v (source fallback: %v)", err, srcErr)
-		}
+		return nil, err
 	}
-	return analysis.Run(analysis.All(), fset, pkg.Files, pkg.Types, pkg.Info)
+	return analysis.Run(suite, fset, pkg.Files, pkg.Types, pkg.Info)
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"go/token"
 	"os"
+
+	"pipefut/internal/analysis"
 )
 
 // vetConfig mirrors the JSON configuration the go command writes for each
@@ -54,7 +56,7 @@ func unitcheck(cfgFile string) int {
 	}
 
 	fset := token.NewFileSet()
-	diags, err := checkPackage(fset, cfg.ImportPath, cfg.Dir, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile)
+	diags, err := checkPackage(fset, cfg.ImportPath, cfg.Dir, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile, analysis.All())
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0

@@ -1,217 +1,22 @@
 package analysis
 
-import (
-	"go/ast"
-	"go/token"
-	"go/types"
+// The future-cell API classification the analyzers are built on lives in
+// internal/cellapi, shared with the SSA-lite IR (internal/ssa) and the
+// flow-sensitive analyzers (internal/analysis/flow). The local names
+// below keep the syntactic passes readable.
+
+import "pipefut/internal/cellapi"
+
+var (
+	writeTargets   = cellapi.WriteTargets
+	touchTargets   = cellapi.TouchTargets
+	probeTargets   = cellapi.ProbeTargets
+	prewrittenCell = cellapi.PrewrittenCell
+	identObj       = cellapi.IdentObj
+	identNode      = cellapi.IdentNode
+	within         = cellapi.Within
+	forkCall       = cellapi.ForkCall
 )
 
-// Import paths of the two futures implementations the analyzers know:
-// the cost-model engine and the goroutine-backed runtime.
-const (
-	corePath   = "pipefut/internal/core"
-	futurePath = "pipefut/internal/future"
-)
-
-// calleeOf resolves the function or method a call expression invokes,
-// looking through parentheses and explicit generic instantiation
-// (core.Write[int](...)). It returns nil for calls through function
-// values, conversions, and built-ins.
-func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
-	fun := ast.Unparen(call.Fun)
-	for {
-		switch f := fun.(type) {
-		case *ast.IndexExpr:
-			fun = ast.Unparen(f.X)
-			continue
-		case *ast.IndexListExpr:
-			fun = ast.Unparen(f.X)
-			continue
-		}
-		break
-	}
-	var id *ast.Ident
-	switch f := fun.(type) {
-	case *ast.Ident:
-		id = f
-	case *ast.SelectorExpr:
-		id = f.Sel
-	default:
-		return nil
-	}
-	fn, _ := info.Uses[id].(*types.Func)
-	return fn
-}
-
-// isFunc reports whether fn is the named function (or method) of the
-// package with the given import path.
-func isFunc(fn *types.Func, path, name string) bool {
-	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == path && fn.Name() == name
-}
-
-// recvExpr returns the receiver expression of a method call (`c` in
-// `c.Write(v)`), or nil if the call is not through a selector.
-func recvExpr(call *ast.CallExpr) ast.Expr {
-	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-		return sel.X
-	}
-	return nil
-}
-
-// writeTargets returns the cell expressions a call writes, if the call is
-// one of the recognized write operations:
-//
-//	core.Write(t, c, v)        → c
-//	core.Forward(t, src, dst)  → dst
-//	(*future.Cell).Write(v)    → receiver
-func writeTargets(info *types.Info, call *ast.CallExpr) []ast.Expr {
-	fn := calleeOf(info, call)
-	switch {
-	case isFunc(fn, corePath, "Write") && len(call.Args) >= 2:
-		return []ast.Expr{call.Args[1]}
-	case isFunc(fn, corePath, "Forward") && len(call.Args) >= 3:
-		return []ast.Expr{call.Args[2]}
-	case isFunc(fn, futurePath, "Write") && fn.Signature().Recv() != nil:
-		if r := recvExpr(call); r != nil {
-			return []ast.Expr{r}
-		}
-	}
-	return nil
-}
-
-// touchTargets returns the cell expressions a call reads:
-//
-//	core.Touch(t, c)               → c
-//	core.Forward(t, src, dst)      → src
-//	(*future.Cell).Read/TryRead()  → receiver
-func touchTargets(info *types.Info, call *ast.CallExpr) []ast.Expr {
-	fn := calleeOf(info, call)
-	switch {
-	case isFunc(fn, corePath, "Touch") && len(call.Args) >= 2:
-		return []ast.Expr{call.Args[1]}
-	case isFunc(fn, corePath, "Forward") && len(call.Args) >= 2:
-		return []ast.Expr{call.Args[1]}
-	case (isFunc(fn, futurePath, "Read") || isFunc(fn, futurePath, "TryRead")) && fn.Signature().Recv() != nil:
-		if r := recvExpr(call); r != nil {
-			return []ast.Expr{r}
-		}
-	}
-	return nil
-}
-
-// probeTargets returns cell expressions a call inspects without a model
-// read action (Ready, Force, Reads, WriteTime); these count as uses but
-// neither writes nor linear touches.
-func probeTargets(info *types.Info, call *ast.CallExpr) []ast.Expr {
-	fn := calleeOf(info, call)
-	if fn == nil || fn.Signature().Recv() == nil {
-		return nil
-	}
-	switch {
-	case isFunc(fn, futurePath, "Ready"),
-		isFunc(fn, corePath, "Ready"),
-		isFunc(fn, corePath, "Force"),
-		isFunc(fn, corePath, "Reads"),
-		isFunc(fn, corePath, "WriteTime"):
-		if r := recvExpr(call); r != nil {
-			return []ast.Expr{r}
-		}
-	}
-	return nil
-}
-
-// forkInfo describes a recognized future call.
-type forkInfo struct {
-	fn *types.Func
-	// results is the number of result cells returned (0 for ForkN, whose
-	// cells come back as a slice).
-	results int
-	// body is the index of the fork-body argument, or -1 (Fork1, Spawn
-	// take a plain value-returning body that cannot miss a write).
-	body int
-	// cellParams is the index of the first cell parameter of the body
-	// function (after the *core.Ctx parameter when present), or -1 when
-	// the body receives no write capabilities.
-	cellParams int
-	// sliceParam reports that the body's cell parameter is a []*Cell
-	// (ForkN / SpawnN style) rather than individual cells.
-	sliceParam bool
-}
-
-// forkCall classifies a call as one of the future-spawning operations of
-// core or future, returning its shape. ok is false for everything else.
-func forkCall(info *types.Info, call *ast.CallExpr) (forkInfo, bool) {
-	fn := calleeOf(info, call)
-	if fn == nil || fn.Pkg() == nil {
-		return forkInfo{}, false
-	}
-	switch fn.Pkg().Path() {
-	case corePath:
-		switch fn.Name() {
-		case "Fork1":
-			return forkInfo{fn: fn, results: 1, body: -1, cellParams: -1}, true
-		case "Fork2":
-			return forkInfo{fn: fn, results: 2, body: 1, cellParams: 1}, true
-		case "Fork3":
-			return forkInfo{fn: fn, results: 3, body: 1, cellParams: 1}, true
-		case "ForkN":
-			return forkInfo{fn: fn, results: 0, body: 2, cellParams: 1, sliceParam: true}, true
-		}
-	case futurePath:
-		switch fn.Name() {
-		case "Spawn":
-			return forkInfo{fn: fn, results: 1, body: -1, cellParams: -1}, true
-		case "Spawn2", "Call2":
-			return forkInfo{fn: fn, results: 2, body: 0, cellParams: 0}, true
-		case "Spawn3", "Call3":
-			return forkInfo{fn: fn, results: 3, body: 0, cellParams: 0}, true
-		}
-	}
-	return forkInfo{}, false
-}
-
-// prewrittenCell reports whether the call creates a cell that is already
-// written at birth (core.Done, core.NowCell, future.Done): a later Write
-// on it always panics.
-func prewrittenCell(info *types.Info, call *ast.CallExpr) bool {
-	fn := calleeOf(info, call)
-	return isFunc(fn, corePath, "Done") || isFunc(fn, corePath, "NowCell") ||
-		(isFunc(fn, futurePath, "Done") && fn.Signature().Recv() == nil)
-}
-
-// identObj resolves an expression to the variable it names, or nil if the
-// expression is not a plain identifier (the analyzers track only simple
-// variables; anything else is conservatively ignored).
-func identObj(info *types.Info, e ast.Expr) *types.Var {
-	id, ok := ast.Unparen(e).(*ast.Ident)
-	if !ok {
-		return nil
-	}
-	if v, ok := info.Uses[id].(*types.Var); ok {
-		return v
-	}
-	if v, ok := info.Defs[id].(*types.Var); ok {
-		return v
-	}
-	return nil
-}
-
-// identNode is like identObj but also returns the identifier node itself.
-func identNode(info *types.Info, e ast.Expr) (*ast.Ident, *types.Var) {
-	id, ok := ast.Unparen(e).(*ast.Ident)
-	if !ok {
-		return nil, nil
-	}
-	if v, ok := info.Uses[id].(*types.Var); ok {
-		return id, v
-	}
-	if v, ok := info.Defs[id].(*types.Var); ok {
-		return id, v
-	}
-	return nil, nil
-}
-
-// within reports whether pos lies inside node's source extent.
-func within(pos token.Pos, node ast.Node) bool {
-	return node.Pos() <= pos && pos < node.End()
-}
+// forkInfo describes a recognized future call; see cellapi.ForkInfo.
+type forkInfo = cellapi.ForkInfo

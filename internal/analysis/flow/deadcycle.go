@@ -1,0 +1,471 @@
+package flow
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+
+	"go/types"
+
+	"pipefut/internal/analysis"
+	"pipefut/internal/ssa"
+)
+
+// DeadCycle reports statically-inevitable deadlocks:
+//
+//  1. a fork body that touches one of its own result cells at a point
+//     no write can possibly have reached — directly or through a helper
+//     that touches its argument before it can be written — unless the
+//     enclosing code may write the result itself; and
+//
+//  2. write→touch cycles across cells: cell A's producer must touch
+//     cell B before writing A, and B's producer must touch A before
+//     writing B, so neither write ever happens. Edges come from the
+//     must-touch states at the producers' write points, so every edge
+//     is a certainty, never a maybe.
+var DeadCycle = &analysis.Analyzer{
+	Name: "deadcycle",
+	Doc: "report future deadlocks that are certain from the code alone: " +
+		"fork bodies touching their own unwritten results, and " +
+		"write-touch cycles between cells",
+	Run: runDeadCycle,
+}
+
+func runDeadCycle(pass *analysis.Pass) error {
+	ps := stateFor(pass)
+	reportedTouch := map[*ssa.Instr]bool{}
+	for _, fn := range ps.prog.Funcs {
+		if len(fn.Blocks) == 0 {
+			continue
+		}
+		rescued := rescuedResults(fn, ps.sum)
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ssa.OpFork {
+					reportSelfTouch(pass, ps, in, rescued, reportedTouch)
+				}
+			}
+		}
+		reportCycles(pass, ps, fn, rescued)
+	}
+	return nil
+}
+
+// rescuedResults collects fork-result origins the enclosing function may
+// write (or leak) itself — a concurrent writer that can unblock a body's
+// own-result touch, so such results are exempt from deadlock claims.
+func rescuedResults(fn *ssa.Func, sum *Summaries) map[*ssa.Origin]bool {
+	rescued := map[*ssa.Origin]bool{}
+	mark := func(o *ssa.Origin) {
+		for _, root := range rootsOf(o) {
+			if root.Kind == ssa.OFork {
+				rescued[root] = true
+			}
+		}
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ssa.OpWrite:
+				mark(in.Cell)
+			case ssa.OpDef:
+				if in.Store && in.Val != nil {
+					mark(in.Val)
+				}
+			case ssa.OpReturn:
+				for _, a := range in.Args {
+					mark(a.Origin)
+				}
+			case ssa.OpCall:
+				callee := sum.Of(in.Callee)
+				for _, a := range in.Args {
+					if callee == nil || boolAt(callee.ParamMayWrite, a.Index) || leakAt(callee.ParamLeak, a.Index) {
+						mark(a.Origin)
+					}
+				}
+				if callee != nil {
+					for _, fc := range in.Free {
+						if callee.FreeMayWrite[fc.Var] || callee.FreeLeak[fc.Var] {
+							mark(fc.Origin)
+						}
+					}
+				}
+			case ssa.OpFork:
+				// A result handed to another producer as a captured cell.
+				body := sum.Of(in.Fork.Body)
+				for _, fc := range in.Free {
+					if body == nil || body.FreeMayWrite[fc.Var] || body.FreeLeak[fc.Var] {
+						mark(fc.Origin)
+					}
+				}
+			}
+		}
+	}
+	return rescued
+}
+
+// reportSelfTouch handles case 1: the fork body touches one of its own
+// result cells before any write can reach it.
+func reportSelfTouch(pass *analysis.Pass, ps *packageState, in *ssa.Instr, rescued map[*ssa.Origin]bool, reported map[*ssa.Instr]bool) {
+	body := in.Fork.Body
+	if body == nil || len(body.Blocks) == 0 {
+		return
+	}
+	bs := ps.sum.Of(body)
+	doomed := map[int]bool{} // body param index -> certain deadlock
+	for _, rp := range cellResultParams(in.Fork.Info) {
+		i, j := rp[0], rp[1]
+		if i >= len(in.Fork.Results) || rescued[in.Fork.Results[i]] {
+			continue
+		}
+		if j < len(bs.ParamTouchUnwritten) && bs.ParamTouchUnwritten[j] {
+			doomed[j] = true
+		}
+	}
+	if len(doomed) == 0 {
+		return
+	}
+	// Re-run the body's may-written replay to recover the positions of
+	// the offending touches.
+	mayW := (&Problem{Fn: body, Mode: May, Transfer: ps.sum.MayWriteTransfer(body)}).Solve()
+	replay(body, mayW, ps.sum.MayWriteTransfer(body), func(bin *ssa.Instr, st State) {
+		ps.sum.touchUnwrittenAt(bin, st, func(o *ssa.Origin) {
+			if o.Kind != ssa.OParam || !doomed[o.Index] || reported[bin] {
+				return
+			}
+			reported[bin] = true
+			name := body.Params[o.Index].Name()
+			if bin.Op == ssa.OpCall {
+				pass.Reportf(bin.Pos, "fork body passes its own result cell %q, before any write can reach it, to a function that touches it: guaranteed deadlock", name)
+			} else {
+				pass.Reportf(bin.Pos, "fork body touches its own result cell %q before any write can reach it: guaranteed deadlock", name)
+			}
+		})
+	})
+}
+
+// cellBinding ties a variable to the unique fork site producing it.
+type cellBinding struct {
+	fork  *ssa.Instr
+	block *ssa.Block
+	res   int
+	ok    bool
+}
+
+// reportCycles handles case 2: write→touch cycles across the cells of
+// one function. Nodes are variables bound to exactly one fork result and
+// nothing else; there is an edge a→b when a's producer must touch cell b
+// before every write of a. A cycle among co-executing forks means none
+// of the writes can ever happen.
+func reportCycles(pass *analysis.Pass, ps *packageState, fn *ssa.Func, rescued map[*ssa.Origin]bool) {
+	forkBySite := map[ast.Node]*cellBinding{}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ssa.OpFork {
+				forkBySite[in.Call] = &cellBinding{fork: in, block: b}
+			}
+		}
+	}
+	if len(forkBySite) == 0 {
+		return
+	}
+	byVar := map[*types.Var]*cellBinding{}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ssa.OpDef || in.Var == nil {
+				continue
+			}
+			if in.CellExpr == nil && !in.Fresh {
+				continue // zero-value declaration; assignment may follow
+			}
+			prev := byVar[in.Var]
+			if in.Cell != nil && in.Cell.Kind == ssa.OFork {
+				if fb := forkBySite[in.Cell.Site]; fb != nil && prev == nil {
+					byVar[in.Var] = &cellBinding{fork: fb.fork, block: fb.block, res: in.Cell.Index, ok: true}
+					continue
+				}
+			}
+			if prev == nil {
+				byVar[in.Var] = &cellBinding{}
+			} else {
+				prev.ok = false // rebound: identity is no longer certain
+			}
+		}
+	}
+
+	mustTouch := map[*ssa.Func]*Result{}
+	solveMT := func(body *ssa.Func) *Result {
+		if r, ok := mustTouch[body]; ok {
+			return r
+		}
+		r := (&Problem{Fn: body, Mode: Must, Transfer: ps.sum.MustTouchTransfer()}).Solve()
+		mustTouch[body] = r
+		return r
+	}
+
+	edges := map[*types.Var]map[*types.Var]bool{}
+	for v, c := range byVar {
+		if !c.ok {
+			continue
+		}
+		site := c.fork.Fork
+		body := site.Body
+		if body == nil || len(body.Blocks) == 0 {
+			continue
+		}
+		if c.res < len(site.Results) && rescued[site.Results[c.res]] {
+			continue // the enclosing code may write v itself
+		}
+		mt := solveMT(body)
+		var touched map[*types.Var]bool
+		pairs := cellResultParams(site.Info)
+		if len(pairs) == 0 {
+			// Value result: written when the body completes normally, so
+			// the gating touches are those on every completion path.
+			exitIn, ok := mt.In[body.Exit]
+			if !ok {
+				continue
+			}
+			touched = freeTouched(exitIn)
+		} else {
+			j := -1
+			for _, rp := range pairs {
+				if rp[0] == c.res {
+					j = rp[1]
+				}
+			}
+			po := body.ParamOrigin(j)
+			if po == nil {
+				continue
+			}
+			touched = touchedBeforeWrites(ps.sum, body, mt, po)
+			if touched == nil {
+				continue // no write the body controls: no certain edges
+			}
+		}
+		for w := range touched {
+			if cw, ok := byVar[w]; ok && cw.ok {
+				m := edges[v]
+				if m == nil {
+					m = map[*types.Var]bool{}
+					edges[v] = m
+				}
+				m[w] = true
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return
+	}
+
+	reach := blockReachability(fn)
+	coexec := func(vars []*types.Var) bool {
+		for i := 0; i < len(vars); i++ {
+			for j := i + 1; j < len(vars); j++ {
+				bi, bj := byVar[vars[i]].block, byVar[vars[j]].block
+				if bi != bj && !reach[bi][bj] && !reach[bj][bi] {
+					return false // sibling branches: the forks never co-execute
+				}
+			}
+		}
+		return true
+	}
+
+	// DFS over nodes and edge targets in name order for stable output.
+	nodes := make([]*types.Var, 0, len(edges))
+	for v := range edges {
+		nodes = append(nodes, v)
+	}
+	sortVars(nodes)
+	color := map[*types.Var]int{}
+	var stack []*types.Var
+	seen := map[string]bool{}
+	var visit func(v *types.Var)
+	visit = func(v *types.Var) {
+		color[v] = 1
+		stack = append(stack, v)
+		var succs []*types.Var
+		for w := range edges[v] {
+			succs = append(succs, w)
+		}
+		sortVars(succs)
+		for _, w := range succs {
+			switch color[w] {
+			case 0:
+				visit(w)
+			case 1:
+				// stack[k:] with stack[k]==w is the cycle.
+				k := len(stack) - 1
+				for k >= 0 && stack[k] != w {
+					k--
+				}
+				cycle := append([]*types.Var(nil), stack[k:]...)
+				if !coexec(cycle) {
+					continue
+				}
+				key := cycleKey(cycle)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				reportCycle(pass, byVar, cycle)
+			}
+		}
+		color[v] = 2
+		stack = stack[:len(stack)-1]
+	}
+	for _, v := range nodes {
+		if color[v] == 0 {
+			visit(v)
+		}
+	}
+}
+
+func reportCycle(pass *analysis.Pass, byVar map[*types.Var]*cellBinding, cycle []*types.Var) {
+	// Anchor at the earliest fork in the cycle.
+	at := cycle[0]
+	for _, v := range cycle[1:] {
+		if byVar[v].fork.Pos < byVar[at].fork.Pos {
+			at = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range cycle {
+		b.WriteString("\"" + v.Name() + "\" -> ")
+	}
+	b.WriteString("\"" + cycle[0].Name() + "\"")
+	pass.Reportf(byVar[at].fork.Pos, "cells form a write-touch cycle (%s): each producer must touch the next cell before writing its own, so no write can ever happen: guaranteed deadlock", b.String())
+}
+
+// cycleKey canonicalizes a cycle (rotation-invariant) for deduping.
+func cycleKey(cycle []*types.Var) string {
+	names := make([]string, len(cycle))
+	for i, v := range cycle {
+		names[i] = v.Name()
+	}
+	best := 0
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[best] {
+			best = i
+		}
+	}
+	rot := append(append([]string(nil), names[best:]...), names[:best]...)
+	return strings.Join(rot, "→")
+}
+
+func sortVars(vs []*types.Var) {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Name() != vs[j].Name() {
+			return vs[i].Name() < vs[j].Name()
+		}
+		return vs[i].Pos() < vs[j].Pos()
+	})
+}
+
+// freeTouched extracts the free cell variables present in a must-touch
+// state.
+func freeTouched(st State) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	for o := range st {
+		if o.Kind == ssa.OFree {
+			out[o.Var] = true
+		}
+	}
+	return out
+}
+
+// touchedBeforeWrites intersects, over every point where the body may
+// discharge its obligation to write result parameter po (a direct
+// write, or handing the cell somewhere that may write it), the free
+// cells certainly touched by then. nil means no such point exists.
+func touchedBeforeWrites(sum *Summaries, body *ssa.Func, mt *Result, po *ssa.Origin) map[*types.Var]bool {
+	var inter map[*types.Var]bool
+	events := 0
+	replay(body, mt, sum.MustTouchTransfer(), func(bin *ssa.Instr, st State) {
+		if !writesTo(sum, bin, po) {
+			return
+		}
+		tv := freeTouched(st)
+		if events == 0 {
+			inter = tv
+		} else {
+			for w := range inter {
+				if !tv[w] {
+					delete(inter, w)
+				}
+			}
+		}
+		events++
+	})
+	if events == 0 {
+		return nil
+	}
+	return inter
+}
+
+// writesTo reports whether in may write (or hand off for writing) the
+// cell named by origin po.
+func writesTo(sum *Summaries, in *ssa.Instr, po *ssa.Origin) bool {
+	hits := func(o *ssa.Origin) bool {
+		for _, root := range rootsOf(o) {
+			if root == po {
+				return true
+			}
+		}
+		return false
+	}
+	switch in.Op {
+	case ssa.OpWrite:
+		return hits(in.Cell)
+	case ssa.OpDef:
+		return in.Store && in.Val != nil && hits(in.Val)
+	case ssa.OpReturn:
+		for _, a := range in.Args {
+			if hits(a.Origin) {
+				return true
+			}
+		}
+	case ssa.OpCall:
+		callee := sum.Of(in.Callee)
+		for _, a := range in.Args {
+			if !hits(a.Origin) {
+				continue
+			}
+			if callee == nil || boolAt(callee.ParamMayWrite, a.Index) || leakAt(callee.ParamLeak, a.Index) {
+				return true
+			}
+		}
+	case ssa.OpFork:
+		bs := sum.Of(in.Fork.Body)
+		for _, fc := range in.Free {
+			if !hits(fc.Origin) {
+				continue
+			}
+			if bs == nil || bs.FreeMayWrite[fc.Var] || bs.FreeLeak[fc.Var] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// blockReachability computes, per block, the set of blocks reachable
+// from it (excluding itself unless on a cycle).
+func blockReachability(fn *ssa.Func) map[*ssa.Block]map[*ssa.Block]bool {
+	out := make(map[*ssa.Block]map[*ssa.Block]bool, len(fn.Blocks))
+	for _, b := range fn.Blocks {
+		seen := map[*ssa.Block]bool{}
+		queue := append([]*ssa.Block(nil), b.Succs...)
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			queue = append(queue, n.Succs...)
+		}
+		out[b] = seen
+	}
+	return out
+}

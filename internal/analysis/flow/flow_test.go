@@ -1,0 +1,20 @@
+package flow_test
+
+import (
+	"testing"
+
+	"pipefut/internal/analysis/analysistest"
+	"pipefut/internal/analysis/flow"
+)
+
+func TestFlowLinear(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), flow.FlowLinear, "flowlinear")
+}
+
+func TestMustWrite(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), flow.MustWrite, "mustwrite")
+}
+
+func TestDeadCycle(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), flow.DeadCycle, "deadcycle")
+}

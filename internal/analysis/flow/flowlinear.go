@@ -1,0 +1,86 @@
+package flow
+
+import (
+	"go/types"
+
+	"pipefut/internal/analysis"
+	"pipefut/internal/ssa"
+)
+
+// FlowLinear is the interprocedural, flow-sensitive linearity checker:
+// each future cell may be touched at most once (the restriction behind
+// the paper's O(w/p + d) schedule, §4). It solves the may-touch-count
+// problem per function, charging callee touches through summaries and
+// fork-body touches at spawn sites, and reports any operation that may
+// touch a cell which may already have been touched. Untracked
+// (cross-package) callees are assumed linear: at most one touch per
+// cell-typed parameter — the documented soundness boundary shared with
+// the dynamic verifier.
+var FlowLinear = &analysis.Analyzer{
+	Name: "flowlinear",
+	Doc: "report future cells that may be touched more than once, " +
+		"tracking touches across branches, loops, calls, and fork bodies",
+	Run: runFlowLinear,
+}
+
+func runFlowLinear(pass *analysis.Pass) error {
+	ps := stateFor(pass)
+	for _, fn := range ps.prog.Funcs {
+		if len(fn.Blocks) == 0 {
+			continue
+		}
+		prob := &Problem{Fn: fn, Mode: May, Transfer: ps.sum.TouchTransfer(nil)}
+		res := prob.Solve()
+		reported := map[*ssa.Instr]bool{}
+		hooked := ps.sum.TouchTransfer(func(in *ssa.Instr, o *ssa.Origin, pre, contrib Count) {
+			if pre == Zero || contrib == Zero || reported[in] {
+				return
+			}
+			reported[in] = true
+			switch in.Op {
+			case ssa.OpTouch:
+				pass.Reportf(in.Pos, "cell %s may already be touched: linearity requires at most one touch per cell", describeOrigin(o))
+			case ssa.OpCall:
+				pass.Reportf(in.Pos, "call may touch cell %s again: linearity requires at most one touch per cell", describeOrigin(o))
+			case ssa.OpFork:
+				pass.Reportf(in.Pos, "fork body may touch cell %s, which may already be touched: linearity requires at most one touch per cell", describeOrigin(o))
+			}
+		})
+		replay(fn, res, func(in *ssa.Instr, st State) { hooked(in, st) }, nil)
+	}
+	return nil
+}
+
+// describeOrigin renders an origin for diagnostics: the variable name
+// when one exists, else a structural description.
+func describeOrigin(o *ssa.Origin) string {
+	if o == nil {
+		return "?"
+	}
+	switch o.Kind {
+	case ssa.OParam, ssa.OFree, ssa.OZero:
+		if o.Var != nil {
+			return quoted(o.Var)
+		}
+	case ssa.OField:
+		return describeOrigin(o.Base) + "." + o.Sel
+	case ssa.OIndex:
+		return describeOrigin(o.Base) + "[...]"
+	case ssa.OFork:
+		return "returned by fork"
+	case ssa.ONew:
+		return "from cell constructor"
+	case ssa.OPhi:
+		if o.Var != nil {
+			return quoted(o.Var)
+		}
+	}
+	if o.Var != nil {
+		return quoted(o.Var)
+	}
+	return "value"
+}
+
+func quoted(v *types.Var) string {
+	return "\"" + v.Name() + "\""
+}

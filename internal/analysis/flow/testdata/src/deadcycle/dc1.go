@@ -1,0 +1,58 @@
+// Self-touch deadlocks: a fork body touching its own result cell before
+// any write can reach it.
+package deadcycle
+
+import "pipefut/internal/core"
+
+// selfTouch's body reads b2 to produce a2, but b2's only writer is the
+// same body, later: the touch can never be satisfied.
+func selfTouch(t *core.Ctx) int {
+	a, b := core.Fork2(t, func(th *core.Ctx, a2, b2 *core.Cell[int]) {
+		core.Write(th, a2, core.Touch(th, b2)) // want `touches its own result cell "b2" before any write can reach it`
+		core.Write(th, b2, 1)
+	})
+	return core.Touch(t, a) + core.Touch(t, b)
+}
+
+// writeThenTouch reads its own result only after writing it: fine.
+func writeThenTouch(t *core.Ctx) int {
+	a, b := core.Fork2(t, func(th *core.Ctx, a2, b2 *core.Cell[int]) {
+		core.Write(th, b2, 1)
+		core.Write(th, a2, core.Touch(th, b2))
+	})
+	return core.Touch(t, a) + core.Touch(t, b)
+}
+
+// rescuedCase touches its own unwritten b2, but the enclosing code
+// writes b concurrently, so the touch can complete: no diagnostic.
+func rescuedCase(t *core.Ctx) int {
+	a, b := core.Fork2(t, func(th *core.Ctx, a2, b2 *core.Cell[int]) {
+		core.Write(th, a2, core.Touch(th, b2))
+	})
+	core.Write(t, b, 7)
+	return core.Touch(t, a)
+}
+
+// drain touches its argument; safe on written cells, fatal on a
+// producer's own unwritten result.
+func drain(th *core.Ctx, c *core.Cell[int]) int {
+	return core.Touch(th, c)
+}
+
+// viaHelper hides the self-touch behind a call.
+func viaHelper(t *core.Ctx) int {
+	a, b := core.Fork2(t, func(th *core.Ctx, a2, b2 *core.Cell[int]) {
+		core.Write(th, a2, drain(th, b2)) // want `passes its own result cell "b2"`
+		core.Write(th, b2, 0)
+	})
+	return core.Touch(t, a) + core.Touch(t, b)
+}
+
+// viaHelperAfterWrite calls the same helper after writing: fine.
+func viaHelperAfterWrite(t *core.Ctx) int {
+	a, b := core.Fork2(t, func(th *core.Ctx, a2, b2 *core.Cell[int]) {
+		core.Write(th, b2, 1)
+		core.Write(th, a2, drain(th, b2))
+	})
+	return core.Touch(t, a) + core.Touch(t, b)
+}

@@ -1,0 +1,69 @@
+// Cross-cell write→touch cycles: each producer must touch the next cell
+// before writing its own, so no write ever happens.
+package deadcycle
+
+import "pipefut/internal/core"
+
+// cycle is the classic two-cell deadlock: a's producer waits on b, b's
+// producer waits on a.
+func cycle(t *core.Ctx) int {
+	var a, b *core.Cell[int]
+	a = core.Fork1(t, func(t2 *core.Ctx) int { return core.Touch(t2, b) }) // want `write-touch cycle`
+	b = core.Fork1(t, func(t2 *core.Ctx) int { return core.Touch(t2, a) })
+	return core.Touch(t, a) + core.Touch(t, b)
+}
+
+// chain depends one way only: no cycle, no diagnostic.
+func chain(t *core.Ctx) int {
+	var b *core.Cell[int]
+	b = core.Fork1(t, func(t2 *core.Ctx) int { return 1 })
+	a := core.Fork1(t, func(t2 *core.Ctx) int { return core.Touch(t2, b) })
+	return core.Touch(t, a)
+}
+
+// siblingBranches spawn the two producers on mutually exclusive paths:
+// they never co-execute, so the apparent cycle cannot deadlock.
+func siblingBranches(t *core.Ctx, cond bool) int {
+	var a, b *core.Cell[int]
+	if cond {
+		a = core.Fork1(t, func(t2 *core.Ctx) int { return core.Touch(t2, b) })
+	} else {
+		b = core.Fork1(t, func(t2 *core.Ctx) int { return core.Touch(t2, a) })
+	}
+	if a != nil {
+		return core.Touch(t, a)
+	}
+	return core.Touch(t, b)
+}
+
+// paramCycle builds the same knot with explicit result-cell parameters:
+// each body must touch the other function's cell before writing its
+// first result.
+func paramCycle(t *core.Ctx) int {
+	var b *core.Cell[int]
+	a, a3 := core.Fork2(t, func(th *core.Ctx, x, y *core.Cell[int]) { // want `write-touch cycle`
+		v := core.Touch(th, b)
+		core.Write(th, x, v)
+		core.Write(th, y, 0)
+	})
+	b, b3 := core.Fork2(t, func(th *core.Ctx, x, y *core.Cell[int]) {
+		v := core.Touch(th, a)
+		core.Write(th, x, v)
+		core.Write(th, y, 0)
+	})
+	return core.Touch(t, a3) + core.Touch(t, b3)
+}
+
+// conditionalTouch only waits on b on some paths before writing, so the
+// touch is not inevitable: no certain cycle, no diagnostic.
+func conditionalTouch(t *core.Ctx, cond bool) int {
+	var a, b *core.Cell[int]
+	a = core.Fork1(t, func(t2 *core.Ctx) int {
+		if cond {
+			return core.Touch(t2, b)
+		}
+		return 0
+	})
+	b = core.Fork1(t, func(t2 *core.Ctx) int { return core.Touch(t2, a) })
+	return core.Touch(t, a) + core.Touch(t, b)
+}

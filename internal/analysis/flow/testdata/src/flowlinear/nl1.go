@@ -1,0 +1,90 @@
+// Intraprocedural linearity cases: branches, loops, cursor traversals.
+package flowlinear
+
+import "pipefut/internal/core"
+
+// double touches the same cell twice in straight-line code.
+func double(t *core.Ctx, c *core.Cell[int]) int {
+	x := core.Touch(t, c)
+	y := core.Touch(t, c) // want `cell "c" may already be touched`
+	return x + y
+}
+
+// branchy touches once on each exclusive arm: no diagnostic (the
+// syntactic checker cannot tell these apart from double).
+func branchy(t *core.Ctx, c *core.Cell[int], cond bool) int {
+	if cond {
+		return core.Touch(t, c)
+	}
+	return core.Touch(t, c)
+}
+
+// loop touches the same cell on every iteration.
+func loop(t *core.Ctx, c *core.Cell[int]) int {
+	s := 0
+	for i := 0; i < 3; i++ {
+		s += core.Touch(t, c) // want `cell "c" may already be touched`
+	}
+	return s
+}
+
+type list struct {
+	Head int
+	Tail *core.Cell[*list]
+}
+
+// consume advances a cursor: each iteration touches a different cell,
+// so the loop is linear despite the repeated touch site.
+func consume(t *core.Ctx, l *core.Cell[*list]) int {
+	s := 0
+	for l != nil {
+		n := core.Touch(t, l)
+		if n == nil {
+			break
+		}
+		s += n.Head
+		l = n.Tail
+	}
+	return s
+}
+
+// chase advances a node cursor: n.Tail is a view of a variable rebound
+// every iteration, so each touch hits a fresh cell — no diagnostic.
+func chase(t *core.Ctx, n *list) int {
+	s := 0
+	for n != nil {
+		s += n.Head
+		n = core.Touch(t, n.Tail)
+	}
+	return s
+}
+
+// stuck touches the same field view twice without rebinding the base.
+func stuck(t *core.Ctx, n *list) int {
+	x := core.Touch(t, n.Tail)
+	var y *list
+	if x != nil {
+		y = core.Touch(t, n.Tail) // want `may already be touched`
+	}
+	if y != nil {
+		return y.Head
+	}
+	return 0
+}
+
+// forked counts a fork body's touch of a captured cell against the
+// caller's later touch: together they may touch c twice.
+func forked(t *core.Ctx, c *core.Cell[int]) int {
+	a := core.Fork1(t, func(t2 *core.Ctx) int {
+		return core.Touch(t2, c)
+	})
+	x := core.Touch(t, c) // want `cell "c" may already be touched`
+	return x + core.Touch(t, a)
+}
+
+// done double-touches a prewritten cell: still a linearity violation.
+func done(t *core.Ctx) int {
+	d := core.NowCell(t, 5)
+	x := core.Touch(t, d)
+	return x + core.Touch(t, d) // want `may already be touched`
+}

@@ -1,0 +1,45 @@
+// Cross-function linearity cases: touches flowing through call
+// summaries.
+package flowlinear
+
+import "pipefut/internal/core"
+
+// helperTouch touches its argument exactly once.
+func helperTouch(t *core.Ctx, c *core.Cell[int]) int {
+	return core.Touch(t, c)
+}
+
+// touchThenCall touches c and then passes it to a helper that touches
+// it again: the second touch is hidden behind the call.
+func touchThenCall(t *core.Ctx, c *core.Cell[int]) int {
+	x := core.Touch(t, c)
+	return x + helperTouch(t, c) // want `call may touch cell "c" again`
+}
+
+// callOnce delegates the single touch: linear, no diagnostic.
+func callOnce(t *core.Ctx, c *core.Cell[int]) int {
+	return helperTouch(t, c)
+}
+
+// helperDouble's violation is reported inside the helper, not at its
+// call sites.
+func helperDouble(t *core.Ctx, c *core.Cell[int]) int {
+	a := core.Touch(t, c)
+	b := core.Touch(t, c) // want `cell "c" may already be touched`
+	return a + b
+}
+
+// callsDoubler is not charged again for the callee-internal violation.
+func callsDoubler(t *core.Ctx, c *core.Cell[int]) int {
+	return helperDouble(t, c)
+}
+
+// twoHops pushes the count through two summary layers.
+func twoHops(t *core.Ctx, c *core.Cell[int]) int {
+	x := outerTouch(t, c)
+	return x + core.Touch(t, c) // want `cell "c" may already be touched`
+}
+
+func outerTouch(t *core.Ctx, c *core.Cell[int]) int {
+	return helperTouch(t, c)
+}

@@ -1,0 +1,68 @@
+// Branch-sensitive producer obligations: every fork result cell must be
+// written on all paths of the fork body.
+package mustwrite
+
+import "pipefut/internal/core"
+
+// missing writes b2 only when cond holds.
+func missing(t *core.Ctx, cond bool) int {
+	a, b := core.Fork2(t, func(th *core.Ctx, a2, b2 *core.Cell[int]) { // want `may complete without writing result cell "b2"`
+		core.Write(th, a2, 1)
+		if cond {
+			core.Write(th, b2, 2)
+		}
+	})
+	return core.Touch(t, a) + core.Touch(t, b)
+}
+
+// bothArms writes on every path: no diagnostic (the branches differ,
+// which a syntactic write-counter cannot see).
+func bothArms(t *core.Ctx, cond bool) int {
+	a, b := core.Fork2(t, func(th *core.Ctx, a2, b2 *core.Cell[int]) {
+		core.Write(th, a2, 1)
+		if cond {
+			core.Write(th, b2, 2)
+		} else {
+			core.Write(th, b2, 3)
+		}
+	})
+	return core.Touch(t, a) + core.Touch(t, b)
+}
+
+// panics carries no obligation on the panicking path.
+func panics(t *core.Ctx, bad bool) int {
+	a, b := core.Fork2(t, func(th *core.Ctx, a2, b2 *core.Cell[int]) {
+		if bad {
+			panic("bad input")
+		}
+		core.Write(th, a2, 1)
+		core.Write(th, b2, 2)
+	})
+	return core.Touch(t, a) + core.Touch(t, b)
+}
+
+// forkN never writes any element of its result slice.
+func forkN(t *core.Ctx, n int) int {
+	cs := core.ForkN(t, n, func(th *core.Ctx, cells []*core.Cell[int]) { // want `never writes into result cell slice "cells"`
+		_ = len(cells)
+	})
+	s := 0
+	for _, c := range cs {
+		s += core.Touch(t, c)
+	}
+	return s
+}
+
+// forkNGood writes each element: no diagnostic.
+func forkNGood(t *core.Ctx, n int) int {
+	cs := core.ForkN(t, n, func(th *core.Ctx, cells []*core.Cell[int]) {
+		for i := range cells {
+			core.Write(th, cells[i], i)
+		}
+	})
+	s := 0
+	for _, c := range cs {
+		s += core.Touch(t, c)
+	}
+	return s
+}

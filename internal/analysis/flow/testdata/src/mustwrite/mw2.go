@@ -1,0 +1,62 @@
+// Cross-function producer obligations: writes discharged (or not)
+// through helpers, escapes, and nested producers.
+package mustwrite
+
+import "pipefut/internal/core"
+
+// fill writes its argument on every path.
+func fill(th *core.Ctx, c *core.Cell[int], v int) {
+	core.Write(th, c, v)
+}
+
+// peek only probes its argument; it never writes.
+func peek(th *core.Ctx, c *core.Cell[int]) bool {
+	return c.Ready()
+}
+
+// viaHelper delegates both writes to a helper that always writes.
+func viaHelper(t *core.Ctx) int {
+	a, b := core.Fork2(t, func(th *core.Ctx, a2, b2 *core.Cell[int]) {
+		fill(th, a2, 1)
+		fill(th, b2, 2)
+	})
+	return core.Touch(t, a) + core.Touch(t, b)
+}
+
+// viaBadHelper hands b2 to a helper that provably never writes it.
+func viaBadHelper(t *core.Ctx) int {
+	a, b := core.Fork2(t, func(th *core.Ctx, a2, b2 *core.Cell[int]) { // want `may complete without writing result cell "b2"`
+		core.Write(th, a2, 1)
+		peek(th, b2)
+	})
+	return core.Touch(t, a) + core.Touch(t, b)
+}
+
+// nested delegates b2's write to a spawned producer: handled.
+func nested(t *core.Ctx) int {
+	a, b := core.Fork2(t, func(th *core.Ctx, a2, b2 *core.Cell[int]) {
+		core.Write(th, a2, 1)
+		done := core.Fork1(th, func(t3 *core.Ctx) int {
+			core.Write(t3, b2, 9)
+			return 0
+		})
+		_ = core.Touch(th, done)
+	})
+	return core.Touch(t, a) + core.Touch(t, b)
+}
+
+var holder *core.Cell[int]
+
+// sink stores its argument where anyone may write it later.
+func sink(c *core.Cell[int]) {
+	holder = c
+}
+
+// escapes cannot be proven to miss a write: b2 leaks through sink.
+func escapes(t *core.Ctx) int {
+	a, b := core.Fork2(t, func(th *core.Ctx, a2, b2 *core.Cell[int]) {
+		core.Write(th, a2, 1)
+		sink(b2)
+	})
+	return core.Touch(t, a) + core.Touch(t, b)
+}

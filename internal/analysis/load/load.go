@@ -58,6 +58,24 @@ func ParseAndCheck(fset *token.FileSet, pkgPath string, filenames []string, imp 
 	return &Package{PkgPath: pkgPath, Dir: dir, Fset: fset, Files: files, Types: pkg, Info: info}, nil
 }
 
+// LoadPackage typechecks one package, preferring compiler export data for
+// dependency types and falling back to typechecking the dependencies from
+// source when the export path fails (export data missing from the maps,
+// deleted from the build cache, or in an unreadable format). dir anchors
+// module-aware import resolution for the fallback. When neither path
+// succeeds the returned error carries both failures.
+func LoadPackage(fset *token.FileSet, pkgPath, dir string, files []string, importMap, exports map[string]string) (*Package, error) {
+	pkg, err := ParseAndCheck(fset, pkgPath, files, ExportImporter(fset, importMap, exports))
+	if err == nil {
+		return pkg, nil
+	}
+	pkg, srcErr := ParseAndCheck(fset, pkgPath, files, SourceImporter(fset, dir))
+	if srcErr != nil {
+		return nil, fmt.Errorf("typecheck failed: %v (source fallback: %v)", err, srcErr)
+	}
+	return pkg, nil
+}
+
 // SourceImporter returns an importer that typechecks dependencies from
 // source. dir anchors module-aware import resolution (the go/build
 // context resolves module import paths relative to it).

@@ -1,0 +1,115 @@
+package load_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"pipefut/internal/analysis"
+	"pipefut/internal/analysis/flow"
+	"pipefut/internal/analysis/load"
+)
+
+// pkgFiles returns the non-test .go files of internal/<name>, plus the
+// package directory.
+func pkgFiles(t *testing.T, name string) (dir string, files []string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "..", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			files = append(files, filepath.Join(dir, n))
+		}
+	}
+	sort.Strings(files)
+	return dir, files
+}
+
+// TestLoadPackageSourceFallback forces the export-data import path to fail
+// (no export data is offered for any dependency) and checks that
+// LoadPackage falls back to typechecking dependencies from source, and
+// that the loaded package is complete enough to analyze: the full
+// syntactic suite and the flow-sensitive suite must both run cleanly over
+// internal/costalg, which imports several in-module dependencies.
+func TestLoadPackageSourceFallback(t *testing.T) {
+	dir, files := pkgFiles(t, "costalg")
+	fset := token.NewFileSet()
+	pkg, err := load.LoadPackage(fset, "pipefut/internal/costalg", dir, files,
+		nil, map[string]string{})
+	if err != nil {
+		t.Fatalf("LoadPackage with empty export maps: %v", err)
+	}
+	if got := pkg.Types.Path(); got != "pipefut/internal/costalg" {
+		t.Fatalf("loaded package path = %q", got)
+	}
+	if !pkg.Types.Complete() {
+		t.Error("loaded package is not complete")
+	}
+
+	for _, suite := range [][]*analysis.Analyzer{analysis.All(), flow.All()} {
+		diags, err := analysis.Run(suite, fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			t.Fatalf("analysis.Run over source-fallback load: %v", err)
+		}
+		for _, d := range diags {
+			t.Errorf("unexpected diagnostic on costalg: %s: %s (%s)",
+				fset.Position(d.Pos), d.Message, d.Category)
+		}
+	}
+}
+
+// TestLoadPackageExportData exercises the primary path: export data from
+// `go list -export` feeds the gc importer and the source fallback is never
+// needed. Skipped when the build cache offers no export data.
+func TestLoadPackageExportData(t *testing.T) {
+	dir, _ := pkgFiles(t, "costalg")
+	pkgs, err := load.GoList(dir, ".")
+	if err != nil {
+		t.Fatalf("GoList: %v", err)
+	}
+	exports := make(map[string]string)
+	var target *load.ListedPackage
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.ImportPath == "pipefut/internal/costalg" {
+			target = p
+		}
+	}
+	if target == nil {
+		t.Fatal("go list did not return pipefut/internal/costalg")
+	}
+	deps := 0
+	for path := range exports {
+		if path != target.ImportPath {
+			deps++
+		}
+	}
+	if deps == 0 {
+		t.Skip("no export data available for dependencies")
+	}
+
+	fset := token.NewFileSet()
+	pkg, err := load.LoadPackage(fset, target.ImportPath, target.Dir, target.AbsFiles(), nil, exports)
+	if err != nil {
+		t.Fatalf("LoadPackage with export data: %v", err)
+	}
+	diags, err := analysis.Run(analysis.All(), fset, pkg.Files, pkg.Types, pkg.Info)
+	if err != nil {
+		t.Fatalf("analysis.Run over export-data load: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("unexpected diagnostics: %v", diags)
+	}
+}

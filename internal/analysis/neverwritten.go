@@ -31,22 +31,22 @@ func runNeverWritten(pass *Pass) error {
 				return true
 			}
 			fork, ok := forkCall(info, call)
-			if !ok || fork.body < 0 || fork.body >= len(call.Args) {
+			if !ok || fork.Body < 0 || fork.Body >= len(call.Args) {
 				return true
 			}
-			lit, ok := ast.Unparen(call.Args[fork.body]).(*ast.FuncLit)
+			lit, ok := ast.Unparen(call.Args[fork.Body]).(*ast.FuncLit)
 			if !ok {
 				return true // body built elsewhere; nothing to prove
 			}
 			params := fieldNames(lit.Type.Params)
-			for i := fork.cellParams; i < len(params); i++ {
+			for i := fork.CellParams; i < len(params); i++ {
 				name := params[i]
 				if name == nil {
 					continue
 				}
 				if name.Name == "_" {
 					pass.Reportf(name.Pos(),
-						"fork body discards the write capability of result cell %d (blank parameter): the cell can never be written, so any touch of it deadlocks", i-fork.cellParams+1)
+						"fork body discards the write capability of result cell %d (blank parameter): the cell can never be written, so any touch of it deadlocks", i-fork.CellParams+1)
 					continue
 				}
 				obj, _ := info.Defs[name].(*types.Var)
@@ -56,7 +56,7 @@ func runNeverWritten(pass *Pass) error {
 				writes, escapes := cellUses(info, lit.Body, obj)
 				if writes == 0 && escapes == 0 {
 					what := "result cell parameter"
-					if fork.sliceParam {
+					if fork.SliceParam {
 						what = "result cell slice parameter"
 					}
 					pass.Reportf(name.Pos(),

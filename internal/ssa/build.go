@@ -1,0 +1,996 @@
+package ssa
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pipefut/internal/cellapi"
+)
+
+// Build constructs the SSA-lite program for one package: a Func with a
+// control-flow graph for every function declaration and function
+// literal in files, instruction operands resolved to origins. It
+// tolerates partial type information (missing entries degrade to
+// unknown origins) and never panics on syntactically valid input.
+func Build(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Program {
+	if info == nil {
+		info = &types.Info{}
+	}
+	p := &Program{
+		Fset:     fset,
+		Pkg:      pkg,
+		Info:     info,
+		FuncOf:   make(map[ast.Node]*Func),
+		Bindings: make(map[*types.Var]*Func),
+		declared: make(map[*types.Func]*Func),
+		definers: make(map[*types.Var]*Func),
+	}
+
+	// Pass 1: create a Func for every declaration and literal, so that
+	// forward references (calls to functions declared later, literals
+	// bound to variables) resolve during CFG construction.
+	for _, file := range files {
+		for _, d := range file.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				fn := p.newFunc(funcName(d), d, nil)
+				if obj, ok := info.Defs[d.Name].(*types.Func); ok {
+					fn.Obj = obj
+					fn.Sig, _ = obj.Type().(*types.Signature)
+					p.declared[obj] = fn
+				}
+				if d.Body != nil {
+					p.collectLits(d.Body, fn)
+				}
+			case *ast.GenDecl:
+				// Literals in package-level initializers.
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							p.collectLits(v, nil)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: record, for every variable, the function whose body
+	// declares it; then derive each function's free variables.
+	for _, file := range files {
+		p.recordDefiners(file, nil)
+	}
+	for _, file := range files {
+		p.recordFreeVars(file, nil)
+	}
+
+	// Pass 3: variables bound to exactly one function literal and never
+	// reassigned anything else are treated as direct names for it.
+	p.collectBindings(files)
+
+	// Pass 4: build each function's CFG.
+	for _, fn := range p.Funcs {
+		fn.fillParams()
+		if body := funcBody(fn.Syntax); body != nil {
+			bu := &builder{p: p, fn: fn, labels: make(map[types.Object]*Block)}
+			bu.buildBody(body)
+		}
+	}
+
+	// Pass 5: resolve instruction operands to origins (phi-lite fixpoint).
+	for _, fn := range p.Funcs {
+		fn.resolveValues()
+	}
+	return p
+}
+
+func (p *Program) newFunc(name string, syntax ast.Node, parent *Func) *Func {
+	fn := &Func{
+		Prog:    p,
+		Name:    name,
+		Syntax:  syntax,
+		Parent:  parent,
+		origins: make(map[originKey]*Origin),
+	}
+	p.Funcs = append(p.Funcs, fn)
+	p.FuncOf[syntax] = fn
+	return fn
+}
+
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv != nil && len(d.Recv.List) > 0 {
+		return fmt.Sprintf("(%s).%s", typeText(d.Recv.List[0].Type), d.Name.Name)
+	}
+	return d.Name.Name
+}
+
+func typeText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return "*" + typeText(e.X)
+	case *ast.IndexExpr:
+		return typeText(e.X)
+	case *ast.IndexListExpr:
+		return typeText(e.X)
+	default:
+		return "?"
+	}
+}
+
+func funcBody(syntax ast.Node) *ast.BlockStmt {
+	switch s := syntax.(type) {
+	case *ast.FuncDecl:
+		return s.Body
+	case *ast.FuncLit:
+		return s.Body
+	}
+	return nil
+}
+
+// collectLits creates Funcs for every function literal under n (parent
+// chains reflect lexical nesting).
+func (p *Program) collectLits(n ast.Node, parent *Func) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		lit, ok := m.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		name := "$lit"
+		if parent != nil {
+			parent.nlit++
+			name = fmt.Sprintf("%s$%d", parent.Name, parent.nlit)
+		}
+		fn := p.newFunc(name, lit, parent)
+		if tv, ok := p.Info.Types[lit]; ok {
+			fn.Sig, _ = tv.Type.(*types.Signature)
+		}
+		p.collectLits(lit.Body, fn)
+		return false // children handled by the recursive call
+	})
+}
+
+func (fn *Func) fillParams() {
+	if fn.Sig == nil {
+		return
+	}
+	tup := fn.Sig.Params()
+	for i := 0; i < tup.Len(); i++ {
+		fn.Params = append(fn.Params, tup.At(i))
+	}
+}
+
+// recordDefiners walks n attributing every defined variable to the
+// enclosing function (cur; nil at package level).
+func (p *Program) recordDefiners(n ast.Node, cur *Func) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncDecl:
+			fn := p.FuncOf[m]
+			if m.Recv != nil {
+				for _, f := range m.Recv.List {
+					for _, name := range f.Names {
+						if v, ok := p.Info.Defs[name].(*types.Var); ok {
+							p.definers[v] = fn
+						}
+					}
+				}
+			}
+			if m.Body != nil {
+				p.recordDefinersIn(m.Type, fn)
+				p.recordDefiners(m.Body, fn)
+			}
+			return false
+		case *ast.FuncLit:
+			fn := p.FuncOf[m]
+			p.recordDefinersIn(m.Type, fn)
+			p.recordDefiners(m.Body, fn)
+			return false
+		case *ast.Ident:
+			if v, ok := p.Info.Defs[m].(*types.Var); ok {
+				p.definers[v] = cur
+			}
+		case *ast.CaseClause:
+			// Type-switch implicits are per-clause variables.
+			if v, ok := p.Info.Implicits[m].(*types.Var); ok {
+				p.definers[v] = cur
+			}
+		}
+		return true
+	})
+}
+
+func (p *Program) recordDefinersIn(ft *ast.FuncType, fn *Func) {
+	ast.Inspect(ft, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if v, ok := p.Info.Defs[id].(*types.Var); ok {
+				p.definers[v] = fn
+			}
+		}
+		return true
+	})
+}
+
+// recordFreeVars walks n attributing used variables declared in a proper
+// ancestor function to every function on the chain below the definer.
+func (p *Program) recordFreeVars(n ast.Node, cur *Func) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncDecl:
+			if m.Body != nil {
+				p.recordFreeVars(m.Body, p.FuncOf[m])
+			}
+			return false
+		case *ast.FuncLit:
+			p.recordFreeVars(m.Body, p.FuncOf[m])
+			return false
+		case *ast.Ident:
+			v, ok := p.Info.Uses[m].(*types.Var)
+			if !ok || cur == nil {
+				return true
+			}
+			def, known := p.definers[v]
+			if !known || def == nil {
+				return true // package-level or field; not a lexical capture
+			}
+			for f := cur; f != nil && f != def; f = f.Parent {
+				f.addFreeVar(v)
+			}
+		}
+		return true
+	})
+}
+
+func (fn *Func) addFreeVar(v *types.Var) {
+	for _, f := range fn.FreeVars {
+		if f == v {
+			return
+		}
+	}
+	fn.FreeVars = append(fn.FreeVars, v)
+}
+
+// collectBindings finds variables assigned exactly one function literal
+// and nothing else.
+func (p *Program) collectBindings(files []*ast.File) {
+	type bind struct {
+		lit   *ast.FuncLit
+		multi bool
+	}
+	cand := make(map[*types.Var]*bind)
+	note := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		v := varOf(p.Info, id)
+		if v == nil {
+			return
+		}
+		b := cand[v]
+		if b == nil {
+			b = &bind{}
+			cand[v] = b
+		}
+		lit, isLit := ast.Unparen(rhs).(*ast.FuncLit)
+		switch {
+		case !isLit, b.lit != nil:
+			b.multi = true
+		default:
+			b.lit = lit
+		}
+	}
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						note(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						note(n.Names[i], n.Values[i])
+					}
+				}
+			case *ast.UnaryExpr:
+				// &f: the variable can be rebound through the pointer.
+				if n.Op == token.AND {
+					if v := varOf(p.Info, n.X); v != nil {
+						if b := cand[v]; b != nil {
+							b.multi = true
+						} else {
+							cand[v] = &bind{multi: true}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for v, b := range cand {
+		if !b.multi && b.lit != nil {
+			if fn := p.FuncOf[b.lit]; fn != nil {
+				p.Bindings[v] = fn
+			}
+		}
+	}
+}
+
+func varOf(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// CFG construction
+// ---------------------------------------------------------------------
+
+type builder struct {
+	p   *Program
+	fn  *Func
+	cur *Block // nil after a terminator (return/panic/branch)
+
+	tg           *targets
+	labels       map[types.Object]*Block // goto/label targets
+	pendingLabel types.Object            // label of the statement being built
+}
+
+// targets is the stack of enclosing break/continue destinations.
+type targets struct {
+	outer *targets
+	label types.Object
+	brk   *Block
+	cont  *Block // nil for switch/select
+}
+
+func (bu *builder) buildBody(body *ast.BlockStmt) {
+	bu.fn.newBlock() // entry, index 0
+	bu.fn.Exit = bu.fn.newBlock()
+	bu.cur = bu.fn.Blocks[0]
+	bu.stmts(body.List)
+	if bu.cur != nil {
+		addEdge(bu.cur, bu.fn.Exit)
+	}
+}
+
+// ensure returns the current block, starting a fresh (unreachable) one
+// after a terminator so later statements still get instructions.
+func (bu *builder) ensure() *Block {
+	if bu.cur == nil {
+		bu.cur = bu.fn.newBlock()
+	}
+	return bu.cur
+}
+
+func (bu *builder) emit(in *Instr) *Instr {
+	b := bu.ensure()
+	b.Instrs = append(b.Instrs, in)
+	return in
+}
+
+func (bu *builder) labelBlock(obj types.Object) *Block {
+	if obj == nil {
+		return bu.fn.newBlock()
+	}
+	if b, ok := bu.labels[obj]; ok {
+		return b
+	}
+	b := bu.fn.newBlock()
+	bu.labels[obj] = b
+	return b
+}
+
+func (bu *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		bu.stmt(s)
+	}
+}
+
+func (bu *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		bu.stmts(s.List)
+	case *ast.ExprStmt:
+		bu.expr(s.X)
+	case *ast.SendStmt:
+		bu.expr(s.Chan)
+		bu.expr(s.Value)
+	case *ast.IncDecStmt:
+		bu.expr(s.X)
+	case *ast.GoStmt:
+		// The spawned goroutine's effects are attributed to the spawn
+		// point: sound for may-analyses, documented for must-analyses.
+		bu.expr(s.Call)
+	case *ast.DeferStmt:
+		// Deferred calls run at every function exit downstream of this
+		// point, so attributing them here is correct for must-write and
+		// conservative for touch counting.
+		bu.expr(s.Call)
+	case *ast.AssignStmt:
+		bu.assign(s)
+	case *ast.DeclStmt:
+		bu.decl(s)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			bu.expr(r)
+		}
+		bu.emit(&Instr{Op: OpReturn, Pos: s.Pos(), RetExprs: s.Results})
+		addEdge(bu.cur, bu.fn.Exit)
+		bu.cur = nil
+	case *ast.IfStmt:
+		bu.ifStmt(s)
+	case *ast.ForStmt:
+		bu.forStmt(s)
+	case *ast.RangeStmt:
+		bu.rangeStmt(s)
+	case *ast.SwitchStmt:
+		bu.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		bu.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		bu.selectStmt(s)
+	case *ast.LabeledStmt:
+		obj := bu.p.Info.Defs[s.Label]
+		lb := bu.labelBlock(obj)
+		addEdge(bu.ensure(), lb)
+		bu.cur = lb
+		bu.pendingLabel = obj
+		bu.stmt(s.Stmt)
+		bu.pendingLabel = nil
+	case *ast.BranchStmt:
+		bu.branch(s)
+	case *ast.EmptyStmt, *ast.BadStmt:
+		// nothing
+	}
+}
+
+func (bu *builder) assign(s *ast.AssignStmt) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		// Compound assignment (+=, …): the target is re-evaluated.
+		for _, r := range s.Rhs {
+			bu.expr(r)
+		}
+		if len(s.Lhs) == 1 {
+			bu.expr(s.Lhs[0])
+			bu.defineLHS(s.Lhs[0], s.Rhs[0], -1)
+		}
+		return
+	}
+	if len(s.Lhs) > 1 && len(s.Rhs) == 1 {
+		// Multi-value: a, b := f() — each LHS binds one result.
+		rhs := bu.expr(s.Rhs[0])
+		var vars []*types.Var
+		for i, lhs := range s.Lhs {
+			bu.defineLHS(lhs, s.Rhs[0], i)
+			vars = append(vars, varOf(bu.p.Info, lhs))
+		}
+		if rhs != nil && rhs.Fork != nil {
+			rhs.Fork.ResultVars = vars
+		}
+		return
+	}
+	// Pairwise. Go evaluates all RHS (and LHS operands) before any
+	// assignment; emitting RHS-then-def per pair is equivalent for our
+	// purposes except for `x, y = y, x` swaps of cells, which are rare
+	// and only make tracking coarser.
+	for i := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		rhs := bu.expr(s.Rhs[i])
+		in := bu.defineLHS(s.Lhs[i], s.Rhs[i], -1)
+		if rhs != nil && rhs.Fork != nil && in != nil && in.Var != nil {
+			rhs.Fork.ResultVars = []*types.Var{in.Var}
+		}
+	}
+}
+
+// defineLHS emits the OpDef for one assignment target. resIdx >= 0
+// selects a result of a multi-value RHS call.
+func (bu *builder) defineLHS(lhs, rhs ast.Expr, resIdx int) *Instr {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return nil
+		}
+		v := varOf(bu.p.Info, id)
+		if v == nil {
+			return nil
+		}
+		return bu.emit(&Instr{Op: OpDef, Pos: id.Pos(), Var: v, CellExpr: rhs, ResIdx: resIdx})
+	}
+	// Store through a field/index/pointer: the stored-to view becomes
+	// stale; values resolves the target and resets it, and resolves the
+	// stored value so analyzers can see a cell escaping into memory.
+	bu.expr(lhs)
+	return bu.emit(&Instr{Op: OpDef, Pos: lhs.Pos(), CellExpr: lhs, Store: true, ResIdx: resIdx, ValExpr: rhs})
+}
+
+func (bu *builder) decl(s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		switch {
+		case len(vs.Values) == 0:
+			for _, name := range vs.Names {
+				if v := varOf(bu.p.Info, name); v != nil {
+					bu.emit(&Instr{Op: OpDef, Pos: name.Pos(), Var: v}) // zero value
+				}
+			}
+		case len(vs.Names) > 1 && len(vs.Values) == 1:
+			rhs := bu.expr(vs.Values[0])
+			var vars []*types.Var
+			for i, name := range vs.Names {
+				bu.defineLHS(name, vs.Values[0], i)
+				vars = append(vars, varOf(bu.p.Info, name))
+			}
+			if rhs != nil && rhs.Fork != nil {
+				rhs.Fork.ResultVars = vars
+			}
+		default:
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					break
+				}
+				rhs := bu.expr(vs.Values[i])
+				in := bu.defineLHS(name, vs.Values[i], -1)
+				if rhs != nil && rhs.Fork != nil && in != nil && in.Var != nil {
+					rhs.Fork.ResultVars = []*types.Var{in.Var}
+				}
+			}
+		}
+	}
+}
+
+func (bu *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		bu.stmt(s.Init)
+	}
+	// Short-circuit && / || operands are emitted linearly into the
+	// condition block: an over-approximation for may-analyses.
+	bu.expr(s.Cond)
+	cond := bu.ensure()
+	thenB := bu.fn.newBlock()
+	join := bu.fn.newBlock()
+	addEdge(cond, thenB)
+	var elseB *Block
+	if s.Else != nil {
+		elseB = bu.fn.newBlock()
+		addEdge(cond, elseB)
+	} else {
+		addEdge(cond, join)
+	}
+	bu.cur = thenB
+	bu.stmt(s.Body)
+	addEdge(bu.cur, join)
+	if s.Else != nil {
+		bu.cur = elseB
+		bu.stmt(s.Else)
+		addEdge(bu.cur, join)
+	}
+	bu.cur = join
+}
+
+func (bu *builder) forStmt(s *ast.ForStmt) {
+	label := bu.pendingLabel
+	bu.pendingLabel = nil
+	if s.Init != nil {
+		bu.stmt(s.Init)
+	}
+	head := bu.fn.newBlock()
+	addEdge(bu.ensure(), head)
+	bu.cur = head
+	if s.Cond != nil {
+		bu.expr(s.Cond)
+	}
+	head = bu.cur // condition may itself contain calls but stays one block
+	body := bu.fn.newBlock()
+	join := bu.fn.newBlock()
+	addEdge(head, body)
+	if s.Cond != nil {
+		addEdge(head, join)
+	}
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = bu.fn.newBlock()
+		cont = post
+	}
+	bu.tg = &targets{outer: bu.tg, label: label, brk: join, cont: cont}
+	bu.cur = body
+	bu.stmt(s.Body)
+	addEdge(bu.cur, cont)
+	bu.tg = bu.tg.outer
+	if post != nil {
+		bu.cur = post
+		bu.stmt(s.Post)
+		addEdge(bu.cur, head)
+	}
+	bu.cur = join
+}
+
+func (bu *builder) rangeStmt(s *ast.RangeStmt) {
+	label := bu.pendingLabel
+	bu.pendingLabel = nil
+	bu.expr(s.X)
+	head := bu.fn.newBlock()
+	addEdge(bu.ensure(), head)
+	body := bu.fn.newBlock()
+	join := bu.fn.newBlock()
+	addEdge(head, body)
+	addEdge(head, join)
+	bu.cur = body
+	// Each iteration binds fresh values: per-variable origins reset at
+	// the top of the body (this is what keeps `for _, c := range cells {
+	// Touch(c) }` linear).
+	for _, e := range []ast.Expr{s.Key, s.Value} {
+		if e == nil {
+			continue
+		}
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name != "_" {
+			if v := varOf(bu.p.Info, id); v != nil {
+				bu.emit(&Instr{Op: OpDef, Pos: id.Pos(), Var: v, Fresh: true})
+				continue
+			}
+		}
+		// Range into a field/index target: a store.
+		if _, ok := ast.Unparen(e).(*ast.Ident); !ok {
+			bu.expr(e)
+			bu.emit(&Instr{Op: OpDef, Pos: e.Pos(), CellExpr: e, Store: true})
+		}
+	}
+	bu.tg = &targets{outer: bu.tg, label: label, brk: join, cont: head}
+	bu.stmt(s.Body)
+	addEdge(bu.cur, head)
+	bu.tg = bu.tg.outer
+	bu.cur = join
+}
+
+func (bu *builder) switchStmt(s *ast.SwitchStmt) {
+	label := bu.pendingLabel
+	bu.pendingLabel = nil
+	if s.Init != nil {
+		bu.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		bu.expr(s.Tag)
+	}
+	head := bu.ensure()
+	join := bu.fn.newBlock()
+	var clauses []*ast.CaseClause
+	var blocks []*Block
+	hasDefault := false
+	if s.Body != nil {
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				bu.cur = head
+				bu.expr(e)
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			b := bu.fn.newBlock()
+			addEdge(head, b)
+			clauses = append(clauses, cc)
+			blocks = append(blocks, b)
+		}
+	}
+	if !hasDefault {
+		addEdge(head, join)
+	}
+	bu.tg = &targets{outer: bu.tg, label: label, brk: join}
+	for i, cc := range clauses {
+		bu.cur = blocks[i]
+		bodyStmts := cc.Body
+		fallsThrough := false
+		if n := len(bodyStmts); n > 0 {
+			if br, ok := bodyStmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				bodyStmts = bodyStmts[:n-1]
+			}
+		}
+		bu.stmts(bodyStmts)
+		if fallsThrough && i+1 < len(blocks) {
+			addEdge(bu.cur, blocks[i+1])
+		} else {
+			addEdge(bu.cur, join)
+		}
+	}
+	bu.tg = bu.tg.outer
+	bu.cur = join
+}
+
+func (bu *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := bu.pendingLabel
+	bu.pendingLabel = nil
+	if s.Init != nil {
+		bu.stmt(s.Init)
+	}
+	// The scrutinee expression, from either `v := x.(type)` or `x.(type)`.
+	var scrutinee ast.Expr
+	switch a := s.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := ast.Unparen(a.Rhs[0]).(*ast.TypeAssertExpr); ok {
+				scrutinee = ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := ast.Unparen(a.X).(*ast.TypeAssertExpr); ok {
+			scrutinee = ta.X
+		}
+	}
+	if scrutinee != nil {
+		bu.expr(scrutinee)
+	}
+	head := bu.ensure()
+	join := bu.fn.newBlock()
+	hasDefault := false
+	var clauses []*ast.CaseClause
+	var blocks []*Block
+	if s.Body != nil {
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			b := bu.fn.newBlock()
+			addEdge(head, b)
+			clauses = append(clauses, cc)
+			blocks = append(blocks, b)
+		}
+	}
+	if !hasDefault {
+		addEdge(head, join)
+	}
+	bu.tg = &targets{outer: bu.tg, label: label, brk: join}
+	for i, cc := range clauses {
+		bu.cur = blocks[i]
+		// The per-clause implicit variable aliases the scrutinee.
+		if v, ok := bu.p.Info.Implicits[cc].(*types.Var); ok {
+			bu.emit(&Instr{Op: OpDef, Pos: cc.Pos(), Var: v, CellExpr: scrutinee})
+		}
+		bu.stmts(cc.Body)
+		addEdge(bu.cur, join)
+	}
+	bu.tg = bu.tg.outer
+	bu.cur = join
+}
+
+func (bu *builder) selectStmt(s *ast.SelectStmt) {
+	label := bu.pendingLabel
+	bu.pendingLabel = nil
+	head := bu.ensure()
+	join := bu.fn.newBlock()
+	bu.tg = &targets{outer: bu.tg, label: label, brk: join}
+	if s.Body != nil {
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			b := bu.fn.newBlock()
+			addEdge(head, b)
+			bu.cur = b
+			if cc.Comm != nil {
+				bu.stmt(cc.Comm)
+			}
+			bu.stmts(cc.Body)
+			addEdge(bu.cur, join)
+		}
+	}
+	bu.tg = bu.tg.outer
+	bu.cur = join
+}
+
+func (bu *builder) branch(s *ast.BranchStmt) {
+	var labelObj types.Object
+	if s.Label != nil {
+		labelObj = bu.p.Info.Uses[s.Label]
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for t := bu.tg; t != nil; t = t.outer {
+			if labelObj == nil || t.label == labelObj {
+				addEdge(bu.ensure(), t.brk)
+				bu.cur = nil
+				return
+			}
+		}
+	case token.CONTINUE:
+		for t := bu.tg; t != nil; t = t.outer {
+			if t.cont != nil && (labelObj == nil || t.label == labelObj) {
+				addEdge(bu.ensure(), t.cont)
+				bu.cur = nil
+				return
+			}
+		}
+	case token.GOTO:
+		if labelObj != nil {
+			addEdge(bu.ensure(), bu.labelBlock(labelObj))
+			bu.cur = nil
+		}
+	case token.FALLTHROUGH:
+		// handled by switchStmt
+	}
+}
+
+// ---------------------------------------------------------------------
+// Expression emission
+// ---------------------------------------------------------------------
+
+// expr emits instructions for every call (and recognized cell operation)
+// within e, in evaluation order, and returns the instruction for e
+// itself when e is a call.
+func (bu *builder) expr(e ast.Expr) *Instr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *ast.ParenExpr:
+		return bu.expr(e.X)
+	case *ast.CallExpr:
+		bu.expr(e.Fun)
+		for _, a := range e.Args {
+			bu.expr(a)
+		}
+		return bu.emitCall(e)
+	case *ast.FuncLit:
+		return nil // built as its own Func
+	case *ast.SelectorExpr:
+		bu.expr(e.X)
+	case *ast.IndexExpr:
+		bu.expr(e.X)
+		bu.expr(e.Index)
+	case *ast.IndexListExpr:
+		bu.expr(e.X)
+		for _, i := range e.Indices {
+			bu.expr(i)
+		}
+	case *ast.SliceExpr:
+		bu.expr(e.X)
+		bu.expr(e.Low)
+		bu.expr(e.High)
+		bu.expr(e.Max)
+	case *ast.TypeAssertExpr:
+		bu.expr(e.X)
+	case *ast.StarExpr:
+		bu.expr(e.X)
+	case *ast.UnaryExpr:
+		bu.expr(e.X)
+	case *ast.BinaryExpr:
+		bu.expr(e.X)
+		bu.expr(e.Y)
+	case *ast.KeyValueExpr:
+		bu.expr(e.Key)
+		bu.expr(e.Value)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			bu.expr(el)
+		}
+	}
+	return nil
+}
+
+// emitCall classifies one call expression and emits its instruction(s).
+// Nested calls in operands have already been emitted.
+func (bu *builder) emitCall(call *ast.CallExpr) *Instr {
+	info := bu.p.Info
+
+	// Builtins and conversions.
+	if fun := ast.Unparen(call.Fun); true {
+		if id, ok := fun.(*ast.Ident); ok {
+			switch obj := info.Uses[id].(type) {
+			case *types.Builtin:
+				if obj.Name() == "panic" {
+					in := bu.emit(&Instr{Op: OpPanic, Pos: call.Pos(), Call: call})
+					bu.cur = nil
+					return in
+				}
+				return nil // len/cap/append/copy/…: no cell effect
+			case *types.TypeName:
+				return nil // conversion
+			}
+		}
+		if tv, ok := info.Types[fun]; ok && tv.IsType() {
+			return nil // conversion through a type expression
+		}
+	}
+
+	if fi, ok := cellapi.ForkCall(info, call); ok {
+		site := &ForkSite{Info: fi}
+		if body := fi.BodyExpr(call); body != nil {
+			site.Body = bu.resolveFuncExpr(body)
+		}
+		return bu.emit(&Instr{Op: OpFork, Pos: call.Pos(), Call: call, Fork: site})
+	}
+	if cellapi.PrewrittenCell(info, call) || cellapi.EmptyCellCall(info, call) {
+		return bu.emit(&Instr{Op: OpNewCell, Pos: call.Pos(), Call: call})
+	}
+
+	touches := cellapi.TouchTargets(info, call)
+	writes := cellapi.WriteTargets(info, call)
+	probes := cellapi.ProbeTargets(info, call)
+	if len(touches)+len(writes)+len(probes) > 0 {
+		var last *Instr
+		for _, t := range touches {
+			last = bu.emit(&Instr{Op: OpTouch, Pos: t.Pos(), Call: call, CellExpr: t})
+		}
+		for _, w := range writes {
+			last = bu.emit(&Instr{Op: OpWrite, Pos: w.Pos(), Call: call, CellExpr: w})
+		}
+		for _, pr := range probes {
+			last = bu.emit(&Instr{Op: OpProbe, Pos: pr.Pos(), Call: call, CellExpr: pr})
+		}
+		return last
+	}
+
+	in := &Instr{Op: OpCall, Pos: call.Pos(), Call: call}
+	in.CalleeObj = cellapi.CalleeOf(info, call)
+	in.Callee = bu.resolveFuncExpr(call.Fun)
+	if in.Callee == nil && in.CalleeObj != nil {
+		in.Callee = bu.p.declared[in.CalleeObj]
+	}
+	return bu.emit(in)
+}
+
+// resolveFuncExpr resolves a function-valued expression to a local Func:
+// a literal, a declared function of this package, or a variable bound to
+// exactly one literal.
+func (bu *builder) resolveFuncExpr(e ast.Expr) *Func {
+	e = ast.Unparen(e)
+	for {
+		switch f := e.(type) {
+		case *ast.IndexExpr:
+			e = ast.Unparen(f.X)
+			continue
+		case *ast.IndexListExpr:
+			e = ast.Unparen(f.X)
+			continue
+		}
+		break
+	}
+	switch f := e.(type) {
+	case *ast.FuncLit:
+		return bu.p.FuncOf[f]
+	case *ast.Ident:
+		switch obj := bu.p.Info.Uses[f].(type) {
+		case *types.Func:
+			return bu.p.declared[obj]
+		case *types.Var:
+			return bu.p.Bindings[obj]
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := bu.p.Info.Uses[f.Sel].(*types.Func); ok {
+			return bu.p.declared[fn]
+		}
+	}
+	return nil
+}

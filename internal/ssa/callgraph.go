@@ -1,0 +1,50 @@
+package ssa
+
+// Callees returns the local functions fn may invoke: direct calls to
+// declared functions, directly-called literals, calls through uniquely
+// bound variables, and fork bodies. Unknown callees (cross-package
+// functions, escaping function values) are not represented.
+func (fn *Func) Callees() []*Func {
+	var out []*Func
+	seen := make(map[*Func]bool)
+	add := func(f *Func) {
+		if f != nil && !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case OpCall:
+				add(in.Callee)
+			case OpFork:
+				if in.Fork != nil {
+					add(in.Fork.Body)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Reachable returns the set of local functions reachable from roots
+// through the call graph (fork bodies count as calls). The roots are
+// included.
+func (p *Program) Reachable(roots ...*Func) map[*Func]bool {
+	seen := make(map[*Func]bool)
+	var walk func(f *Func)
+	walk = func(f *Func) {
+		if f == nil || seen[f] {
+			return
+		}
+		seen[f] = true
+		for _, c := range f.Callees() {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return seen
+}

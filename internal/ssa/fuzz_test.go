@@ -1,0 +1,118 @@
+package ssa_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"pipefut/internal/ssa"
+)
+
+// FuzzSSABuild feeds arbitrary parseable Go files — typechecked
+// best-effort, so type information may be partial or absent — through
+// the SSA-lite builder and asserts it never panics and the structural
+// invariants hold.
+func FuzzSSABuild(f *testing.F) {
+	seeds := []string{
+		fakeCore,
+		`package p
+import core "pipefut/internal/core"
+func f(t *core.Ctx, c *core.Cell[int]) int {
+	a, b := core.Fork2(t, func(t *core.Ctx, out *core.Cell[int]) int {
+		core.Write(t, out, core.Touch(t, c))
+		return 0
+	})
+	return core.Touch(t, a) + core.Touch(t, b)
+}`,
+		`package p
+func f(xs []int) (n int) {
+	defer func() { n++ }()
+L:
+	for i, x := range xs {
+		switch {
+		case x == 0:
+			continue L
+		case x < 0:
+			break L
+		default:
+			goto done
+		}
+		_ = i
+	}
+done:
+	return
+}`,
+		`package p
+func f(x interface{}, ch chan int) int {
+	switch v := x.(type) {
+	case int:
+		return v
+	case string:
+		return len(v)
+	}
+	select {
+	case v := <-ch:
+		return v
+	default:
+	}
+	panic("no")
+}`,
+		`package p
+var g = func() int { return 1 }
+func f() int { h := g; return h() }`,
+		`package p
+func f() { var x struct{ y *int }; x.y = nil; *x.y = 1 }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	// The fake core package lets inputs that import
+	// pipefut/internal/core typecheck fully.
+	coreFset := token.NewFileSet()
+	coreFile, err := parser.ParseFile(coreFset, "core.go", fakeCore, parser.SkipObjectResolution)
+	if err != nil {
+		f.Fatal(err)
+	}
+	coreConf := types.Config{Importer: mapImporter{}}
+	corePkg, err := coreConf.Check("pipefut/internal/core", coreFset, []*ast.File{coreFile}, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 64<<10 {
+			t.Skip("oversized input")
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Skip("not parseable")
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{
+			Importer: mapImporter{"pipefut/internal/core": corePkg},
+			Error:    func(error) {}, // keep going; partial info is the point
+		}
+		pkg, _ := conf.Check("fuzzp", fset, []*ast.File{file}, info)
+
+		prog := ssa.Build(fset, []*ast.File{file}, pkg, info)
+		if err := ssa.CheckInvariants(prog); err != nil {
+			t.Fatalf("invariants violated: %v\nsource:\n%s", err, src)
+		}
+
+		// Degraded mode: no type information at all must also be safe.
+		prog2 := ssa.Build(fset, []*ast.File{file}, nil, nil)
+		if err := ssa.CheckInvariants(prog2); err != nil {
+			t.Fatalf("invariants violated without type info: %v\nsource:\n%s", err, src)
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package ssa
+
+import "fmt"
+
+// CheckInvariants verifies the structural well-formedness of a built
+// program: CFG edge symmetry, block ownership, origin interning, and phi
+// input consistency. It returns the first violation found, or nil. The
+// fuzz target runs this over arbitrary parseable inputs.
+func CheckInvariants(p *Program) error {
+	for _, fn := range p.Funcs {
+		if err := checkFunc(fn); err != nil {
+			return fmt.Errorf("%s: %w", fn.Name, err)
+		}
+	}
+	return nil
+}
+
+func checkFunc(fn *Func) error {
+	if len(fn.Blocks) == 0 {
+		return nil // bodyless declaration
+	}
+	if fn.Exit == nil {
+		return fmt.Errorf("has blocks but no exit block")
+	}
+	index := make(map[*Block]bool)
+	for i, b := range fn.Blocks {
+		if b.Fn != fn {
+			return fmt.Errorf("b%d owned by %v", i, b.Fn)
+		}
+		if b.Index != i {
+			return fmt.Errorf("b%d has index %d", i, b.Index)
+		}
+		index[b] = true
+	}
+	if !index[fn.Exit] {
+		return fmt.Errorf("exit block not in block list")
+	}
+	count := func(list []*Block, b *Block) int {
+		n := 0
+		for _, x := range list {
+			if x == b {
+				n++
+			}
+		}
+		return n
+	}
+	for _, b := range fn.Blocks {
+		for _, s := range b.Succs {
+			if !index[s] {
+				return fmt.Errorf("b%d has foreign successor", b.Index)
+			}
+			if count(s.Preds, b) != count(b.Succs, s) {
+				return fmt.Errorf("asymmetric edge b%d->b%d", b.Index, s.Index)
+			}
+		}
+		for _, pr := range b.Preds {
+			if !index[pr] {
+				return fmt.Errorf("b%d has foreign predecessor", b.Index)
+			}
+			if count(pr.Succs, b) != count(b.Preds, pr) {
+				return fmt.Errorf("asymmetric edge b%d<-b%d", b.Index, pr.Index)
+			}
+		}
+		preds := make(map[*Block]bool)
+		for _, pr := range b.Preds {
+			preds[pr] = true
+		}
+		for _, ph := range b.Phis {
+			if ph.Origin == nil || ph.Origin.Kind != OPhi || ph.Origin.Block != b {
+				return fmt.Errorf("b%d: malformed phi for %v", b.Index, ph.Var)
+			}
+			for in := range ph.Inputs {
+				if !preds[in] {
+					return fmt.Errorf("b%d: phi input from non-predecessor b%d", b.Index, in.Index)
+				}
+			}
+		}
+		for _, in := range b.Instrs {
+			for _, o := range origins(in) {
+				if o != nil && o.Fn != fn {
+					return fmt.Errorf("b%d: %s references origin of %s", b.Index, in.Op, o.Fn.Name)
+				}
+			}
+			if in.Op == OpReturn && count(b.Succs, fn.Exit) == 0 {
+				return fmt.Errorf("b%d: return does not flow to exit", b.Index)
+			}
+		}
+	}
+	// Every interned origin belongs to this function and derived chains
+	// terminate.
+	for _, o := range fn.Origins() {
+		if o.Fn != fn {
+			return fmt.Errorf("interned origin %v owned elsewhere", o)
+		}
+		seen := 0
+		for b := o.Base; b != nil; b = b.Base {
+			if seen++; seen > 1000 {
+				return fmt.Errorf("origin %v: base chain does not terminate", o)
+			}
+		}
+	}
+	return nil
+}
+
+// origins collects every origin an instruction references.
+func origins(in *Instr) []*Origin {
+	out := []*Origin{in.Cell, in.Val}
+	out = append(out, in.Resets...)
+	for _, a := range in.Args {
+		out = append(out, a.Origin)
+	}
+	for _, f := range in.Free {
+		out = append(out, f.Origin)
+	}
+	if in.Fork != nil {
+		out = append(out, in.Fork.Results...)
+	}
+	return out
+}

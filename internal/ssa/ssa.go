@@ -1,0 +1,479 @@
+// Package ssa builds a small SSA-like intermediate representation of the
+// future-cell operations in a package: per-function control-flow graphs
+// whose instructions are the recognized cell actions (write, touch,
+// probe, fork, call), with expression operands resolved to interned
+// value *origins* by a phi-lite dataflow pass.
+//
+// It is deliberately not a general-purpose SSA: only the operations that
+// matter to the futures cost model (Blelloch & Reid-Miller, SPAA 1997)
+// are first-class, and instead of full phi nodes and a value graph it
+// tracks, per program point, which origin each variable currently names.
+// An origin is "where a value came from": a parameter, a free variable,
+// a fork result, a call result, a field or element of another origin.
+// Two expressions with the same origin conservatively *may* denote the
+// same cell; the flow analyzers in internal/analysis/flow build their
+// lattices over origins.
+//
+// The builder never panics on syntactically valid input, even when type
+// information is partial (missing Uses/Defs/Types entries degrade to
+// per-site unknown origins); FuzzSSABuild enforces this.
+package ssa
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pipefut/internal/cellapi"
+)
+
+// Program is the SSA-lite view of one package.
+type Program struct {
+	Fset  *token.FileSet
+	Pkg   *types.Package
+	Info  *types.Info
+	Funcs []*Func // every function and function literal, outer-before-inner
+
+	// FuncOf maps the defining syntax (*ast.FuncDecl or *ast.FuncLit) to
+	// its Func.
+	FuncOf map[ast.Node]*Func
+
+	// Bindings maps a variable that is bound to exactly one function
+	// literal in the whole package (`body := func() {...}`, or
+	// `var walk func(); walk = func() {...}`) to that literal's Func.
+	// Calls through such variables are treated as direct calls.
+	Bindings map[*types.Var]*Func
+
+	// declared maps named functions of this package to their Func.
+	declared map[*types.Func]*Func
+	// definers maps each variable to the function whose body declares it.
+	definers map[*types.Var]*Func
+}
+
+// Func is one function (declaration or literal) with its CFG.
+type Func struct {
+	Prog   *Program
+	Name   string      // qualified-ish display name; literals get parent$n
+	Syntax ast.Node    // *ast.FuncDecl or *ast.FuncLit
+	Obj    *types.Func // nil for literals
+	Sig    *types.Signature
+	Parent *Func // enclosing function for literals, nil for declarations
+
+	// Params holds the flattened parameter variables (receiver excluded).
+	Params []*types.Var
+
+	// FreeVars are variables referenced in the body but declared in an
+	// enclosing function.
+	FreeVars []*types.Var
+
+	// Blocks[0] is the entry block; Exit is the synthetic exit block every
+	// return (and the fall-off-the-end path) flows into.
+	Blocks []*Block
+	Exit   *Block
+
+	origins map[originKey]*Origin
+	nlit    int // literal counter for child names
+}
+
+// Block is a basic block: straight-line instructions plus CFG edges.
+type Block struct {
+	Index  int
+	Fn     *Func
+	Instrs []*Instr
+	Preds  []*Block
+	Succs  []*Block
+
+	// Phis are the phi-lite slots at this block: variables whose naming
+	// origin differs between predecessors.
+	Phis []*Phi
+
+	// envIn/envOut are the variable→origin maps at block entry/exit,
+	// computed by the values pass (used internally and by invariants).
+	envIn, envOut map[*types.Var]*Origin
+	// incoming records each processed predecessor's contribution per
+	// variable during the values fixpoint.
+	incoming map[*types.Var]map[*Block]*Origin
+}
+
+// Phi records that variable Var is named by origin Origin (Kind OPhi) at
+// the head of a join block, with per-predecessor input origins. The flow
+// analyzers recompute a phi's lattice value from its inputs' values in
+// each predecessor's out-state — never by joining the phi's own previous
+// value — so per-iteration values in loops do not falsely accumulate.
+type Phi struct {
+	Var    *types.Var
+	Origin *Origin
+	Inputs map[*Block]*Origin
+}
+
+// Op is the instruction kind.
+type Op uint8
+
+const (
+	// OpDef binds Var (possibly nil for a pure re-evaluation or a store
+	// through a field/index) to origin Cell. If Fresh, the right-hand side
+	// is a new evaluation (call result, new cell, non-constant element
+	// load, store) and Resets lists the freshly-minted root origins; see
+	// Instr.Resets.
+	OpDef     Op = iota
+	OpNewCell    // a cell is created (future.New, core.Done, core.NowCell)
+	OpFork       // a recognized fork/spawn call; see Fork
+	OpWrite      // Cell is written (core.Write, Forward dst, (*Cell).Write)
+	OpTouch      // Cell is touched (core.Touch, Forward src, (*Cell).Read)
+	OpProbe      // Cell is probed (Ready/Force/Reads/WriteTime)
+	OpCall       // any other call; cell-typed arguments are in Args
+	OpReturn     // return statement (flows to Fn.Exit)
+	OpPanic      // call to builtin panic; terminates the block
+)
+
+var opNames = [...]string{"def", "newcell", "fork", "write", "touch", "probe", "call", "return", "panic"}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Instr is one instruction.
+type Instr struct {
+	Op  Op
+	Pos token.Pos
+
+	// Call is the call expression for call-shaped ops (NewCell, Fork,
+	// Write, Touch, Probe, Call, Panic).
+	Call *ast.CallExpr
+
+	// Cell is the primary origin operand: the written/touched/probed
+	// cell, the created cell (OpNewCell), or the bound value (OpDef).
+	Cell *Origin
+
+	// CellExpr is the syntax Cell was resolved from (reporting positions).
+	CellExpr ast.Expr
+
+	// Var is the variable defined by an OpDef, if the target is a plain
+	// identifier.
+	Var *types.Var
+
+	// ResIdx selects one result of a multi-value RHS call for an OpDef
+	// (a, b := Fork2(...)); -1 means the whole value.
+	ResIdx int
+
+	// Store marks an OpDef that writes through a field/index/pointer:
+	// CellExpr is the target, whose cached view must be forgotten.
+	// ValExpr/Val describe the stored value — a cell stored into memory
+	// escapes the function's tracking.
+	Store   bool
+	ValExpr ast.Expr
+	Val     *Origin
+
+	// RetExprs are an OpReturn's result expressions; cell-typed results
+	// are resolved into Args (a returned cell escapes to the caller).
+	RetExprs []ast.Expr
+
+	// Fresh marks a def/evaluation that produces a brand-new value each
+	// time it executes. Resets lists the *root* origins freshly minted
+	// here; an analyzer forgets each root's ResetSet (the root plus every
+	// origin derived from it) before applying the instruction.
+	Fresh  bool
+	Resets []*Origin
+
+	// Callee is the statically resolved local callee of an OpCall/OpFork
+	// body: a declared function of this package, a directly-called
+	// literal, or a literal reached through a uniquely-bound variable.
+	Callee *Func
+	// CalleeObj is the types.Func of the callee when known (set also for
+	// cross-package and method calls that have no local Func).
+	CalleeObj *types.Func
+
+	// Args are the cell-typed value arguments of an OpCall, with their
+	// resolved origins.
+	Args []ArgCell
+
+	// Free are the origins, at this call site, of the callee literal's
+	// free cell variables (only for OpCall/OpFork with a literal Callee).
+	Free []FreeCell
+
+	// Fork describes a recognized fork site (OpFork only).
+	Fork *ForkSite
+}
+
+// ArgCell is a cell-typed argument: its position in the callee's
+// flattened parameter list and its origin at the call site.
+type ArgCell struct {
+	Index  int
+	Origin *Origin
+	Expr   ast.Expr
+}
+
+// FreeCell is a free cell variable of a literal callee and its origin in
+// the calling function at the call site.
+type FreeCell struct {
+	Var    *types.Var
+	Origin *Origin
+}
+
+// ForkSite describes a recognized future-creating call.
+type ForkSite struct {
+	Info cellapi.ForkInfo
+	// Body is the fork-body function when it is a literal (directly or
+	// through a uniquely-bound variable); nil when the body is opaque.
+	Body *Func
+	// Results are the origins of the returned cells, one per result
+	// (ForkN yields a single slice origin).
+	Results []*Origin
+	// ResultVars are the variables the results are bound to at the fork
+	// statement, when the fork is the sole RHS of an assignment; entries
+	// may be nil (blank, discarded, or non-identifier targets).
+	ResultVars []*types.Var
+}
+
+// OriginKind classifies where a value came from.
+type OriginKind uint8
+
+const (
+	OUnknown OriginKind = iota // unmodelled expression; per-site, fresh each eval
+	OParam                     // parameter of this function
+	OFree                      // free variable (declared in an enclosing function)
+	OFork                      // result of a fork site (per site, per result index)
+	ONew                       // created cell (future.New / core.Done / core.NowCell)
+	OCall                      // result of a non-fork call (per site, per result index)
+	OField                     // field of another origin; shared across loads
+	OIndex                     // element of another origin (constant keys shared; otherwise per site, fresh)
+	OPhi                       // join of different origins for one variable at a block head
+	OZero                      // zero value of a declared-but-unassigned variable
+)
+
+var originKindNames = [...]string{"unknown", "param", "free", "fork", "new", "call", "field", "index", "phi", "zero"}
+
+func (k OriginKind) String() string {
+	if int(k) < len(originKindNames) {
+		return originKindNames[k]
+	}
+	return fmt.Sprintf("origin(%d)", uint8(k))
+}
+
+// Origin is an interned value source within one function. Pointer
+// identity is the identity: the values pass resolves every cell operand
+// in a Func to one of that Func's origins, so analyzers can key lattice
+// maps by *Origin.
+type Origin struct {
+	Kind OriginKind
+	Fn   *Func
+
+	Var   *types.Var // OParam, OFree, OPhi, OZero
+	Site  ast.Node   // OFork, ONew, OCall, OUnknown, non-constant OIndex
+	Index int        // OParam position; OFork/OCall result index
+	Base  *Origin    // OField, OIndex
+	Sel   string     // OField name; constant OIndex key
+
+	Block *Block // OPhi
+
+	// Prewritten marks ONew origins born already written (core.Done,
+	// core.NowCell, future.Done).
+	Prewritten bool
+
+	// derived lists origins whose Base (transitively) is this origin;
+	// maintained at intern time so a reset can invalidate views.
+	derived []*Origin
+}
+
+func (o *Origin) String() string {
+	switch o.Kind {
+	case OParam, OFree, OPhi, OZero:
+		name := "?"
+		if o.Var != nil {
+			name = o.Var.Name()
+		}
+		if o.Kind == OPhi {
+			return fmt.Sprintf("phi(%s@b%d)", name, o.Block.Index)
+		}
+		return fmt.Sprintf("%s(%s)", o.Kind, name)
+	case OField:
+		return fmt.Sprintf("%s.%s", o.Base, o.Sel)
+	case OIndex:
+		if o.Site == nil {
+			return fmt.Sprintf("%s[%s]", o.Base, o.Sel)
+		}
+		return fmt.Sprintf("%s[·]", o.Base)
+	case OFork, OCall:
+		return fmt.Sprintf("%s#%d.%d", o.Kind, o.Fn.Prog.posOf(o.Site), o.Index)
+	default:
+		return o.Kind.String()
+	}
+}
+
+func (p *Program) posOf(n ast.Node) int {
+	if n == nil || p.Fset == nil {
+		return 0
+	}
+	return p.Fset.Position(n.Pos()).Line
+}
+
+// originKey is the interning key.
+type originKey struct {
+	kind  OriginKind
+	v     *types.Var
+	site  ast.Node
+	index int
+	base  *Origin
+	sel   string
+	block *Block
+}
+
+// origin interns an origin in fn.
+func (fn *Func) origin(k originKey) *Origin {
+	if o, ok := fn.origins[k]; ok {
+		return o
+	}
+	o := &Origin{
+		Kind: k.kind, Fn: fn, Var: k.v, Site: k.site,
+		Index: k.index, Base: k.base, Sel: k.sel, Block: k.block,
+	}
+	fn.origins[k] = o
+	if k.base != nil {
+		for b := k.base; b != nil; b = b.Base {
+			b.derived = append(b.derived, o)
+		}
+	}
+	return o
+}
+
+// Origins returns all interned origins of fn (order unspecified).
+func (fn *Func) Origins() []*Origin {
+	out := make([]*Origin, 0, len(fn.origins))
+	for _, o := range fn.origins {
+		out = append(out, o)
+	}
+	return out
+}
+
+// ResetSet returns o plus every origin derived from it — the set an
+// analyzer must forget when o is freshly re-evaluated.
+func (o *Origin) ResetSet() []*Origin {
+	return append([]*Origin{o}, o.derived...)
+}
+
+// ParamOrigin returns the interned origin of the i'th flattened
+// parameter, or nil if out of range.
+func (fn *Func) ParamOrigin(i int) *Origin {
+	if i < 0 || i >= len(fn.Params) {
+		return nil
+	}
+	return fn.origin(originKey{kind: OParam, v: fn.Params[i], index: i})
+}
+
+// FreeOrigin returns the interned origin naming free variable v in fn.
+func (fn *Func) FreeOrigin(v *types.Var) *Origin {
+	return fn.origin(originKey{kind: OFree, v: v})
+}
+
+// ParamIndex returns the flattened index of parameter v, or -1.
+func (fn *Func) ParamIndex(v *types.Var) int {
+	for i, p := range fn.Params {
+		if p == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// DeclaredFunc returns the Func for a named function of this package.
+func (p *Program) DeclaredFunc(obj *types.Func) *Func {
+	return p.declared[obj]
+}
+
+// IsLocal reports whether v belongs to fn's own frame — a parameter or
+// a variable declared in fn's body. Assigning a cell to a non-local
+// variable (a global, or an enclosing function's variable) makes it
+// visible outside fn's tracking.
+func (p *Program) IsLocal(fn *Func, v *types.Var) bool {
+	if fn.ParamIndex(v) >= 0 {
+		return true
+	}
+	def, ok := p.definers[v]
+	return ok && def == fn
+}
+
+func (fn *Func) newBlock() *Block {
+	b := &Block{Index: len(fn.Blocks), Fn: fn}
+	fn.Blocks = append(fn.Blocks, b)
+	return b
+}
+
+func addEdge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// Reachable reports the blocks reachable from the entry block.
+func (fn *Func) Reachable() map[*Block]bool {
+	seen := make(map[*Block]bool)
+	if len(fn.Blocks) == 0 {
+		return seen
+	}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(fn.Blocks[0])
+	return seen
+}
+
+// String renders the function for debugging and tests.
+func (fn *Func) String() string {
+	s := fmt.Sprintf("func %s:\n", fn.Name)
+	for _, b := range fn.Blocks {
+		s += fmt.Sprintf("  b%d:", b.Index)
+		if len(b.Preds) > 0 {
+			s += " <-"
+			for _, p := range b.Preds {
+				s += fmt.Sprintf(" b%d", p.Index)
+			}
+		}
+		s += "\n"
+		for _, phi := range b.Phis {
+			s += fmt.Sprintf("    phi %s = %s\n", phi.Var.Name(), phi.Origin)
+		}
+		for _, in := range b.Instrs {
+			s += "    " + in.debug() + "\n"
+		}
+		if len(b.Succs) > 0 {
+			s += "    ->"
+			for _, sc := range b.Succs {
+				s += fmt.Sprintf(" b%d", sc.Index)
+			}
+			s += "\n"
+		}
+	}
+	return s
+}
+
+func (in *Instr) debug() string {
+	s := in.Op.String()
+	if in.Var != nil {
+		s += " " + in.Var.Name()
+	}
+	if in.Cell != nil {
+		s += " " + in.Cell.String()
+	}
+	if in.Fresh {
+		s += " (fresh)"
+	}
+	if in.Callee != nil {
+		s += " callee=" + in.Callee.Name
+	} else if in.CalleeObj != nil {
+		s += " callee=" + in.CalleeObj.Name()
+	}
+	return s
+}

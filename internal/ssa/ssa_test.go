@@ -1,0 +1,432 @@
+package ssa_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"pipefut/internal/ssa"
+)
+
+// fakeCore is a hermetic stand-in for pipefut/internal/core: cellapi
+// classifies calls by package path and name only, so a bodyless skeleton
+// typechecked under the real import path exercises the same code paths
+// without touching the filesystem.
+const fakeCore = `package core
+
+type Ctx struct{ _ int }
+
+type Cell[T any] struct{ v T }
+
+func Fork1[T any](t *Ctx, f func() T) *Cell[T]                                  { return nil }
+func Fork2[A, B any](t *Ctx, f func(*Ctx, *Cell[B]) A) (*Cell[A], *Cell[B])     { return nil, nil }
+func ForkN[T any](t *Ctx, n int, f func(*Ctx, []*Cell[T])) []*Cell[T]           { return nil }
+func Write[T any](t *Ctx, c *Cell[T], v T)                                      {}
+func Touch[T any](t *Ctx, c *Cell[T]) (v T)                                     { return v }
+func Forward[T any](t *Ctx, src, dst *Cell[T])                                  {}
+func Done[T any](v T) *Cell[T]                                                  { return nil }
+`
+
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return importer.Default().Import(path)
+}
+
+// buildSrc typechecks src (a complete file of package p) against the
+// fake core package and builds its SSA-lite program.
+func buildSrc(t *testing.T, src string) *ssa.Program {
+	t.Helper()
+	fset := token.NewFileSet()
+	coreFile, err := parser.ParseFile(fset, "core.go", fakeCore, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{Importer: mapImporter{}, FakeImportC: true}
+	corePkg, err := conf.Check("pipefut/internal/core", fset, []*ast.File{coreFile}, nil)
+	if err != nil {
+		t.Fatalf("typecheck fake core: %v", err)
+	}
+
+	file, err := parser.ParseFile(fset, "p.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf2 := types.Config{Importer: mapImporter{"pipefut/internal/core": corePkg}}
+	pkg, err := conf2.Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	prog := ssa.Build(fset, []*ast.File{file}, pkg, info)
+	if err := ssa.CheckInvariants(prog); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	return prog
+}
+
+func funcNamed(t *testing.T, p *ssa.Program, name string) *ssa.Func {
+	t.Helper()
+	for _, fn := range p.Funcs {
+		if fn.Name == name {
+			return fn
+		}
+	}
+	t.Fatalf("no func %q (have %v)", name, names(p))
+	return nil
+}
+
+func names(p *ssa.Program) []string {
+	var out []string
+	for _, fn := range p.Funcs {
+		out = append(out, fn.Name)
+	}
+	return out
+}
+
+func instrsOf(fn *ssa.Func, op ssa.Op) []*ssa.Instr {
+	var out []*ssa.Instr
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+func TestTouchSameVarSharesOrigin(t *testing.T) {
+	p := buildSrc(t, `package p
+import core "pipefut/internal/core"
+func f(t *core.Ctx, c *core.Cell[int]) int {
+	return core.Touch(t, c) + core.Touch(t, c)
+}`)
+	fn := funcNamed(t, p, "f")
+	touches := instrsOf(fn, ssa.OpTouch)
+	if len(touches) != 2 {
+		t.Fatalf("got %d touches, want 2:\n%s", len(touches), fn)
+	}
+	if touches[0].Cell == nil || touches[0].Cell != touches[1].Cell {
+		t.Fatalf("touches of one variable resolved to different origins: %v vs %v",
+			touches[0].Cell, touches[1].Cell)
+	}
+	if touches[0].Cell.Kind != ssa.OParam {
+		t.Fatalf("touch origin kind = %v, want param", touches[0].Cell.Kind)
+	}
+}
+
+func TestBranchJoinCreatesPhi(t *testing.T) {
+	p := buildSrc(t, `package p
+import core "pipefut/internal/core"
+func f(t *core.Ctx, a, b *core.Cell[int], cond bool) int {
+	c := a
+	if cond {
+		c = b
+	}
+	return core.Touch(t, c)
+}`)
+	fn := funcNamed(t, p, "f")
+	touches := instrsOf(fn, ssa.OpTouch)
+	if len(touches) != 1 {
+		t.Fatalf("got %d touches, want 1", len(touches))
+	}
+	o := touches[0].Cell
+	if o == nil || o.Kind != ssa.OPhi {
+		t.Fatalf("touch origin = %v, want a phi", o)
+	}
+	var phi *ssa.Phi
+	for _, ph := range o.Block.Phis {
+		if ph.Origin == o {
+			phi = ph
+		}
+	}
+	if phi == nil {
+		t.Fatalf("phi origin has no phi record in its block")
+	}
+	if len(phi.Inputs) != 2 {
+		t.Fatalf("phi has %d inputs, want 2", len(phi.Inputs))
+	}
+	kinds := map[ssa.OriginKind]int{}
+	for _, in := range phi.Inputs {
+		kinds[in.Kind]++
+	}
+	if kinds[ssa.OParam] != 2 {
+		t.Fatalf("phi inputs %v, want two params", phi.Inputs)
+	}
+}
+
+func TestCursorLoopResetsDerivedOrigins(t *testing.T) {
+	p := buildSrc(t, `package p
+import core "pipefut/internal/core"
+type node struct {
+	Val  int
+	Tail *core.Cell[*node]
+}
+func consume(t *core.Ctx, l *core.Cell[*node]) int {
+	sum := 0
+	for l != nil {
+		n := core.Touch(t, l)
+		sum += n.Val
+		l = n.Tail
+	}
+	return sum
+}`)
+	fn := funcNamed(t, p, "consume")
+	touches := instrsOf(fn, ssa.OpTouch)
+	if len(touches) != 1 {
+		t.Fatalf("got %d touches, want 1", len(touches))
+	}
+	if touches[0].Cell == nil || touches[0].Cell.Kind != ssa.OPhi {
+		t.Fatalf("loop touch origin = %v, want a phi joining the parameter and the tail load", touches[0].Cell)
+	}
+	// The def `n := core.Touch(...)` mints a fresh call result; its reset
+	// set must cover the derived n.Tail view so the next iteration's cell
+	// is not conflated with this one's.
+	var callDef *ssa.Instr
+	for _, in := range instrsOf(fn, ssa.OpDef) {
+		if in.Var != nil && in.Var.Name() == "n" {
+			callDef = in
+		}
+	}
+	if callDef == nil || !callDef.Fresh || len(callDef.Resets) == 0 {
+		t.Fatalf("def of n is not a fresh reset site: %+v", callDef)
+	}
+	foundDerived := false
+	for _, root := range callDef.Resets {
+		for _, o := range root.ResetSet() {
+			if o.Kind == ssa.OField && o.Sel == "Tail" {
+				foundDerived = true
+			}
+		}
+	}
+	if !foundDerived {
+		t.Fatalf("reset set of n's def does not cover the derived .Tail origin")
+	}
+}
+
+func TestForkResultsAndResultVars(t *testing.T) {
+	p := buildSrc(t, `package p
+import core "pipefut/internal/core"
+func f(t *core.Ctx) int {
+	a, b := core.Fork2(t, func(t *core.Ctx, out *core.Cell[int]) int {
+		core.Write(t, out, 1)
+		return 2
+	})
+	return core.Touch(t, a) + core.Touch(t, b)
+}`)
+	fn := funcNamed(t, p, "f")
+	forks := instrsOf(fn, ssa.OpFork)
+	if len(forks) != 1 {
+		t.Fatalf("got %d forks, want 1", len(forks))
+	}
+	site := forks[0].Fork
+	if site.Body == nil {
+		t.Fatalf("fork body literal not resolved")
+	}
+	if len(site.Results) != 2 {
+		t.Fatalf("fork has %d result origins, want 2", len(site.Results))
+	}
+	if len(site.ResultVars) != 2 || site.ResultVars[0] == nil || site.ResultVars[1] == nil {
+		t.Fatalf("fork result vars not bound: %v", site.ResultVars)
+	}
+	touches := instrsOf(fn, ssa.OpTouch)
+	if len(touches) != 2 {
+		t.Fatalf("got %d touches, want 2", len(touches))
+	}
+	if touches[0].Cell != site.Results[0] || touches[1].Cell != site.Results[1] {
+		t.Fatalf("touches do not resolve to the fork's result origins:\n%s", fn)
+	}
+}
+
+func TestBoundLiteralIsDirectCallee(t *testing.T) {
+	p := buildSrc(t, `package p
+import core "pipefut/internal/core"
+func f(t *core.Ctx, c *core.Cell[int]) int {
+	body := func() int { return core.Touch(t, c) }
+	return body() + g(t)
+}
+func g(t *core.Ctx) int { return 0 }`)
+	fn := funcNamed(t, p, "f")
+	calls := instrsOf(fn, ssa.OpCall)
+	var bodyCall, gCall *ssa.Instr
+	for _, in := range calls {
+		if in.Callee != nil && in.Callee.Parent == fn {
+			bodyCall = in
+		}
+		if in.CalleeObj != nil && in.CalleeObj.Name() == "g" {
+			gCall = in
+		}
+	}
+	if bodyCall == nil {
+		t.Fatalf("call through bound literal variable not resolved to the literal")
+	}
+	if gCall == nil || gCall.Callee == nil || gCall.Callee.Name != "g" {
+		t.Fatalf("call to declared function g not resolved")
+	}
+	// The literal captures c; its free-cell set at the call site must
+	// resolve to f's parameter origin.
+	found := false
+	for _, fc := range bodyCall.Free {
+		if fc.Var.Name() == "c" && fc.Origin != nil && fc.Origin.Kind == ssa.OParam {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("free cell c of bound literal not resolved at call site: %+v", bodyCall.Free)
+	}
+}
+
+func TestRangeVarIsFreshPerIteration(t *testing.T) {
+	p := buildSrc(t, `package p
+import core "pipefut/internal/core"
+func f(t *core.Ctx, cs []*core.Cell[int]) int {
+	sum := 0
+	for _, c := range cs {
+		sum += core.Touch(t, c)
+	}
+	return sum
+}`)
+	fn := funcNamed(t, p, "f")
+	var rangeDef *ssa.Instr
+	for _, in := range instrsOf(fn, ssa.OpDef) {
+		if in.Var != nil && in.Var.Name() == "c" {
+			rangeDef = in
+		}
+	}
+	if rangeDef == nil || !rangeDef.Fresh || len(rangeDef.Resets) == 0 {
+		t.Fatalf("range variable def is not a fresh per-iteration reset: %+v", rangeDef)
+	}
+	touches := instrsOf(fn, ssa.OpTouch)
+	if len(touches) != 1 || touches[0].Cell != rangeDef.Cell {
+		t.Fatalf("touch does not resolve to the range variable's origin")
+	}
+}
+
+func TestNonConstantIndexIsFreshPerSite(t *testing.T) {
+	p := buildSrc(t, `package p
+import core "pipefut/internal/core"
+func f(t *core.Ctx, cs []*core.Cell[int], n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += core.Touch(t, cs[i])
+	}
+	return sum
+}`)
+	fn := funcNamed(t, p, "f")
+	touches := instrsOf(fn, ssa.OpTouch)
+	if len(touches) != 1 {
+		t.Fatalf("got %d touches, want 1", len(touches))
+	}
+	in := touches[0]
+	if in.Cell == nil || in.Cell.Kind != ssa.OIndex {
+		t.Fatalf("touch origin = %v, want an index load", in.Cell)
+	}
+	if !in.Fresh {
+		t.Fatalf("non-constant element load must reset per evaluation")
+	}
+}
+
+func TestCallGraphReachability(t *testing.T) {
+	p := buildSrc(t, `package p
+import core "pipefut/internal/core"
+func a(t *core.Ctx, c *core.Cell[int]) int { return b(t, c) }
+func b(t *core.Ctx, c *core.Cell[int]) int {
+	_ = core.Fork1(t, func() int { return c2(t) })
+	return 0
+}
+func c2(t *core.Ctx) int { return 0 }
+func unrelated() {}`)
+	fa := funcNamed(t, p, "a")
+	reach := p.Reachable(fa)
+	for _, want := range []string{"a", "b", "c2"} {
+		if !reach[funcNamed(t, p, want)] {
+			t.Errorf("%s not reachable from a", want)
+		}
+	}
+	if reach[funcNamed(t, p, "unrelated")] {
+		t.Errorf("unrelated spuriously reachable")
+	}
+	// The fork body literal is reachable too.
+	lit := false
+	for fn := range reach {
+		if fn.Parent != nil {
+			lit = true
+		}
+	}
+	if !lit {
+		t.Errorf("fork body literal not reachable")
+	}
+}
+
+func TestControlFlowShapesBuild(t *testing.T) {
+	// Exercise every statement form the builder handles; invariants are
+	// checked by buildSrc.
+	p := buildSrc(t, `package p
+import core "pipefut/internal/core"
+func f(t *core.Ctx, c *core.Cell[int], m map[int]*core.Cell[int], ch chan int, x interface{}) (r int) {
+	defer func() { r++ }()
+	go func() { _ = c }()
+	switch v := x.(type) {
+	case int:
+		r += v
+	case *core.Cell[int]:
+		r += core.Touch(t, v)
+	default:
+	}
+	switch r {
+	case 0:
+		r = 1
+		fallthrough
+	case 1:
+		r = 2
+	default:
+		r = 3
+	}
+	select {
+	case v := <-ch:
+		r += v
+	default:
+	}
+	v, ok := m[r]
+	if ok {
+		_ = v
+	}
+L:
+	for i := 0; i < 3; i++ {
+		for {
+			if i == 1 {
+				continue L
+			}
+			if i == 2 {
+				break L
+			}
+			goto done
+		}
+	}
+done:
+	if r > 10 {
+		panic("big")
+	}
+	return r
+}`)
+	fn := funcNamed(t, p, "f")
+	if len(instrsOf(fn, ssa.OpPanic)) != 1 {
+		t.Fatalf("panic call not lowered to OpPanic")
+	}
+	if len(instrsOf(fn, ssa.OpReturn)) != 1 {
+		t.Fatalf("return not lowered")
+	}
+}

@@ -1,0 +1,429 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pipefut/internal/cellapi"
+)
+
+// resolveValues runs the phi-lite dataflow pass over one function: a
+// fixpoint that tracks, per program point, which origin each variable
+// currently names, annotating every instruction's operands with interned
+// origins and recording phi slots (with per-predecessor inputs) at join
+// blocks.
+func (fn *Func) resolveValues() {
+	if len(fn.Blocks) == 0 {
+		return
+	}
+	for _, b := range fn.Blocks {
+		b.envIn = make(map[*types.Var]*Origin)
+		b.incoming = make(map[*types.Var]map[*Block]*Origin)
+	}
+	inQueue := make([]bool, len(fn.Blocks))
+	queue := make([]*Block, 0, len(fn.Blocks))
+	push := func(b *Block) {
+		if !inQueue[b.Index] {
+			inQueue[b.Index] = true
+			queue = append(queue, b)
+		}
+	}
+	for _, b := range fn.Blocks {
+		push(b)
+	}
+	for steps := 0; len(queue) > 0 && steps < 100000; steps++ {
+		b := queue[0]
+		queue = queue[1:]
+		inQueue[b.Index] = false
+		env := make(map[*types.Var]*Origin, len(b.envIn))
+		for v, o := range b.envIn {
+			env[v] = o
+		}
+		r := &resolver{fn: fn, env: env}
+		for _, in := range b.Instrs {
+			r.apply(in)
+		}
+		b.envOut = env
+		for _, s := range b.Succs {
+			if fn.mergeInto(b, s, env) {
+				push(s)
+			}
+		}
+	}
+}
+
+// mergeInto folds pred's out-environment into succ's in-environment,
+// creating phi slots where predecessors disagree. It reports whether
+// succ's in-environment changed (requiring reprocessing).
+func (fn *Func) mergeInto(pred, succ *Block, env map[*types.Var]*Origin) bool {
+	for v, o := range env {
+		m := succ.incoming[v]
+		if m == nil {
+			m = make(map[*Block]*Origin)
+			succ.incoming[v] = m
+		}
+		m[pred] = o
+	}
+	changed := false
+	for v, m := range succ.incoming {
+		inputs := make(map[*Block]*Origin)
+		var val *Origin
+		uniform := true
+		for _, p := range succ.Preds {
+			if p.envOut == nil {
+				continue // not yet processed
+			}
+			o := m[p]
+			if o == nil {
+				// The variable is not assigned on this path: its pre-state
+				// (parameter, free variable, or zero value) flows in.
+				o = fn.defaultOrigin(v)
+			}
+			inputs[p] = o
+			if val == nil {
+				val = o
+			} else if val != o {
+				uniform = false
+			}
+		}
+		if val == nil {
+			continue
+		}
+		cur := succ.envIn[v]
+		if cur != nil && cur.Kind == OPhi && cur.Block == succ {
+			succ.setPhi(v, cur, inputs) // once a phi, always a phi
+			continue
+		}
+		if uniform {
+			if cur != val {
+				succ.envIn[v] = val
+				changed = true
+			}
+			continue
+		}
+		phi := fn.origin(originKey{kind: OPhi, v: v, block: succ})
+		succ.setPhi(v, phi, inputs)
+		if cur != phi {
+			succ.envIn[v] = phi
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b *Block) setPhi(v *types.Var, origin *Origin, inputs map[*Block]*Origin) {
+	for _, ph := range b.Phis {
+		if ph.Var == v {
+			ph.Inputs = inputs
+			return
+		}
+	}
+	b.Phis = append(b.Phis, &Phi{Var: v, Origin: origin, Inputs: inputs})
+}
+
+// resolver resolves expressions to origins under the current variable
+// environment, accumulating freshly-minted reset roots per instruction.
+type resolver struct {
+	fn     *Func
+	env    map[*types.Var]*Origin
+	resets []*Origin
+}
+
+func (r *resolver) addReset(o *Origin) {
+	for _, e := range r.resets {
+		if e == o {
+			return
+		}
+	}
+	r.resets = append(r.resets, o)
+}
+
+func (r *resolver) apply(in *Instr) {
+	r.resets = nil
+	info := r.fn.Prog.Info
+	switch in.Op {
+	case OpDef:
+		var o *Origin
+		switch {
+		case in.Store:
+			o = r.resolve(in.CellExpr)
+			r.addReset(o) // the stored-to view is stale
+		case in.CellExpr == nil && in.Fresh:
+			// Range variable: a brand-new value each iteration.
+			o = r.fn.origin(originKey{kind: OUnknown, v: in.Var})
+			r.addReset(o)
+		case in.CellExpr == nil:
+			o = r.fn.origin(originKey{kind: OZero, v: in.Var})
+		default:
+			o = r.resolveRes(in.CellExpr, in.ResIdx)
+		}
+		in.Cell = o
+		if in.Store && in.ValExpr != nil {
+			if tv, ok := info.Types[in.ValExpr]; ok && cellapi.IsCellType(tv.Type) {
+				in.Val = r.resolve(in.ValExpr) // a cell escaping into memory
+			}
+		}
+		in.Resets = r.resets
+		if in.CellExpr != nil || in.Store {
+			in.Fresh = len(r.resets) > 0
+		}
+		if in.Var != nil && !in.Store {
+			r.env[in.Var] = o
+		}
+	case OpTouch, OpWrite, OpProbe, OpNewCell:
+		var o *Origin
+		if in.Op == OpNewCell {
+			o = r.resolveCall(in.Call, 0)
+		} else {
+			o = r.resolve(in.CellExpr)
+		}
+		in.Cell = o
+		in.Resets = r.resets
+		in.Fresh = len(r.resets) > 0
+	case OpFork:
+		site := in.Fork
+		n := site.Info.Results
+		if n == 0 {
+			n = 1 // ForkN returns one slice of cells
+		}
+		site.Results = site.Results[:0]
+		for i := 0; i < n; i++ {
+			o := r.fn.origin(originKey{kind: OFork, site: in.Call, index: i})
+			site.Results = append(site.Results, o)
+			r.addReset(o) // each execution mints new cells
+		}
+		in.Free = r.freeCells(site.Body)
+		in.Resets = r.resets
+		in.Fresh = true
+	case OpCall:
+		in.Args = in.Args[:0]
+		if in.Call != nil {
+			sig := r.calleeSig(in)
+			for i, a := range in.Call.Args {
+				tv, ok := info.Types[a]
+				if !ok || !cellapi.IsCellType(tv.Type) {
+					continue
+				}
+				in.Args = append(in.Args, ArgCell{
+					Index:  paramIndexOf(sig, i),
+					Origin: r.resolve(a),
+					Expr:   a,
+				})
+			}
+		}
+		if isLitFunc(in.Callee) {
+			in.Free = r.freeCells(in.Callee)
+		}
+		in.Resets = r.resets
+		in.Fresh = len(r.resets) > 0
+	case OpReturn:
+		// Cell-typed results escape to the caller.
+		in.Args = in.Args[:0]
+		for i, e := range in.RetExprs {
+			tv, ok := info.Types[e]
+			if !ok || !cellapi.IsCellType(tv.Type) {
+				continue
+			}
+			in.Args = append(in.Args, ArgCell{Index: i, Origin: r.resolve(e), Expr: e})
+		}
+		in.Resets = r.resets
+	}
+}
+
+func isLitFunc(fn *Func) bool {
+	if fn == nil {
+		return false
+	}
+	_, ok := fn.Syntax.(*ast.FuncLit)
+	return ok
+}
+
+// freeCells resolves the origins, in the calling function at the current
+// point, of callee's free cell variables.
+func (r *resolver) freeCells(callee *Func) []FreeCell {
+	if callee == nil {
+		return nil
+	}
+	var out []FreeCell
+	for _, v := range callee.FreeVars {
+		if !cellapi.IsCellType(v.Type()) {
+			continue
+		}
+		out = append(out, FreeCell{Var: v, Origin: r.lookupVar(v)})
+	}
+	return out
+}
+
+func (r *resolver) calleeSig(in *Instr) *types.Signature {
+	if in.Callee != nil && in.Callee.Sig != nil {
+		return in.Callee.Sig
+	}
+	if in.CalleeObj != nil {
+		sig, _ := in.CalleeObj.Type().(*types.Signature)
+		return sig
+	}
+	return nil
+}
+
+func paramIndexOf(sig *types.Signature, argIdx int) int {
+	if sig == nil {
+		return argIdx
+	}
+	n := sig.Params().Len()
+	if n == 0 {
+		return argIdx
+	}
+	if argIdx >= n || (sig.Variadic() && argIdx >= n-1) {
+		return n - 1
+	}
+	return argIdx
+}
+
+// lookupVar resolves a variable reference without syntax: the tracked
+// binding if one exists, else a parameter, free-variable, or zero-value
+// origin.
+func (r *resolver) lookupVar(v *types.Var) *Origin {
+	if o := r.env[v]; o != nil {
+		return o
+	}
+	return r.fn.defaultOrigin(v)
+}
+
+// defaultOrigin is a variable's origin before any tracked assignment.
+func (fn *Func) defaultOrigin(v *types.Var) *Origin {
+	if i := fn.ParamIndex(v); i >= 0 {
+		return fn.ParamOrigin(i)
+	}
+	def, known := fn.Prog.definers[v]
+	if known && def == fn {
+		return fn.origin(originKey{kind: OZero, v: v})
+	}
+	// Free variable of an enclosing function, or a package-level
+	// variable: a stable named origin either way.
+	return fn.FreeOrigin(v)
+}
+
+// resolveRes resolves one result of a possibly multi-valued expression.
+func (r *resolver) resolveRes(e ast.Expr, resIdx int) *Origin {
+	if resIdx < 0 {
+		return r.resolve(e)
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return r.resolveCall(x, resIdx)
+	case *ast.TypeAssertExpr:
+		if resIdx == 0 {
+			return r.resolve(x.X) // v, ok := x.(T): v aliases x
+		}
+	case *ast.IndexExpr:
+		if resIdx == 0 {
+			return r.resolve(x) // v, ok := m[k]
+		}
+	}
+	return r.unknown(e)
+}
+
+func (r *resolver) unknown(e ast.Expr) *Origin {
+	return r.fn.origin(originKey{kind: OUnknown, site: e})
+}
+
+func (r *resolver) resolve(e ast.Expr) *Origin {
+	info := r.fn.Prog.Info
+	switch e := e.(type) {
+	case nil:
+		return r.fn.origin(originKey{kind: OUnknown})
+	case *ast.ParenExpr:
+		return r.resolve(e.X)
+	case *ast.Ident:
+		if v := varOf(info, e); v != nil {
+			return r.lookupVar(v)
+		}
+		return r.unknown(e)
+	case *ast.SelectorExpr:
+		// Qualified identifier (pkg.Var)?
+		if x, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if _, isPkg := info.Uses[x].(*types.PkgName); isPkg {
+				if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+					return r.fn.FreeOrigin(v) // stable global origin
+				}
+				return r.unknown(e)
+			}
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			base := r.resolve(e.X)
+			return r.fn.origin(originKey{kind: OField, base: base, sel: e.Sel.Name})
+		}
+		return r.unknown(e)
+	case *ast.IndexExpr:
+		// Could be generic instantiation rather than an element load.
+		if tv, ok := info.Types[e.Index]; ok && tv.IsType() {
+			return r.resolve(e.X)
+		}
+		base := r.resolve(e.X)
+		if tv, ok := info.Types[e.Index]; ok && tv.Value != nil {
+			// Constant key: loads of the same element share an origin.
+			return r.fn.origin(originKey{kind: OIndex, base: base, sel: tv.Value.ExactString()})
+		}
+		// Non-constant key: a fresh per-site load (each evaluation may
+		// yield a different element, so its tracked state resets here).
+		o := r.fn.origin(originKey{kind: OIndex, base: base, site: e})
+		r.addReset(o)
+		return o
+	case *ast.IndexListExpr:
+		return r.resolve(e.X) // generic instantiation
+	case *ast.CallExpr:
+		return r.resolveCall(e, 0)
+	case *ast.TypeAssertExpr:
+		return r.resolve(e.X)
+	case *ast.StarExpr:
+		base := r.resolve(e.X)
+		return r.fn.origin(originKey{kind: OField, base: base, sel: "*"})
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return r.resolve(e.X)
+		}
+		return r.unknown(e)
+	case *ast.CompositeLit:
+		o := r.unknown(e)
+		r.addReset(o) // a new object each evaluation
+		return o
+	default:
+		return r.unknown(e)
+	}
+}
+
+func (r *resolver) resolveCall(call *ast.CallExpr, idx int) *Origin {
+	if call == nil {
+		return r.fn.origin(originKey{kind: OUnknown})
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	info := r.fn.Prog.Info
+	if _, ok := cellapi.ForkCall(info, call); ok {
+		o := r.fn.origin(originKey{kind: OFork, site: call, index: idx})
+		r.addReset(o)
+		return o
+	}
+	if cellapi.PrewrittenCell(info, call) || cellapi.EmptyCellCall(info, call) {
+		o := r.fn.origin(originKey{kind: ONew, site: call})
+		o.Prewritten = cellapi.PrewrittenCell(info, call)
+		r.addReset(o)
+		return o
+	}
+	// Conversion: the value passes through.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return r.resolve(call.Args[0])
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			o := r.unknown(call)
+			r.addReset(o)
+			return o
+		}
+	}
+	o := r.fn.origin(originKey{kind: OCall, site: call, index: idx})
+	r.addReset(o)
+	return o
+}

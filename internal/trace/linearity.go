@@ -1,0 +1,44 @@
+package trace
+
+import "sort"
+
+// Linearity is the dynamic linearity verdict of a recorded DAG: the
+// touch profile of every future cell the computation read.
+type Linearity struct {
+	// TouchedCells counts cells with at least one recorded touch.
+	TouchedCells int
+	// MaxTouches is the touch count of the most-touched cell (0 when
+	// nothing was touched).
+	MaxTouches int
+	// MultiTouched lists the engine cell IDs touched more than once, in
+	// ascending order.
+	MultiTouched []int64
+}
+
+// Linear reports whether every cell was touched at most once — the
+// linearity restriction behind Lemma 4.1's O(w/p + d) bound (a linear
+// computation runs EREW: no concurrent reads of one cell).
+func (l Linearity) Linear() bool { return l.MaxTouches <= 1 }
+
+// Linearity scans the recorded touch events and returns the verdict.
+// It is the dynamic counterpart of the static flowlinear analyzer: the
+// analyzer over-approximates (it may flag a linear run), while this
+// verdict is exact for the one execution recorded — so a static "linear"
+// verdict must imply Linear() here.
+func (t *Trace) Linearity() Linearity {
+	var v Linearity
+	for cell, touches := range t.cellTouches {
+		if len(touches) == 0 {
+			continue
+		}
+		v.TouchedCells++
+		if len(touches) > v.MaxTouches {
+			v.MaxTouches = len(touches)
+		}
+		if len(touches) > 1 {
+			v.MultiTouched = append(v.MultiTouched, cell)
+		}
+	}
+	sort.Slice(v.MultiTouched, func(i, j int) bool { return v.MultiTouched[i] < v.MultiTouched[j] })
+	return v
+}

@@ -1,0 +1,51 @@
+package trace_test
+
+import (
+	"testing"
+
+	"pipefut/internal/trace"
+)
+
+func TestLinearityVerdict(t *testing.T) {
+	tr := trace.New()
+	// Cell 1: written then touched once. Cell 2: touched three times.
+	// Cell 3: written, never touched.
+	tr.CellWrite(1, 0)
+	tr.CellTouch(1, 1)
+	tr.CellWrite(2, 0)
+	tr.CellTouch(2, 1)
+	tr.CellTouch(2, 2)
+	tr.CellTouch(2, 3)
+	tr.CellWrite(3, 0)
+
+	v := tr.Linearity()
+	if v.TouchedCells != 2 {
+		t.Errorf("TouchedCells = %d, want 2", v.TouchedCells)
+	}
+	if v.MaxTouches != 3 {
+		t.Errorf("MaxTouches = %d, want 3", v.MaxTouches)
+	}
+	if len(v.MultiTouched) != 1 || v.MultiTouched[0] != 2 {
+		t.Errorf("MultiTouched = %v, want [2]", v.MultiTouched)
+	}
+	if v.Linear() {
+		t.Error("Linear() = true for a trace with a triple touch")
+	}
+}
+
+func TestLinearityVerdictLinear(t *testing.T) {
+	tr := trace.New()
+	tr.CellWrite(7, 0)
+	tr.CellTouch(7, 2)
+	v := tr.Linearity()
+	if !v.Linear() || v.MaxTouches != 1 || len(v.MultiTouched) != 0 {
+		t.Errorf("verdict = %+v, want linear with MaxTouches 1", v)
+	}
+}
+
+func TestLinearityVerdictEmpty(t *testing.T) {
+	v := trace.New().Linearity()
+	if !v.Linear() || v.MaxTouches != 0 || v.TouchedCells != 0 {
+		t.Errorf("verdict of empty trace = %+v, want zero and linear", v)
+	}
+}
