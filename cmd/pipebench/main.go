@@ -10,6 +10,7 @@
 //	pipebench -list           # list experiments
 //	pipebench -maxlgn 16      # bound input sizes at 2^16
 //	pipebench -trials 5       # more repetitions for the randomized runs
+//	pipebench -smoke          # tiny inputs, one trial (CI smoke lane)
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 		maxLgN = flag.Int("maxlgn", bench.DefaultConfig.MaxLgN, "largest input size is 2^maxlgn")
 		seed   = flag.Uint64("seed", bench.DefaultConfig.Seed, "workload seed")
 		trials = flag.Int("trials", bench.DefaultConfig.Trials, "trials per point for randomized experiments")
+		smoke  = flag.Bool("smoke", false, "smoke-test mode: cap inputs at 2^12 and run one trial")
 	)
 	flag.Parse()
 
@@ -38,6 +40,10 @@ func main() {
 	}
 
 	cfg := bench.Config{MaxLgN: *maxLgN, Seed: *seed, Trials: *trials}
+	if *smoke {
+		cfg.MaxLgN = min(cfg.MaxLgN, bench.QuickConfig.MaxLgN)
+		cfg.Trials = 1
+	}
 	run := func(e bench.Experiment) {
 		fmt.Printf("### %s — %s\n### %s\n\n", e.ID, e.Paper, e.Claim)
 		if err := e.Run(cfg, os.Stdout); err != nil {

@@ -32,9 +32,9 @@ func TestEveryExperimentRunsQuick(t *testing.T) {
 }
 
 func TestRegistryContents(t *testing.T) {
-	want := []string{"diff", "fig1", "fig2", "grain", "intersect", "linearity",
-		"machine", "merge", "mergesort", "mlpaper", "online", "patterns",
-		"rebalance", "sched", "speedup", "t26", "union"}
+	want := []string{"diff", "discipline", "fig1", "fig2", "grain", "intersect",
+		"linearity", "machine", "merge", "mergesort", "mlpaper", "online",
+		"patterns", "rebalance", "sched", "speedup", "t26", "union"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))

@@ -23,10 +23,10 @@ func init() {
 		Run:   runMachine,
 	})
 	Register(Experiment{
-		ID:    "sched",
+		ID:    "discipline",
 		Paper: "Section 4 (ablation)",
 		Claim: "stack vs queue active-set discipline: same step bound, very different space (max |S|)",
-		Run:   runSched,
+		Run:   runDiscipline,
 	})
 	Register(Experiment{
 		ID:    "linearity",
@@ -124,7 +124,7 @@ func runMachine(cfg Config, w io.Writer) error {
 	return nil
 }
 
-func runSched(cfg Config, w io.Writer) error {
+func runDiscipline(cfg Config, w io.Writer) error {
 	n := machineN(cfg)
 	traces := TracedAlgorithms(cfg.Seed, n)
 	tb := NewTable(fmt.Sprintf("Active-set discipline ablation, n = 2^%d, p = 64", lgInt(n)),

@@ -1,0 +1,74 @@
+package future
+
+import (
+	"sync"
+	"testing"
+)
+
+// anyCell lets the variant benchmarks share one body per access shape.
+type anyCell interface {
+	Write(int)
+	Read() int
+}
+
+// BenchmarkCellVariants compares the channel cell and the mutex cell on
+// the three shapes that decide a cell representation: a read that finds
+// the value already written (the overwhelmingly common case in pipelined
+// tree algorithms), a read that suspends and is woken by the write, and
+// many concurrent readers racing one write. The winner is recorded in the
+// package doc comment; rerun with
+//
+//	go test -bench CellVariants -benchtime 100x ./internal/future/
+//
+// after touching either implementation.
+func BenchmarkCellVariants(b *testing.B) {
+	variants := []struct {
+		name string
+		mk   func() anyCell
+	}{
+		{"chan", func() anyCell { return New[int]() }},
+		{"mutex", func() anyCell { return NewMutex[int]() }},
+	}
+	for _, v := range variants {
+		b.Run("written-before-read/"+v.name, func(b *testing.B) {
+			c := v.mk()
+			c.Write(7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = c.Read()
+			}
+		})
+	}
+	for _, v := range variants {
+		b.Run("read-blocks/"+v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := v.mk()
+				done := make(chan int, 1)
+				go func() { done <- c.Read() }()
+				c.Write(i)
+				<-done
+			}
+		})
+	}
+	for _, v := range variants {
+		b.Run("many-readers/"+v.name, func(b *testing.B) {
+			const readers = 16
+			for i := 0; i < b.N; i++ {
+				c := v.mk()
+				start := make(chan struct{})
+				var wg sync.WaitGroup
+				wg.Add(readers)
+				for r := 0; r < readers; r++ {
+					go func() {
+						defer wg.Done()
+						<-start
+						_ = c.Read()
+					}()
+				}
+				close(start)
+				c.Write(i)
+				wg.Wait()
+			}
+		})
+	}
+}

@@ -11,6 +11,18 @@
 // processors, suspending goroutines blocked on unwritten cells and
 // reactivating them on the write — exactly the suspend/reactivate protocol
 // of Section 4.
+//
+// Cell representation: BenchmarkCellVariants compares this channel-based
+// cell against MutexCell on the three shapes that matter. Last measured
+// (go1.24, linux/amd64, 1 CPU): the channel cell wins both suspension
+// shapes — a blocking read woken by the write (~645ns vs ~690ns) and 16
+// concurrent readers racing one write (~5.2µs vs ~5.3µs) — while the
+// mutex cell is ~4ns faster on a read that finds the value already
+// written (~18ns vs ~22ns). The channel cell stays the package default:
+// suspension cost is what the paper's pipelining stresses, the fast-path
+// gap is noise next to node allocation, and closed channels compose with
+// select. An explicitly scheduled alternative that suspends continuations
+// instead of goroutines lives in package sched.
 package future
 
 import "sync/atomic"

@@ -1,0 +1,265 @@
+package paralg
+
+// Runtime-portable ports of the pipelined algorithms, written in
+// continuation-passing style against the Runtime interface: every place
+// the classic Config methods block a goroutine on Cell.Read, these ports
+// Touch the cell and continue in the callback. On GoRuntime the two
+// styles cost the same; on SchedRuntime the CPS form is what lets a
+// million suspended threads share p goroutines.
+//
+// The algorithms are textually parallel to their Config counterparts in
+// paralg.go and t26.go (same recursion structure, same depth accounting,
+// same helper functions for the 2-6 key arithmetic), so the two can be
+// diffed side by side. One deliberate difference: where the classic code
+// builds a node after its children's cells exist, the CPS form writes
+// each output node as soon as its key is decided and then fills the
+// child cells — the same data, available strictly earlier, which is the
+// pipelining the paper is about.
+
+import (
+	"fmt"
+
+	"pipefut/internal/t26"
+)
+
+// Merge merges two binary search trees with disjoint key sets (Section
+// 3.1) on runtime c.R and returns the result cell immediately; nodes
+// materialize concurrently. ctx follows the Fork contract (current
+// worker context, or nil from outside the runtime).
+func (c RConfig) Merge(ctx Ctx, a, b NodeCell) NodeCell {
+	out := c.R.NewNode()
+	c.mergeInto(ctx, 0, a, b, out)
+	return out
+}
+
+func (c RConfig) mergeInto(ctx Ctx, d int, a, b NodeCell, out NodeCell) {
+	c.fork(ctx, d, func(ctx Ctx) {
+		a.Touch(ctx, func(ctx Ctx, n1 *RNode) {
+			if n1 == nil {
+				b.Touch(ctx, out.Write)
+				return
+			}
+			lt, ge := c.rsplit(ctx, d, n1.Key, b)
+			nl, nr := c.R.NewNode(), c.R.NewNode()
+			out.Write(ctx, &RNode{Key: n1.Key, Prio: n1.Prio, Left: nl, Right: nr})
+			c.mergeInto(ctx, d+1, n1.Left, lt, nl)
+			c.mergeInto(ctx, d+1, n1.Right, ge, nr)
+		})
+	})
+}
+
+// rsplit divides tree by s into keys < s and keys ≥ s with independently
+// written result cells — Figure 12 in CPS form: the near-side output is
+// written immediately with the recursive cell as a child, the far-side
+// cell is forwarded from the recursion by a touch.
+func (c RConfig) rsplit(ctx Ctx, d int, s int, tree NodeCell) (lt, ge NodeCell) {
+	lo, ro := c.R.NewNode(), c.R.NewNode()
+	c.fork(ctx, d, func(ctx Ctx) {
+		tree.Touch(ctx, func(ctx Ctx, n *RNode) {
+			if n == nil {
+				lo.Write(ctx, nil)
+				ro.Write(ctx, nil)
+				return
+			}
+			if s <= n.Key {
+				l1, r1 := c.rsplit(ctx, d+1, s, n.Left)
+				ro.Write(ctx, &RNode{Key: n.Key, Prio: n.Prio, Left: r1, Right: n.Right})
+				l1.Touch(ctx, lo.Write)
+			} else {
+				l1, r1 := c.rsplit(ctx, d+1, s, n.Right)
+				lo.Write(ctx, &RNode{Key: n.Key, Prio: n.Prio, Left: n.Left, Right: l1})
+				r1.Touch(ctx, ro.Write)
+			}
+		})
+	})
+	return lo, ro
+}
+
+// Union returns the union of two treaps, discarding duplicates (Section
+// 3.2), on runtime c.R.
+func (c RConfig) Union(ctx Ctx, a, b NodeCell) NodeCell {
+	out := c.R.NewNode()
+	c.unionInto(ctx, 0, a, b, out)
+	return out
+}
+
+func (c RConfig) unionInto(ctx Ctx, d int, a, b NodeCell, out NodeCell) {
+	c.fork(ctx, d, func(ctx Ctx) {
+		a.Touch(ctx, func(ctx Ctx, n1 *RNode) {
+			if n1 == nil {
+				b.Touch(ctx, out.Write)
+				return
+			}
+			b.Touch(ctx, func(ctx Ctx, n2 *RNode) {
+				if n2 == nil {
+					out.Write(ctx, n1)
+					return
+				}
+				hi, lo := n1, n2
+				if hi.Prio < lo.Prio {
+					hi, lo = lo, hi
+				}
+				l2, r2 := c.rsplitM(ctx, d, hi.Key, lo)
+				nl, nr := c.R.NewNode(), c.R.NewNode()
+				out.Write(ctx, &RNode{Key: hi.Key, Prio: hi.Prio, Left: nl, Right: nr})
+				c.unionInto(ctx, d+1, hi.Left, l2, nl)
+				c.unionInto(ctx, d+1, hi.Right, r2, nr)
+			})
+		})
+	})
+}
+
+// rsplitM splits the treap rooted at the already-read node around s,
+// excluding s itself if present (the duplicate cell is produced for
+// fidelity with splitM but Union discards it).
+func (c RConfig) rsplitM(ctx Ctx, d int, s int, n *RNode) (lt, gt NodeCell) {
+	lo, ro, do := c.R.NewNode(), c.R.NewNode(), c.R.NewNode()
+	c.fork(ctx, d, func(ctx Ctx) { c.rsplitMBody(ctx, d, s, n, lo, ro, do) })
+	return lo, ro
+}
+
+func (c RConfig) rsplitMBody(ctx Ctx, d int, s int, n *RNode, lo, ro, do NodeCell) {
+	if n == nil {
+		lo.Write(ctx, nil)
+		ro.Write(ctx, nil)
+		do.Write(ctx, nil)
+		return
+	}
+	switch {
+	case s == n.Key:
+		do.Write(ctx, n)
+		n.Left.Touch(ctx, lo.Write)
+		n.Right.Touch(ctx, ro.Write)
+	case s < n.Key:
+		l1, r1, d1 := c.rsplitMCell(ctx, d+1, s, n.Left)
+		ro.Write(ctx, &RNode{Key: n.Key, Prio: n.Prio, Left: r1, Right: n.Right})
+		d1.Touch(ctx, do.Write)
+		l1.Touch(ctx, lo.Write)
+	default:
+		l1, r1, d1 := c.rsplitMCell(ctx, d+1, s, n.Right)
+		lo.Write(ctx, &RNode{Key: n.Key, Prio: n.Prio, Left: n.Left, Right: l1})
+		d1.Touch(ctx, do.Write)
+		r1.Touch(ctx, ro.Write)
+	}
+}
+
+func (c RConfig) rsplitMCell(ctx Ctx, d int, s int, tree NodeCell) (lt, gt, dup NodeCell) {
+	lo, ro, do := c.R.NewNode(), c.R.NewNode(), c.R.NewNode()
+	c.fork(ctx, d, func(ctx Ctx) {
+		tree.Touch(ctx, func(ctx Ctx, n *RNode) { c.rsplitMBody(ctx, d, s, n, lo, ro, do) })
+	})
+	return lo, ro, do
+}
+
+// T26Insert inserts one well-separated sorted key array (Section 3.4) on
+// runtime c.R and returns the new root cell immediately.
+func (c RConfig) T26Insert(ctx Ctx, tree T26Cell, ws []int) T26Cell {
+	out := c.R.NewT26()
+	run := func(ctx Ctx) {
+		tree.Touch(ctx, func(ctx Ctx, n *RT26Node) {
+			if len(ws) == 0 {
+				out.Write(ctx, n)
+				return
+			}
+			if len(n.Keys) >= t26SplitThreshold {
+				l, mid, r := splitRT26Node(n)
+				n = &RT26Node{Keys: []int{mid}, Kids: []T26Cell{c.R.DoneT26(l), c.R.DoneT26(r)}}
+			}
+			c.t26InsertInto(ctx, 0, n, ws, out)
+		})
+	}
+	if c.SpawnDepth > 0 {
+		c.R.Fork(ctx, run)
+	} else {
+		run(ctx)
+	}
+	return out
+}
+
+// T26BulkInsert pipelines the level arrays through the tree: each
+// insertion starts as soon as the previous root cell is written.
+func (c RConfig) T26BulkInsert(ctx Ctx, tree T26Cell, levels [][]int) T26Cell {
+	for _, lv := range levels {
+		tree = c.T26Insert(ctx, tree, lv)
+	}
+	return tree
+}
+
+func splitRT26Node(n *RT26Node) (l *RT26Node, mid int, r *RT26Node) {
+	m := len(n.Keys) / 2
+	mid = n.Keys[m]
+	l = &RT26Node{Keys: append([]int(nil), n.Keys[:m]...)}
+	r = &RT26Node{Keys: append([]int(nil), n.Keys[m+1:]...)}
+	if !n.IsLeaf() {
+		l.Kids = append([]T26Cell(nil), n.Kids[:m+1]...)
+		r.Kids = append([]T26Cell(nil), n.Kids[m+1:]...)
+	}
+	return l, mid, r
+}
+
+// t26InsertInto is t26InsertBody in CPS: the descending loop over
+// partitions becomes a continuation chain, each child touch resuming the
+// loop at the next lower index. newKeys/newKids are touched by exactly
+// one continuation at a time (the chain is a single logical thread;
+// the cell's write→touch edge orders the handoff), so no locking.
+func (c RConfig) t26InsertInto(ctx Ctx, d int, n *RT26Node, ws []int, out T26Cell) {
+	if n.IsLeaf() {
+		merged := mergeUniqueKeys(n.Keys, ws)
+		if len(merged) > t26.MaxKeys {
+			panic(fmt.Sprintf("paralg: leaf would hold %d keys — insert array not well separated", len(merged)))
+		}
+		out.Write(ctx, &RT26Node{Keys: merged})
+		return
+	}
+	parts := partitionKeys(ws, n.Keys)
+	newKeys := append([]int(nil), n.Keys...)
+	newKids := append([]T26Cell(nil), n.Kids...)
+	var step func(ctx Ctx, i int)
+	step = func(ctx Ctx, i int) {
+		for ; i >= 0; i-- {
+			sub := parts[i]
+			if len(sub) == 0 {
+				continue
+			}
+			i := i
+			newKids[i].Touch(ctx, func(ctx Ctx, child *RT26Node) {
+				if len(child.Keys) >= t26SplitThreshold {
+					l, mid, r := splitRT26Node(child)
+					wl, wr := splitKeysAround(sub, mid)
+					nl, nr := c.R.DoneT26(l), c.R.DoneT26(r)
+					if len(wl) > 0 {
+						nl = c.rt26Recurse(ctx, d+1, l, wl)
+					}
+					if len(wr) > 0 {
+						nr = c.rt26Recurse(ctx, d+1, r, wr)
+					}
+					newKeys = insertKeyAt(newKeys, i, mid)
+					newKids[i] = nl
+					newKids = insertT26CellAt(newKids, i+1, nr)
+				} else {
+					newKids[i] = c.rt26Recurse(ctx, d+1, child, sub)
+				}
+				step(ctx, i-1)
+			})
+			return // the loop continues inside the touch continuation
+		}
+		if len(newKeys) > t26.MaxKeys {
+			panic(fmt.Sprintf("paralg: node would hold %d keys — invariant violated", len(newKeys)))
+		}
+		out.Write(ctx, &RT26Node{Keys: newKeys, Kids: newKids})
+	}
+	step(ctx, len(parts)-1)
+}
+
+func (c RConfig) rt26Recurse(ctx Ctx, d int, n *RT26Node, ws []int) T26Cell {
+	out := c.R.NewT26()
+	c.fork(ctx, d, func(ctx Ctx) { c.t26InsertInto(ctx, d, n, ws, out) })
+	return out
+}
+
+func insertT26CellAt(xs []T26Cell, i int, v T26Cell) []T26Cell {
+	xs = append(xs, nil)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}

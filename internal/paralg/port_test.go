@@ -1,0 +1,148 @@
+package paralg
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/seqtree"
+	"pipefut/internal/t26"
+	"pipefut/internal/workload"
+)
+
+// portSpawnDepths mirrors testCfgs: sequential, shallow, everywhere.
+var portSpawnDepths = []int{0, 3, 64}
+
+// withPortRuntimes runs f once per runtime implementation. The sched
+// runtime gets a small fixed worker pool; Close drains it afterwards.
+func withPortRuntimes(t *testing.T, f func(t *testing.T, r Runtime)) {
+	t.Run("go", func(t *testing.T) { f(t, GoRuntime{}) })
+	t.Run("sched", func(t *testing.T) {
+		s := NewSchedRuntime(4)
+		defer s.Close()
+		f(t, s)
+	})
+}
+
+func TestPortMergeMatchesOracleProperty(t *testing.T) {
+	withPortRuntimes(t, func(t *testing.T, r Runtime) {
+		f := func(seed uint16, n8, m8, cfgPick uint8) bool {
+			n, m := int(n8%100)+1, int(m8%100)+1
+			rng := workload.NewRNG(uint64(seed))
+			ka, kb := workload.DisjointKeySets(rng, n, m)
+			sort.Ints(ka)
+			sort.Ints(kb)
+			t1 := seqtree.FromSortedBalanced(ka)
+			t2 := seqtree.FromSortedBalanced(kb)
+			want := seqtree.Merge(t1, t2)
+
+			cfg := RConfig{R: r, SpawnDepth: portSpawnDepths[int(cfgPick)%len(portSpawnDepths)]}
+			got := cfg.Merge(nil, RFromSeqTree(r, t1), RFromSeqTree(r, t2))
+			return seqtree.Equal(RToSeqTree(got), want)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestPortUnionMatchesOracleProperty(t *testing.T) {
+	withPortRuntimes(t, func(t *testing.T, r Runtime) {
+		f := func(seed uint16, n8, m8, cfgPick uint8) bool {
+			n, m := int(n8%100)+1, int(m8%100)+1
+			rng := workload.NewRNG(uint64(seed))
+			ka, kb := workload.OverlappingKeySets(rng, n, m, float64(cfgPick%4)/4)
+			ta, tb := seqtreap.FromKeys(ka), seqtreap.FromKeys(kb)
+			want := seqtreap.Union(ta, tb)
+
+			cfg := RConfig{R: r, SpawnDepth: portSpawnDepths[int(cfgPick)%len(portSpawnDepths)]}
+			got := cfg.Union(nil, RFromSeqTreap(r, ta), RFromSeqTreap(r, tb))
+			return seqtreap.Equal(RToSeqTreap(got), want)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestPortT26BulkInsertMatchesOracleProperty(t *testing.T) {
+	withPortRuntimes(t, func(t *testing.T, r Runtime) {
+		f := func(seed uint16, n8, m8, cfgPick uint8) bool {
+			n, m := int(n8%150)+1, int(m8%150)+1
+			rng := workload.NewRNG(uint64(seed))
+			all := workload.DistinctKeys(rng, n+m, 4*(n+m))
+			base := t26.FromKeys(all[:n])
+			ins := append([]int(nil), all[n:]...)
+			sort.Ints(ins)
+			levels := workload.WellSeparatedLevels(ins)
+
+			cfg := RConfig{R: r, SpawnDepth: portSpawnDepths[int(cfgPick)%len(portSpawnDepths)]}
+			got := RToSeqT26(cfg.T26BulkInsert(nil, RFromSeqT26(r, base), levels))
+			if ok, _ := t26.Check(got); !ok {
+				return false
+			}
+			want := append([]int{}, all...)
+			sort.Ints(want)
+			gotKeys := t26.Keys(got)
+			if len(gotKeys) != len(want) {
+				return false
+			}
+			for i := range want {
+				if gotKeys[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestPortClassicAndPortAgree cross-checks the ported Merge against the
+// classic goroutine implementation on the same inputs.
+func TestPortClassicAndPortAgree(t *testing.T) {
+	rng := workload.NewRNG(5)
+	ka, kb := workload.DisjointKeySets(rng, 500, 700)
+	sort.Ints(ka)
+	sort.Ints(kb)
+	t1 := seqtree.FromSortedBalanced(ka)
+	t2 := seqtree.FromSortedBalanced(kb)
+	classic := ToSeqTree(Config{SpawnDepth: 8}.Merge(FromSeqTree(t1), FromSeqTree(t2)))
+
+	s := NewSchedRuntime(2)
+	defer s.Close()
+	cfg := RConfig{R: s, SpawnDepth: 8}
+	ported := RToSeqTree(cfg.Merge(nil, RFromSeqTree(s, t1), RFromSeqTree(s, t2)))
+	if !seqtree.Equal(classic, ported) {
+		t.Fatal("classic and ported Merge disagree")
+	}
+}
+
+// TestPortSchedSuspensionsBalance checks the runtime's books after a
+// pipelined union on the sched runtime: every suspended continuation
+// must have been reactivated, and the pool must go quiescent.
+func TestPortSchedSuspensionsBalance(t *testing.T) {
+	s := NewSchedRuntime(4)
+	defer s.Close()
+	rng := workload.NewRNG(11)
+	ka, kb := workload.OverlappingKeySets(rng, 3000, 3000, 0.25)
+	ta, tb := seqtreap.FromKeys(ka), seqtreap.FromKeys(kb)
+	want := seqtreap.Union(ta, tb)
+
+	cfg := RConfig{R: s, SpawnDepth: 32}
+	got := cfg.Union(nil, RFromSeqTreap(s, ta), RFromSeqTreap(s, tb))
+	if !seqtreap.Equal(RToSeqTreap(got), want) {
+		t.Fatal("union mismatch")
+	}
+	s.RT.Wait()
+	ctr := s.RT.Counters()
+	if ctr.Suspensions != ctr.Reactivations {
+		t.Fatalf("suspensions=%d reactivations=%d", ctr.Suspensions, ctr.Reactivations)
+	}
+	if ctr.Spawns == 0 {
+		t.Fatal("no tasks spawned at SpawnDepth=32")
+	}
+}

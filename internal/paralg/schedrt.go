@@ -1,0 +1,69 @@
+package paralg
+
+// SchedRuntime adapts the explicit work-stealing scheduler of package
+// sched to the portable Runtime interface. The Ctx threaded through the
+// algorithms is the current *sched.Worker (nil when entering from outside
+// the pool), so every fork lands on the forking worker's own deque and
+// every touch of an unwritten cell suspends just the continuation.
+
+import "pipefut/internal/sched"
+
+// SchedRuntime wraps a sched.Runtime. Create one with NewSchedRuntime and
+// release its workers with Close when done.
+type SchedRuntime struct {
+	RT *sched.Runtime
+}
+
+// NewSchedRuntime starts a scheduler with p workers.
+func NewSchedRuntime(p int) *SchedRuntime {
+	return &SchedRuntime{RT: sched.NewRuntime(p)}
+}
+
+// Close drains outstanding work and stops the workers.
+func (s *SchedRuntime) Close() {
+	s.RT.Wait()
+	s.RT.Shutdown()
+}
+
+// Name implements Runtime.
+func (s *SchedRuntime) Name() string { return "sched" }
+
+// Fork implements Runtime.
+func (s *SchedRuntime) Fork(ctx Ctx, f func(Ctx)) {
+	s.RT.Fork(asWorker(ctx), func(w *sched.Worker) { f(w) })
+}
+
+// NewNode implements Runtime.
+func (s *SchedRuntime) NewNode() NodeCell { return schedNodeCell{sched.NewCell[*RNode](s.RT)} }
+
+// DoneNode implements Runtime.
+func (s *SchedRuntime) DoneNode(n *RNode) NodeCell { return schedNodeCell{sched.Done(n)} }
+
+// NewT26 implements Runtime.
+func (s *SchedRuntime) NewT26() T26Cell { return schedT26Cell{sched.NewCell[*RT26Node](s.RT)} }
+
+// DoneT26 implements Runtime.
+func (s *SchedRuntime) DoneT26(n *RT26Node) T26Cell { return schedT26Cell{sched.Done(n)} }
+
+// asWorker recovers the scheduling context; a nil or foreign ctx means
+// "not on a worker", which sched treats as an external submission.
+func asWorker(ctx Ctx) *sched.Worker {
+	w, _ := ctx.(*sched.Worker)
+	return w
+}
+
+type schedNodeCell struct{ c *sched.Cell[*RNode] }
+
+func (s schedNodeCell) Write(ctx Ctx, n *RNode) { s.c.Write(asWorker(ctx), n) }
+func (s schedNodeCell) Touch(ctx Ctx, k func(Ctx, *RNode)) {
+	s.c.Touch(asWorker(ctx), func(w *sched.Worker, n *RNode) { k(w, n) })
+}
+func (s schedNodeCell) Read() *RNode { return s.c.Read() }
+
+type schedT26Cell struct{ c *sched.Cell[*RT26Node] }
+
+func (s schedT26Cell) Write(ctx Ctx, n *RT26Node) { s.c.Write(asWorker(ctx), n) }
+func (s schedT26Cell) Touch(ctx Ctx, k func(Ctx, *RT26Node)) {
+	s.c.Touch(asWorker(ctx), func(w *sched.Worker, n *RT26Node) { k(w, n) })
+}
+func (s schedT26Cell) Read() *RT26Node { return s.c.Read() }

@@ -1,0 +1,123 @@
+package sched
+
+import "sync/atomic"
+
+// task is one schedulable unit of work: a closure that runs to completion
+// (or suspends itself onto a cell's waiter list) on the worker it is handed.
+type task = func(*Worker)
+
+// deque is a Chase–Lev work-stealing deque of tasks. The owning worker
+// pushes and pops at the bottom (LIFO — the Lemma 4.1 stack discipline:
+// the most recently forked thread runs first), while thieves steal single
+// tasks from the top, the oldest end, which is where the biggest pieces of
+// work sit in a divide-and-conquer unfolding.
+//
+// This is the growable-ring formulation of Chase & Lev ("Dynamic circular
+// work-stealing deque") with the memory-order discipline of Lê et al.
+// ("Correct and efficient work-stealing for weak memory models"), mapped
+// onto Go's sequentially consistent sync/atomic operations. Ring slots are
+// atomic.Pointer so the race detector observes the publish/claim edges.
+type deque struct {
+	top    atomic.Int64 // next index to steal from; only ever incremented
+	bottom atomic.Int64 // next index to push at; owned by the worker
+	ring   atomic.Pointer[ring]
+}
+
+// ring is a power-of-two circular buffer. Rings are immutable once
+// superseded (grow copies the live range into a fresh ring), so a thief
+// holding a stale ring still reads valid task pointers for any index it
+// can win the top CAS on.
+type ring struct {
+	mask  int64
+	slots []atomic.Pointer[task]
+}
+
+func newRing(n int64) *ring {
+	return &ring{mask: n - 1, slots: make([]atomic.Pointer[task], n)}
+}
+
+func (r *ring) size() int64          { return r.mask + 1 }
+func (r *ring) get(i int64) *task    { return r.slots[i&r.mask].Load() }
+func (r *ring) put(i int64, t *task) { r.slots[i&r.mask].Store(t) }
+
+const initialRingSize = 64
+
+func (d *deque) init() {
+	d.ring.Store(newRing(initialRingSize))
+}
+
+// push appends t at the bottom. Owner only. It returns the resulting depth
+// so the caller can track the high-water mark.
+func (d *deque) push(t task) int64 {
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	r := d.ring.Load()
+	if b-tp >= r.size() {
+		r = d.grow(tp, b)
+	}
+	r.put(b, &t)
+	d.bottom.Store(b + 1)
+	return b + 1 - tp
+}
+
+// pop removes and returns the most recently pushed task, or nil if the
+// deque is empty (or a thief won the last element). Owner only.
+func (d *deque) pop() task {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore bottom.
+		d.bottom.Store(b + 1)
+		return nil
+	}
+	tk := d.ring.Load().get(b)
+	if t == b {
+		// Last element: race the thieves for it.
+		if !d.top.CompareAndSwap(t, t+1) {
+			tk = nil // a thief got it first
+		}
+		d.bottom.Store(b + 1)
+	}
+	if tk == nil {
+		return nil
+	}
+	return *tk
+}
+
+// steal takes the oldest task from the top. Any goroutine may call it.
+// It returns nil if the deque was observed empty or the claim was lost to
+// a concurrent pop/steal.
+func (d *deque) steal() task {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	tk := d.ring.Load().get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	if tk == nil {
+		return nil
+	}
+	return *tk
+}
+
+// empty reports whether the deque looks empty; used by the parking
+// protocol's re-check, so a stale answer only costs a wakeup.
+func (d *deque) empty() bool {
+	return d.top.Load() >= d.bottom.Load()
+}
+
+// grow doubles the ring, copying the live range [t, b). Owner only; old
+// rings are left to the GC (thieves may still be reading them).
+func (d *deque) grow(t, b int64) *ring {
+	old := d.ring.Load()
+	nr := newRing(old.size() * 2)
+	for i := t; i < b; i++ {
+		nr.put(i, old.get(i))
+	}
+	d.ring.Store(nr)
+	return nr
+}

@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDequeLIFOOwner checks the owner's stack discipline: pops come back
+// in reverse push order (Lemma 4.1's "run the most recent fork first").
+func TestDequeLIFOOwner(t *testing.T) {
+	var d deque
+	d.init()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		d.push(func(*Worker) { order = append(order, i) })
+	}
+	for {
+		tk := d.pop()
+		if tk == nil {
+			break
+		}
+		tk(nil)
+	}
+	if len(order) != 100 {
+		t.Fatalf("popped %d tasks, want 100", len(order))
+	}
+	for i, v := range order {
+		if v != 99-i {
+			t.Fatalf("pop order[%d] = %d, want %d (LIFO)", i, v, 99-i)
+		}
+	}
+}
+
+// TestDequeGrow pushes far past the initial ring size.
+func TestDequeGrow(t *testing.T) {
+	var d deque
+	d.init()
+	const n = 10 * initialRingSize
+	hits := make([]bool, n)
+	for i := 0; i < n; i++ {
+		i := i
+		d.push(func(*Worker) { hits[i] = true })
+	}
+	for i := 0; i < n; i++ {
+		tk := d.pop()
+		if tk == nil {
+			t.Fatalf("pop %d returned nil", i)
+		}
+		tk(nil)
+	}
+	for i, h := range hits {
+		if !h {
+			t.Fatalf("task %d lost in grow", i)
+		}
+	}
+}
+
+// TestDequeStealConcurrent races one owner (pushing and popping) against
+// several thieves; every task must execute exactly once.
+func TestDequeStealConcurrent(t *testing.T) {
+	var d deque
+	d.init()
+	const (
+		n       = 50000
+		thieves = 4
+	)
+	var ran [n]atomic.Int32
+	var executed atomic.Int64
+	mk := func(i int) task {
+		return func(*Worker) {
+			if ran[i].Add(1) != 1 {
+				t.Errorf("task %d ran twice", i)
+			}
+			executed.Add(1)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := atomic.Bool{}
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if tk := d.steal(); tk != nil {
+					tk(nil)
+				}
+			}
+			// Final drain so nothing the owner left behind is missed.
+			for {
+				tk := d.steal()
+				if tk == nil {
+					return
+				}
+				tk(nil)
+			}
+		}()
+	}
+
+	// Owner: push everything, popping a bit along the way.
+	for i := 0; i < n; i++ {
+		d.push(mk(i))
+		if i%3 == 0 {
+			if tk := d.pop(); tk != nil {
+				tk(nil)
+			}
+		}
+	}
+	for {
+		tk := d.pop()
+		if tk == nil && d.empty() {
+			break
+		}
+		if tk != nil {
+			tk(nil)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if got := executed.Load(); got != n {
+		t.Fatalf("executed %d tasks, want %d", got, n)
+	}
+}

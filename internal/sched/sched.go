@@ -1,0 +1,418 @@
+// Package sched is an explicit work-stealing futures runtime: the greedy
+// scheduler of Section 4 of "Pipelining with Futures" built as a bounded
+// worker pool instead of one goroutine per future call.
+//
+// A Runtime owns p workers, each a single goroutine with a private
+// Chase–Lev deque. Forked tasks go to the bottom of the forking worker's
+// deque and are popped LIFO — the stack discipline of Lemma 4.1, under
+// which the paper proves the O(w/p + d) bound — while idle workers steal
+// from the top (the oldest, largest pieces of the unfolding DAG, which is
+// also what keeps Herlihy & Liu's steal/deviation count low). A Cell that
+// is touched before its write does not block a goroutine: it suspends the
+// toucher's *continuation* onto the cell's waiter list, and the write
+// requeues every waiter onto the writer's deque. Millions of outstanding
+// forks therefore cost O(1) goroutines per worker, where the
+// goroutine-per-Spawn runtime of package future would need one goroutine
+// per suspended thread.
+//
+// Every scheduling event is counted (spawns, steals, suspensions,
+// reactivations, deque depth, per-worker busy time); see Counters. The
+// counters are what pipebench's sched experiment dumps alongside
+// wall-clock time.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Runtime is a handle to a running worker pool. Create one with
+// NewRuntime, submit work with Fork or Spawn, drain it with Wait, and
+// stop the workers with Shutdown.
+type Runtime struct {
+	workers []*Worker
+
+	// pending counts task closures that have been scheduled (Fork) or
+	// suspended (Cell.Touch on an unwritten cell) and have not yet run
+	// to completion. Zero means the runtime is quiescent.
+	pending  atomic.Int64
+	stopping atomic.Bool
+	idlers   atomic.Int32 // workers in or entering park()
+
+	mu        sync.Mutex
+	workCond  *sync.Cond // parked workers wait here
+	quietCond *sync.Cond // Wait callers wait here
+	wakeGen   uint64     // bumped under mu whenever new work may exist
+	inject    []task     // submissions from outside any worker
+	injectLen atomic.Int64
+
+	extern wstats // scheduling events attributed to no worker
+	wg     sync.WaitGroup
+}
+
+// Worker is the scheduling context of one worker goroutine. Tasks receive
+// their worker and must pass it along to Fork, Cell.Touch, and Cell.Write
+// so forks and reactivations land on the local deque; a nil *Worker is
+// valid everywhere and means "not on a worker" (external submission).
+type Worker struct {
+	rt    *Runtime
+	id    int
+	dq    deque
+	rng   uint64 // xorshift state for victim selection
+	stats wstats
+
+	busySince time.Time // zero when idle; set on the idle→busy transition
+}
+
+// NewRuntime starts a runtime with p workers (p < 1 is treated as 1).
+func NewRuntime(p int) *Runtime {
+	if p < 1 {
+		p = 1
+	}
+	rt := &Runtime{}
+	rt.workCond = sync.NewCond(&rt.mu)
+	rt.quietCond = sync.NewCond(&rt.mu)
+	rt.workers = make([]*Worker, p)
+	for i := range rt.workers {
+		w := &Worker{rt: rt, id: i, rng: uint64(i)*0x9e3779b97f4a7c15 + 1}
+		w.dq.init()
+		rt.workers[i] = w
+	}
+	rt.wg.Add(p)
+	for _, w := range rt.workers {
+		go w.run()
+	}
+	return rt
+}
+
+// P returns the number of workers.
+func (rt *Runtime) P() int { return len(rt.workers) }
+
+// ID returns the worker's index in [0, P).
+func (w *Worker) ID() int { return w.id }
+
+// Fork schedules f as an independent task. w must be the worker the
+// caller is currently running on, or nil when called from outside any
+// worker (the task then enters the injection queue and is picked up by an
+// idle worker).
+func (rt *Runtime) Fork(w *Worker, f func(*Worker)) {
+	if rt.stopping.Load() {
+		panic("sched: Fork after Shutdown")
+	}
+	rt.pending.Add(1)
+	rt.enqueue(w, f, &rt.statsFor(w).spawns)
+}
+
+// enqueue puts f on w's deque (or the injection queue when w is nil) and
+// wakes an idle worker if there is one. counter, if non-nil, is bumped.
+func (rt *Runtime) enqueue(w *Worker, f task, counter *atomic.Int64) {
+	if counter != nil {
+		counter.Add(1)
+	}
+	if w != nil {
+		depth := w.dq.push(f)
+		if depth > w.stats.maxDeque.Load() {
+			w.stats.maxDeque.Store(depth)
+		}
+	} else {
+		rt.mu.Lock()
+		rt.inject = append(rt.inject, f)
+		rt.injectLen.Store(int64(len(rt.inject)))
+		rt.wakeGen++
+		rt.workCond.Signal()
+		rt.mu.Unlock()
+		return
+	}
+	if rt.idlers.Load() > 0 {
+		rt.mu.Lock()
+		rt.wakeGen++
+		rt.workCond.Broadcast()
+		rt.mu.Unlock()
+	}
+}
+
+// statsFor returns the per-worker counter block, or the external block
+// for nil.
+func (rt *Runtime) statsFor(w *Worker) *wstats {
+	if w != nil {
+		return &w.stats
+	}
+	return &rt.extern
+}
+
+// Wait blocks until the runtime is quiescent: every forked task and every
+// suspended continuation has run to completion. It is the "computation
+// finished" barrier; call it from outside the workers only.
+func (rt *Runtime) Wait() {
+	rt.mu.Lock()
+	for rt.pending.Load() != 0 && !rt.stopping.Load() {
+		rt.quietCond.Wait()
+	}
+	rt.mu.Unlock()
+}
+
+// taskDone retires one pending closure and wakes Wait callers at zero.
+func (rt *Runtime) taskDone() {
+	if rt.pending.Add(-1) == 0 {
+		rt.mu.Lock()
+		rt.quietCond.Broadcast()
+		rt.mu.Unlock()
+	}
+}
+
+// Shutdown stops the workers and joins their goroutines. Outstanding work
+// is abandoned, so call Wait first if completion matters. Shutdown is
+// idempotent.
+func (rt *Runtime) Shutdown() {
+	if rt.stopping.Swap(true) {
+		return
+	}
+	rt.mu.Lock()
+	rt.wakeGen++
+	rt.workCond.Broadcast()
+	rt.quietCond.Broadcast()
+	rt.mu.Unlock()
+	rt.wg.Wait()
+}
+
+// run is the worker loop: pop local LIFO work, else poll the injection
+// queue, else steal, else park.
+func (w *Worker) run() {
+	rt := w.rt
+	defer rt.wg.Done()
+	for {
+		if rt.stopping.Load() {
+			w.flushBusy()
+			return
+		}
+		t := w.next()
+		if t == nil {
+			w.flushBusy()
+			w.park()
+			continue
+		}
+		if w.busySince.IsZero() {
+			w.busySince = time.Now()
+		}
+		t(w)
+		w.stats.tasks.Add(1)
+		rt.taskDone()
+	}
+}
+
+// next returns the next task to run without blocking: local deque first
+// (stack discipline), then the injection queue, then one steal sweep.
+func (w *Worker) next() task {
+	if t := w.dq.pop(); t != nil {
+		return t
+	}
+	if t := w.rt.pollInject(); t != nil {
+		return t
+	}
+	return w.stealOnce()
+}
+
+// pollInject takes the oldest externally submitted task, if any.
+func (rt *Runtime) pollInject() task {
+	if rt.injectLen.Load() == 0 {
+		return nil
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.inject) == 0 {
+		return nil
+	}
+	t := rt.inject[0]
+	rt.inject = rt.inject[1:]
+	rt.injectLen.Store(int64(len(rt.inject)))
+	return t
+}
+
+// stealOnce sweeps the other workers once from a random start and takes
+// the first task it can claim.
+func (w *Worker) stealOnce() task {
+	n := len(w.rt.workers)
+	if n == 1 {
+		return nil
+	}
+	off := int(w.nextRand() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := w.rt.workers[(off+i)%n]
+		if v == w {
+			continue
+		}
+		if t := v.dq.steal(); t != nil {
+			w.stats.steals.Add(1)
+			return t
+		}
+	}
+	return nil
+}
+
+func (w *Worker) nextRand() uint64 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	return x
+}
+
+// parkSpinRounds is how many scheduler yields an idle worker burns
+// before it actually sleeps. On an oversubscribed (or single-CPU) box a
+// producer may hold unstolen work without having had a chance to run the
+// idlers>0 wake path yet; a yielded re-check costs almost nothing and
+// keeps thieves engaged, where sleeping requires a producer-side
+// broadcast to undo.
+const parkSpinRounds = 4
+
+// park blocks the worker until new work may exist. The protocol is a
+// wake-generation eventcount: producers bump wakeGen under mu whenever
+// they enqueue with idlers registered, so a task published between our
+// final re-check and the cond wait cannot be missed.
+func (w *Worker) park() {
+	rt := w.rt
+	for i := 0; i < parkSpinRounds; i++ {
+		runtime.Gosched()
+		if rt.workAvailable() || rt.stopping.Load() {
+			return
+		}
+	}
+	rt.idlers.Add(1)
+	rt.mu.Lock()
+	g := rt.wakeGen
+	rt.mu.Unlock()
+	if rt.workAvailable() || rt.stopping.Load() {
+		rt.idlers.Add(-1)
+		return
+	}
+	rt.mu.Lock()
+	for rt.wakeGen == g && !rt.stopping.Load() && !rt.workAvailable() {
+		rt.workCond.Wait()
+	}
+	rt.mu.Unlock()
+	rt.idlers.Add(-1)
+}
+
+// workAvailable reports whether any queue looks non-empty. A stale true
+// costs one futile sweep; a stale false is prevented by the wakeGen
+// protocol.
+func (rt *Runtime) workAvailable() bool {
+	if rt.injectLen.Load() > 0 {
+		return true
+	}
+	for _, v := range rt.workers {
+		if !v.dq.empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// flushBusy closes the current busy interval, accumulating it into the
+// worker's busy-time counter.
+func (w *Worker) flushBusy() {
+	if !w.busySince.IsZero() {
+		w.stats.busyNanos.Add(time.Since(w.busySince).Nanoseconds())
+		w.busySince = time.Time{}
+	}
+}
+
+// Spawn is the future call on this runtime: it forks a task evaluating f
+// and returns the cell its result will be written to. w follows the Fork
+// contract (the current worker, or nil from outside).
+func Spawn[T any](rt *Runtime, w *Worker, f func(*Worker) T) *Cell[T] {
+	c := NewCell[T](rt)
+	rt.Fork(w, func(w2 *Worker) { c.Write(w2, f(w2)) })
+	return c
+}
+
+// ---- observability -------------------------------------------------------
+
+// wstats is one padded block of event counters. Owners write their own
+// block; Counters() reads all blocks atomically (each counter
+// individually — the snapshot is not a consistent cut, which is fine for
+// monitoring).
+type wstats struct {
+	spawns        atomic.Int64
+	steals        atomic.Int64
+	suspensions   atomic.Int64
+	reactivations atomic.Int64
+	maxDeque      atomic.Int64
+	tasks         atomic.Int64
+	busyNanos     atomic.Int64
+	_             [40]byte // pad to a multiple of a cache line
+}
+
+// Counters is a snapshot of the runtime's scheduling statistics.
+type Counters struct {
+	Spawns        int64 // tasks scheduled via Fork/Spawn
+	Steals        int64 // successful steals
+	Suspensions   int64 // touches of unwritten cells (continuation parked)
+	Reactivations int64 // suspended continuations requeued by a write
+	Tasks         int64 // task closures executed to completion
+	MaxDeque      int64 // deepest any worker deque ever got
+	BusyNanos     []int64
+	WorkerTasks   []int64
+	WorkerSteals  []int64
+}
+
+// Counters samples every counter block. Safe to call at any time,
+// including while the runtime is running.
+func (rt *Runtime) Counters() Counters {
+	var c Counters
+	add := func(s *wstats) {
+		c.Spawns += s.spawns.Load()
+		c.Steals += s.steals.Load()
+		c.Suspensions += s.suspensions.Load()
+		c.Reactivations += s.reactivations.Load()
+		c.Tasks += s.tasks.Load()
+		if m := s.maxDeque.Load(); m > c.MaxDeque {
+			c.MaxDeque = m
+		}
+	}
+	add(&rt.extern)
+	for _, w := range rt.workers {
+		add(&w.stats)
+		c.BusyNanos = append(c.BusyNanos, w.stats.busyNanos.Load())
+		c.WorkerTasks = append(c.WorkerTasks, w.stats.tasks.Load())
+		c.WorkerSteals = append(c.WorkerSteals, w.stats.steals.Load())
+	}
+	return c
+}
+
+// Sub returns the per-field difference c - prev (slices element-wise; the
+// max-depth field is taken from c). Use it to report one experiment's
+// deltas on a long-lived runtime.
+func (c Counters) Sub(prev Counters) Counters {
+	out := c
+	out.Spawns -= prev.Spawns
+	out.Steals -= prev.Steals
+	out.Suspensions -= prev.Suspensions
+	out.Reactivations -= prev.Reactivations
+	out.Tasks -= prev.Tasks
+	out.BusyNanos = subSlice(c.BusyNanos, prev.BusyNanos)
+	out.WorkerTasks = subSlice(c.WorkerTasks, prev.WorkerTasks)
+	out.WorkerSteals = subSlice(c.WorkerSteals, prev.WorkerSteals)
+	return out
+}
+
+func subSlice(a, b []int64) []int64 {
+	out := make([]int64, len(a))
+	for i := range a {
+		out[i] = a[i]
+		if i < len(b) {
+			out[i] -= b[i]
+		}
+	}
+	return out
+}
+
+// String renders the aggregate counters on one line.
+func (c Counters) String() string {
+	return fmt.Sprintf("spawns=%d steals=%d susp=%d react=%d tasks=%d maxdeq=%d",
+		c.Spawns, c.Steals, c.Suspensions, c.Reactivations, c.Tasks, c.MaxDeque)
+}

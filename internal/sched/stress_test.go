@@ -1,0 +1,125 @@
+package sched_test
+
+// Fork-count stress: the point of the sched runtime is that suspended
+// threads are continuations, not goroutines, so a computation with a
+// million forks must hold the process's goroutine count near p. These
+// tests sample runtime.NumGoroutine while driving (a) a producer/consumer
+// dependency chain where every link suspends before its input exists and
+// (b) a fully forked treap union through the paralg port.
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pipefut/internal/paralg"
+	"pipefut/internal/sched"
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/workload"
+)
+
+// samplePeakGoroutines polls the goroutine count until stop is closed.
+func samplePeakGoroutines(stop <-chan struct{}, peak *atomic.Int64) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if n := int64(runtime.NumGoroutine()); n > peak.Load() {
+			peak.Store(n)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// goroutineSlack covers the test framework's own goroutines plus the
+// sampler and transient externals; the bound being checked is O(p), not
+// O(forks), so a small constant is the right scale.
+const goroutineSlack = 8
+
+func TestStressChainGoroutinesBounded(t *testing.T) {
+	n := 1_000_000
+	if testing.Short() {
+		n = 100_000 // keep the -race CI lane fast
+	}
+	const p = 4
+	rt := sched.NewRuntime(p)
+	defer rt.Shutdown()
+
+	baseline := runtime.NumGoroutine()
+	stop := make(chan struct{})
+	defer close(stop)
+	var peak atomic.Int64
+	go samplePeakGoroutines(stop, &peak)
+
+	// Build the chain back-to-front so every link suspends on an
+	// unwritten cell, then release it by writing the head.
+	cells := make([]*sched.Cell[int], n+1)
+	for i := range cells {
+		cells[i] = sched.NewCell[int](rt)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		rt.Fork(nil, func(w *sched.Worker) {
+			cells[i].Touch(w, func(w *sched.Worker, v int) { cells[i+1].Write(w, v+1) })
+		})
+	}
+	cells[0].Write(nil, 0)
+	if got := cells[n].Read(); got != n {
+		t.Fatalf("chain result = %d, want %d", got, n)
+	}
+	rt.Wait()
+
+	ctr := rt.Counters()
+	if ctr.Spawns < int64(n) {
+		t.Errorf("spawns = %d, want ≥ %d", ctr.Spawns, n)
+	}
+	if ctr.Suspensions < int64(n) {
+		t.Errorf("suspensions = %d, want ≥ %d — every link should have parked", ctr.Suspensions, n)
+	}
+	if pk := peak.Load(); pk > int64(baseline+p+goroutineSlack) {
+		t.Errorf("peak goroutines = %d (baseline %d, p=%d) — suspensions are leaking goroutines", pk, baseline, p)
+	}
+}
+
+func TestStressUnionGoroutinesBounded(t *testing.T) {
+	size := 1 << 17
+	if testing.Short() {
+		size = 1 << 14
+	}
+	const p = 4
+	s := paralg.NewSchedRuntime(p)
+	defer s.Close()
+
+	baseline := runtime.NumGoroutine()
+	stop := make(chan struct{})
+	defer close(stop)
+	var peak atomic.Int64
+	go samplePeakGoroutines(stop, &peak)
+
+	rng := workload.NewRNG(7)
+	ka, kb := workload.OverlappingKeySets(rng, size, size, 0.1)
+	ta, tb := seqtreap.FromKeys(ka), seqtreap.FromKeys(kb)
+	want := seqtreap.Union(ta, tb)
+
+	// SpawnDepth 64 forks at every recursion step: maximum fork count,
+	// which on the goroutine runtime would mean hundreds of thousands of
+	// goroutines in flight.
+	cfg := paralg.RConfig{R: s, SpawnDepth: 64}
+	got := cfg.Union(nil, paralg.RFromSeqTreap(s, ta), paralg.RFromSeqTreap(s, tb))
+	if !seqtreap.Equal(paralg.RToSeqTreap(got), want) {
+		t.Fatal("union does not match the sequential oracle")
+	}
+	s.RT.Wait()
+
+	ctr := s.RT.Counters()
+	t.Logf("union of 2×%d keys: %s", size, ctr.String())
+	if ctr.Spawns < int64(size) {
+		t.Errorf("spawns = %d, want ≥ %d at full fork grain", ctr.Spawns, size)
+	}
+	if pk := peak.Load(); pk > int64(baseline+p+goroutineSlack) {
+		t.Errorf("peak goroutines = %d (baseline %d, p=%d)", pk, baseline, p)
+	}
+}

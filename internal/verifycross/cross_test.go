@@ -175,7 +175,7 @@ const algN = 96
 var algCases = []algCase{
 	{
 		name:    "merge",
-		entries: []string{"costalg.Merge", "costalg.Split", "costalg.SplitSeq", "paralg.Config.Merge"},
+		entries: []string{"costalg.Merge", "costalg.Split", "costalg.SplitSeq", "paralg.Config.Merge", "paralg.RConfig.Merge"},
 		run: func(ctx *core.Ctx, eng *core.Engine) {
 			rng := workload.NewRNG(7)
 			ka, kb := workload.DisjointKeySets(rng, algN, algN)
@@ -189,7 +189,7 @@ var algCases = []algCase{
 	},
 	{
 		name:    "union",
-		entries: []string{"costalg.Union", "costalg.SplitM", "costalg.SplitMSeq", "paralg.Config.Union"},
+		entries: []string{"costalg.Union", "costalg.SplitM", "costalg.SplitMSeq", "paralg.Config.Union", "paralg.RConfig.Union"},
 		run: func(ctx *core.Ctx, eng *core.Engine) {
 			rng := workload.NewRNG(7)
 			ka, kb := workload.OverlappingKeySets(rng, algN, algN, 0.3)
@@ -304,7 +304,7 @@ var algCases = []algCase{
 	},
 	{
 		name:    "t26",
-		entries: []string{"costalg.T26Insert", "costalg.T26BulkInsert", "paralg.Config.T26Insert", "paralg.Config.T26BulkInsert"},
+		entries: []string{"costalg.T26Insert", "costalg.T26BulkInsert", "paralg.Config.T26Insert", "paralg.Config.T26BulkInsert", "paralg.RConfig.T26Insert", "paralg.RConfig.T26BulkInsert"},
 		run: func(ctx *core.Ctx, eng *core.Engine) {
 			rng := workload.NewRNG(7)
 			all := workload.DistinctKeys(rng, 2*algN, 8*algN)
@@ -413,8 +413,9 @@ func TestStaticDynamicLinearityAgreement(t *testing.T) {
 	// Every exported algorithm entry point in both packages must appear in
 	// some case above, so new algorithms cannot silently skip the harness.
 	// In costalg an algorithm is an exported function taking a *core.Ctx;
-	// in paralg it is an exported Config method (plus Produce/Consume,
-	// which the prodcons case lists explicitly).
+	// in paralg it is an exported Config or RConfig method (the latter the
+	// runtime-portable ports that run on package sched) plus
+	// Produce/Consume, which the prodcons case lists explicitly.
 	t.Run("coverage", func(t *testing.T) {
 		for pkgName, sp := range pkgs {
 			for _, fn := range sp.prog.Funcs {
@@ -427,7 +428,11 @@ func TestStaticDynamicLinearityAgreement(t *testing.T) {
 					isAlg = usesCtx(fn.Sig)
 				case "paralg":
 					r := fn.Sig.Recv()
-					isAlg = r != nil && recvName(r.Type()) == "Config" ||
+					rn := ""
+					if r != nil {
+						rn = recvName(r.Type())
+					}
+					isAlg = rn == "Config" || rn == "RConfig" ||
 						fn.Obj.Name() == "Produce" || fn.Obj.Name() == "Consume"
 				}
 				if !isAlg {
