@@ -64,7 +64,10 @@ type Worker struct {
 	rng   uint64 // xorshift state for victim selection
 	stats wstats
 
-	busySince time.Time // zero when idle; set on the idle→busy transition
+	// busyStart is the unix-nano start of the open busy interval, 0 when
+	// idle. Only the worker writes it; Counters reads it to credit busy
+	// time that has not been flushed yet.
+	busyStart atomic.Int64
 }
 
 // NewRuntime starts a runtime with p workers (p < 1 is treated as 1).
@@ -194,8 +197,8 @@ func (w *Worker) run() {
 			w.park()
 			continue
 		}
-		if w.busySince.IsZero() {
-			w.busySince = time.Now()
+		if w.busyStart.Load() == 0 {
+			w.busyStart.Store(time.Now().UnixNano())
 		}
 		t(w)
 		w.stats.tasks.Add(1)
@@ -226,7 +229,11 @@ func (rt *Runtime) pollInject() task {
 		return nil
 	}
 	t := rt.inject[0]
+	rt.inject[0] = nil // release the closure; the backing array outlives the re-slice
 	rt.inject = rt.inject[1:]
+	if len(rt.inject) == 0 {
+		rt.inject = nil // let the drained backing array be collected
+	}
 	rt.injectLen.Store(int64(len(rt.inject)))
 	return t
 }
@@ -315,9 +322,9 @@ func (rt *Runtime) workAvailable() bool {
 // flushBusy closes the current busy interval, accumulating it into the
 // worker's busy-time counter.
 func (w *Worker) flushBusy() {
-	if !w.busySince.IsZero() {
-		w.stats.busyNanos.Add(time.Since(w.busySince).Nanoseconds())
-		w.busySince = time.Time{}
+	if s := w.busyStart.Load(); s != 0 {
+		w.stats.busyNanos.Add(time.Now().UnixNano() - s)
+		w.busyStart.Store(0)
 	}
 }
 
@@ -375,9 +382,18 @@ func (rt *Runtime) Counters() Counters {
 		}
 	}
 	add(&rt.extern)
+	now := time.Now().UnixNano()
 	for _, w := range rt.workers {
 		add(&w.stats)
-		c.BusyNanos = append(c.BusyNanos, w.stats.busyNanos.Load())
+		// Credit the open busy interval of a still-busy worker, so a
+		// snapshot taken under saturation does not read near zero. A
+		// concurrent flush can make this off by one interval — the
+		// snapshot is monitoring-grade, not a consistent cut.
+		busy := w.stats.busyNanos.Load()
+		if s := w.busyStart.Load(); s != 0 && now > s {
+			busy += now - s
+		}
+		c.BusyNanos = append(c.BusyNanos, busy)
 		c.WorkerTasks = append(c.WorkerTasks, w.stats.tasks.Load())
 		c.WorkerSteals = append(c.WorkerSteals, w.stats.steals.Load())
 	}

@@ -55,17 +55,29 @@ func TestStressChainGoroutinesBounded(t *testing.T) {
 	go samplePeakGoroutines(stop, &peak)
 
 	// Build the chain back-to-front so every link suspends on an
-	// unwritten cell, then release it by writing the head.
+	// unwritten cell, then release it by writing the head. The head write
+	// is gated on every link's Touch having returned (each suspension is
+	// published by then), so exactly n suspensions happen-before the
+	// release: without the gate, reactivated links run LIFO off the
+	// writer's deque ahead of the injection-queue drain and late links
+	// would find their input already written (fast path, no suspension).
 	cells := make([]*sched.Cell[int], n+1)
 	for i := range cells {
 		cells[i] = sched.NewCell[int](rt)
 	}
+	var unparked atomic.Int64
+	unparked.Store(int64(n))
+	allParked := make(chan struct{})
 	for i := 0; i < n; i++ {
 		i := i
 		rt.Fork(nil, func(w *sched.Worker) {
 			cells[i].Touch(w, func(w *sched.Worker, v int) { cells[i+1].Write(w, v+1) })
+			if unparked.Add(-1) == 0 {
+				close(allParked)
+			}
 		})
 	}
+	<-allParked
 	cells[0].Write(nil, 0)
 	if got := cells[n].Read(); got != n {
 		t.Fatalf("chain result = %d, want %d", got, n)
