@@ -1,0 +1,173 @@
+// Command pipeserve runs the batching set-operation server of
+// internal/serve behind an HTTP/JSON interface.
+//
+//	pipeserve -addr :8080 -p 8 -highwater 4096
+//
+//	POST /op      {"op":"union","keys":[1,2,3]}   → {"version":1}
+//	              {"op":"difference","keys":[2]}  → {"version":2}
+//	              {"op":"contains","key":1}       → {"version":2,"contains":true}
+//	              {"op":"len"}                    → {"version":2,"len":2}
+//	GET  /metrics → server + scheduler counters (JSON)
+//	GET  /keys    → full contents (verification endpoint)
+//
+// Shed load answers 429 (over the high-water mark) or 503 (draining).
+// SIGINT/SIGTERM triggers a graceful drain: stop admitting, finish every
+// admitted request, quiesce the scheduler, exit.
+//
+// -smoke runs a self-driving smoke check instead of serving: it binds a
+// loopback port, drives a mixed batch over real HTTP, asserts the
+// metrics endpoint reports scheduler activity, drains, and exits
+// non-zero on any failure.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"pipefut/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		p          = flag.Int("p", runtime.GOMAXPROCS(0), "scheduler worker count")
+		highWater  = flag.Int("highwater", serve.DefaultHighWater, "admission high-water mark (backlog at which requests shed)")
+		spawnDepth = flag.Int("spawndepth", 0, "algorithm spawn depth (0 = default grain)")
+		smoke      = flag.Bool("smoke", false, "run a loopback HTTP smoke check and exit")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{P: *p, SpawnDepth: *spawnDepth, HighWater: *highWater}
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			log.Fatalf("smoke: FAIL: %v", err)
+		}
+		fmt.Println("smoke: ok")
+		return
+	}
+
+	s := serve.New(cfg)
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("pipeserve: listening on %s (p=%d highwater=%d)", *addr, *p, *highWater)
+
+	select {
+	case got := <-sig:
+		log.Printf("pipeserve: %v — draining", got)
+	case err := <-errc:
+		log.Fatalf("pipeserve: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("pipeserve: http shutdown: %v", err)
+	}
+	s.Close()
+	m := s.Metrics()
+	log.Printf("pipeserve: drained: offered=%d admitted=%d completed=%d shed=%d",
+		m.Offered, m.Admitted, m.Completed, m.ShedOverload+m.ShedDraining)
+}
+
+// runSmoke drives the server end to end over a real loopback socket: a
+// mixed mutation/read batch, a metrics scrape asserting scheduler
+// activity, and a clean drain.
+func runSmoke(cfg serve.Config) error {
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	post := func(body string) (map[string]any, error) {
+		resp, err := http.Post(base+"/op", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("status %d: %v", resp.StatusCode, out)
+		}
+		return out, nil
+	}
+
+	// Mixed batch: unions, a difference, an intersect, then reads.
+	for i := 0; i < 8; i++ {
+		keys := make([]int, 256)
+		for j := range keys {
+			keys[j] = (i*97 + j*13) % 2048
+		}
+		b, _ := json.Marshal(map[string]any{"op": "union", "keys": keys})
+		if _, err := post(string(b)); err != nil {
+			return fmt.Errorf("union %d: %w", i, err)
+		}
+	}
+	if _, err := post(`{"op":"difference","keys":[0,13,26]}`); err != nil {
+		return fmt.Errorf("difference: %w", err)
+	}
+	if _, err := post(`{"op":"intersect","keys":[1,2,3,4,5,6,7,8,9,10]}`); err != nil {
+		return fmt.Errorf("intersect: %w", err)
+	}
+	got, err := post(`{"op":"contains","key":5}`)
+	if err != nil {
+		return fmt.Errorf("contains: %w", err)
+	}
+	if c, ok := got["contains"].(bool); !ok || !c {
+		return fmt.Errorf("contains(5) = %v, want true", got["contains"])
+	}
+	if _, err := post(`{"op":"len"}`); err != nil {
+		return fmt.Errorf("len: %w", err)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	var m serve.Metrics
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("metrics decode: %w", err)
+	}
+	if m.Spawns == 0 {
+		return fmt.Errorf("metrics report zero scheduler spawns after mixed batch: %+v", m)
+	}
+	if m.Admitted == 0 || m.Completed != m.Admitted {
+		return fmt.Errorf("admitted=%d completed=%d, want equal and nonzero", m.Admitted, m.Completed)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	s.Close()
+	if m := s.Metrics(); m.Inflight != 0 {
+		return fmt.Errorf("inflight=%d after drain, want 0", m.Inflight)
+	}
+	fmt.Printf("smoke: spawns=%d suspensions=%d admitted=%d batches=%d\n",
+		m.Spawns, m.Suspensions, m.Admitted, m.Batches)
+	return nil
+}

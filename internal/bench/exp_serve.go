@@ -1,0 +1,134 @@
+package bench
+
+// The serve experiment: offered load × worker count sweep of the
+// batching set-operation server. It measures what the serving layer buys
+// from pipelining: mutation batches coalesce into scheduler work that is
+// admitted, applied, and completed while trees are still materializing,
+// so throughput scales with p until the admission controller starts
+// shedding.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"pipefut/internal/serve"
+	"pipefut/internal/workload"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "serve",
+		Paper: "Section 4 applied end to end (a server of pipelined set operations)",
+		Claim: "a batching server on the futures runtime sustains concurrent mixed set operations, shedding load only past the admission high-water mark",
+		Run:   runServe,
+	})
+}
+
+func runServe(cfg Config, w io.Writer) error {
+	maxP := runtime.GOMAXPROCS(0)
+	ps := pSweep(maxP)
+
+	// Offered load: concurrent closed-loop clients. Each issues a fixed
+	// mixed op sequence; total request count scales with MaxLgN.
+	reqPerClient := 1 << min(cfg.MaxLgN-6, 9)
+	clientSweep := []int{1, 4, 16, 64}
+	const (
+		universe = 1 << 12
+		batchLen = 32
+	)
+
+	tb := NewTable(
+		fmt.Sprintf("Serving sweep: mixed set ops (40%% union / 25%% diff / 5%% intersect / 30%% reads), %d requests per client, universe %d, highwater %d",
+			reqPerClient, universe, serve.DefaultHighWater),
+		"p", "clients", "time", "req/s", "admitted", "shed", "batches", "p50", "p99", "spawns", "steals", "susp")
+	for _, p := range ps {
+		for _, clients := range clientSweep {
+			s := serve.New(serve.Config{P: p})
+			start := time.Now()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					rng := workload.NewRNG(cfg.Seed + uint64(c))
+					for i := 0; i < reqPerClient; i++ {
+						driveOne(s, rng, universe, batchLen)
+					}
+				}(c)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			s.Close()
+			m := s.Metrics()
+			tb.Row(I(int64(p)), I(int64(clients)), elapsed.String(),
+				F(float64(m.Offered)/elapsed.Seconds()),
+				I(m.Admitted), I(m.ShedOverload), I(m.Batches),
+				time.Duration(m.P50Nanos).String(), time.Duration(m.P99Nanos).String(),
+				I(m.Spawns), I(m.Steals), I(m.Suspensions))
+		}
+	}
+	tb.Note("closed-loop clients (next request after previous completes); shed = admission rejections at the default high-water mark")
+	tb.Note("batches < admitted mutations means the applier coalesced adjacent same-kind requests")
+	if err := tb.Fprint(w); err != nil {
+		return err
+	}
+
+	// Backpressure ablation: tiny high-water marks against a fixed burst,
+	// showing shed rate take over as the admission bound tightens.
+	p := maxP
+	const burstClients = 32
+	tb2 := NewTable(
+		fmt.Sprintf("Backpressure ablation: p = %d, %d clients × %d requests, varying high-water mark",
+			p, burstClients, reqPerClient),
+		"highwater", "time", "admitted", "shed", "shed %")
+	for _, hw := range []int{8, 64, 512, serve.DefaultHighWater} {
+		s := serve.New(serve.Config{P: p, HighWater: hw})
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < burstClients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := workload.NewRNG(cfg.Seed + 100 + uint64(c))
+				for i := 0; i < reqPerClient; i++ {
+					driveOne(s, rng, universe, batchLen)
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		s.Close()
+		m := s.Metrics()
+		tb2.Row(I(int64(hw)), elapsed.String(), I(m.Admitted), I(m.ShedOverload),
+			F(100*float64(m.ShedOverload)/float64(m.Offered)))
+	}
+	tb2.Note("sheds answer immediately (HTTP 429), so tighter marks trade completed work for bounded backlog")
+	return tb2.Fprint(w)
+}
+
+// driveOne issues one mixed-workload request, ignoring shed errors (the
+// experiment records them through the server's own counters).
+func driveOne(s *serve.Server, rng *workload.RNG, universe, batchLen int) {
+	keys := func(n int) []int {
+		ks := make([]int, n)
+		for i := range ks {
+			ks[i] = rng.Intn(universe)
+		}
+		return ks
+	}
+	switch roll := rng.Uint64() % 100; {
+	case roll < 40:
+		s.Apply(serve.OpUnion, keys(batchLen))
+	case roll < 65:
+		s.Apply(serve.OpDifference, keys(batchLen))
+	case roll < 70:
+		s.Apply(serve.OpIntersect, keys(universe/2))
+	case roll < 95:
+		s.Contains(rng.Intn(universe))
+	default:
+		s.Len()
+	}
+}

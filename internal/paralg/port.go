@@ -99,7 +99,7 @@ func (c RConfig) unionInto(ctx Ctx, d int, a, b NodeCell, out NodeCell) {
 				if hi.Prio < lo.Prio {
 					hi, lo = lo, hi
 				}
-				l2, r2 := c.rsplitM(ctx, d, hi.Key, lo)
+				l2, r2, _ := c.rsplitM(ctx, d, hi.Key, lo)
 				nl, nr := c.R.NewNode(), c.R.NewNode()
 				out.Write(ctx, &RNode{Key: hi.Key, Prio: hi.Prio, Left: nl, Right: nr})
 				c.unionInto(ctx, d+1, hi.Left, l2, nl)
@@ -110,12 +110,12 @@ func (c RConfig) unionInto(ctx Ctx, d int, a, b NodeCell, out NodeCell) {
 }
 
 // rsplitM splits the treap rooted at the already-read node around s,
-// excluding s itself if present (the duplicate cell is produced for
-// fidelity with splitM but Union discards it).
-func (c RConfig) rsplitM(ctx Ctx, d int, s int, n *RNode) (lt, gt NodeCell) {
+// excluding and reporting s itself if present (Union discards the
+// duplicate cell; Diff and Intersect branch on it).
+func (c RConfig) rsplitM(ctx Ctx, d int, s int, n *RNode) (lt, gt, dup NodeCell) {
 	lo, ro, do := c.R.NewNode(), c.R.NewNode(), c.R.NewNode()
 	c.fork(ctx, d, func(ctx Ctx) { c.rsplitMBody(ctx, d, s, n, lo, ro, do) })
-	return lo, ro
+	return lo, ro, do
 }
 
 func (c RConfig) rsplitMBody(ctx Ctx, d int, s int, n *RNode, lo, ro, do NodeCell) {
@@ -149,6 +149,134 @@ func (c RConfig) rsplitMCell(ctx Ctx, d int, s int, tree NodeCell) (lt, gt, dup 
 		tree.Touch(ctx, func(ctx Ctx, n *RNode) { c.rsplitMBody(ctx, d, s, n, lo, ro, do) })
 	})
 	return lo, ro, do
+}
+
+// Diff returns treap a with every key of treap b removed (Section 3.3)
+// on runtime c.R. Like the classic diff it cannot write an output node
+// before knowing whether the node's key survives, so the write waits on
+// the duplicate cell — but both child differences recurse eagerly.
+func (c RConfig) Diff(ctx Ctx, a, b NodeCell) NodeCell {
+	out := c.R.NewNode()
+	c.diffInto(ctx, 0, a, b, out)
+	return out
+}
+
+func (c RConfig) diffInto(ctx Ctx, d int, a, b, out NodeCell) {
+	c.fork(ctx, d, func(ctx Ctx) {
+		a.Touch(ctx, func(ctx Ctx, n1 *RNode) {
+			if n1 == nil {
+				out.Write(ctx, nil)
+				return
+			}
+			b.Touch(ctx, func(ctx Ctx, n2 *RNode) {
+				if n2 == nil {
+					out.Write(ctx, n1)
+					return
+				}
+				l2, r2, dup := c.rsplitM(ctx, d, n1.Key, n2)
+				l, r := c.R.NewNode(), c.R.NewNode()
+				c.diffInto(ctx, d+1, n1.Left, l2, l)
+				c.diffInto(ctx, d+1, n1.Right, r2, r)
+				dup.Touch(ctx, func(ctx Ctx, dn *RNode) {
+					if dn == nil {
+						out.Write(ctx, &RNode{Key: n1.Key, Prio: n1.Prio, Left: l, Right: r})
+						return
+					}
+					c.joinInto(ctx, d, l, r, out)
+				})
+			})
+		})
+	})
+}
+
+// Intersect returns the treap of keys present in both treaps — the
+// extension companion of Union and Diff, pipelined the same way.
+func (c RConfig) Intersect(ctx Ctx, a, b NodeCell) NodeCell {
+	out := c.R.NewNode()
+	c.intersectInto(ctx, 0, a, b, out)
+	return out
+}
+
+func (c RConfig) intersectInto(ctx Ctx, d int, a, b, out NodeCell) {
+	c.fork(ctx, d, func(ctx Ctx) {
+		a.Touch(ctx, func(ctx Ctx, n1 *RNode) {
+			if n1 == nil {
+				out.Write(ctx, nil)
+				return
+			}
+			b.Touch(ctx, func(ctx Ctx, n2 *RNode) {
+				if n2 == nil {
+					out.Write(ctx, nil)
+					return
+				}
+				l2, r2, dup := c.rsplitM(ctx, d, n1.Key, n2)
+				l, r := c.R.NewNode(), c.R.NewNode()
+				c.intersectInto(ctx, d+1, n1.Left, l2, l)
+				c.intersectInto(ctx, d+1, n1.Right, r2, r)
+				dup.Touch(ctx, func(ctx Ctx, dn *RNode) {
+					if dn != nil {
+						out.Write(ctx, &RNode{Key: n1.Key, Prio: n1.Prio, Left: l, Right: r})
+						return
+					}
+					c.joinInto(ctx, d, l, r, out)
+				})
+			})
+		})
+	})
+}
+
+// Join joins two treaps where every key of a precedes every key of b.
+func (c RConfig) Join(ctx Ctx, a, b NodeCell) NodeCell {
+	out := c.R.NewNode()
+	c.fork(ctx, 0, func(ctx Ctx) { c.joinInto(ctx, 0, a, b, out) })
+	return out
+}
+
+func (c RConfig) joinInto(ctx Ctx, d int, a, b, out NodeCell) {
+	a.Touch(ctx, func(ctx Ctx, na *RNode) {
+		if na == nil {
+			b.Touch(ctx, out.Write)
+			return
+		}
+		b.Touch(ctx, func(ctx Ctx, nb *RNode) {
+			if nb == nil {
+				out.Write(ctx, na)
+				return
+			}
+			c.joinNodesInto(ctx, d, na, nb, out)
+		})
+	})
+}
+
+// joinNodesInto is joinNodes in CPS — with the pipelining twist the
+// classic form lacks: the winning root is written before the recursive
+// join below it resolves, so consumers see the result's spine early.
+func (c RConfig) joinNodesInto(ctx Ctx, d int, na, nb *RNode, out NodeCell) {
+	if na.Prio > nb.Prio {
+		right := c.R.NewNode()
+		out.Write(ctx, &RNode{Key: na.Key, Prio: na.Prio, Left: na.Left, Right: right})
+		c.fork(ctx, d, func(ctx Ctx) {
+			na.Right.Touch(ctx, func(ctx Ctx, r *RNode) {
+				if r == nil {
+					right.Write(ctx, nb) // nothing right of the seam in a: the rest is all of b
+					return
+				}
+				c.joinNodesInto(ctx, d+1, r, nb, right)
+			})
+		})
+		return
+	}
+	left := c.R.NewNode()
+	out.Write(ctx, &RNode{Key: nb.Key, Prio: nb.Prio, Left: left, Right: nb.Right})
+	c.fork(ctx, d, func(ctx Ctx) {
+		nb.Left.Touch(ctx, func(ctx Ctx, l *RNode) {
+			if l == nil {
+				left.Write(ctx, na)
+				return
+			}
+			c.joinNodesInto(ctx, d+1, na, l, left)
+		})
+	})
 }
 
 // T26Insert inserts one well-separated sorted key array (Section 3.4) on

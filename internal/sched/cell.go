@@ -121,11 +121,50 @@ func (c *Cell[T]) Ready() bool { return c.state.Load() == cellWritten }
 // Read returns the cell's value, blocking the calling goroutine until the
 // write. It is for harvesting results from OUTSIDE the runtime; calling
 // it from inside a task would block a worker goroutine (use Touch there).
+//
+// If the runtime is shut down while the cell is still unwritten, Read
+// panics (with ErrShutdown inside the message) rather than blocking
+// forever on a value no worker will ever produce. Callers that race
+// reads against Shutdown should use ReadErr.
 func (c *Cell[T]) Read() T {
+	v, err := c.ReadErr()
+	if err != nil {
+		panic("sched: Read of a cell stranded by Shutdown: " + err.Error())
+	}
+	return v
+}
+
+// ReadErr is Read with an error path instead of a hang: it blocks until
+// the cell is written and returns its value, or returns ErrShutdown once
+// the runtime has been shut down with the cell still unwritten. External
+// callers only, like Read.
+func (c *Cell[T]) ReadErr() (T, error) {
 	if c.state.Load() == cellWritten {
-		return c.val
+		return c.val, nil
+	}
+	rt := c.rt
+	if rt == nil {
+		// A Done cell with no runtime is always written; reaching here
+		// means the zero Cell value was used.
+		panic("sched: read of an unusable zero Cell")
 	}
 	ch := make(chan T, 1)
 	c.Touch(nil, func(_ *Worker, v T) { ch <- v })
-	return <-ch
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-rt.stopped:
+		// The workers are gone. The write may still have landed (the
+		// requeued continuation was dropped, not the value): prefer it.
+		select {
+		case v := <-ch:
+			return v, nil
+		default:
+		}
+		if c.state.Load() == cellWritten {
+			return c.val, nil
+		}
+		var zero T
+		return zero, ErrShutdown
+	}
 }

@@ -110,6 +110,15 @@ func (d *deque) empty() bool {
 	return d.top.Load() >= d.bottom.Load()
 }
 
+// size reports the current number of queued tasks; like empty it is a
+// racy monitoring read (top and bottom move concurrently), clamped at 0.
+func (d *deque) size() int64 {
+	if n := d.bottom.Load() - d.top.Load(); n > 0 {
+		return n
+	}
+	return 0
+}
+
 // grow doubles the ring, copying the live range [t, b). Owner only; old
 // rings are left to the GC (thieves may still be reading them).
 func (d *deque) grow(t, b int64) *ring {

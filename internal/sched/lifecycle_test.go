@@ -1,0 +1,221 @@
+package sched
+
+// Lifecycle-edge regression tests: worker RNG seeding and steal victim
+// distribution, submissions racing Shutdown, Wait after Shutdown, and
+// reads of cells stranded by Shutdown. These are the edges the serving
+// layer (internal/serve) leans on: it shuts runtimes down for real, with
+// external readers in flight.
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestSeedRandNonzeroAndDistinct(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 1024; i++ {
+		s := seedRand(uint64(i))
+		if s == 0 {
+			t.Fatalf("seedRand(%d) = 0 — zero is a fixed point of xorshift", i)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seedRand collision: ids %d and %d share state %#x", prev, i, s)
+		}
+		seen[s] = i
+	}
+}
+
+// TestVictimSelectionVaries drives the victim RNG directly: every worker
+// must produce more than one distinct first-victim offset across the
+// fleet, and each individual worker's sweep starts must vary over time.
+// With the old constant-sequence degeneration both properties fail.
+func TestVictimSelectionVaries(t *testing.T) {
+	const p = 8
+	firstOffsets := map[uint64]bool{}
+	for i := 0; i < p; i++ {
+		w := &Worker{rng: seedRand(uint64(i))}
+		offsets := map[uint64]bool{}
+		for k := 0; k < 64; k++ {
+			offsets[w.nextRand()%p] = true
+		}
+		if len(offsets) < 2 {
+			t.Errorf("worker %d: 64 draws visited %d distinct offsets — victim selection is constant", i, len(offsets))
+		}
+		w2 := &Worker{rng: seedRand(uint64(i))}
+		firstOffsets[w2.nextRand()%p] = true
+	}
+	if len(firstOffsets) < 2 {
+		t.Errorf("all %d workers start their steal sweep at the same victim", p)
+	}
+}
+
+// TestStealsDistributeAcrossVictims is the behavioral half of the RNG
+// fix: at p=4, two producers fill their deques and hold their workers
+// busy until each has been stolen from, so the two idle workers must
+// spread theft across ≥ 2 distinct victims.
+func TestStealsDistributeAcrossVictims(t *testing.T) {
+	const p = 4
+	rt := NewRuntime(p)
+	defer rt.Shutdown()
+
+	deadline := time.Now().Add(20 * time.Second)
+	for producer := 0; producer < 2; producer++ {
+		rt.Fork(nil, func(w *Worker) {
+			const n = 128
+			for i := 0; i < n; i++ {
+				rt.Fork(w, func(*Worker) {})
+			}
+			// Hold this worker busy until a thief takes from our deque,
+			// yielding so thieves get CPU time even at GOMAXPROCS=1.
+			for w.stats.stolenFrom.Load() == 0 && time.Now().Before(deadline) {
+				runtime.Gosched()
+			}
+		})
+	}
+	rt.Wait()
+
+	ctr := rt.Counters()
+	victims := 0
+	for _, v := range ctr.WorkerStolenFrom {
+		if v > 0 {
+			victims++
+		}
+	}
+	if victims < 2 {
+		t.Errorf("steals hit %d victim(s) (per-victim counts %v, %d steals total) — want ≥ 2 at p=%d",
+			victims, ctr.WorkerStolenFrom, ctr.Steals, p)
+	}
+}
+
+// TestWaitReturnsAfterShutdownWithStrandedWork reproduces the stranded-
+// submission edge: tasks sit in the injection queue when Shutdown stops
+// the workers, so pending never drains — Wait must still return promptly,
+// and reads of the stranded results must error rather than hang.
+func TestWaitReturnsAfterShutdownWithStrandedWork(t *testing.T) {
+	rt := NewRuntime(1)
+
+	gateStarted := make(chan struct{})
+	gate := make(chan struct{})
+	rt.Fork(nil, func(*Worker) {
+		close(gateStarted)
+		<-gate
+	})
+	<-gateStarted
+
+	// These land in the injection queue behind the gated worker and will
+	// never run.
+	cells := make([]*Cell[int], 5)
+	for i := range cells {
+		c := NewCell[int](rt)
+		cells[i] = c
+		rt.Fork(nil, func(w *Worker) { c.Write(w, 1) })
+	}
+
+	shutdownDone := make(chan struct{})
+	go func() {
+		rt.Shutdown()
+		close(shutdownDone)
+	}()
+	for !rt.Stopped() {
+		runtime.Gosched()
+	}
+	close(gate) // let the worker observe stopping and exit
+	select {
+	case <-shutdownDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not complete")
+	}
+
+	waitDone := make(chan struct{})
+	go func() {
+		rt.Wait()
+		close(waitDone)
+	}()
+	select {
+	case <-waitDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait hung after Shutdown with stranded submissions")
+	}
+
+	for i, c := range cells {
+		if _, err := c.ReadErr(); !errors.Is(err, ErrShutdown) {
+			t.Fatalf("cell %d: ReadErr = %v, want ErrShutdown", i, err)
+		}
+	}
+}
+
+func TestReadErrAfterShutdown(t *testing.T) {
+	rt := NewRuntime(2)
+	c := NewCell[string](rt)
+	rt.Shutdown()
+
+	done := make(chan struct{})
+	var err error
+	go func() {
+		_, err = c.ReadErr()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ReadErr hung on a cell stranded by Shutdown")
+	}
+	if !errors.Is(err, ErrShutdown) {
+		t.Fatalf("ReadErr = %v, want ErrShutdown", err)
+	}
+
+	// Read must panic, not hang.
+	panicked := make(chan bool, 1)
+	go func() {
+		defer func() { panicked <- recover() != nil }()
+		c.Read()
+	}()
+	select {
+	case p := <-panicked:
+		if !p {
+			t.Fatal("Read returned normally on a stranded cell")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Read hung on a cell stranded by Shutdown")
+	}
+}
+
+// TestWriteAfterShutdownDropsWaitersKeepsValue: a write racing past
+// Shutdown cannot requeue its waiters (the workers are gone), but the
+// value must land and pending accounting must return to zero so a later
+// Wait is a no-op.
+func TestWriteAfterShutdownDropsWaitersKeepsValue(t *testing.T) {
+	rt := NewRuntime(1)
+	c := NewCell[int](rt)
+
+	// Park one external continuation on the cell (counts as pending).
+	got := make(chan int, 1)
+	c.Touch(nil, func(_ *Worker, v int) { got <- v })
+
+	rt.Shutdown()
+	c.Write(nil, 42) // requeue path: waiters dropped, value stored
+
+	if p := rt.pending.Load(); p != 0 {
+		t.Errorf("pending = %d after dropped requeue, want 0", p)
+	}
+	if v, err := c.ReadErr(); err != nil || v != 42 {
+		t.Errorf("ReadErr = %d, %v — the value itself must survive Shutdown", v, err)
+	}
+	waitDone := make(chan struct{})
+	go func() {
+		rt.Wait()
+		close(waitDone)
+	}()
+	select {
+	case <-waitDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait hung after post-Shutdown write")
+	}
+	select {
+	case <-got:
+		t.Fatal("dropped continuation ran anyway")
+	default:
+	}
+}

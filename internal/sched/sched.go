@@ -22,12 +22,18 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ErrShutdown is returned by Cell.ReadErr (and carried by the panic in
+// Cell.Read and Fork) when the runtime has been shut down and the
+// requested value can no longer be produced.
+var ErrShutdown = errors.New("sched: runtime is shut down")
 
 // Runtime is a handle to a running worker pool. Create one with
 // NewRuntime, submit work with Fork or Spawn, drain it with Wait, and
@@ -41,6 +47,11 @@ type Runtime struct {
 	pending  atomic.Int64
 	stopping atomic.Bool
 	idlers   atomic.Int32 // workers in or entering park()
+
+	// stopped is closed by Shutdown; external blockers (Cell.ReadErr)
+	// select on it so a read of a cell stranded by Shutdown returns an
+	// error instead of hanging forever.
+	stopped chan struct{}
 
 	mu        sync.Mutex
 	workCond  *sync.Cond // parked workers wait here
@@ -75,12 +86,12 @@ func NewRuntime(p int) *Runtime {
 	if p < 1 {
 		p = 1
 	}
-	rt := &Runtime{}
+	rt := &Runtime{stopped: make(chan struct{})}
 	rt.workCond = sync.NewCond(&rt.mu)
 	rt.quietCond = sync.NewCond(&rt.mu)
 	rt.workers = make([]*Worker, p)
 	for i := range rt.workers {
-		w := &Worker{rt: rt, id: i, rng: uint64(i)*0x9e3779b97f4a7c15 + 1}
+		w := &Worker{rt: rt, id: i, rng: seedRand(uint64(i))}
 		w.dq.init()
 		rt.workers[i] = w
 	}
@@ -103,7 +114,7 @@ func (w *Worker) ID() int { return w.id }
 // idle worker).
 func (rt *Runtime) Fork(w *Worker, f func(*Worker)) {
 	if rt.stopping.Load() {
-		panic("sched: Fork after Shutdown")
+		panic("sched: Fork after Shutdown: " + ErrShutdown.Error())
 	}
 	rt.pending.Add(1)
 	rt.enqueue(w, f, &rt.statsFor(w).spawns)
@@ -111,17 +122,34 @@ func (rt *Runtime) Fork(w *Worker, f func(*Worker)) {
 
 // enqueue puts f on w's deque (or the injection queue when w is nil) and
 // wakes an idle worker if there is one. counter, if non-nil, is bumped.
+//
+// A nil-worker enqueue that races Shutdown (the submitter passed Fork's
+// stopping check, or a Write requeued waiters, just as the workers were
+// told to exit) is dropped instead of being stranded in the injection
+// queue: no worker will ever drain it, and leaving it pending would make
+// the runtime look non-quiescent forever. The drop retires the task's
+// pending count so accounting stays consistent; the closure itself is
+// abandoned, which is the documented fate of work outstanding at
+// Shutdown.
 func (rt *Runtime) enqueue(w *Worker, f task, counter *atomic.Int64) {
-	if counter != nil {
-		counter.Add(1)
-	}
 	if w != nil {
+		if counter != nil {
+			counter.Add(1)
+		}
 		depth := w.dq.push(f)
 		if depth > w.stats.maxDeque.Load() {
 			w.stats.maxDeque.Store(depth)
 		}
 	} else {
 		rt.mu.Lock()
+		if rt.stopping.Load() {
+			rt.mu.Unlock()
+			rt.taskDone()
+			return
+		}
+		if counter != nil {
+			counter.Add(1)
+		}
 		rt.inject = append(rt.inject, f)
 		rt.injectLen.Store(int64(len(rt.inject)))
 		rt.wakeGen++
@@ -168,9 +196,12 @@ func (rt *Runtime) taskDone() {
 
 // Shutdown stops the workers and joins their goroutines. Outstanding work
 // is abandoned, so call Wait first if completion matters. Shutdown is
-// idempotent.
+// idempotent. After Shutdown: Fork and Spawn panic, Wait returns
+// immediately, and Cell.ReadErr on a cell that will never be written
+// returns ErrShutdown instead of blocking forever.
 func (rt *Runtime) Shutdown() {
 	if rt.stopping.Swap(true) {
+		<-rt.stopped // another Shutdown won the swap; wait for it to finish
 		return
 	}
 	rt.mu.Lock()
@@ -179,7 +210,16 @@ func (rt *Runtime) Shutdown() {
 	rt.quietCond.Broadcast()
 	rt.mu.Unlock()
 	rt.wg.Wait()
+	close(rt.stopped)
 }
+
+// Stopped reports whether Shutdown has been called.
+func (rt *Runtime) Stopped() bool { return rt.stopping.Load() }
+
+// Done returns a channel closed once Shutdown has completed (workers
+// joined). External blockers select on it to avoid hanging on cells the
+// runtime will never write.
+func (rt *Runtime) Done() <-chan struct{} { return rt.stopped }
 
 // run is the worker loop: pop local LIFO work, else poll the injection
 // queue, else steal, else park.
@@ -253,10 +293,27 @@ func (w *Worker) stealOnce() task {
 		}
 		if t := v.dq.steal(); t != nil {
 			w.stats.steals.Add(1)
+			v.stats.stolenFrom.Add(1)
 			return t
 		}
 	}
 	return nil
+}
+
+// seedRand derives a worker's xorshift state from its id with a splitmix64
+// finalizer. Zero is a fixed point of xorshift (a worker seeded 0 would
+// sweep victims from a constant offset forever), so the id is offset by 1
+// before mixing and the output is guarded against the one zero image.
+func seedRand(id uint64) uint64 {
+	x := id + 1
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		return 1
+	}
+	return x
 }
 
 func (w *Worker) nextRand() uint64 {
@@ -346,12 +403,13 @@ func Spawn[T any](rt *Runtime, w *Worker, f func(*Worker) T) *Cell[T] {
 type wstats struct {
 	spawns        atomic.Int64
 	steals        atomic.Int64
+	stolenFrom    atomic.Int64 // tasks thieves took from THIS worker's deque
 	suspensions   atomic.Int64
 	reactivations atomic.Int64
 	maxDeque      atomic.Int64
 	tasks         atomic.Int64
 	busyNanos     atomic.Int64
-	_             [40]byte // pad to a multiple of a cache line
+	_             [64]byte // pad to a multiple of a cache line
 }
 
 // Counters is a snapshot of the runtime's scheduling statistics.
@@ -365,6 +423,10 @@ type Counters struct {
 	BusyNanos     []int64
 	WorkerTasks   []int64
 	WorkerSteals  []int64
+	// WorkerStolenFrom counts, per worker, tasks that thieves took from
+	// that worker's deque — the victim-side view of WorkerSteals. A healthy
+	// runtime under load spreads theft across >1 victim.
+	WorkerStolenFrom []int64
 }
 
 // Counters samples every counter block. Safe to call at any time,
@@ -396,8 +458,23 @@ func (rt *Runtime) Counters() Counters {
 		c.BusyNanos = append(c.BusyNanos, busy)
 		c.WorkerTasks = append(c.WorkerTasks, w.stats.tasks.Load())
 		c.WorkerSteals = append(c.WorkerSteals, w.stats.steals.Load())
+		c.WorkerStolenFrom = append(c.WorkerStolenFrom, w.stats.stolenFrom.Load())
 	}
 	return c
+}
+
+// Backlog reports the current (not high-water) queue depths: the length
+// of the injection queue and the deepest worker deque right now. It is
+// the admission-control signal of the serving layer — both numbers are
+// monitoring-grade reads of concurrently mutated state.
+func (rt *Runtime) Backlog() (inject int, maxDeque int) {
+	inject = int(rt.injectLen.Load())
+	for _, w := range rt.workers {
+		if d := int(w.dq.size()); d > maxDeque {
+			maxDeque = d
+		}
+	}
+	return inject, maxDeque
 }
 
 // Sub returns the per-field difference c - prev (slices element-wise; the
@@ -413,6 +490,7 @@ func (c Counters) Sub(prev Counters) Counters {
 	out.BusyNanos = subSlice(c.BusyNanos, prev.BusyNanos)
 	out.WorkerTasks = subSlice(c.WorkerTasks, prev.WorkerTasks)
 	out.WorkerSteals = subSlice(c.WorkerSteals, prev.WorkerSteals)
+	out.WorkerStolenFrom = subSlice(c.WorkerStolenFrom, prev.WorkerStolenFrom)
 	return out
 }
 

@@ -1,0 +1,119 @@
+package serve
+
+// The HTTP/JSON boundary: one mutation/query endpoint plus metrics and a
+// verification keys dump. Errors map onto status codes the way a load
+// balancer expects: 429 for shed load, 503 for draining.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// OpRequest is the JSON body of POST /op.
+type OpRequest struct {
+	// Op is one of union, insert, difference, intersect, contains, len.
+	Op string `json:"op"`
+	// Keys is the key batch for mutations.
+	Keys []int `json:"keys,omitempty"`
+	// Key is the probe for contains.
+	Key int `json:"key,omitempty"`
+}
+
+// OpResponse is the JSON body of a successful POST /op.
+type OpResponse struct {
+	// Version is the set version the operation produced (mutations) or
+	// observed (reads).
+	Version uint64 `json:"version"`
+	// Contains is set for op=contains.
+	Contains *bool `json:"contains,omitempty"`
+	// Len is set for op=len.
+	Len *int `json:"len,omitempty"`
+}
+
+type errResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP interface:
+//
+//	POST /op      {"op":"union","keys":[1,2]} → {"version":3}
+//	              {"op":"contains","key":1}   → {"version":3,"contains":true}
+//	              {"op":"len"}                → {"version":3,"len":2}
+//	GET  /metrics → Metrics JSON
+//	GET  /keys    → {"version":3,"keys":[1,2]}
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /op", s.handleOp)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /keys", s.handleKeys)
+	return mux
+}
+
+func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
+	var req OpRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	var resp OpResponse
+	var err error
+	switch req.Op {
+	case "union", "insert", "difference", "intersect":
+		resp.Version, err = s.Apply(Op(req.Op), req.Keys)
+	case "contains":
+		var ok bool
+		ok, resp.Version, err = s.Contains(req.Key)
+		resp.Contains = &ok
+	case "len":
+		var n int
+		n, resp.Version, err = s.Len()
+		resp.Len = &n
+	default:
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: "unknown op: " + req.Op})
+		return
+	}
+	if err != nil {
+		writeJSON(w, statusFor(err), errResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleKeys(w http.ResponseWriter, _ *http.Request) {
+	keys, v, err := s.Keys()
+	if err != nil {
+		writeJSON(w, statusFor(err), errResponse{Error: err.Error()})
+		return
+	}
+	if keys == nil {
+		keys = []int{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Version uint64 `json:"version"`
+		Keys    []int  `json:"keys"`
+	}{v, keys})
+}
+
+// statusFor maps admission errors to HTTP codes: shed load is 429 (retry
+// later), draining is 503 (this instance is going away).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

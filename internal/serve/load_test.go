@@ -1,0 +1,277 @@
+package serve
+
+// The acceptance load test: ≥10k mixed requests at p = GOMAXPROCS,
+// checked against a sequential map oracle replaying the server's version
+// order. Every admitted mutation's effect and every admitted read's
+// versioned answer must match the oracle; some load must shed once the
+// backlog passes the high-water mark; and the admission ledger must
+// balance exactly: offered == admitted + shed, completed == admitted.
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"pipefut/internal/workload"
+)
+
+type mutRecord struct {
+	version uint64
+	op      Op
+	keys    []int
+}
+
+type readRecord struct {
+	version uint64
+	isLen   bool
+	key     int // contains probe
+	gotBool bool
+	gotLen  int
+}
+
+func TestLoadMixedRequestsMatchOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short mode")
+	}
+	p := runtime.GOMAXPROCS(0)
+	s := New(Config{P: p, HighWater: 64})
+
+	const (
+		totalOps = 12000
+		universe = 4096
+		batchLen = 48
+	)
+	clients := 2 * p
+	if clients < 4 {
+		clients = 4
+	}
+	perClient := totalOps / clients
+
+	var mu sync.Mutex
+	var muts []mutRecord
+	var reads []readRecord
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := workload.NewRNG(uint64(c) + 1)
+			var myMuts []mutRecord
+			var myReads []readRecord
+			for i := 0; i < perClient; i++ {
+				roll := rng.Uint64() % 100
+				switch {
+				case roll < 40: // union
+					keys := randKeys(rng, batchLen, universe)
+					if v, err := s.Apply(OpUnion, keys); err == nil {
+						myMuts = append(myMuts, mutRecord{v, OpUnion, keys})
+					} else if !shedErr(t, err) {
+						return
+					}
+				case roll < 65: // difference
+					keys := randKeys(rng, batchLen, universe)
+					if v, err := s.Apply(OpDifference, keys); err == nil {
+						myMuts = append(myMuts, mutRecord{v, OpDifference, keys})
+					} else if !shedErr(t, err) {
+						return
+					}
+				case roll < 70: // intersect with a large mask
+					keys := randKeys(rng, universe/2, universe)
+					if v, err := s.Apply(OpIntersect, keys); err == nil {
+						myMuts = append(myMuts, mutRecord{v, OpIntersect, keys})
+					} else if !shedErr(t, err) {
+						return
+					}
+				case roll < 95: // contains
+					key := rng.Intn(universe)
+					if ok, v, err := s.Contains(key); err == nil {
+						myReads = append(myReads, readRecord{version: v, key: key, gotBool: ok})
+					} else if !shedErr(t, err) {
+						return
+					}
+				default: // len
+					if n, v, err := s.Len(); err == nil {
+						myReads = append(myReads, readRecord{version: v, isLen: true, gotLen: n})
+					} else if !shedErr(t, err) {
+						return
+					}
+				}
+			}
+			mu.Lock()
+			muts = append(muts, myMuts...)
+			reads = append(reads, myReads...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+
+	// Force sheds if the scheduler kept up with the whole main phase:
+	// concurrent large mutations against HighWater=64 must trip admission.
+	for try := 0; try < 64 && s.Metrics().ShedOverload == 0; try++ {
+		var burst sync.WaitGroup
+		for i := 0; i < 64; i++ {
+			burst.Add(1)
+			go func(i int) {
+				defer burst.Done()
+				rng := workload.NewRNG(uint64(1000 + try*64 + i))
+				keys := randKeys(rng, 512, universe)
+				if v, err := s.Apply(OpUnion, keys); err == nil {
+					mu.Lock()
+					muts = append(muts, mutRecord{v, OpUnion, keys})
+					mu.Unlock()
+				} else if !shedErr(t, err) {
+					return
+				}
+			}(i)
+		}
+		burst.Wait()
+	}
+
+	// Final state read before drain, then drain.
+	finalKeys, finalV, err := s.Keys()
+	if err != nil {
+		t.Fatalf("final Keys: %v", err)
+	}
+	s.Close()
+
+	m := s.Metrics()
+	t.Logf("offered=%d admitted=%d completed=%d shedOverload=%d shedDraining=%d batches=%d versions=%d spawns=%d steals=%d suspensions=%d",
+		m.Offered, m.Admitted, m.Completed, m.ShedOverload, m.ShedDraining, m.Batches, m.Version, m.Spawns, m.Steals, m.Suspensions)
+
+	if m.Offered < totalOps {
+		t.Errorf("offered %d < %d — test did not drive enough load", m.Offered, totalOps)
+	}
+	if m.ShedOverload == 0 {
+		t.Error("ShedOverload = 0 — no load shed above the high-water mark")
+	}
+	if m.Offered != m.Admitted+m.ShedOverload+m.ShedDraining {
+		t.Errorf("ledger: offered %d != admitted %d + shed %d + draining %d",
+			m.Offered, m.Admitted, m.ShedOverload, m.ShedDraining)
+	}
+	if m.Completed != m.Admitted {
+		t.Errorf("completed %d != admitted %d", m.Completed, m.Admitted)
+	}
+	if m.Spawns == 0 || m.Suspensions == 0 {
+		t.Errorf("scheduler counters flat: spawns=%d suspensions=%d", m.Spawns, m.Suspensions)
+	}
+
+	// Replay the mutation log in version order against the map oracle,
+	// checking each versioned read at its snapshot.
+	groups := groupByVersion(t, muts)
+	sort.Slice(reads, func(i, j int) bool { return reads[i].version < reads[j].version })
+
+	oracle := map[int]bool{}
+	gi := 0
+	applyThrough := func(v uint64) {
+		for gi < len(groups) && groups[gi].version <= v {
+			g := groups[gi]
+			gi++
+			switch g.op {
+			case OpUnion:
+				for _, k := range g.keys {
+					oracle[k] = true
+				}
+			case OpDifference:
+				for _, k := range g.keys {
+					delete(oracle, k)
+				}
+			case OpIntersect:
+				keep := map[int]bool{}
+				for _, k := range g.keys {
+					if oracle[k] {
+						keep[k] = true
+					}
+				}
+				oracle = keep
+			}
+		}
+	}
+	badReads := 0
+	for _, r := range reads {
+		applyThrough(r.version)
+		if r.isLen {
+			if r.gotLen != len(oracle) {
+				badReads++
+				if badReads <= 5 {
+					t.Errorf("Len@v%d = %d, oracle %d", r.version, r.gotLen, len(oracle))
+				}
+			}
+		} else if r.gotBool != oracle[r.key] {
+			badReads++
+			if badReads <= 5 {
+				t.Errorf("Contains(%d)@v%d = %v, oracle %v", r.key, r.version, r.gotBool, oracle[r.key])
+			}
+		}
+	}
+	if badReads > 5 {
+		t.Errorf("... and %d more bad reads", badReads-5)
+	}
+
+	applyThrough(finalV)
+	if gi != len(groups) {
+		t.Errorf("final version %d leaves %d mutation groups unapplied", finalV, len(groups)-gi)
+	}
+	wantKeys := make([]int, 0, len(oracle))
+	for k := range oracle {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Ints(wantKeys)
+	if len(finalKeys) != len(wantKeys) {
+		t.Fatalf("final set has %d keys, oracle %d", len(finalKeys), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if finalKeys[i] != wantKeys[i] {
+			t.Fatalf("final set diverges from oracle at index %d: got %d want %d", i, finalKeys[i], wantKeys[i])
+		}
+	}
+}
+
+// shedErr reports whether err is an expected admission shed; anything
+// else fails the test.
+func shedErr(t *testing.T, err error) bool {
+	if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrDraining) {
+		return true
+	}
+	t.Errorf("unexpected request error: %v", err)
+	return false
+}
+
+type verGroup struct {
+	version uint64
+	op      Op
+	keys    []int
+}
+
+// groupByVersion folds coalesced mutations (which share a version) back
+// into one oracle step per version, verifying the coalescing invariant:
+// one version never mixes incompatible kinds.
+func groupByVersion(t *testing.T, muts []mutRecord) []verGroup {
+	sort.Slice(muts, func(i, j int) bool { return muts[i].version < muts[j].version })
+	var groups []verGroup
+	for _, mr := range muts {
+		op := mr.op
+		if op == OpInsert {
+			op = OpUnion
+		}
+		if n := len(groups); n > 0 && groups[n-1].version == mr.version {
+			if groups[n-1].op != op {
+				t.Fatalf("version %d mixes ops %s and %s — invalid coalescing", mr.version, groups[n-1].op, op)
+			}
+			groups[n-1].keys = append(groups[n-1].keys, mr.keys...)
+			continue
+		}
+		groups = append(groups, verGroup{mr.version, op, append([]int(nil), mr.keys...)})
+	}
+	return groups
+}
+
+func randKeys(rng *workload.RNG, n, universe int) []int {
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = int(rng.Uint64() % uint64(universe))
+	}
+	return keys
+}

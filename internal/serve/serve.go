@@ -1,0 +1,487 @@
+// Package serve is the request-serving layer over the pipelined set
+// algorithms: a batching set-operation server on the internal/sched
+// work-stealing runtime.
+//
+// The server owns one versioned set root (a persistent treap of future
+// cells, so snapshots are free). Concurrent mutation requests are queued,
+// coalesced, and applied in a single total order by one applier
+// goroutine; because the algorithms are pipelined, applying a mutation
+// only *starts* the tree computation and publishes the new root cell —
+// the applier never waits for trees to materialize, so a burst of
+// mutations becomes a pipeline of treap operations all in flight on the
+// scheduler at once. Each request completes through its own completion
+// cell (a sched.Cell), written by a continuation parked on its result
+// root: the per-request cells preserve the runtime's stack discipline
+// because a completion is just one more suspended continuation.
+//
+// Reads (Contains, Len) snapshot the current (root, version) pair and run
+// as scheduler tasks against that snapshot, untouched by later mutations.
+//
+// Admission control sheds load instead of queueing without bound: a
+// request is rejected with ErrOverloaded once the scheduler backlog
+// (injection-queue length plus the deepest worker deque) plus the
+// server's own mutation queue reaches the high-water mark, and with
+// ErrDraining once Close has begun. Close stops admission, lets the
+// applier drain the queue, waits for every admitted request and for
+// scheduler quiescence, and only then shuts the runtime down — so no
+// admitted request is ever stranded on a dead runtime.
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pipefut/internal/paralg"
+	"pipefut/internal/sched"
+)
+
+// Op names a mutation kind.
+type Op string
+
+const (
+	// OpUnion unions a key batch into the set. OpInsert is an alias kept
+	// for clients that think in inserts; the two coalesce together.
+	OpUnion  Op = "union"
+	OpInsert Op = "insert"
+	// OpDifference removes a key batch from the set.
+	OpDifference Op = "difference"
+	// OpIntersect keeps only the given keys. Not coalescible: A∩B1∩B2
+	// differs from A∩(B1∪B2).
+	OpIntersect Op = "intersect"
+)
+
+var (
+	// ErrOverloaded rejects a request at admission because the backlog is
+	// at the high-water mark. The request was not applied; retry later.
+	ErrOverloaded = errors.New("serve: overloaded, request shed")
+	// ErrDraining rejects a request because the server is draining or
+	// closed. The request was not applied.
+	ErrDraining = errors.New("serve: draining, not admitting requests")
+)
+
+// Config sizes a Server.
+type Config struct {
+	// P is the scheduler worker count; ≤ 0 means GOMAXPROCS.
+	P int
+	// SpawnDepth is the algorithm grain bound (paralg.RConfig.SpawnDepth);
+	// ≤ 0 picks the paralg default.
+	SpawnDepth int
+	// HighWater is the admission bound: a request is shed when
+	// (injection-queue length + deepest worker deque + queued mutations)
+	// ≥ HighWater. ≤ 0 picks DefaultHighWater.
+	HighWater int
+}
+
+// DefaultHighWater is the admission bound used when Config.HighWater ≤ 0.
+const DefaultHighWater = 4096
+
+const (
+	stateAccepting int32 = iota
+	stateDraining
+	stateClosed
+)
+
+// mutation is one admitted write request: a key batch, the op, and the
+// completion cell its caller blocks on.
+type mutation struct {
+	op   Op
+	keys []int
+	done *sched.Cell[uint64] // written with the request's version
+}
+
+// Server is a batching set-operation server. Create with New, stop with
+// Close. All methods are safe for concurrent use.
+type Server struct {
+	cfg Config
+	rt  *paralg.SchedRuntime
+	pc  paralg.RConfig
+
+	mu      sync.Mutex
+	root    paralg.NodeCell
+	version uint64
+	queue   []*mutation
+	cond    *sync.Cond // applier wakeup: queue non-empty or draining
+
+	state       atomic.Int32
+	inflight    sync.WaitGroup // admitted requests not yet completed
+	applierDone chan struct{}
+
+	met metrics
+}
+
+// New starts a server with an empty set.
+func New(cfg Config) *Server {
+	if cfg.P <= 0 {
+		cfg.P = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SpawnDepth <= 0 {
+		cfg.SpawnDepth = paralg.DefaultConfig.SpawnDepth
+	}
+	if cfg.HighWater <= 0 {
+		cfg.HighWater = DefaultHighWater
+	}
+	rt := paralg.NewSchedRuntime(cfg.P)
+	s := &Server{
+		cfg:         cfg,
+		rt:          rt,
+		pc:          paralg.RConfig{R: rt, SpawnDepth: cfg.SpawnDepth},
+		applierDone: make(chan struct{}),
+	}
+	s.root = rt.DoneNode(nil)
+	s.cond = sync.NewCond(&s.mu)
+	go s.applier()
+	return s
+}
+
+// Runtime exposes the underlying scheduler (for metrics and tests).
+func (s *Server) Runtime() *sched.Runtime { return s.rt.RT }
+
+// admit runs admission control. On success the caller holds one inflight
+// token and must release it via s.complete or s.inflight.Done.
+func (s *Server) admit() error {
+	s.met.offered.Add(1)
+	if s.state.Load() != stateAccepting {
+		s.met.shedDraining.Add(1)
+		return ErrDraining
+	}
+	inject, maxDeque := s.rt.RT.Backlog()
+	s.mu.Lock()
+	queued := len(s.queue)
+	if s.state.Load() != stateAccepting {
+		s.mu.Unlock()
+		s.met.shedDraining.Add(1)
+		return ErrDraining
+	}
+	if inject+maxDeque+queued >= s.cfg.HighWater {
+		s.mu.Unlock()
+		s.met.shedOverload.Add(1)
+		return ErrOverloaded
+	}
+	s.met.admitted.Add(1)
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	return nil
+}
+
+// complete retires one admitted request.
+func (s *Server) complete(start time.Time) {
+	s.met.completed.Add(1)
+	s.met.lat.record(time.Since(start))
+	s.inflight.Done()
+}
+
+// Apply submits one mutation and blocks until it has been ordered and its
+// result root published (not until the whole tree materializes — that is
+// the pipelining). It returns the version the mutation produced.
+func (s *Server) Apply(op Op, keys []int) (uint64, error) {
+	switch op {
+	case OpUnion, OpInsert, OpDifference, OpIntersect:
+	default:
+		return 0, errors.New("serve: unknown op " + string(op))
+	}
+	if err := s.admit(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	m := &mutation{op: op, keys: keys, done: sched.NewCell[uint64](s.rt.RT)}
+	s.mu.Lock()
+	s.queue = append(s.queue, m)
+	s.met.queued.Add(1)
+	s.mu.Unlock()
+	s.cond.Signal()
+
+	v, err := m.done.ReadErr() // ErrShutdown impossible under drain discipline; surface anyway
+	s.complete(start)
+	return v, err
+}
+
+// Contains reports whether key is in the set, against a consistent
+// (root, version) snapshot. The walk runs as a scheduler task and blocks
+// only on the cells along the search path.
+func (s *Server) Contains(key int) (bool, uint64, error) {
+	if err := s.admit(); err != nil {
+		return false, 0, err
+	}
+	start := time.Now()
+	s.mu.Lock()
+	root, v := s.root, s.version
+	s.mu.Unlock()
+
+	done := sched.NewCell[bool](s.rt.RT)
+	s.rt.RT.Fork(nil, func(w *sched.Worker) {
+		paralg.RContains(w, root, key, func(ctx paralg.Ctx, ok bool) {
+			done.Write(asWorker(ctx), ok)
+		})
+	})
+	ok, err := done.ReadErr()
+	s.complete(start)
+	return ok, v, err
+}
+
+// Len returns the number of keys, against a consistent snapshot. The
+// count runs as scheduler tasks over the snapshot tree.
+func (s *Server) Len() (int, uint64, error) {
+	if err := s.admit(); err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	s.mu.Lock()
+	root, v := s.root, s.version
+	s.mu.Unlock()
+
+	done := sched.NewCell[int](s.rt.RT)
+	s.rt.RT.Fork(nil, func(w *sched.Worker) {
+		paralg.RLen(w, root, func(ctx paralg.Ctx, n int) {
+			done.Write(asWorker(ctx), n)
+		})
+	})
+	n, err := done.ReadErr()
+	s.complete(start)
+	return n, v, err
+}
+
+// Keys returns the set's contents in ascending order against a consistent
+// snapshot, blocking until that snapshot fully materializes. It is a
+// verification/debugging endpoint, not a fast path.
+func (s *Server) Keys() ([]int, uint64, error) {
+	if err := s.admit(); err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	s.mu.Lock()
+	root, v := s.root, s.version
+	s.mu.Unlock()
+
+	var out []int
+	var walk func(t paralg.NodeCell)
+	walk = func(t paralg.NodeCell) {
+		n := t.Read()
+		if n == nil {
+			return
+		}
+		walk(n.Left)
+		out = append(out, n.Key)
+		walk(n.Right)
+	}
+	walk(root)
+	s.complete(start)
+	return out, v, nil
+}
+
+// applier is the single goroutine that orders and dispatches mutations.
+// It grabs the queue, coalesces adjacent same-kind runs, starts each
+// run's pipelined tree operation, publishes the new (root, version), and
+// parks each request's completion on its result root. It never waits for
+// a tree: the scheduler materializes them behind the published roots.
+func (s *Server) applier() {
+	defer close(s.applierDone)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && s.state.Load() == stateAccepting {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 { // draining and drained
+			s.mu.Unlock()
+			return
+		}
+		batch := s.queue
+		s.queue = nil
+		s.mu.Unlock()
+
+		for _, run := range coalesce(batch) {
+			s.dispatch(run)
+		}
+	}
+}
+
+// coalesce groups the batch into maximal adjacent runs of coalescible
+// ops. Union/insert runs merge into one key batch (union is associative
+// and commutative); difference runs likewise, since (A\B1)\B2 = A\(B1∪B2).
+// Intersects stay singleton runs.
+func coalesce(batch []*mutation) [][]*mutation {
+	var runs [][]*mutation
+	for _, m := range batch {
+		if n := len(runs); n > 0 && coalescible(runs[n-1][0].op, m.op) {
+			runs[n-1] = append(runs[n-1], m)
+			continue
+		}
+		runs = append(runs, []*mutation{m})
+	}
+	return runs
+}
+
+func coalescible(a, b Op) bool {
+	norm := func(o Op) Op {
+		if o == OpInsert {
+			return OpUnion
+		}
+		return o
+	}
+	a, b = norm(a), norm(b)
+	return a == b && a != OpIntersect
+}
+
+// dispatch starts one coalesced run's tree operation and publishes the
+// result. Every request in the run shares the run's version and
+// completes when the run's result root is written.
+func (s *Server) dispatch(run []*mutation) {
+	keys := run[0].keys
+	if len(run) > 1 {
+		keys = make([]int, 0, len(run)*len(run[0].keys))
+		for _, m := range run {
+			keys = append(keys, m.keys...)
+		}
+	}
+	s.met.queued.Add(-int64(len(run)))
+	s.met.batches.Add(1)
+
+	s.mu.Lock()
+	root := s.root
+	s.mu.Unlock()
+
+	var newRoot paralg.NodeCell
+	switch run[0].op {
+	case OpUnion, OpInsert:
+		newRoot = s.pc.InsertKeys(nil, root, keys)
+	case OpDifference:
+		newRoot = s.pc.DeleteKeys(nil, root, keys)
+	case OpIntersect:
+		newRoot = s.pc.Intersect(nil, root, s.pc.BuildTreap(nil, keys))
+	}
+
+	s.mu.Lock()
+	s.version++
+	v := s.version
+	s.root = newRoot
+	s.mu.Unlock()
+
+	for _, m := range run {
+		done := m.done
+		newRoot.Touch(nil, func(ctx paralg.Ctx, _ *paralg.RNode) {
+			done.Write(asWorker(ctx), v)
+		})
+	}
+}
+
+// Close drains and stops the server: stop admitting (new requests get
+// ErrDraining), let the applier drain the admitted queue, wait for every
+// admitted request to complete and the scheduler to go quiescent, then
+// shut the runtime down. Safe to call once.
+func (s *Server) Close() {
+	// The state flip happens under mu so the applier cannot check
+	// "accepting, empty queue" and then miss the wakeup.
+	s.mu.Lock()
+	s.state.Store(stateDraining)
+	s.mu.Unlock()
+	s.cond.Broadcast() // wake the applier even with an empty queue
+	<-s.applierDone
+	s.inflight.Wait() // every admitted request has completed
+	s.rt.RT.Wait()    // every tree fully materialized, scheduler quiescent
+	s.rt.RT.Shutdown()
+	s.state.Store(stateClosed)
+}
+
+func asWorker(ctx paralg.Ctx) *sched.Worker {
+	w, _ := ctx.(*sched.Worker)
+	return w
+}
+
+// ---- metrics -------------------------------------------------------------
+
+type metrics struct {
+	offered      atomic.Int64
+	admitted     atomic.Int64
+	completed    atomic.Int64
+	shedOverload atomic.Int64
+	shedDraining atomic.Int64
+	queued       atomic.Int64
+	batches      atomic.Int64
+	lat          latRing
+}
+
+// latRing is a bounded ring of recent request latencies (nanoseconds) for
+// quantile estimates. Monitoring-grade: concurrent writers may interleave.
+type latRing struct {
+	buf [4096]int64
+	n   atomic.Int64
+}
+
+func (r *latRing) record(d time.Duration) {
+	i := r.n.Add(1) - 1
+	atomic.StoreInt64(&r.buf[i%int64(len(r.buf))], int64(d))
+}
+
+func (r *latRing) quantiles() (p50, p99 time.Duration) {
+	n := r.n.Load()
+	if n == 0 {
+		return 0, 0
+	}
+	if n > int64(len(r.buf)) {
+		n = int64(len(r.buf))
+	}
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = atomic.LoadInt64(&r.buf[i])
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return time.Duration(xs[n/2]), time.Duration(xs[(n*99)/100])
+}
+
+// Metrics is a point-in-time snapshot of server and scheduler counters.
+type Metrics struct {
+	Offered      int64  `json:"offered"`
+	Admitted     int64  `json:"admitted"`
+	Completed    int64  `json:"completed"`
+	ShedOverload int64  `json:"shed_overload"`
+	ShedDraining int64  `json:"shed_draining"`
+	Inflight     int64  `json:"inflight"`
+	Queued       int64  `json:"queued"`
+	Batches      int64  `json:"batches"`
+	Version      uint64 `json:"version"`
+
+	P50Nanos int64 `json:"p50_nanos"`
+	P99Nanos int64 `json:"p99_nanos"`
+
+	InjectQueue int `json:"inject_queue"`
+	MaxDeque    int `json:"max_deque"`
+
+	Spawns        int64   `json:"spawns"`
+	Steals        int64   `json:"steals"`
+	Suspensions   int64   `json:"suspensions"`
+	Reactivations int64   `json:"reactivations"`
+	Tasks         int64   `json:"tasks"`
+	SchedMaxDeque int64   `json:"sched_max_deque"`
+	BusyNanos     []int64 `json:"busy_nanos"`
+}
+
+// Metrics samples every counter. Safe to call at any time.
+func (s *Server) Metrics() Metrics {
+	var m Metrics
+	m.Offered = s.met.offered.Load()
+	m.Admitted = s.met.admitted.Load()
+	m.Completed = s.met.completed.Load()
+	m.ShedOverload = s.met.shedOverload.Load()
+	m.ShedDraining = s.met.shedDraining.Load()
+	m.Inflight = m.Admitted - m.Completed
+	m.Queued = s.met.queued.Load()
+	m.Batches = s.met.batches.Load()
+	s.mu.Lock()
+	m.Version = s.version
+	s.mu.Unlock()
+	p50, p99 := s.met.lat.quantiles()
+	m.P50Nanos, m.P99Nanos = int64(p50), int64(p99)
+	m.InjectQueue, m.MaxDeque = s.rt.RT.Backlog()
+	c := s.rt.RT.Counters()
+	m.Spawns = c.Spawns
+	m.Steals = c.Steals
+	m.Suspensions = c.Suspensions
+	m.Reactivations = c.Reactivations
+	m.Tasks = c.Tasks
+	m.SchedMaxDeque = c.MaxDeque
+	m.BusyNanos = c.BusyNanos
+	return m
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pipefut/internal/workload"
+)
+
+func TestApplyAndReadBasics(t *testing.T) {
+	s := New(Config{P: 4})
+	defer s.Close()
+
+	v1, err := s.Apply(OpUnion, []int{3, 1, 2, 2})
+	if err != nil || v1 != 1 {
+		t.Fatalf("union: v=%d err=%v, want v=1", v1, err)
+	}
+	if _, err := s.Apply(OpDifference, []int{2}); err != nil {
+		t.Fatalf("difference: %v", err)
+	}
+	ok, v, err := s.Contains(1)
+	if err != nil || !ok {
+		t.Fatalf("Contains(1) = %v,%d,%v, want true", ok, v, err)
+	}
+	if ok, _, _ := s.Contains(2); ok {
+		t.Fatal("Contains(2) = true after difference")
+	}
+	n, _, err := s.Len()
+	if err != nil || n != 2 {
+		t.Fatalf("Len = %d,%v, want 2", n, err)
+	}
+	keys, _, err := s.Keys()
+	if err != nil || len(keys) != 2 || keys[0] != 1 || keys[1] != 3 {
+		t.Fatalf("Keys = %v,%v, want [1 3]", keys, err)
+	}
+	if _, err := s.Apply(OpIntersect, []int{3, 99}); err != nil {
+		t.Fatalf("intersect: %v", err)
+	}
+	if n, _, _ := s.Len(); n != 1 {
+		t.Fatalf("Len after intersect = %d, want 1", n)
+	}
+	if _, err := s.Apply(Op("frobnicate"), nil); err == nil {
+		t.Fatal("unknown op admitted")
+	}
+}
+
+// TestDrainSemantics covers the shutdown contract: requests in flight
+// when Close begins complete normally, requests arriving after Close
+// begins shed with ErrDraining (distinct from ErrOverloaded), and the
+// server leaks no goroutines.
+func TestDrainSemantics(t *testing.T) {
+	start := runtime.NumGoroutine()
+
+	s := New(Config{P: 4})
+	rng := workload.NewRNG(5)
+	batch := workload.DistinctKeys(rng, 20000, 80000)
+
+	// In-flight phase: concurrent mutations, Close racing them once at
+	// least a few are admitted.
+	const clients = 8
+	var admitted atomic.Int64
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.Apply(OpUnion, batch[i*2000:(i+1)*2000])
+			if err == nil {
+				admitted.Add(1)
+			}
+			errs[i] = err
+		}(i)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Metrics().Admitted < 2 && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+	s.Close()
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, ErrDraining) {
+			t.Errorf("client %d: err = %v, want nil or ErrDraining", i, err)
+		}
+	}
+	m := s.Metrics()
+	if m.Completed != m.Admitted {
+		t.Errorf("Completed = %d, Admitted = %d — admitted requests must complete", m.Completed, m.Admitted)
+	}
+	if m.Inflight != 0 {
+		t.Errorf("Inflight = %d after Close, want 0", m.Inflight)
+	}
+	if m.Offered != m.Admitted+m.ShedOverload+m.ShedDraining {
+		t.Errorf("offered %d != admitted %d + shedOverload %d + shedDraining %d",
+			m.Offered, m.Admitted, m.ShedOverload, m.ShedDraining)
+	}
+
+	// Post-drain phase: every entry point sheds with ErrDraining.
+	if _, err := s.Apply(OpUnion, []int{1}); !errors.Is(err, ErrDraining) {
+		t.Errorf("Apply after Close: err = %v, want ErrDraining", err)
+	}
+	if _, _, err := s.Contains(1); !errors.Is(err, ErrDraining) {
+		t.Errorf("Contains after Close: err = %v, want ErrDraining", err)
+	}
+	if _, _, err := s.Len(); !errors.Is(err, ErrDraining) {
+		t.Errorf("Len after Close: err = %v, want ErrDraining", err)
+	}
+	if _, _, err := s.Keys(); !errors.Is(err, ErrDraining) {
+		t.Errorf("Keys after Close: err = %v, want ErrDraining", err)
+	}
+	if m := s.Metrics(); m.ShedDraining == 0 {
+		t.Error("ShedDraining = 0 after post-drain requests")
+	}
+
+	// Goroutine-leak check: workers and applier are gone once Close
+	// returns; allow the runtime a moment to retire exiting goroutines.
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > start+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > start+2 {
+		t.Errorf("goroutines: %d before, %d after Close — leak", start, n)
+	}
+}
+
+// TestCoalesce checks run formation: same-kind adjacency merges
+// (insert/union together), intersect never merges.
+func TestCoalesce(t *testing.T) {
+	ms := func(ops ...Op) []*mutation {
+		var out []*mutation
+		for _, o := range ops {
+			out = append(out, &mutation{op: o})
+		}
+		return out
+	}
+	cases := []struct {
+		ops  []Op
+		want []int // run lengths
+	}{
+		{[]Op{OpUnion, OpInsert, OpUnion}, []int{3}},
+		{[]Op{OpUnion, OpDifference, OpDifference}, []int{1, 2}},
+		{[]Op{OpIntersect, OpIntersect}, []int{1, 1}},
+		{[]Op{OpUnion, OpIntersect, OpUnion}, []int{1, 1, 1}},
+	}
+	for _, c := range cases {
+		runs := coalesce(ms(c.ops...))
+		if len(runs) != len(c.want) {
+			t.Errorf("coalesce(%v): %d runs, want %d", c.ops, len(runs), len(c.want))
+			continue
+		}
+		for i, r := range runs {
+			if len(r) != c.want[i] {
+				t.Errorf("coalesce(%v): run %d has %d ops, want %d", c.ops, i, len(r), c.want[i])
+			}
+		}
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	s := New(Config{P: 2})
+	h := s.Handler()
+
+	post := func(body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/op", bytes.NewBufferString(body))
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	if rec := post(`{"op":"union","keys":[5,6,7]}`); rec.Code != http.StatusOK {
+		t.Fatalf("union: status %d body %s", rec.Code, rec.Body)
+	}
+	rec := post(`{"op":"contains","key":6}`)
+	var resp OpResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.Contains == nil || !*resp.Contains {
+		t.Fatalf("contains: body %s err %v", rec.Body, err)
+	}
+	rec = post(`{"op":"len"}`)
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.Len == nil || *resp.Len != 3 {
+		t.Fatalf("len: body %s err %v", rec.Body, err)
+	}
+	if rec := post(`{"op":"sudo"}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown op: status %d, want 400", rec.Code)
+	}
+	if rec := post(`{nope`); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad json: status %d, want 400", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/keys", nil))
+	var kr struct {
+		Keys []int `json:"keys"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &kr); err != nil || len(kr.Keys) != 3 {
+		t.Fatalf("keys: body %s err %v", rec.Body, err)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var m Metrics
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("metrics: body %s err %v", rec.Body, err)
+	}
+	if m.Admitted == 0 || m.Completed == 0 {
+		t.Errorf("metrics: admitted %d completed %d, want > 0", m.Admitted, m.Completed)
+	}
+
+	s.Close()
+	if rec := post(`{"op":"union","keys":[1]}`); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("post-Close op: status %d, want 503", rec.Code)
+	}
+}

@@ -201,7 +201,7 @@ var algCases = []algCase{
 	},
 	{
 		name:    "intersect",
-		entries: []string{"costalg.Intersect", "paralg.Config.Intersect"},
+		entries: []string{"costalg.Intersect", "paralg.Config.Intersect", "paralg.RConfig.Intersect"},
 		run: func(ctx *core.Ctx, eng *core.Engine) {
 			rng := workload.NewRNG(7)
 			ka, kb := workload.OverlappingKeySets(rng, algN, algN, 0.5)
@@ -213,7 +213,7 @@ var algCases = []algCase{
 	},
 	{
 		name:    "diff",
-		entries: []string{"costalg.Diff", "paralg.Config.Diff"},
+		entries: []string{"costalg.Diff", "paralg.Config.Diff", "paralg.RConfig.Diff"},
 		run: func(ctx *core.Ctx, eng *core.Engine) {
 			rng := workload.NewRNG(7)
 			ka, kb := workload.OverlappingKeySets(rng, algN, algN, 0.5)
@@ -225,7 +225,7 @@ var algCases = []algCase{
 	},
 	{
 		name:    "join",
-		entries: []string{"costalg.Join", "paralg.Config.Join"},
+		entries: []string{"costalg.Join", "paralg.Config.Join", "paralg.RConfig.Join"},
 		run: func(ctx *core.Ctx, eng *core.Engine) {
 			rng := workload.NewRNG(7)
 			ka, kb := workload.DisjointKeySets(rng, algN, algN)
@@ -237,7 +237,7 @@ var algCases = []algCase{
 	},
 	{
 		name:    "buildtreap",
-		entries: []string{"costalg.BuildTreap", "costalg.InsertKeys", "costalg.DeleteKeys", "paralg.Config.BuildTreap", "paralg.Config.InsertKeys", "paralg.Config.DeleteKeys"},
+		entries: []string{"costalg.BuildTreap", "costalg.InsertKeys", "costalg.DeleteKeys", "paralg.Config.BuildTreap", "paralg.Config.InsertKeys", "paralg.Config.DeleteKeys", "paralg.RConfig.BuildTreap", "paralg.RConfig.InsertKeys", "paralg.RConfig.DeleteKeys"},
 		run: func(ctx *core.Ctx, eng *core.Engine) {
 			rng := workload.NewRNG(7)
 			keys, extra := workload.DisjointKeySets(rng, algN, algN/2)
