@@ -1,0 +1,199 @@
+// Command benchguard compares a benchmark run against a checked-in
+// baseline and fails on regression. It is the CI bench-regression gate:
+//
+//	pipebench -exp serve -smoke -json current.json
+//	benchguard -baseline bench_baseline.json -current current.json
+//
+// Both files hold JSON-lines ServePoint records (internal/bench). Raw
+// throughput is machine-dependent — CI runners differ run to run — so
+// benchguard compares *shapes*, not absolute numbers, at two levels:
+//
+//   - Within each backend, every point's req/s is normalized by that
+//     backend's median, and the normalized ratios are compared point by
+//     point over the keys the two files share. A point regresses when
+//     its normalized throughput falls more than -tolerance below the
+//     baseline's — a shard count or load level that got slower than its
+//     peers. (Normalization is per backend because the pooled speed
+//     distribution is bimodal — treap and t26 sit ~10× apart — which
+//     would pin the pooled median to the cliff edge and make every
+//     ratio hostage to one noisy cell.)
+//   - Across backends, the ratio of backend medians is compared between
+//     the files, catching one backend uniformly slipping against the
+//     other (e.g. treap pipelining quietly turning batch-synchronous)
+//     that per-backend normalization is blind to.
+//
+// Duplicate keys aggregate by median first, so both the baseline and
+// the CI current file can hold several appended sweeps to damp
+// run-to-run noise. Uniformly faster or slower runners pass untouched.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pipefut/internal/bench"
+)
+
+func main() {
+	var (
+		baselineF = flag.String("baseline", "bench_baseline.json", "baseline JSON-lines file")
+		currentF  = flag.String("current", "", "current-run JSON-lines file")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional drop in median-normalized throughput")
+		minKeys   = flag.Int("minkeys", 3, "minimum shared (backend,p,shards,clients) keys required to judge")
+	)
+	flag.Parse()
+	if *currentF == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baselineF)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(*currentF)
+	if err != nil {
+		fatal(err)
+	}
+
+	baseN := normalize(base)
+	curN := normalize(cur)
+
+	var keys []string
+	for k := range baseN.points {
+		if _, ok := curN.points[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) < *minKeys {
+		fatal(fmt.Errorf("only %d shared data-point keys between %s and %s (need ≥ %d) — sweeps diverged",
+			len(keys), *baselineF, *currentF, *minKeys))
+	}
+
+	regressed := 0
+	for _, k := range keys {
+		b, c := baseN.points[k], curN.points[k]
+		delta := c/b - 1
+		status := "ok"
+		if delta < -*tolerance {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-40s baseline %.3f  current %.3f  delta %+6.1f%%  %s\n", k, b, c, 100*delta, status)
+	}
+
+	// Cross-backend ratio: per-backend normalization hides one backend
+	// uniformly slipping against another, so compare backend medians
+	// pairwise between the files.
+	var backends []string
+	for b := range baseN.backendMed {
+		if _, ok := curN.backendMed[b]; ok {
+			backends = append(backends, b)
+		}
+	}
+	sort.Strings(backends)
+	for i, a := range backends {
+		for _, b := range backends[i+1:] {
+			rBase := baseN.backendMed[a] / baseN.backendMed[b]
+			rCur := curN.backendMed[a] / curN.backendMed[b]
+			shift := rCur/rBase - 1
+			status := "ok"
+			if shift < -*tolerance {
+				status = fmt.Sprintf("REGRESSED (%s slipped vs %s)", a, b)
+				regressed++
+			} else if 1/(1+shift)-1 > *tolerance {
+				status = fmt.Sprintf("REGRESSED (%s slipped vs %s)", b, a)
+				regressed++
+			}
+			fmt.Printf("%-40s baseline %.3f  current %.3f  shift %+6.1f%%  %s\n",
+				"ratio "+a+"/"+b, rBase, rCur, 100*shift, status)
+		}
+	}
+
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d checks regressed more than %.0f%% (median-normalized)\n",
+			regressed, 100**tolerance)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d points and %d backend ratios within %.0f%% of baseline\n",
+		len(keys), len(backends)*(len(backends)-1)/2, 100**tolerance)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}
+
+func load(path string) ([]bench.ServePoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []bench.ServePoint
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var p bench.ServePoint
+		if err := json.Unmarshal(line, &p); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if p.Exp == "serve" && p.ReqPerSec > 0 {
+			out = append(out, p)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no serve data points", path)
+	}
+	return out, nil
+}
+
+type normalized struct {
+	// points maps each sweep key to its per-key median req/s divided by
+	// its backend's median req/s.
+	points map[string]float64
+	// backendMed maps each backend to the median over its per-key medians.
+	backendMed map[string]float64
+}
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+func normalize(pts []bench.ServePoint) normalized {
+	byKey := make(map[string][]float64)
+	keyBackend := make(map[string]string)
+	for _, p := range pts {
+		k := fmt.Sprintf("%s/p=%d/k=%d/clients=%d", p.Backend, p.P, p.Shards, p.Clients)
+		byKey[k] = append(byKey[k], p.ReqPerSec)
+		keyBackend[k] = p.Backend
+	}
+	keyMed := make(map[string]float64, len(byKey))
+	perBackend := make(map[string][]float64)
+	for k, xs := range byKey {
+		m := median(xs)
+		keyMed[k] = m
+		perBackend[keyBackend[k]] = append(perBackend[keyBackend[k]], m)
+	}
+	n := normalized{points: make(map[string]float64, len(keyMed)), backendMed: make(map[string]float64, len(perBackend))}
+	for b, xs := range perBackend {
+		n.backendMed[b] = median(xs)
+	}
+	for k, m := range keyMed {
+		n.points[k] = m / n.backendMed[keyBackend[k]]
+	}
+	return n
+}

@@ -1,23 +1,27 @@
-// Command pipeserve runs the batching set-operation server of
+// Command pipeserve runs the sharded batching set-operation server of
 // internal/serve behind an HTTP/JSON interface.
 //
-//	pipeserve -addr :8080 -p 8 -highwater 4096
+//	pipeserve -addr :8080 -p 8 -highwater 4096 -backend treap -shards 4
 //
-//	POST /op      {"op":"union","keys":[1,2,3]}   → {"version":1}
-//	              {"op":"difference","keys":[2]}  → {"version":2}
+//	POST /op      {"op":"union","keys":[1,2,3]}   → {"versions":[1,0,1,0]}
+//	              {"op":"difference","keys":[2]}  → {"versions":[2,0,0,0]}
 //	              {"op":"contains","key":1}       → {"version":2,"contains":true}
-//	              {"op":"len"}                    → {"version":2,"len":2}
-//	GET  /metrics → server + scheduler counters (JSON)
+//	              {"op":"len"}                    → {"versions":[2,0,1,0],"len":2}
+//	GET  /metrics → server + scheduler + per-shard counters (JSON)
 //	GET  /keys    → full contents (verification endpoint)
+//
+// -backend selects the per-shard store: treap (pipelined, the default)
+// or t26 (2-6 trees, batch-synchronous). -shards range-partitions the
+// key space of [0, -universe) across that many independent roots.
 //
 // Shed load answers 429 (over the high-water mark) or 503 (draining).
 // SIGINT/SIGTERM triggers a graceful drain: stop admitting, finish every
 // admitted request, quiesce the scheduler, exit.
 //
-// -smoke runs a self-driving smoke check instead of serving: it binds a
-// loopback port, drives a mixed batch over real HTTP, asserts the
-// metrics endpoint reports scheduler activity, drains, and exits
-// non-zero on any failure.
+// -smoke runs a self-driving smoke check instead of serving: for each
+// backend it binds a loopback port, drives a mixed batch over real HTTP,
+// asserts the metrics endpoint reports scheduler activity, drains, and
+// exits non-zero on any failure.
 package main
 
 import (
@@ -44,16 +48,39 @@ func main() {
 		p          = flag.Int("p", runtime.GOMAXPROCS(0), "scheduler worker count")
 		highWater  = flag.Int("highwater", serve.DefaultHighWater, "admission high-water mark (backlog at which requests shed)")
 		spawnDepth = flag.Int("spawndepth", 0, "algorithm spawn depth (0 = default grain)")
-		smoke      = flag.Bool("smoke", false, "run a loopback HTTP smoke check and exit")
+		backend    = flag.String("backend", "treap", "per-shard store: treap (pipelined) or t26 (batch-synchronous)")
+		shards     = flag.Int("shards", 1, "independent shard roots the key space is range-partitioned across")
+		universe   = flag.Int("universe", serve.DefaultUniverse, "dense key range hint [0,universe) for placing shard pivots")
+		smoke      = flag.Bool("smoke", false, "run a loopback HTTP smoke check (all backends) and exit")
 	)
 	flag.Parse()
 
-	cfg := serve.Config{P: *p, SpawnDepth: *spawnDepth, HighWater: *highWater}
-	if *smoke {
-		if err := runSmoke(cfg); err != nil {
-			log.Fatalf("smoke: FAIL: %v", err)
+	known := false
+	for _, b := range serve.KnownBackends() {
+		if b == *backend {
+			known = true
 		}
-		fmt.Println("smoke: ok")
+	}
+	if !known {
+		log.Fatalf("pipeserve: unknown -backend %q (want one of %v)", *backend, serve.KnownBackends())
+	}
+
+	cfg := serve.Config{P: *p, SpawnDepth: *spawnDepth, HighWater: *highWater,
+		Backend: *backend, Shards: *shards, Universe: *universe}
+	if *smoke {
+		// Smoke both backends regardless of -backend: the CI lane should
+		// exercise the whole matrix in one invocation.
+		for _, b := range serve.KnownBackends() {
+			c := cfg
+			c.Backend = b
+			if c.Shards <= 1 {
+				c.Shards = 4 // default smoke covers the sharded path too
+			}
+			if err := runSmoke(c); err != nil {
+				log.Fatalf("smoke[%s]: FAIL: %v", b, err)
+			}
+			fmt.Printf("smoke[%s]: ok\n", b)
+		}
 		return
 	}
 
@@ -64,7 +91,8 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("pipeserve: listening on %s (p=%d highwater=%d)", *addr, *p, *highWater)
+	log.Printf("pipeserve: listening on %s (p=%d highwater=%d backend=%s shards=%d)",
+		*addr, *p, *highWater, *backend, *shards)
 
 	select {
 	case got := <-sig:

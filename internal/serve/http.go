@@ -22,9 +22,11 @@ type OpRequest struct {
 
 // OpResponse is the JSON body of a successful POST /op.
 type OpResponse struct {
-	// Version is the set version the operation produced (mutations) or
-	// observed (reads).
-	Version uint64 `json:"version"`
+	// Versions is the per-shard version cut the operation produced
+	// (mutations: 0 = shard untouched) or observed (len).
+	Versions Cut `json:"versions,omitempty"`
+	// Version is the owning shard's version observed by op=contains.
+	Version uint64 `json:"version,omitempty"`
 	// Contains is set for op=contains.
 	Contains *bool `json:"contains,omitempty"`
 	// Len is set for op=len.
@@ -37,11 +39,11 @@ type errResponse struct {
 
 // Handler returns the server's HTTP interface:
 //
-//	POST /op      {"op":"union","keys":[1,2]} → {"version":3}
+//	POST /op      {"op":"union","keys":[1,2]} → {"versions":[3,1]}
 //	              {"op":"contains","key":1}   → {"version":3,"contains":true}
-//	              {"op":"len"}                → {"version":3,"len":2}
+//	              {"op":"len"}                → {"versions":[3,1],"len":2}
 //	GET  /metrics → Metrics JSON
-//	GET  /keys    → {"version":3,"keys":[1,2]}
+//	GET  /keys    → {"versions":[3,1],"keys":[1,2]}
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /op", s.handleOp)
@@ -60,14 +62,14 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 	var err error
 	switch req.Op {
 	case "union", "insert", "difference", "intersect":
-		resp.Version, err = s.Apply(Op(req.Op), req.Keys)
+		resp.Versions, err = s.Apply(Op(req.Op), req.Keys)
 	case "contains":
 		var ok bool
 		ok, resp.Version, err = s.Contains(req.Key)
 		resp.Contains = &ok
 	case "len":
 		var n int
-		n, resp.Version, err = s.Len()
+		n, resp.Versions, err = s.Len()
 		resp.Len = &n
 	default:
 		writeJSON(w, http.StatusBadRequest, errResponse{Error: "unknown op: " + req.Op})
@@ -94,8 +96,8 @@ func (s *Server) handleKeys(w http.ResponseWriter, _ *http.Request) {
 		keys = []int{}
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Version uint64 `json:"version"`
-		Keys    []int  `json:"keys"`
+		Versions Cut   `json:"versions"`
+		Keys     []int `json:"keys"`
 	}{v, keys})
 }
 

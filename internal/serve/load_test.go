@@ -1,11 +1,12 @@
 package serve
 
-// The acceptance load test: ≥10k mixed requests at p = GOMAXPROCS,
-// checked against a sequential map oracle replaying the server's version
-// order. Every admitted mutation's effect and every admitted read's
-// versioned answer must match the oracle; some load must shed once the
-// backlog passes the high-water mark; and the admission ledger must
-// balance exactly: offered == admitted + shed, completed == admitted.
+// The acceptance load test: thousands of mixed requests at p = GOMAXPROCS
+// against every backend × shard-count combination, checked against
+// per-shard sequential map oracles replaying each shard's version order.
+// Every admitted mutation's effect and every admitted read's versioned
+// answer must match the oracle; some load must shed once the backlog
+// passes the high-water mark; and the admission ledger must balance
+// exactly, both globally (offered == admitted + shed) and per shard.
 
 import (
 	"errors"
@@ -18,31 +19,62 @@ import (
 )
 
 type mutRecord struct {
-	version uint64
-	op      Op
-	keys    []int
+	cut  Cut
+	op   Op
+	keys []int
 }
 
-type readRecord struct {
+type containsRecord struct {
+	shard   int
 	version uint64
-	isLen   bool
-	key     int // contains probe
-	gotBool bool
-	gotLen  int
+	key     int
+	got     bool
+}
+
+type lenRecord struct {
+	cut Cut
+	got int
 }
 
 func TestLoadMixedRequestsMatchOracle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("load test skipped in -short mode")
 	}
-	p := runtime.GOMAXPROCS(0)
-	s := New(Config{P: p, HighWater: 64})
+	for _, c := range []struct {
+		backend  string
+		shards   int
+		totalOps int
+	}{
+		// Shard-count ablation on the pipelined backend, plus the t26
+		// control group (slower per op: it materializes every batch).
+		{"treap", 1, 9000},
+		{"treap", 2, 9000},
+		{"treap", 8, 9000},
+		{"t26", 1, 2400},
+		{"t26", 2, 2400},
+		{"t26", 8, 2400},
+	} {
+		t.Run(c.backend+"/k="+itoa(c.shards), func(t *testing.T) {
+			loadRun(t, c.backend, c.shards, c.totalOps)
+		})
+	}
+}
 
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}
+
+func loadRun(t *testing.T, backend string, shards, totalOps int) {
+	p := runtime.GOMAXPROCS(0)
 	const (
-		totalOps = 12000
 		universe = 4096
 		batchLen = 48
 	)
+	s := New(Config{P: p, HighWater: 64, Backend: backend, Shards: shards, Universe: universe})
+
 	clients := 2 * p
 	if clients < 4 {
 		clients = 4
@@ -51,7 +83,8 @@ func TestLoadMixedRequestsMatchOracle(t *testing.T) {
 
 	var mu sync.Mutex
 	var muts []mutRecord
-	var reads []readRecord
+	var conts []containsRecord
+	var lens []lenRecord
 
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -60,41 +93,42 @@ func TestLoadMixedRequestsMatchOracle(t *testing.T) {
 			defer wg.Done()
 			rng := workload.NewRNG(uint64(c) + 1)
 			var myMuts []mutRecord
-			var myReads []readRecord
+			var myConts []containsRecord
+			var myLens []lenRecord
 			for i := 0; i < perClient; i++ {
 				roll := rng.Uint64() % 100
 				switch {
 				case roll < 40: // union
 					keys := randKeys(rng, batchLen, universe)
-					if v, err := s.Apply(OpUnion, keys); err == nil {
-						myMuts = append(myMuts, mutRecord{v, OpUnion, keys})
+					if cut, err := s.Apply(OpUnion, keys); err == nil {
+						myMuts = append(myMuts, mutRecord{cut, OpUnion, keys})
 					} else if !shedErr(t, err) {
 						return
 					}
 				case roll < 65: // difference
 					keys := randKeys(rng, batchLen, universe)
-					if v, err := s.Apply(OpDifference, keys); err == nil {
-						myMuts = append(myMuts, mutRecord{v, OpDifference, keys})
+					if cut, err := s.Apply(OpDifference, keys); err == nil {
+						myMuts = append(myMuts, mutRecord{cut, OpDifference, keys})
 					} else if !shedErr(t, err) {
 						return
 					}
 				case roll < 70: // intersect with a large mask
 					keys := randKeys(rng, universe/2, universe)
-					if v, err := s.Apply(OpIntersect, keys); err == nil {
-						myMuts = append(myMuts, mutRecord{v, OpIntersect, keys})
+					if cut, err := s.Apply(OpIntersect, keys); err == nil {
+						myMuts = append(myMuts, mutRecord{cut, OpIntersect, keys})
 					} else if !shedErr(t, err) {
 						return
 					}
 				case roll < 95: // contains
 					key := rng.Intn(universe)
 					if ok, v, err := s.Contains(key); err == nil {
-						myReads = append(myReads, readRecord{version: v, key: key, gotBool: ok})
+						myConts = append(myConts, containsRecord{s.ShardOf(key), v, key, ok})
 					} else if !shedErr(t, err) {
 						return
 					}
 				default: // len
-					if n, v, err := s.Len(); err == nil {
-						myReads = append(myReads, readRecord{version: v, isLen: true, gotLen: n})
+					if n, cut, err := s.Len(); err == nil {
+						myLens = append(myLens, lenRecord{cut, n})
 					} else if !shedErr(t, err) {
 						return
 					}
@@ -102,7 +136,8 @@ func TestLoadMixedRequestsMatchOracle(t *testing.T) {
 			}
 			mu.Lock()
 			muts = append(muts, myMuts...)
-			reads = append(reads, myReads...)
+			conts = append(conts, myConts...)
+			lens = append(lens, myLens...)
 			mu.Unlock()
 		}(c)
 	}
@@ -118,9 +153,9 @@ func TestLoadMixedRequestsMatchOracle(t *testing.T) {
 				defer burst.Done()
 				rng := workload.NewRNG(uint64(1000 + try*64 + i))
 				keys := randKeys(rng, 512, universe)
-				if v, err := s.Apply(OpUnion, keys); err == nil {
+				if cut, err := s.Apply(OpUnion, keys); err == nil {
 					mu.Lock()
-					muts = append(muts, mutRecord{v, OpUnion, keys})
+					muts = append(muts, mutRecord{cut, OpUnion, keys})
 					mu.Unlock()
 				} else if !shedErr(t, err) {
 					return
@@ -131,17 +166,17 @@ func TestLoadMixedRequestsMatchOracle(t *testing.T) {
 	}
 
 	// Final state read before drain, then drain.
-	finalKeys, finalV, err := s.Keys()
+	finalKeys, finalCut, err := s.Keys()
 	if err != nil {
 		t.Fatalf("final Keys: %v", err)
 	}
 	s.Close()
 
 	m := s.Metrics()
-	t.Logf("offered=%d admitted=%d completed=%d shedOverload=%d shedDraining=%d batches=%d versions=%d spawns=%d steals=%d suspensions=%d",
-		m.Offered, m.Admitted, m.Completed, m.ShedOverload, m.ShedDraining, m.Batches, m.Version, m.Spawns, m.Steals, m.Suspensions)
+	t.Logf("offered=%d admitted=%d completed=%d shedOverload=%d shedDraining=%d batches=%d versions=%v spawns=%d steals=%d suspensions=%d",
+		m.Offered, m.Admitted, m.Completed, m.ShedOverload, m.ShedDraining, m.Batches, m.Versions, m.Spawns, m.Steals, m.Suspensions)
 
-	if m.Offered < totalOps {
+	if m.Offered < int64(totalOps) {
 		t.Errorf("offered %d < %d — test did not drive enough load", m.Offered, totalOps)
 	}
 	if m.ShedOverload == 0 {
@@ -154,71 +189,65 @@ func TestLoadMixedRequestsMatchOracle(t *testing.T) {
 	if m.Completed != m.Admitted {
 		t.Errorf("completed %d != admitted %d", m.Completed, m.Admitted)
 	}
+	var shedSum int64
+	for i, sm := range m.PerShard {
+		if sm.Offered != sm.Admitted+sm.Shed {
+			t.Errorf("shard %d ledger: offered %d != admitted %d + shed %d", i, sm.Offered, sm.Admitted, sm.Shed)
+		}
+		shedSum += sm.Shed
+	}
+	if shedSum != m.ShedOverload {
+		t.Errorf("ShedOverload %d != sum of per-shard sheds %d", m.ShedOverload, shedSum)
+	}
 	if m.Spawns == 0 || m.Suspensions == 0 {
 		t.Errorf("scheduler counters flat: spawns=%d suspensions=%d", m.Spawns, m.Suspensions)
 	}
 
-	// Replay the mutation log in version order against the map oracle,
-	// checking each versioned read at its snapshot.
-	groups := groupByVersion(t, muts)
-	sort.Slice(reads, func(i, j int) bool { return reads[i].version < reads[j].version })
-
-	oracle := map[int]bool{}
-	gi := 0
-	applyThrough := func(v uint64) {
-		for gi < len(groups) && groups[gi].version <= v {
-			g := groups[gi]
-			gi++
-			switch g.op {
-			case OpUnion:
-				for _, k := range g.keys {
-					oracle[k] = true
-				}
-			case OpDifference:
-				for _, k := range g.keys {
-					delete(oracle, k)
-				}
-			case OpIntersect:
-				keep := map[int]bool{}
-				for _, k := range g.keys {
-					if oracle[k] {
-						keep[k] = true
-					}
-				}
-				oracle = keep
-			}
-		}
+	// Replay each shard's mutation pieces in version order against its own
+	// map oracle.
+	oracles := make([]*shardOracle, shards)
+	for i := range oracles {
+		oracles[i] = newShardOracle(t, s, i, muts)
 	}
+
+	// Contains reads: per owning shard, in version order.
+	sort.Slice(conts, func(i, j int) bool { return conts[i].version < conts[j].version })
 	badReads := 0
-	for _, r := range reads {
-		applyThrough(r.version)
-		if r.isLen {
-			if r.gotLen != len(oracle) {
-				badReads++
-				if badReads <= 5 {
-					t.Errorf("Len@v%d = %d, oracle %d", r.version, r.gotLen, len(oracle))
-				}
-			}
-		} else if r.gotBool != oracle[r.key] {
+	for _, r := range conts {
+		if want := oracles[r.shard].containsAt(r.version, r.key); r.got != want {
 			badReads++
 			if badReads <= 5 {
-				t.Errorf("Contains(%d)@v%d = %v, oracle %v", r.key, r.version, r.gotBool, oracle[r.key])
+				t.Errorf("shard %d: Contains(%d)@v%d = %v, oracle %v", r.shard, r.key, r.version, r.got, want)
 			}
 		}
 	}
-	if badReads > 5 {
-		t.Errorf("... and %d more bad reads", badReads-5)
+	// Len reads: the sum of per-shard cardinalities at the read's cut.
+	for _, r := range lens {
+		want := 0
+		for i, v := range r.cut {
+			want += oracles[i].lenAt(v)
+		}
+		if r.got != want {
+			badReads++
+			if badReads <= 10 {
+				t.Errorf("Len@%v = %d, oracle %d", r.cut, r.got, want)
+			}
+		}
+	}
+	if badReads > 10 {
+		t.Errorf("... and %d more bad reads", badReads-10)
 	}
 
-	applyThrough(finalV)
-	if gi != len(groups) {
-		t.Errorf("final version %d leaves %d mutation groups unapplied", finalV, len(groups)-gi)
+	// Final state: each shard replayed through the final cut, concatenated
+	// in shard order (ranges ascend, so the result is globally sorted).
+	var wantKeys []int
+	for i, o := range oracles {
+		ks, complete := o.keysAt(finalCut[i])
+		if !complete {
+			t.Errorf("shard %d: final cut version %d leaves mutation groups unapplied", i, finalCut[i])
+		}
+		wantKeys = append(wantKeys, ks...)
 	}
-	wantKeys := make([]int, 0, len(oracle))
-	for k := range oracle {
-		wantKeys = append(wantKeys, k)
-	}
-	sort.Ints(wantKeys)
 	if len(finalKeys) != len(wantKeys) {
 		t.Fatalf("final set has %d keys, oracle %d", len(finalKeys), len(wantKeys))
 	}
@@ -245,27 +274,119 @@ type verGroup struct {
 	keys    []int
 }
 
-// groupByVersion folds coalesced mutations (which share a version) back
-// into one oracle step per version, verifying the coalescing invariant:
-// one version never mixes incompatible kinds.
-func groupByVersion(t *testing.T, muts []mutRecord) []verGroup {
-	sort.Slice(muts, func(i, j int) bool { return muts[i].version < muts[j].version })
+// shardOracle replays one shard's recorded mutation pieces in version
+// order and answers membership and cardinality queries at any version.
+type shardOracle struct {
+	groups []verGroup
+	// Incremental replay cursor for containsAt (queries must arrive in
+	// ascending version order).
+	set map[int]bool
+	gi  int
+	// lens[j] is the shard's cardinality after applying groups[0..j].
+	lens []int
+}
+
+// newShardOracle extracts shard idx's piece of every mutation that
+// touched it (cut[idx] > 0), folds coalesced pieces (which share a
+// version) into one step per version — verifying that one version never
+// mixes incompatible kinds — and precomputes the cardinality timeline.
+func newShardOracle(t *testing.T, s *Server, idx int, muts []mutRecord) *shardOracle {
 	var groups []verGroup
 	for _, mr := range muts {
+		v := mr.cut[idx]
+		if v == 0 {
+			continue
+		}
+		var piece []int
+		for _, k := range mr.keys {
+			if s.ShardOf(k) == idx {
+				piece = append(piece, k)
+			}
+		}
 		op := mr.op
 		if op == OpInsert {
 			op = OpUnion
 		}
-		if n := len(groups); n > 0 && groups[n-1].version == mr.version {
-			if groups[n-1].op != op {
-				t.Fatalf("version %d mixes ops %s and %s — invalid coalescing", mr.version, groups[n-1].op, op)
+		groups = append(groups, verGroup{v, op, piece})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].version < groups[j].version })
+	merged := groups[:0]
+	for _, g := range groups {
+		if n := len(merged); n > 0 && merged[n-1].version == g.version {
+			if merged[n-1].op != g.op {
+				t.Fatalf("shard %d version %d mixes ops %s and %s — invalid coalescing", idx, g.version, merged[n-1].op, g.op)
 			}
-			groups[n-1].keys = append(groups[n-1].keys, mr.keys...)
+			merged[n-1].keys = append(merged[n-1].keys, g.keys...)
 			continue
 		}
-		groups = append(groups, verGroup{mr.version, op, append([]int(nil), mr.keys...)})
+		merged = append(merged, g)
 	}
-	return groups
+
+	o := &shardOracle{groups: merged, set: map[int]bool{}}
+	replay := map[int]bool{}
+	for _, g := range merged {
+		applyGroup(replay, g)
+		o.lens = append(o.lens, len(replay))
+	}
+	return o
+}
+
+func applyGroup(set map[int]bool, g verGroup) {
+	switch g.op {
+	case OpUnion:
+		for _, k := range g.keys {
+			set[k] = true
+		}
+	case OpDifference:
+		for _, k := range g.keys {
+			delete(set, k)
+		}
+	case OpIntersect:
+		mask := map[int]bool{}
+		for _, k := range g.keys {
+			mask[k] = true
+		}
+		for k := range set {
+			if !mask[k] {
+				delete(set, k)
+			}
+		}
+	}
+}
+
+// containsAt answers a membership query at version v. Queries must come
+// in ascending v order (the cursor only moves forward).
+func (o *shardOracle) containsAt(v uint64, key int) bool {
+	for o.gi < len(o.groups) && o.groups[o.gi].version <= v {
+		applyGroup(o.set, o.groups[o.gi])
+		o.gi++
+	}
+	return o.set[key]
+}
+
+// lenAt answers a cardinality query at version v (any order).
+func (o *shardOracle) lenAt(v uint64) int {
+	i := sort.Search(len(o.groups), func(i int) bool { return o.groups[i].version > v })
+	if i == 0 {
+		return 0
+	}
+	return o.lens[i-1]
+}
+
+// keysAt returns the sorted shard contents at version v and whether v
+// covers every recorded group.
+func (o *shardOracle) keysAt(v uint64) ([]int, bool) {
+	set := map[int]bool{}
+	i := 0
+	for ; i < len(o.groups) && o.groups[i].version <= v; i++ {
+		applyGroup(set, o.groups[i])
+	}
+	keys := make([]int, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys, i == len(o.groups)
 }
 
 func randKeys(rng *workload.RNG, n, universe int) []int {

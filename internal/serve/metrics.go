@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// serverMetrics is the global (router-level) counter block; per-shard
+// ledgers live on each shard.
+type serverMetrics struct {
+	offered      atomic.Int64
+	admitted     atomic.Int64
+	completed    atomic.Int64
+	shedDraining atomic.Int64
+	gatherLat    latRing // scatter-gather reads (Len, Keys)
+}
+
+// latRing is a bounded ring of recent request latencies (nanoseconds) for
+// quantile estimates. Monitoring-grade: concurrent writers may interleave.
+type latRing struct {
+	buf [4096]int64
+	n   atomic.Int64
+}
+
+func (r *latRing) record(d time.Duration) {
+	i := r.n.Add(1) - 1
+	atomic.StoreInt64(&r.buf[i%int64(len(r.buf))], int64(d))
+}
+
+// samples copies out the ring's current contents, so rings from many
+// shards can be merged before taking quantiles.
+func (r *latRing) samples() []int64 {
+	n := r.n.Load()
+	if n > int64(len(r.buf)) {
+		n = int64(len(r.buf))
+	}
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = atomic.LoadInt64(&r.buf[i])
+	}
+	return xs
+}
+
+// quantilesOf sorts xs in place and returns its p50 and p99.
+func quantilesOf(xs []int64) (p50, p99 time.Duration) {
+	n := int64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return time.Duration(xs[n/2]), time.Duration(xs[(n*99)/100])
+}
+
+// ShardMetrics is one shard's slice of the admission and latency ledger.
+// Offered == Admitted + Shed holds per shard; summing Shed over shards
+// gives the server's ShedOverload.
+type ShardMetrics struct {
+	Offered  int64  `json:"offered"`
+	Admitted int64  `json:"admitted"`
+	Shed     int64  `json:"shed"`
+	Queued   int64  `json:"queued"`
+	Batches  int64  `json:"batches"`
+	Version  uint64 `json:"version"`
+	P50Nanos int64  `json:"p50_nanos"`
+	P99Nanos int64  `json:"p99_nanos"`
+}
+
+// Metrics is a point-in-time snapshot of server and scheduler counters.
+// The global latency quantiles are computed over the merged per-shard
+// samples (plus scatter-gather read samples), not an average of per-shard
+// quantiles — so with one shard they agree exactly with that shard's.
+type Metrics struct {
+	Backend string `json:"backend"`
+	Shards  int    `json:"shards"`
+
+	Offered      int64 `json:"offered"`
+	Admitted     int64 `json:"admitted"`
+	Completed    int64 `json:"completed"`
+	ShedOverload int64 `json:"shed_overload"`
+	ShedDraining int64 `json:"shed_draining"`
+	Inflight     int64 `json:"inflight"`
+	Queued       int64 `json:"queued"`
+	Batches      int64 `json:"batches"`
+
+	// Versions is the current per-shard version vector (not a consistent
+	// cut — monitoring-grade).
+	Versions Cut `json:"versions"`
+
+	P50Nanos int64 `json:"p50_nanos"`
+	P99Nanos int64 `json:"p99_nanos"`
+
+	PerShard []ShardMetrics `json:"per_shard"`
+
+	InjectQueue int `json:"inject_queue"`
+	MaxDeque    int `json:"max_deque"`
+
+	Spawns        int64   `json:"spawns"`
+	Steals        int64   `json:"steals"`
+	Suspensions   int64   `json:"suspensions"`
+	Reactivations int64   `json:"reactivations"`
+	Tasks         int64   `json:"tasks"`
+	SchedMaxDeque int64   `json:"sched_max_deque"`
+	BusyNanos     []int64 `json:"busy_nanos"`
+}
+
+// Metrics samples every counter. Safe to call at any time.
+func (s *Server) Metrics() Metrics {
+	var m Metrics
+	m.Backend = s.be.Name()
+	m.Shards = len(s.shards)
+	m.Offered = s.met.offered.Load()
+	m.Admitted = s.met.admitted.Load()
+	m.Completed = s.met.completed.Load()
+	m.ShedDraining = s.met.shedDraining.Load()
+	m.Inflight = m.Admitted - m.Completed
+	m.Versions = make(Cut, len(s.shards))
+
+	merged := s.met.gatherLat.samples()
+	for i, sh := range s.shards {
+		shed := sh.shed.Load()
+		m.ShedOverload += shed
+		m.Queued += sh.queued.Load()
+		m.Batches += sh.batches.Load()
+		sh.mu.Lock()
+		v := sh.version
+		sh.mu.Unlock()
+		m.Versions[i] = v
+		xs := sh.lat.samples()
+		merged = append(merged, xs...)
+		p50, p99 := quantilesOf(xs)
+		m.PerShard = append(m.PerShard, ShardMetrics{
+			Offered:  sh.offered.Load(),
+			Admitted: sh.admitted.Load(),
+			Shed:     shed,
+			Queued:   sh.queued.Load(),
+			Batches:  sh.batches.Load(),
+			Version:  v,
+			P50Nanos: int64(p50),
+			P99Nanos: int64(p99),
+		})
+	}
+	p50, p99 := quantilesOf(merged)
+	m.P50Nanos, m.P99Nanos = int64(p50), int64(p99)
+
+	m.InjectQueue, m.MaxDeque = s.rt.RT.Backlog()
+	c := s.rt.RT.Counters()
+	m.Spawns = c.Spawns
+	m.Steals = c.Steals
+	m.Suspensions = c.Suspensions
+	m.Reactivations = c.Reactivations
+	m.Tasks = c.Tasks
+	m.SchedMaxDeque = c.MaxDeque
+	m.BusyNanos = c.BusyNanos
+	return m
+}

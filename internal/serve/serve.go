@@ -1,30 +1,37 @@
 // Package serve is the request-serving layer over the pipelined set
-// algorithms: a batching set-operation server on the internal/sched
-// work-stealing runtime.
+// algorithms: a sharded, batching set-operation server on the
+// internal/sched work-stealing runtime.
 //
-// The server owns one versioned set root (a persistent treap of future
-// cells, so snapshots are free). Concurrent mutation requests are queued,
-// coalesced, and applied in a single total order by one applier
-// goroutine; because the algorithms are pipelined, applying a mutation
-// only *starts* the tree computation and publishes the new root cell —
-// the applier never waits for trees to materialize, so a burst of
-// mutations becomes a pipeline of treap operations all in flight on the
-// scheduler at once. Each request completes through its own completion
-// cell (a sched.Cell), written by a continuation parked on its result
-// root: the per-request cells preserve the runtime's stack discipline
-// because a completion is just one more suspended continuation.
+// The key space is range-partitioned across k shards, each an
+// independent versioned root with its own applier goroutine, coalescing
+// queue, version counter, and admission mark — all multiplexed onto one
+// shared scheduler. A mutation is split at the shard pivots into
+// per-shard pieces (for the treap backend the operand treap itself is
+// split, pipelined, by paralg.SplitRanges) that each shard orders,
+// coalesces, and applies independently; the request completes when every
+// piece's result is published. Because the treap algorithms are
+// pipelined, applying a piece only *starts* the tree computation and
+// publishes the new root cell — appliers never wait for trees to
+// materialize, so a burst of mutations becomes k pipelines of treap
+// operations all in flight on the scheduler at once. A second backend
+// (2-6 trees via paralg.RConfig.T26BulkInsert, no pipelining across
+// batches) serves the same API as a control group; see backend.go.
 //
-// Reads (Contains, Len) snapshot the current (root, version) pair and run
-// as scheduler tasks against that snapshot, untouched by later mutations.
+// Reads: Contains snapshots the owning shard's (state, version) pair and
+// runs as a scheduler task against that snapshot. Len and Keys are
+// scatter-gather over a consistent cut: a marker is enqueued on every
+// shard at one routing instant (no mutation's pieces straddle the
+// markers), and the per-shard snapshots recorded at the marker positions
+// form the cut's version vector.
 //
-// Admission control sheds load instead of queueing without bound: a
-// request is rejected with ErrOverloaded once the scheduler backlog
-// (injection-queue length plus the deepest worker deque) plus the
-// server's own mutation queue reaches the high-water mark, and with
-// ErrDraining once Close has begun. Close stops admission, lets the
-// applier drain the queue, waits for every admitted request and for
-// scheduler quiescence, and only then shuts the runtime down — so no
-// admitted request is ever stranded on a dead runtime.
+// Admission control sheds load instead of queueing without bound: each
+// shard sheds once its share of the scheduler backlog plus its own queue
+// reaches its share of the high-water mark, and a request is rejected
+// with ErrOverloaded if any shard it touches is over (attributed to that
+// shard, so the global shed count is the sum over shards), or with
+// ErrDraining once Close has begun. Close stops admission, lets every
+// applier drain its queue, waits for every admitted request and for
+// scheduler quiescence, and only then shuts the runtime down.
 package serve
 
 import (
@@ -50,18 +57,25 @@ const (
 	// OpDifference removes a key batch from the set.
 	OpDifference Op = "difference"
 	// OpIntersect keeps only the given keys. Not coalescible: A∩B1∩B2
-	// differs from A∩(B1∪B2).
+	// differs from A∩(B1∪B2). It touches every shard (a shard with no
+	// operand keys must still clear).
 	OpIntersect Op = "intersect"
 )
 
 var (
-	// ErrOverloaded rejects a request at admission because the backlog is
-	// at the high-water mark. The request was not applied; retry later.
+	// ErrOverloaded rejects a request at admission because some shard it
+	// touches is at its high-water mark. The request was not applied
+	// anywhere (admission is all-or-nothing); retry later.
 	ErrOverloaded = errors.New("serve: overloaded, request shed")
 	// ErrDraining rejects a request because the server is draining or
 	// closed. The request was not applied.
 	ErrDraining = errors.New("serve: draining, not admitting requests")
 )
+
+// Cut is a per-shard version vector. For mutations, slot i holds the
+// version shard i assigned to the mutation's piece (0 = shard untouched);
+// for scatter-gather reads it is the consistent cut the read observed.
+type Cut []uint64
 
 // Config sizes a Server.
 type Config struct {
@@ -70,14 +84,32 @@ type Config struct {
 	// SpawnDepth is the algorithm grain bound (paralg.RConfig.SpawnDepth);
 	// ≤ 0 picks the paralg default.
 	SpawnDepth int
-	// HighWater is the admission bound: a request is shed when
-	// (injection-queue length + deepest worker deque + queued mutations)
-	// ≥ HighWater. ≤ 0 picks DefaultHighWater.
+	// HighWater is the global admission bound, divided evenly across
+	// shards: shard i sheds when its share of the scheduler backlog plus
+	// its own queued pieces reaches ceil(HighWater/Shards). ≤ 0 picks
+	// DefaultHighWater.
 	HighWater int
+	// Shards is the number of independent roots the key space is
+	// range-partitioned across; ≤ 0 means 1.
+	Shards int
+	// Backend selects the per-shard store: "treap" (pipelined persistent
+	// treap, the default) or "t26" (2-6 trees, no pipelining across
+	// batches).
+	Backend string
+	// Universe hints the dense key range [0, Universe) used to place the
+	// default shard pivots; keys outside it are legal and land on the
+	// edge shards. ≤ 0 picks DefaultUniverse. Ignored when Pivots is set.
+	Universe int
+	// Pivots optionally fixes the shard boundaries explicitly: ascending,
+	// len Shards-1; shard i owns [Pivots[i-1], Pivots[i]).
+	Pivots []int
 }
 
 // DefaultHighWater is the admission bound used when Config.HighWater ≤ 0.
 const DefaultHighWater = 4096
+
+// DefaultUniverse is the key-range hint used when Config.Universe ≤ 0.
+const DefaultUniverse = 1 << 20
 
 const (
 	stateAccepting int32 = iota
@@ -85,35 +117,32 @@ const (
 	stateClosed
 )
 
-// mutation is one admitted write request: a key batch, the op, and the
-// completion cell its caller blocks on.
-type mutation struct {
-	op   Op
-	keys []int
-	done *sched.Cell[uint64] // written with the request's version
-}
-
-// Server is a batching set-operation server. Create with New, stop with
-// Close. All methods are safe for concurrent use.
+// Server is a sharded batching set-operation server. Create with New,
+// stop with Close. All methods are safe for concurrent use.
 type Server struct {
-	cfg Config
-	rt  *paralg.SchedRuntime
-	pc  paralg.RConfig
+	cfg    Config
+	rt     *paralg.SchedRuntime
+	be     Backend
+	pivots []int
+	shards []*shard
 
-	mu      sync.Mutex
-	root    paralg.NodeCell
-	version uint64
-	queue   []*mutation
-	cond    *sync.Cond // applier wakeup: queue non-empty or draining
+	// routeMu orders request routing against cut markers: enqueueing one
+	// request's pieces holds it shared (exclusive when the request spans
+	// shards, so cross-shard mutations are also totally ordered among
+	// themselves), placing a cut's markers holds it exclusive. Admission
+	// state flips (Close) hold it exclusive too, so a request that passed
+	// the admission check can never be stranded by a concurrent drain.
+	routeMu sync.RWMutex
 
-	state       atomic.Int32
-	inflight    sync.WaitGroup // admitted requests not yet completed
-	applierDone chan struct{}
+	state    atomic.Int32
+	inflight sync.WaitGroup // admitted requests not yet completed
 
-	met metrics
+	met serverMetrics
 }
 
-// New starts a server with an empty set.
+// New starts a server with an empty set. It panics on a config it cannot
+// honor (unknown backend, malformed pivots) — validate user input with
+// KnownBackends before constructing a Config from it.
 func New(cfg Config) *Server {
 	if cfg.P <= 0 {
 		cfg.P = runtime.GOMAXPROCS(0)
@@ -124,261 +153,340 @@ func New(cfg Config) *Server {
 	if cfg.HighWater <= 0 {
 		cfg.HighWater = DefaultHighWater
 	}
-	rt := paralg.NewSchedRuntime(cfg.P)
-	s := &Server{
-		cfg:         cfg,
-		rt:          rt,
-		pc:          paralg.RConfig{R: rt, SpawnDepth: cfg.SpawnDepth},
-		applierDone: make(chan struct{}),
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
 	}
-	s.root = rt.DoneNode(nil)
-	s.cond = sync.NewCond(&s.mu)
-	go s.applier()
+	if cfg.Universe <= 0 {
+		cfg.Universe = DefaultUniverse
+	}
+	rt := paralg.NewSchedRuntime(cfg.P)
+	pc := paralg.RConfig{R: rt, SpawnDepth: cfg.SpawnDepth}
+	be, err := newBackend(cfg.Backend, pc)
+	if err != nil {
+		panic(err)
+	}
+	pivots := cfg.Pivots
+	if pivots == nil {
+		pivots = defaultPivots(cfg.Shards, cfg.Universe)
+	}
+	if len(pivots) != cfg.Shards-1 {
+		panic(errors.New("serve: len(Pivots) must be Shards-1"))
+	}
+	if !sort.IntsAreSorted(pivots) {
+		panic(errors.New("serve: Pivots must ascend"))
+	}
+	s := &Server{cfg: cfg, rt: rt, be: be, pivots: pivots}
+	hw := ceilDiv(cfg.HighWater, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, newShard(s, i, hw))
+	}
+	for _, sh := range s.shards {
+		go sh.applier()
+	}
 	return s
 }
+
+// KnownBackends lists the backend names New accepts.
+func KnownBackends() []string { return []string{"treap", "t26"} }
+
+// defaultPivots spreads k-1 boundaries evenly over [0, universe).
+func defaultPivots(k, universe int) []int {
+	pivots := make([]int, 0, k-1)
+	for i := 1; i < k; i++ {
+		pivots = append(pivots, int(int64(universe)*int64(i)/int64(k)))
+	}
+	return pivots
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 // Runtime exposes the underlying scheduler (for metrics and tests).
 func (s *Server) Runtime() *sched.Runtime { return s.rt.RT }
 
-// admit runs admission control. On success the caller holds one inflight
-// token and must release it via s.complete or s.inflight.Done.
-func (s *Server) admit() error {
-	s.met.offered.Add(1)
-	if s.state.Load() != stateAccepting {
-		s.met.shedDraining.Add(1)
-		return ErrDraining
+// Backend returns the active backend's name.
+func (s *Server) Backend() string { return s.be.Name() }
+
+// Shards returns the shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// ShardOf returns the index of the shard owning key.
+func (s *Server) ShardOf(key int) int {
+	return sort.Search(len(s.pivots), func(i int) bool { return s.pivots[i] > key })
+}
+
+// targetsFor lists the shards a mutation touches: every shard for
+// intersect, the shards whose range the sorted batch hits otherwise.
+func (s *Server) targetsFor(op Op, sorted []int) []int {
+	k := len(s.shards)
+	if op == OpIntersect {
+		out := make([]int, k)
+		for i := range out {
+			out[i] = i
+		}
+		return out
 	}
+	var out []int
+	for i := 0; i < k; i++ {
+		if rangeNonEmpty(sorted, s.pivots, i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// overHighWater runs the admission check against each target shard and
+// returns the first shard over its mark (nil = admit). Each shard's
+// backlog is its even share of the scheduler backlog plus its own
+// pending pieces.
+func (s *Server) overHighWater(targets []int) *shard {
 	inject, maxDeque := s.rt.RT.Backlog()
-	s.mu.Lock()
-	queued := len(s.queue)
-	if s.state.Load() != stateAccepting {
-		s.mu.Unlock()
-		s.met.shedDraining.Add(1)
-		return ErrDraining
+	share := ceilDiv(inject+maxDeque, len(s.shards))
+	for _, ti := range targets {
+		sh := s.shards[ti]
+		if share+int(sh.queued.Load()) >= sh.hw {
+			return sh
+		}
 	}
-	if inject+maxDeque+queued >= s.cfg.HighWater {
-		s.mu.Unlock()
-		s.met.shedOverload.Add(1)
-		return ErrOverloaded
-	}
-	s.met.admitted.Add(1)
-	s.inflight.Add(1)
-	s.mu.Unlock()
 	return nil
 }
 
-// complete retires one admitted request.
-func (s *Server) complete(start time.Time) {
-	s.met.completed.Add(1)
-	s.met.lat.record(time.Since(start))
-	s.inflight.Done()
-}
-
-// Apply submits one mutation and blocks until it has been ordered and its
-// result root published (not until the whole tree materializes — that is
-// the pipelining). It returns the version the mutation produced.
-func (s *Server) Apply(op Op, keys []int) (uint64, error) {
+// Apply submits one mutation and blocks until every per-shard piece has
+// been ordered and its result published (not until the trees
+// materialize — that is the pipelining). It returns the cut of per-shard
+// versions the mutation produced; slot i is 0 if shard i was untouched.
+func (s *Server) Apply(op Op, keys []int) (Cut, error) {
 	switch op {
 	case OpUnion, OpInsert, OpDifference, OpIntersect:
 	default:
-		return 0, errors.New("serve: unknown op " + string(op))
+		return nil, errors.New("serve: unknown op " + string(op))
 	}
-	if err := s.admit(); err != nil {
-		return 0, err
+	s.met.offered.Add(1)
+	if s.state.Load() != stateAccepting {
+		s.met.shedDraining.Add(1)
+		return nil, ErrDraining
+	}
+	sorted := sortedDistinct(keys)
+	targets := s.targetsFor(op, sorted)
+	if len(targets) == 0 { // empty union/difference: a complete no-op
+		s.met.admitted.Add(1)
+		s.met.completed.Add(1)
+		return make(Cut, len(s.shards)), nil
 	}
 	start := time.Now()
-	m := &mutation{op: op, keys: keys, done: sched.NewCell[uint64](s.rt.RT)}
-	s.mu.Lock()
-	s.queue = append(s.queue, m)
-	s.met.queued.Add(1)
-	s.mu.Unlock()
-	s.cond.Signal()
 
-	v, err := m.done.ReadErr() // ErrShutdown impossible under drain discipline; surface anyway
-	s.complete(start)
-	return v, err
+	// Single-shard mutations route under the shared lock; cross-shard
+	// mutations take it exclusively so their piece enqueues are atomic
+	// not just against cut markers but against each other — every pair
+	// of non-commuting cross-shard mutations lands in the same order on
+	// every shard they share.
+	multi := len(targets) > 1
+	if multi {
+		s.routeMu.Lock()
+	} else {
+		s.routeMu.RLock()
+	}
+	unlock := func() {
+		if multi {
+			s.routeMu.Unlock()
+		} else {
+			s.routeMu.RUnlock()
+		}
+	}
+	if s.state.Load() != stateAccepting {
+		unlock()
+		s.met.shedDraining.Add(1)
+		return nil, ErrDraining
+	}
+	if over := s.overHighWater(targets); over != nil {
+		unlock()
+		over.offered.Add(1)
+		over.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	s.met.admitted.Add(1)
+	s.inflight.Add(1)
+	req := &request{start: start, cut: make(Cut, len(s.shards)), done: sched.NewCell[Cut](s.rt.RT)}
+	req.open.Store(int32(len(targets)))
+	operands := s.be.Prepare(nil, op, sorted, s.pivots)
+	for _, ti := range targets {
+		sh := s.shards[ti]
+		sh.mu.Lock()
+		sh.queue = append(sh.queue, shardReq{op: op, opd: operands[ti], req: req})
+		sh.mu.Unlock()
+		sh.offered.Add(1)
+		sh.admitted.Add(1)
+		sh.queued.Add(1)
+		sh.cond.Signal()
+	}
+	unlock()
+
+	cut, err := req.done.ReadErr() // ErrShutdown impossible under drain discipline; surface anyway
+	s.met.completed.Add(1)
+	s.inflight.Done()
+	return cut, err
 }
 
-// Contains reports whether key is in the set, against a consistent
-// (root, version) snapshot. The walk runs as a scheduler task and blocks
-// only on the cells along the search path.
+// Contains reports whether key is in the set, against the owning shard's
+// consistent (state, version) snapshot. The walk runs as a scheduler
+// task and blocks only on the cells along the search path.
 func (s *Server) Contains(key int) (bool, uint64, error) {
-	if err := s.admit(); err != nil {
-		return false, 0, err
+	s.met.offered.Add(1)
+	if s.state.Load() != stateAccepting {
+		s.met.shedDraining.Add(1)
+		return false, 0, ErrDraining
 	}
-	start := time.Now()
-	s.mu.Lock()
-	root, v := s.root, s.version
-	s.mu.Unlock()
+	sh := s.shards[s.ShardOf(key)]
 
+	s.routeMu.RLock()
+	if s.state.Load() != stateAccepting {
+		s.routeMu.RUnlock()
+		s.met.shedDraining.Add(1)
+		return false, 0, ErrDraining
+	}
+	if over := s.overHighWater([]int{sh.idx}); over != nil {
+		s.routeMu.RUnlock()
+		over.offered.Add(1)
+		over.shed.Add(1)
+		return false, 0, ErrOverloaded
+	}
+	s.met.admitted.Add(1)
+	s.inflight.Add(1)
+	sh.mu.Lock()
+	st, v := sh.st, sh.version
+	sh.mu.Unlock()
+	s.routeMu.RUnlock()
+
+	start := time.Now()
 	done := sched.NewCell[bool](s.rt.RT)
 	s.rt.RT.Fork(nil, func(w *sched.Worker) {
-		paralg.RContains(w, root, key, func(ctx paralg.Ctx, ok bool) {
+		s.be.Contains(w, st, key, func(ctx paralg.Ctx, ok bool) {
 			done.Write(asWorker(ctx), ok)
 		})
 	})
 	ok, err := done.ReadErr()
-	s.complete(start)
+	sh.lat.record(time.Since(start))
+	s.met.completed.Add(1)
+	s.inflight.Done()
 	return ok, v, err
 }
 
-// Len returns the number of keys, against a consistent snapshot. The
-// count runs as scheduler tasks over the snapshot tree.
-func (s *Server) Len() (int, uint64, error) {
-	if err := s.admit(); err != nil {
-		return 0, 0, err
+// cutSnapshot admits one scatter-gather read and returns per-shard
+// snapshots forming a consistent cut: the markers are enqueued on every
+// shard under the routing write lock, so no mutation's pieces straddle
+// them — every mutation is entirely inside or entirely outside the cut
+// on all the shards it touches.
+func (s *Server) cutSnapshot() ([]snap, Cut, error) {
+	s.met.offered.Add(1)
+	if s.state.Load() != stateAccepting {
+		s.met.shedDraining.Add(1)
+		return nil, nil, ErrDraining
+	}
+	all := make([]int, len(s.shards))
+	for i := range all {
+		all[i] = i
+	}
+	s.routeMu.Lock()
+	if s.state.Load() != stateAccepting {
+		s.routeMu.Unlock()
+		s.met.shedDraining.Add(1)
+		return nil, nil, ErrDraining
+	}
+	if over := s.overHighWater(all); over != nil {
+		s.routeMu.Unlock()
+		over.offered.Add(1)
+		over.shed.Add(1)
+		return nil, nil, ErrOverloaded
+	}
+	s.met.admitted.Add(1)
+	s.inflight.Add(1)
+	mk := &cutMarker{snaps: make([]snap, len(s.shards))}
+	mk.wg.Add(len(s.shards))
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.queue = append(sh.queue, shardReq{mark: mk})
+		sh.mu.Unlock()
+		sh.cond.Signal()
+	}
+	s.routeMu.Unlock()
+
+	mk.wg.Wait()
+	cut := make(Cut, len(s.shards))
+	for i, sn := range mk.snaps {
+		cut[i] = sn.version
+	}
+	return mk.snaps, cut, nil
+}
+
+// Len returns the number of keys against a consistent cut: per-shard
+// counts run as concurrent scheduler tasks over the cut's snapshots and
+// sum as they resolve.
+func (s *Server) Len() (int, Cut, error) {
+	snaps, cut, err := s.cutSnapshot()
+	if err != nil {
+		return 0, nil, err
 	}
 	start := time.Now()
-	s.mu.Lock()
-	root, v := s.root, s.version
-	s.mu.Unlock()
-
+	var total atomic.Int64
+	var open atomic.Int64
+	open.Store(int64(len(snaps)))
 	done := sched.NewCell[int](s.rt.RT)
-	s.rt.RT.Fork(nil, func(w *sched.Worker) {
-		paralg.RLen(w, root, func(ctx paralg.Ctx, n int) {
-			done.Write(asWorker(ctx), n)
+	for _, sn := range snaps {
+		st := sn.st
+		s.rt.RT.Fork(nil, func(w *sched.Worker) {
+			s.be.Len(w, st, func(ctx paralg.Ctx, n int) {
+				total.Add(int64(n))
+				if open.Add(-1) == 0 {
+					done.Write(asWorker(ctx), int(total.Load()))
+				}
+			})
 		})
-	})
+	}
 	n, err := done.ReadErr()
-	s.complete(start)
-	return n, v, err
+	s.met.gatherLat.record(time.Since(start))
+	s.met.completed.Add(1)
+	s.inflight.Done()
+	return n, cut, err
 }
 
-// Keys returns the set's contents in ascending order against a consistent
-// snapshot, blocking until that snapshot fully materializes. It is a
-// verification/debugging endpoint, not a fast path.
-func (s *Server) Keys() ([]int, uint64, error) {
-	if err := s.admit(); err != nil {
-		return nil, 0, err
+// Keys returns the set's contents in ascending order against a
+// consistent cut, blocking until every shard's snapshot fully
+// materializes. It is a verification/debugging endpoint, not a fast
+// path. Shard ranges ascend, so the concatenation is globally sorted.
+func (s *Server) Keys() ([]int, Cut, error) {
+	snaps, cut, err := s.cutSnapshot()
+	if err != nil {
+		return nil, nil, err
 	}
 	start := time.Now()
-	s.mu.Lock()
-	root, v := s.root, s.version
-	s.mu.Unlock()
-
 	var out []int
-	var walk func(t paralg.NodeCell)
-	walk = func(t paralg.NodeCell) {
-		n := t.Read()
-		if n == nil {
-			return
-		}
-		walk(n.Left)
-		out = append(out, n.Key)
-		walk(n.Right)
+	for _, sn := range snaps {
+		out = append(out, s.be.Keys(sn.st)...)
 	}
-	walk(root)
-	s.complete(start)
-	return out, v, nil
-}
-
-// applier is the single goroutine that orders and dispatches mutations.
-// It grabs the queue, coalesces adjacent same-kind runs, starts each
-// run's pipelined tree operation, publishes the new (root, version), and
-// parks each request's completion on its result root. It never waits for
-// a tree: the scheduler materializes them behind the published roots.
-func (s *Server) applier() {
-	defer close(s.applierDone)
-	for {
-		s.mu.Lock()
-		for len(s.queue) == 0 && s.state.Load() == stateAccepting {
-			s.cond.Wait()
-		}
-		if len(s.queue) == 0 { // draining and drained
-			s.mu.Unlock()
-			return
-		}
-		batch := s.queue
-		s.queue = nil
-		s.mu.Unlock()
-
-		for _, run := range coalesce(batch) {
-			s.dispatch(run)
-		}
-	}
-}
-
-// coalesce groups the batch into maximal adjacent runs of coalescible
-// ops. Union/insert runs merge into one key batch (union is associative
-// and commutative); difference runs likewise, since (A\B1)\B2 = A\(B1∪B2).
-// Intersects stay singleton runs.
-func coalesce(batch []*mutation) [][]*mutation {
-	var runs [][]*mutation
-	for _, m := range batch {
-		if n := len(runs); n > 0 && coalescible(runs[n-1][0].op, m.op) {
-			runs[n-1] = append(runs[n-1], m)
-			continue
-		}
-		runs = append(runs, []*mutation{m})
-	}
-	return runs
-}
-
-func coalescible(a, b Op) bool {
-	norm := func(o Op) Op {
-		if o == OpInsert {
-			return OpUnion
-		}
-		return o
-	}
-	a, b = norm(a), norm(b)
-	return a == b && a != OpIntersect
-}
-
-// dispatch starts one coalesced run's tree operation and publishes the
-// result. Every request in the run shares the run's version and
-// completes when the run's result root is written.
-func (s *Server) dispatch(run []*mutation) {
-	keys := run[0].keys
-	if len(run) > 1 {
-		keys = make([]int, 0, len(run)*len(run[0].keys))
-		for _, m := range run {
-			keys = append(keys, m.keys...)
-		}
-	}
-	s.met.queued.Add(-int64(len(run)))
-	s.met.batches.Add(1)
-
-	s.mu.Lock()
-	root := s.root
-	s.mu.Unlock()
-
-	var newRoot paralg.NodeCell
-	switch run[0].op {
-	case OpUnion, OpInsert:
-		newRoot = s.pc.InsertKeys(nil, root, keys)
-	case OpDifference:
-		newRoot = s.pc.DeleteKeys(nil, root, keys)
-	case OpIntersect:
-		newRoot = s.pc.Intersect(nil, root, s.pc.BuildTreap(nil, keys))
-	}
-
-	s.mu.Lock()
-	s.version++
-	v := s.version
-	s.root = newRoot
-	s.mu.Unlock()
-
-	for _, m := range run {
-		done := m.done
-		newRoot.Touch(nil, func(ctx paralg.Ctx, _ *paralg.RNode) {
-			done.Write(asWorker(ctx), v)
-		})
-	}
+	s.met.gatherLat.record(time.Since(start))
+	s.met.completed.Add(1)
+	s.inflight.Done()
+	return out, cut, nil
 }
 
 // Close drains and stops the server: stop admitting (new requests get
-// ErrDraining), let the applier drain the admitted queue, wait for every
-// admitted request to complete and the scheduler to go quiescent, then
-// shut the runtime down. Safe to call once.
+// ErrDraining), let every shard's applier drain its queue, wait for
+// every admitted request to complete and the scheduler to go quiescent,
+// then shut the runtime down. Safe to call once.
 func (s *Server) Close() {
-	// The state flip happens under mu so the applier cannot check
-	// "accepting, empty queue" and then miss the wakeup.
-	s.mu.Lock()
+	// The state flip happens under the routing lock, so no request that
+	// passed its admission check can be stranded: it either finished
+	// enqueueing before the flip or sees draining.
+	s.routeMu.Lock()
 	s.state.Store(stateDraining)
-	s.mu.Unlock()
-	s.cond.Broadcast() // wake the applier even with an empty queue
-	<-s.applierDone
+	s.routeMu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock() // pair with cond.Wait: no lost wakeup
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+	for _, sh := range s.shards {
+		<-sh.applierDone
+	}
 	s.inflight.Wait() // every admitted request has completed
 	s.rt.RT.Wait()    // every tree fully materialized, scheduler quiescent
 	s.rt.RT.Shutdown()
@@ -390,98 +498,15 @@ func asWorker(ctx paralg.Ctx) *sched.Worker {
 	return w
 }
 
-// ---- metrics -------------------------------------------------------------
-
-type metrics struct {
-	offered      atomic.Int64
-	admitted     atomic.Int64
-	completed    atomic.Int64
-	shedOverload atomic.Int64
-	shedDraining atomic.Int64
-	queued       atomic.Int64
-	batches      atomic.Int64
-	lat          latRing
-}
-
-// latRing is a bounded ring of recent request latencies (nanoseconds) for
-// quantile estimates. Monitoring-grade: concurrent writers may interleave.
-type latRing struct {
-	buf [4096]int64
-	n   atomic.Int64
-}
-
-func (r *latRing) record(d time.Duration) {
-	i := r.n.Add(1) - 1
-	atomic.StoreInt64(&r.buf[i%int64(len(r.buf))], int64(d))
-}
-
-func (r *latRing) quantiles() (p50, p99 time.Duration) {
-	n := r.n.Load()
-	if n == 0 {
-		return 0, 0
+// sortedDistinct returns a sorted deduplicated copy of keys.
+func sortedDistinct(keys []int) []int {
+	cp := append([]int(nil), keys...)
+	sort.Ints(cp)
+	out := cp[:0]
+	for i, k := range cp {
+		if i == 0 || k != cp[i-1] {
+			out = append(out, k)
+		}
 	}
-	if n > int64(len(r.buf)) {
-		n = int64(len(r.buf))
-	}
-	xs := make([]int64, n)
-	for i := range xs {
-		xs[i] = atomic.LoadInt64(&r.buf[i])
-	}
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
-	return time.Duration(xs[n/2]), time.Duration(xs[(n*99)/100])
-}
-
-// Metrics is a point-in-time snapshot of server and scheduler counters.
-type Metrics struct {
-	Offered      int64  `json:"offered"`
-	Admitted     int64  `json:"admitted"`
-	Completed    int64  `json:"completed"`
-	ShedOverload int64  `json:"shed_overload"`
-	ShedDraining int64  `json:"shed_draining"`
-	Inflight     int64  `json:"inflight"`
-	Queued       int64  `json:"queued"`
-	Batches      int64  `json:"batches"`
-	Version      uint64 `json:"version"`
-
-	P50Nanos int64 `json:"p50_nanos"`
-	P99Nanos int64 `json:"p99_nanos"`
-
-	InjectQueue int `json:"inject_queue"`
-	MaxDeque    int `json:"max_deque"`
-
-	Spawns        int64   `json:"spawns"`
-	Steals        int64   `json:"steals"`
-	Suspensions   int64   `json:"suspensions"`
-	Reactivations int64   `json:"reactivations"`
-	Tasks         int64   `json:"tasks"`
-	SchedMaxDeque int64   `json:"sched_max_deque"`
-	BusyNanos     []int64 `json:"busy_nanos"`
-}
-
-// Metrics samples every counter. Safe to call at any time.
-func (s *Server) Metrics() Metrics {
-	var m Metrics
-	m.Offered = s.met.offered.Load()
-	m.Admitted = s.met.admitted.Load()
-	m.Completed = s.met.completed.Load()
-	m.ShedOverload = s.met.shedOverload.Load()
-	m.ShedDraining = s.met.shedDraining.Load()
-	m.Inflight = m.Admitted - m.Completed
-	m.Queued = s.met.queued.Load()
-	m.Batches = s.met.batches.Load()
-	s.mu.Lock()
-	m.Version = s.version
-	s.mu.Unlock()
-	p50, p99 := s.met.lat.quantiles()
-	m.P50Nanos, m.P99Nanos = int64(p50), int64(p99)
-	m.InjectQueue, m.MaxDeque = s.rt.RT.Backlog()
-	c := s.rt.RT.Counters()
-	m.Spawns = c.Spawns
-	m.Steals = c.Steals
-	m.Suspensions = c.Suspensions
-	m.Reactivations = c.Reactivations
-	m.Tasks = c.Tasks
-	m.SchedMaxDeque = c.MaxDeque
-	m.BusyNanos = c.BusyNanos
-	return m
+	return out
 }

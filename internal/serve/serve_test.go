@@ -16,39 +16,123 @@ import (
 )
 
 func TestApplyAndReadBasics(t *testing.T) {
-	s := New(Config{P: 4})
-	defer s.Close()
+	for _, backend := range KnownBackends() {
+		t.Run(backend, func(t *testing.T) {
+			s := New(Config{P: 4, Backend: backend})
+			defer s.Close()
 
-	v1, err := s.Apply(OpUnion, []int{3, 1, 2, 2})
-	if err != nil || v1 != 1 {
-		t.Fatalf("union: v=%d err=%v, want v=1", v1, err)
+			cut, err := s.Apply(OpUnion, []int{3, 1, 2, 2})
+			if err != nil || len(cut) != 1 || cut[0] != 1 {
+				t.Fatalf("union: cut=%v err=%v, want [1]", cut, err)
+			}
+			if _, err := s.Apply(OpDifference, []int{2}); err != nil {
+				t.Fatalf("difference: %v", err)
+			}
+			ok, v, err := s.Contains(1)
+			if err != nil || !ok {
+				t.Fatalf("Contains(1) = %v,%d,%v, want true", ok, v, err)
+			}
+			if ok, _, _ := s.Contains(2); ok {
+				t.Fatal("Contains(2) = true after difference")
+			}
+			n, _, err := s.Len()
+			if err != nil || n != 2 {
+				t.Fatalf("Len = %d,%v, want 2", n, err)
+			}
+			keys, _, err := s.Keys()
+			if err != nil || len(keys) != 2 || keys[0] != 1 || keys[1] != 3 {
+				t.Fatalf("Keys = %v,%v, want [1 3]", keys, err)
+			}
+			if _, err := s.Apply(OpIntersect, []int{3, 99}); err != nil {
+				t.Fatalf("intersect: %v", err)
+			}
+			if n, _, _ := s.Len(); n != 1 {
+				t.Fatalf("Len after intersect = %d, want 1", n)
+			}
+			if _, err := s.Apply(Op("frobnicate"), nil); err == nil {
+				t.Fatal("unknown op admitted")
+			}
+		})
 	}
-	if _, err := s.Apply(OpDifference, []int{2}); err != nil {
-		t.Fatalf("difference: %v", err)
-	}
-	ok, v, err := s.Contains(1)
-	if err != nil || !ok {
-		t.Fatalf("Contains(1) = %v,%d,%v, want true", ok, v, err)
-	}
-	if ok, _, _ := s.Contains(2); ok {
-		t.Fatal("Contains(2) = true after difference")
-	}
-	n, _, err := s.Len()
-	if err != nil || n != 2 {
-		t.Fatalf("Len = %d,%v, want 2", n, err)
-	}
-	keys, _, err := s.Keys()
-	if err != nil || len(keys) != 2 || keys[0] != 1 || keys[1] != 3 {
-		t.Fatalf("Keys = %v,%v, want [1 3]", keys, err)
-	}
-	if _, err := s.Apply(OpIntersect, []int{3, 99}); err != nil {
-		t.Fatalf("intersect: %v", err)
-	}
-	if n, _, _ := s.Len(); n != 1 {
-		t.Fatalf("Len after intersect = %d, want 1", n)
-	}
-	if _, err := s.Apply(Op("frobnicate"), nil); err == nil {
-		t.Fatal("unknown op admitted")
+}
+
+// TestShardedBasics drives a 4-shard server and checks routing: a
+// mutation's cut versions exactly the shards its keys land on, intersect
+// versions every shard, and cross-shard reads see the whole set.
+func TestShardedBasics(t *testing.T) {
+	for _, backend := range KnownBackends() {
+		t.Run(backend, func(t *testing.T) {
+			s := New(Config{P: 4, Backend: backend, Shards: 4, Universe: 400})
+			defer s.Close()
+			// Default pivots: 100, 200, 300.
+			if got := s.ShardOf(0); got != 0 {
+				t.Fatalf("ShardOf(0) = %d", got)
+			}
+			if got := s.ShardOf(100); got != 1 {
+				t.Fatalf("ShardOf(100) = %d, want 1 (pivot key belongs right)", got)
+			}
+			if got := s.ShardOf(399); got != 3 {
+				t.Fatalf("ShardOf(399) = %d", got)
+			}
+
+			cut, err := s.Apply(OpUnion, []int{5, 105, 305})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cut[0] == 0 || cut[1] == 0 || cut[3] == 0 || cut[2] != 0 {
+				t.Fatalf("union cut = %v, want shards 0,1,3 versioned and 2 untouched", cut)
+			}
+			cut, err = s.Apply(OpDifference, []int{105})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cut[1] == 0 || cut[0] != 0 || cut[2] != 0 || cut[3] != 0 {
+				t.Fatalf("difference cut = %v, want only shard 1 versioned", cut)
+			}
+			// Intersect must version every shard: shard 3 loses key 305 even
+			// though the mask has no key in its range.
+			cut, err = s.Apply(OpIntersect, []int{5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range cut {
+				if v == 0 {
+					t.Fatalf("intersect cut = %v: shard %d unversioned", cut, i)
+				}
+			}
+			keys, _, err := s.Keys()
+			if err != nil || len(keys) != 1 || keys[0] != 5 {
+				t.Fatalf("Keys = %v,%v, want [5]", keys, err)
+			}
+			if n, _, _ := s.Len(); n != 1 {
+				t.Fatalf("Len = %d, want 1", n)
+			}
+			// Keys outside [0, Universe) are legal and land on edge shards.
+			if _, err := s.Apply(OpUnion, []int{-7, 4000}); err != nil {
+				t.Fatal(err)
+			}
+			if ok, _, _ := s.Contains(-7); !ok {
+				t.Fatal("Contains(-7) = false")
+			}
+			if ok, _, _ := s.Contains(4000); !ok {
+				t.Fatal("Contains(4000) = false")
+			}
+
+			m := s.Metrics()
+			if m.Shards != 4 || m.Backend != backend {
+				t.Fatalf("Metrics identity: %q/%d", m.Backend, m.Shards)
+			}
+			var shed int64
+			for i, sm := range m.PerShard {
+				if sm.Offered != sm.Admitted+sm.Shed {
+					t.Errorf("shard %d ledger: offered %d != admitted %d + shed %d", i, sm.Offered, sm.Admitted, sm.Shed)
+				}
+				shed += sm.Shed
+			}
+			if shed != m.ShedOverload {
+				t.Errorf("ShedOverload %d != sum of per-shard sheds %d", m.ShedOverload, shed)
+			}
+		})
 	}
 }
 
@@ -59,7 +143,7 @@ func TestApplyAndReadBasics(t *testing.T) {
 func TestDrainSemantics(t *testing.T) {
 	start := runtime.NumGoroutine()
 
-	s := New(Config{P: 4})
+	s := New(Config{P: 4, Shards: 3, Universe: 80000})
 	rng := workload.NewRNG(5)
 	batch := workload.DistinctKeys(rng, 20000, 80000)
 
@@ -121,7 +205,7 @@ func TestDrainSemantics(t *testing.T) {
 		t.Error("ShedDraining = 0 after post-drain requests")
 	}
 
-	// Goroutine-leak check: workers and applier are gone once Close
+	// Goroutine-leak check: workers and appliers are gone once Close
 	// returns; allow the runtime a moment to retire exiting goroutines.
 	deadline = time.Now().Add(5 * time.Second)
 	for runtime.NumGoroutine() > start+2 && time.Now().Before(deadline) {
@@ -132,13 +216,19 @@ func TestDrainSemantics(t *testing.T) {
 	}
 }
 
-// TestCoalesce checks run formation: same-kind adjacency merges
-// (insert/union together), intersect never merges.
-func TestCoalesce(t *testing.T) {
-	ms := func(ops ...Op) []*mutation {
-		var out []*mutation
+// TestCoalesceRuns checks run formation in a shard queue: same-kind
+// adjacency merges (insert/union together), intersect never merges, and
+// cut markers both stay singleton and break runs around them.
+func TestCoalesceRuns(t *testing.T) {
+	const markOp = Op("__mark")
+	rs := func(ops ...Op) []shardReq {
+		var out []shardReq
 		for _, o := range ops {
-			out = append(out, &mutation{op: o})
+			if o == markOp {
+				out = append(out, shardReq{mark: &cutMarker{}})
+			} else {
+				out = append(out, shardReq{op: o})
+			}
 		}
 		return out
 	}
@@ -150,23 +240,107 @@ func TestCoalesce(t *testing.T) {
 		{[]Op{OpUnion, OpDifference, OpDifference}, []int{1, 2}},
 		{[]Op{OpIntersect, OpIntersect}, []int{1, 1}},
 		{[]Op{OpUnion, OpIntersect, OpUnion}, []int{1, 1, 1}},
+		{[]Op{OpUnion, markOp, OpUnion}, []int{1, 1, 1}},
+		{[]Op{markOp, markOp}, []int{1, 1}},
 	}
 	for _, c := range cases {
-		runs := coalesce(ms(c.ops...))
+		runs := coalesceRuns(rs(c.ops...))
 		if len(runs) != len(c.want) {
-			t.Errorf("coalesce(%v): %d runs, want %d", c.ops, len(runs), len(c.want))
+			t.Errorf("coalesceRuns(%v): %d runs, want %d", c.ops, len(runs), len(c.want))
 			continue
 		}
 		for i, r := range runs {
 			if len(r) != c.want[i] {
-				t.Errorf("coalesce(%v): run %d has %d ops, want %d", c.ops, i, len(r), c.want[i])
+				t.Errorf("coalesceRuns(%v): run %d has %d entries, want %d", c.ops, i, len(r), c.want[i])
 			}
 		}
 	}
 }
 
+// TestSingleShardQuantilesMatchGlobal: on a one-shard server the global
+// latency quantiles are exactly that shard's — the merge across shards is
+// sample-level, not an average of quantiles.
+func TestSingleShardQuantilesMatchGlobal(t *testing.T) {
+	s := New(Config{P: 2, Shards: 1})
+	defer s.Close()
+	rng := workload.NewRNG(11)
+	for i := 0; i < 200; i++ {
+		if _, err := s.Apply(OpUnion, workload.DistinctKeys(rng, 16, 1<<12)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Contains(rng.Intn(1 << 12)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := s.Metrics()
+	if len(m.PerShard) != 1 {
+		t.Fatalf("PerShard has %d entries", len(m.PerShard))
+	}
+	if m.P50Nanos == 0 || m.P99Nanos == 0 {
+		t.Fatal("no latency samples recorded")
+	}
+	if m.PerShard[0].P50Nanos != m.P50Nanos || m.PerShard[0].P99Nanos != m.P99Nanos {
+		t.Errorf("single-shard quantiles diverge: shard p50/p99 %d/%d, global %d/%d",
+			m.PerShard[0].P50Nanos, m.PerShard[0].P99Nanos, m.P50Nanos, m.P99Nanos)
+	}
+}
+
+// TestKeysConsistentCut: cross-shard mutations are atomic under the cut.
+// Writers union and difference key pairs that straddle two shards;
+// every Keys snapshot must contain both halves of a pair or neither.
+func TestKeysConsistentCut(t *testing.T) {
+	const (
+		universe = 1 << 16
+		offset   = 3 * universe / 4 // pair (j, j+offset): shard 0 and shard 3
+		pairs    = 300
+	)
+	s := New(Config{P: 4, Shards: 4, Universe: universe})
+	defer s.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; !stop.Load(); j = (j + 1) % pairs {
+			var err error
+			if j%3 == 2 { // revisit: remove an earlier pair
+				_, err = s.Apply(OpDifference, []int{j, j + offset})
+			} else {
+				_, err = s.Apply(OpUnion, []int{j, j + offset})
+			}
+			if err != nil && !errors.Is(err, ErrOverloaded) {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+
+	for snap := 0; snap < 50; snap++ {
+		keys, _, err := s.Keys()
+		if errors.Is(err, ErrOverloaded) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("Keys: %v", err)
+		}
+		have := make(map[int]bool, len(keys))
+		for _, k := range keys {
+			have[k] = true
+		}
+		for j := 0; j < pairs; j++ {
+			if have[j] != have[j+offset] {
+				t.Fatalf("snapshot %d tears pair (%d, %d): %v vs %v — not a consistent cut",
+					snap, j, j+offset, have[j], have[j+offset])
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
 func TestHTTPHandler(t *testing.T) {
-	s := New(Config{P: 2})
+	s := New(Config{P: 2, Shards: 2, Universe: 100})
 	h := s.Handler()
 
 	post := func(body string) *httptest.ResponseRecorder {
@@ -176,11 +350,15 @@ func TestHTTPHandler(t *testing.T) {
 		return rec
 	}
 
-	if rec := post(`{"op":"union","keys":[5,6,7]}`); rec.Code != http.StatusOK {
+	rec := post(`{"op":"union","keys":[5,6,70]}`)
+	if rec.Code != http.StatusOK {
 		t.Fatalf("union: status %d body %s", rec.Code, rec.Body)
 	}
-	rec := post(`{"op":"contains","key":6}`)
 	var resp OpResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || len(resp.Versions) != 2 {
+		t.Fatalf("union: body %s err %v, want a 2-slot version cut", rec.Body, err)
+	}
+	rec = post(`{"op":"contains","key":6}`)
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.Contains == nil || !*resp.Contains {
 		t.Fatalf("contains: body %s err %v", rec.Body, err)
 	}
@@ -198,9 +376,10 @@ func TestHTTPHandler(t *testing.T) {
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/keys", nil))
 	var kr struct {
-		Keys []int `json:"keys"`
+		Versions Cut   `json:"versions"`
+		Keys     []int `json:"keys"`
 	}
-	if err := json.Unmarshal(rec.Body.Bytes(), &kr); err != nil || len(kr.Keys) != 3 {
+	if err := json.Unmarshal(rec.Body.Bytes(), &kr); err != nil || len(kr.Keys) != 3 || len(kr.Versions) != 2 {
 		t.Fatalf("keys: body %s err %v", rec.Body, err)
 	}
 
@@ -212,6 +391,9 @@ func TestHTTPHandler(t *testing.T) {
 	}
 	if m.Admitted == 0 || m.Completed == 0 {
 		t.Errorf("metrics: admitted %d completed %d, want > 0", m.Admitted, m.Completed)
+	}
+	if m.Shards != 2 || len(m.PerShard) != 2 {
+		t.Errorf("metrics: shards %d per-shard %d, want 2", m.Shards, len(m.PerShard))
 	}
 
 	s.Close()

@@ -1,0 +1,186 @@
+package serve
+
+// One shard: an independent versioned root with its own applier
+// goroutine, coalescing queue, version counter, admission mark, and
+// latency reservoir — exactly the PR-4 single-root server, k times, all
+// multiplexed onto one shared sched.Runtime. The router (serve.go)
+// partitions the key space across shards by range pivots and splits each
+// mutation into per-shard pieces; this file is everything that happens
+// after a piece reaches its shard.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pipefut/internal/paralg"
+	"pipefut/internal/sched"
+)
+
+// request is one admitted mutation: the completion bookkeeping shared by
+// its per-shard pieces. Each piece fills its shard's slot in the cut and
+// decrements the countdown; the last piece writes the done cell, which
+// is what the caller's Apply blocks on.
+type request struct {
+	start time.Time
+	cut   Cut          // per-shard versions; slot i written by shard i's piece
+	open  atomic.Int32 // pieces not yet published
+	done  *sched.Cell[Cut]
+}
+
+// finish records piece completion for shard idx at version v. Distinct
+// pieces write distinct cut slots; the atomic countdown orders every
+// slot write before the done write.
+func (r *request) finish(ctx paralg.Ctx, idx int, v uint64) {
+	r.cut[idx] = v
+	if r.open.Add(-1) == 0 {
+		r.done.Write(asWorker(ctx), r.cut)
+	}
+}
+
+// shardReq is one entry in a shard's queue: a mutation piece, or a cut
+// marker placed by a scatter-gather read.
+type shardReq struct {
+	op   Op
+	opd  Operand
+	req  *request
+	mark *cutMarker
+}
+
+// cutMarker is enqueued on every shard at one routing instant (under the
+// router's write lock, so no mutation's pieces straddle it). Each
+// applier records its (state, version) at the marker's queue position;
+// the vector of records is a consistent cut: every mutation is either
+// entirely below the markers or entirely above them on all its shards.
+type cutMarker struct {
+	snaps []snap
+	wg    sync.WaitGroup
+}
+
+type snap struct {
+	st      State
+	version uint64
+}
+
+// shard owns one key range's root.
+type shard struct {
+	s   *Server
+	idx int
+	hw  int // admission mark: this shard's share of Config.HighWater
+
+	mu      sync.Mutex
+	st      State
+	version uint64
+	queue   []shardReq
+	cond    *sync.Cond // applier wakeup: queue non-empty or draining
+
+	applierDone chan struct{}
+
+	// Per-shard admission ledger: offered == admitted + shed always.
+	// offered counts pieces enqueued plus sheds attributed to this shard;
+	// each request-level overload shed is attributed to exactly one shard
+	// (the first one found over its mark), so the global overload count
+	// is the sum of the per-shard sheds.
+	offered  atomic.Int64
+	admitted atomic.Int64
+	shed     atomic.Int64
+	queued   atomic.Int64 // mutation pieces enqueued and not yet dispatched
+	batches  atomic.Int64
+	lat      latRing
+}
+
+func newShard(s *Server, idx, hw int) *shard {
+	sh := &shard{s: s, idx: idx, hw: hw, st: s.be.Empty(), applierDone: make(chan struct{})}
+	sh.cond = sync.NewCond(&sh.mu)
+	return sh
+}
+
+// applier is the shard's single ordering goroutine: it grabs the queue,
+// coalesces adjacent same-kind runs, applies each run through the
+// backend, publishes the new (state, version), and parks the run's
+// request completions on the published state. With the treap backend it
+// never waits for a tree — the scheduler materializes them behind the
+// published roots; with the t26 backend the backend's Apply itself
+// blocks, which is precisely the non-pipelined behavior being measured.
+func (sh *shard) applier() {
+	defer close(sh.applierDone)
+	for {
+		sh.mu.Lock()
+		for len(sh.queue) == 0 && sh.s.state.Load() == stateAccepting {
+			sh.cond.Wait()
+		}
+		if len(sh.queue) == 0 { // draining and drained
+			sh.mu.Unlock()
+			return
+		}
+		batch := sh.queue
+		sh.queue = nil
+		sh.mu.Unlock()
+
+		for _, run := range coalesceRuns(batch) {
+			sh.dispatch(run)
+		}
+	}
+}
+
+// coalesceRuns groups the batch into maximal adjacent runs of
+// coalescible mutation pieces. Union/insert runs merge; difference runs
+// merge ((A\B1)\B2 = A\(B1∪B2)); intersects and markers stay singleton.
+func coalesceRuns(batch []shardReq) [][]shardReq {
+	var runs [][]shardReq
+	for _, r := range batch {
+		if n := len(runs); n > 0 && r.mark == nil && runs[n-1][0].mark == nil &&
+			coalescible(runs[n-1][0].op, r.op) {
+			runs[n-1] = append(runs[n-1], r)
+			continue
+		}
+		runs = append(runs, []shardReq{r})
+	}
+	return runs
+}
+
+func coalescible(a, b Op) bool {
+	norm := func(o Op) Op {
+		if o == OpInsert {
+			return OpUnion
+		}
+		return o
+	}
+	a, b = norm(a), norm(b)
+	return a == b && a != OpIntersect
+}
+
+// dispatch applies one coalesced run (or records one marker) and
+// publishes the result. Every piece in the run shares the run's version
+// and completes when the run's result state is ready.
+func (sh *shard) dispatch(run []shardReq) {
+	if mk := run[0].mark; mk != nil {
+		// The applier is the only writer of st/version, so reading its
+		// own last publication needs no lock.
+		mk.snaps[sh.idx] = snap{st: sh.st, version: sh.version}
+		mk.wg.Done()
+		return
+	}
+	sh.queued.Add(-int64(len(run)))
+	sh.batches.Add(1)
+
+	be := sh.s.be
+	opd := run[0].opd
+	for _, r := range run[1:] {
+		opd = be.Coalesce(nil, run[0].op, opd, r.opd)
+	}
+	next := be.Apply(nil, sh.st, run[0].op, opd)
+
+	sh.mu.Lock()
+	sh.version++
+	v := sh.version
+	sh.st = next
+	sh.mu.Unlock()
+
+	be.Ready(next, func(ctx paralg.Ctx) {
+		for _, r := range run {
+			sh.lat.record(time.Since(r.req.start))
+			r.req.finish(ctx, sh.idx, v)
+		}
+	})
+}

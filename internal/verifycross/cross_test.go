@@ -358,6 +358,24 @@ var algCases = []algCase{
 		},
 	},
 	{
+		// Chained treap splits — the dynamic shape of paralg.SplitRanges
+		// (each split consumes the ≥ side of the previous one), recorded
+		// through the traceable costalg.SplitM.
+		name:    "split",
+		entries: []string{"paralg.RConfig.Split", "paralg.RConfig.SplitRanges"},
+		run: func(ctx *core.Ctx, eng *core.Engine) {
+			rng := workload.NewRNG(7)
+			keys := workload.DistinctKeys(rng, algN, 4*algN)
+			rest := costalg.FromSeqTreap(eng, seqtreap.FromKeys(keys))
+			for _, pivot := range []int{algN, 2 * algN, 3 * algN} {
+				lt, ge, _ := costalg.SplitM(ctx, pivot, rest)
+				costalg.CompletionTime(lt)
+				rest = ge
+			}
+			costalg.CompletionTime(rest)
+		},
+	},
+	{
 		name:    "prodcons",
 		entries: []string{"costalg.Produce", "costalg.Consume", "paralg.Produce", "paralg.Consume"},
 		run: func(ctx *core.Ctx, eng *core.Engine) {
