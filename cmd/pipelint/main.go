@@ -31,6 +31,7 @@ import (
 	"pipefut/internal/analysis"
 	"pipefut/internal/analysis/flow"
 	"pipefut/internal/analysis/load"
+	"pipefut/internal/verdict"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (go vet handshake)")
 	flowFlag := flag.Bool("flow", false, "also run the flow-sensitive analyzers (flowlinear, mustwrite, deadcycle); standalone mode only")
 	jsonFlag := flag.Bool("json", false, "write diagnostics to stdout as a JSON array instead of text on stderr")
+	verdictsFlag := flag.Bool("verdicts", false, "emit the flow-class verdict manifest (internal/verdict) as JSON to stdout and exit; the optional argument is the repo root (default .)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -48,6 +50,20 @@ func main() {
 	if *flagsFlag {
 		// No exposed analyzer flags; the driver only needs valid JSON.
 		fmt.Println("[]")
+		return
+	}
+
+	if *verdictsFlag {
+		root := "."
+		if flag.NArg() > 0 {
+			root = flag.Arg(0)
+		}
+		m, err := verdict.Generate(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pipelint:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(m.JSON())
 		return
 	}
 
@@ -146,6 +162,15 @@ func standalone(patterns []string, suite []*analysis.Analyzer, asJSON bool) int 
 		}
 		for _, d := range diags {
 			pos := fset.Position(d.Pos)
+			if !d.Pos.IsValid() {
+				// Anchor position-less findings to the package's first
+				// file: the JSON consumers (the CI annotation lane's jq
+				// pass) require a non-empty file and a 1-based line.
+				if fs := p.AbsFiles(); len(fs) > 0 {
+					pos.Filename = fs[0]
+				}
+				pos.Line, pos.Column = 1, 1
+			}
 			found = append(found, jsonDiag{
 				File:     pos.Filename,
 				Line:     pos.Line,

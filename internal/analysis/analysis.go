@@ -98,13 +98,22 @@ func Run(suite []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.P
 	files = kept
 	var diags []Diagnostic
 	for _, a := range suite {
+		a := a
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      fset,
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
-			Report:    func(d Diagnostic) { diags = append(diags, d) },
+			// Every diagnostic carries its analyzer's name, even when an
+			// analyzer bypasses Reportf: machine consumers (pipelint -json
+			// and the CI annotation lane) key on Category being non-empty.
+			Report: func(d Diagnostic) {
+				if d.Category == "" {
+					d.Category = a.Name
+				}
+				diags = append(diags, d)
+			},
 		}
 		if err := a.Run(pass); err != nil {
 			return diags, fmt.Errorf("%s: %v", a.Name, err)

@@ -1,0 +1,93 @@
+package flow_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"pipefut/internal/analysis/analysistest"
+	"pipefut/internal/analysis/flow"
+	"pipefut/internal/analysis/load"
+	"pipefut/internal/ssa"
+)
+
+// loadSummaries builds the SSA-lite program and summaries for one
+// testdata package.
+func loadSummaries(t *testing.T, pkg string) (*ssa.Program, *flow.Summaries) {
+	t.Helper()
+	pkgDir := filepath.Join(analysistest.TestData(t), "src", pkg)
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", pkgDir, err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(pkgDir, e.Name()))
+		}
+	}
+	sort.Strings(filenames)
+	fset := token.NewFileSet()
+	loaded, err := load.ParseAndCheck(fset, pkg, filenames, load.SourceImporter(fset, pkgDir))
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkg, err)
+	}
+	prog := ssa.Build(fset, loaded.Files, loaded.Types, loaded.Info)
+	return prog, flow.ComputeSummaries(prog)
+}
+
+func findFunc(t *testing.T, prog *ssa.Program, name string) *ssa.Func {
+	t.Helper()
+	for _, fn := range prog.Funcs {
+		if fn.Name == name {
+			return fn
+		}
+	}
+	t.Fatalf("function %q not found", name)
+	return nil
+}
+
+// TestForwardedVerdicts checks the static write-before-touch classifier
+// over the flow shapes in the flowlinear and mustwrite testdata.
+func TestForwardedVerdicts(t *testing.T) {
+	cases := []struct {
+		pkg, fn   string
+		forwarded bool
+	}{
+		// Positive: synchronous materialization before every touch.
+		{"flowlinear", "fwdStraight", true},
+		{"flowlinear", "fwdChain", true},
+		{"mustwrite", "writeThenTouch", true},
+		// condReader's touch is a demand on its caller, not a demotion.
+		{"flowlinear", "condReader", true},
+		// Negative: a fork result may still be unwritten at the touch.
+		{"flowlinear", "notFwdPipelined", false},
+		{"flowlinear", "notFwdCond", false},
+		{"mustwrite", "condEarlyTouch", false},
+		// Pre-existing shapes: pipelined fork flows are never forwarded.
+		{"flowlinear", "forked", false},
+		{"mustwrite", "bothArms", false},
+		// Touching only materialized or caller-owned cells stays
+		// forwarded even across branches and loops.
+		{"flowlinear", "branchy", true},
+		{"flowlinear", "done", true},
+	}
+	progs := map[string]*ssa.Program{}
+	sums := map[string]*flow.Summaries{}
+	for _, pkg := range []string{"flowlinear", "mustwrite"} {
+		progs[pkg], sums[pkg] = loadSummaries(t, pkg)
+	}
+	for _, tc := range cases {
+		fn := findFunc(t, progs[tc.pkg], tc.fn)
+		got, reason := sums[tc.pkg].Forwarded(fn)
+		if got != tc.forwarded {
+			t.Errorf("%s.%s: Forwarded = %v (reason %q), want %v", tc.pkg, tc.fn, got, reason, tc.forwarded)
+		}
+		if !got && reason == "" {
+			t.Errorf("%s.%s: demoted without a reason", tc.pkg, tc.fn)
+		}
+	}
+}

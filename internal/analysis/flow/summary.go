@@ -2,6 +2,7 @@ package flow
 
 import (
 	"go/types"
+	"sync"
 
 	"pipefut/internal/cellapi"
 	"pipefut/internal/ssa"
@@ -139,6 +140,11 @@ func boolMapsEqual(a, b map[*types.Var]bool) bool {
 type Summaries struct {
 	prog *ssa.Program
 	m    map[*ssa.Func]*Summary
+
+	// fwd caches the forwarded-flow fixpoint (see forwarded.go),
+	// computed lazily on first use.
+	fwdMu sync.Mutex
+	fwd   map[*ssa.Func]*forwardedFact
 }
 
 // Of returns fn's summary, or nil for nil/foreign functions.

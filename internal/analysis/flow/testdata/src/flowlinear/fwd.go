@@ -1,0 +1,52 @@
+// Write-before-touch (forwarded) flow shapes, shared with the
+// forwarded-classification tests (forwarded_test.go): flowlinear's
+// diagnostics here pin down which of these flows are even linear, and
+// the classifier's verdicts over the same functions are asserted in
+// that test.
+package flowlinear
+
+import "pipefut/internal/core"
+
+// fwdStraight touches a cell born written: forwarded (and linear).
+func fwdStraight(t *core.Ctx) int {
+	d := core.NowCell(t, 5)
+	return core.Touch(t, d)
+}
+
+// seqPair materializes both results before returning.
+func seqPair(t *core.Ctx) (*core.Cell[int], *core.Cell[int]) {
+	return core.NowCell(t, 1), core.NowCell(t, 2)
+}
+
+// fwdChain touches call results that are materialized at return: still
+// forwarded across the call boundary.
+func fwdChain(t *core.Ctx) int {
+	a, b := seqPair(t)
+	return core.Touch(t, a) + core.Touch(t, b)
+}
+
+// notFwdPipelined touches a fork result: linear, but the write races
+// the touch — not forwarded.
+func notFwdPipelined(t *core.Ctx) int {
+	a := core.Fork1(t, func(t2 *core.Ctx) int { return 1 })
+	return core.Touch(t, a)
+}
+
+// condReader touches c only on one branch; whether that touch precedes
+// c's write depends on the caller.
+func condReader(t *core.Ctx, c *core.Cell[int], cond bool) int {
+	if cond {
+		return core.Touch(t, c)
+	}
+	return 0
+}
+
+// notFwdCond conditionally touches a fork result before its producer is
+// known to have run, then touches it again: the conditional
+// touch-before-write demotes the flow all the way to the general class
+// (it is not even linear — up to two touches reach "a").
+func notFwdCond(t *core.Ctx, cond bool) int {
+	a := core.Fork1(t, func(t2 *core.Ctx) int { return 1 })
+	s := condReader(t, a, cond)
+	return s + core.Touch(t, a) // want `may already be touched`
+}

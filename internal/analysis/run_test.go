@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"go/token"
+	"testing"
+
+	"pipefut/internal/analysis"
+)
+
+// TestRunDefaultsCategory checks the framework guarantee the -json
+// consumers rely on: every diagnostic leaves Run with a non-empty
+// Category, even when an analyzer bypasses Reportf and reports a bare
+// Diagnostic. An analyzer that sets its own Category keeps it.
+func TestRunDefaultsCategory(t *testing.T) {
+	bare := &analysis.Analyzer{
+		Name: "bareanalyzer",
+		Doc:  "reports one diagnostic without a category",
+		Run: func(p *analysis.Pass) error {
+			p.Report(analysis.Diagnostic{Pos: token.NoPos, Message: "no category set"})
+			p.Report(analysis.Diagnostic{Pos: token.NoPos, Category: "custom", Message: "category kept"})
+			return nil
+		},
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{bare}, token.NewFileSet(), nil, nil, analysis.NewInfo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2", len(diags))
+	}
+	if diags[0].Category != "bareanalyzer" {
+		t.Errorf("bare diagnostic has Category %q, want the analyzer name", diags[0].Category)
+	}
+	if diags[1].Category != "custom" {
+		t.Errorf("categorized diagnostic has Category %q, want it preserved as %q", diags[1].Category, "custom")
+	}
+}

@@ -62,7 +62,7 @@ func runServe(cfg Config, w io.Writer) error {
 	tb := NewTable(
 		fmt.Sprintf("Serving sweep: mixed set ops (40%% union / 25%% diff / 5%% intersect / 30%% reads), %d requests per client, universe %d, highwater %d",
 			reqPerClient, universe, serve.DefaultHighWater),
-		"backend", "p", "k", "clients", "time", "req/s", "admitted", "shed", "batches", "p50", "p99", "spawns", "susp")
+		"backend", "p", "k", "clients", "time", "req/s", "admitted", "shed", "batches", "p50", "p99", "spawns", "susp", "lin/fwd")
 	for _, backend := range serve.KnownBackends() {
 		for _, p := range ps {
 			for _, shards := range shardSweep {
@@ -88,7 +88,8 @@ func runServe(cfg Config, w io.Writer) error {
 					tb.Row(backend, I(int64(p)), I(int64(shards)), I(int64(clients)), elapsed.String(),
 						F(reqps), I(m.Admitted), I(m.ShedOverload), I(m.Batches),
 						time.Duration(m.P50Nanos).String(), time.Duration(m.P99Nanos).String(),
-						I(m.Spawns), I(m.Suspensions))
+						I(m.Spawns), I(m.Suspensions),
+						fmt.Sprintf("%d/%d", m.LinearTouches, m.ForwardedTouches))
 					cfg.EmitJSON(ServePoint{
 						Exp: "serve", Backend: backend, P: p, Shards: shards, Clients: clients,
 						ReqPerSec: reqps, Admitted: m.Admitted, Shed: m.ShedOverload,
@@ -101,6 +102,7 @@ func runServe(cfg Config, w io.Writer) error {
 	tb.Note("batches < admitted mutations means the appliers coalesced adjacent same-kind requests")
 	tb.Note("treap pipelines across batches (apply returns at root publication); t26 materializes each batch before the next")
 	tb.Note("measured: t26 wins raw req/s here — every treap node access is a scheduler cell (compare the spawns column), and that constant factor outweighs cross-batch overlap at these scales; the treap's pipelining shows in suspensions ≫ and smaller coalesced runs (its appliers never block, so queues stay short)")
+	tb.Note("lin/fwd: touches on specialized cell variants (DESIGN.md \"Verdict-driven cell specialization\") — the treap backend pins SharedCells (lin stays 0: published roots are touched concurrently pre-write), the t26 backend pins LinearCells (fresh cells come from the verdict manifest's linear class)")
 	if err := tb.Fprint(w); err != nil {
 		return err
 	}

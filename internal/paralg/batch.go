@@ -17,6 +17,7 @@ import (
 // the tree is still under construction, so queries and further set
 // operations can start immediately. ctx follows the Fork contract.
 func (c RConfig) BuildTreap(ctx Ctx, keys []int) NodeCell {
+	c = c.classed("paralg.RConfig.BuildTreap")
 	return c.rbuildTreap(ctx, 0, keys)
 }
 
@@ -26,10 +27,10 @@ func (c RConfig) rbuildTreap(ctx Ctx, d int, keys []int) NodeCell {
 		return RFromSeqTreap(c.R, seqtreap.FromKeys(keys))
 	}
 	half := len(keys) / 2
-	a := c.R.NewNode()
+	a := c.newNode()
 	c.fork(ctx, d, func(ctx Ctx) { c.rbuildTreap(ctx, d+1, keys[:half]).Touch(ctx, a.Write) })
 	b := c.rbuildTreap(ctx, d+1, keys[half:])
-	out := c.R.NewNode()
+	out := c.newNode()
 	c.unionInto(ctx, d, a, b, out)
 	return out
 }
@@ -38,7 +39,8 @@ func (c RConfig) rbuildTreap(ctx Ctx, d int, keys []int) NodeCell {
 // union — the batch entry the serving layer coalesces insert requests
 // into.
 func (c RConfig) InsertKeys(ctx Ctx, tree NodeCell, keys []int) NodeCell {
-	out := c.R.NewNode()
+	c = c.classed("paralg.RConfig.InsertKeys")
+	out := c.newNode()
 	c.unionInto(ctx, 0, tree, c.BuildTreap(ctx, keys), out)
 	return out
 }
@@ -46,6 +48,7 @@ func (c RConfig) InsertKeys(ctx Ctx, tree NodeCell, keys []int) NodeCell {
 // DeleteKeys returns the treap with all keys removed, as one pipelined
 // difference.
 func (c RConfig) DeleteKeys(ctx Ctx, tree NodeCell, keys []int) NodeCell {
+	c = c.classed("paralg.RConfig.DeleteKeys")
 	return c.Diff(ctx, tree, c.BuildTreap(ctx, keys))
 }
 

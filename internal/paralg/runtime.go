@@ -18,6 +18,7 @@ import (
 	"pipefut/internal/seqtreap"
 	"pipefut/internal/seqtree"
 	"pipefut/internal/t26"
+	"pipefut/internal/verdict"
 )
 
 // Ctx is the opaque per-task scheduling context. The Go runtime ignores
@@ -87,6 +88,16 @@ type RConfig struct {
 	// forks at recursion depth < SpawnDepth become runtime tasks, deeper
 	// ones run inline in the caller.
 	SpawnDepth int
+	// Discipline declares how the caller consumes the produced cell
+	// trees; the zero value (SharedCells) disables cell specialization.
+	// See variants.go.
+	Discipline CellDiscipline
+	// class is the verdict-manifest flow class of the entry point this
+	// config copy is serving, stamped by classed.
+	class verdict.Class
+	// vr is non-nil when class, Discipline, and the runtime all permit
+	// specialized cells; resolved once in classed.
+	vr VariantRuntime
 }
 
 // fork runs f as a task when the depth is above the grain, else inline.

@@ -1,0 +1,159 @@
+package paralg
+
+import (
+	"sort"
+	"testing"
+
+	"pipefut/internal/seqtreap"
+	"pipefut/internal/t26"
+	"pipefut/internal/workload"
+)
+
+// TestLinearCellsDisciplineMatchesOracle runs the buildtreap witness
+// group's composition (build, batch insert, batch delete) under the
+// LinearCells discipline on the sched runtime — so fresh cells are
+// sched.LinearCell — and checks the result against the sequential
+// oracle plus the specialization counters: the run must actually have
+// touched linear cells and forwarded (born-written) cells.
+func TestLinearCellsDisciplineMatchesOracle(t *testing.T) {
+	s := NewSchedRuntime(4)
+	defer s.Close()
+	cfg := RConfig{R: s, SpawnDepth: 6, Discipline: LinearCells}
+
+	rng := workload.NewRNG(11)
+	ka, kb := workload.DisjointKeySets(rng, 400, 300)
+	base := cfg.BuildTreap(nil, ka)
+	tree := cfg.InsertKeys(nil, base, kb)
+	tree = cfg.DeleteKeys(nil, tree, ka[:200])
+	got := RToSeqTreap(tree)
+
+	want := seqtreap.Diff(seqtreap.Union(seqtreap.FromKeys(ka), seqtreap.FromKeys(kb)), seqtreap.FromKeys(ka[:200]))
+	if !seqtreap.Equal(got, want) {
+		t.Error("LinearCells build/insert/delete composition disagrees with the sequential oracle")
+	}
+
+	ctr := s.RT.Counters()
+	if ctr.LinearTouches == 0 {
+		t.Error("no linear-cell touches recorded: specialization did not engage")
+	}
+	if ctr.ForwardedTouches == 0 {
+		t.Error("no forwarded-cell touches recorded: DoneNode cells should be forwarded")
+	}
+	t.Logf("counters: %v", ctr)
+}
+
+// TestLinearCellsT26MatchesOracle runs the t26 witness group's shape
+// (bulk insert with a materialization barrier per batch — the serve t26
+// backend's exact pattern) under LinearCells.
+func TestLinearCellsT26MatchesOracle(t *testing.T) {
+	s := NewSchedRuntime(4)
+	defer s.Close()
+	cfg := RConfig{R: s, SpawnDepth: 4, Discipline: LinearCells}
+
+	rng := workload.NewRNG(13)
+	all := workload.DistinctKeys(rng, 500, 2000)
+	base, ins := all[:200], append([]int(nil), all[200:]...)
+	sort.Ints(ins)
+
+	tree := cfg.T26BulkInsert(nil, RFromSeqT26(s, t26.FromKeys(base)), workload.WellSeparatedLevels(ins))
+	RWaitT26(tree)
+
+	want := append(append([]int(nil), base...), ins...)
+	sort.Ints(want)
+	if got := t26.Keys(RToSeqT26(tree)); !equalInts(got, want) {
+		t.Errorf("LinearCells t26 bulk insert lost keys: got %d keys, want %d", len(got), len(want))
+	}
+	if ctr := s.RT.Counters(); ctr.LinearTouches == 0 {
+		t.Error("no linear-cell touches recorded on the t26 insert chain")
+	}
+}
+
+// TestLinearCellsJoin exercises a forwarded-class entry point (the join
+// group's meet is forwarded): fresh result cells must still be capped
+// at the linear variant, because the consumer's touch of a result cell
+// may precede the pipelined write.
+func TestLinearCellsJoin(t *testing.T) {
+	s := NewSchedRuntime(4)
+	defer s.Close()
+	cfg := RConfig{R: s, SpawnDepth: 4, Discipline: LinearCells}
+
+	rng := workload.NewRNG(17)
+	ka, kb := workload.DisjointKeySets(rng, 200, 200)
+	sort.Ints(ka)
+	sort.Ints(kb)
+	ta, tb := seqtreap.FromKeys(ka), seqtreap.FromKeys(kb)
+
+	got := cfg.Join(nil, RFromSeqTreap(s, ta), RFromSeqTreap(s, tb))
+	if !seqtreap.Equal(RToSeqTreap(got), seqtreap.Join(ta, tb)) {
+		t.Error("LinearCells join disagrees with the sequential oracle")
+	}
+}
+
+// TestSharedCellsStaysGeneral checks the fallback: the zero-value
+// discipline must allocate no specialized fresh cells even on a
+// variant-capable runtime. (ForwardedTouches may still be nonzero:
+// born-written DoneNode cells are forwarded under every discipline.)
+func TestSharedCellsStaysGeneral(t *testing.T) {
+	s := NewSchedRuntime(4)
+	defer s.Close()
+	cfg := RConfig{R: s, SpawnDepth: 6} // Discipline: SharedCells
+
+	rng := workload.NewRNG(19)
+	ka, kb := workload.OverlappingKeySets(rng, 300, 300, 0.3)
+	out := cfg.Union(nil, cfg.BuildTreap(nil, ka), cfg.BuildTreap(nil, kb))
+	RWait(out)
+
+	if ctr := s.RT.Counters(); ctr.LinearTouches != 0 || ctr.LinearSuspensions != 0 {
+		t.Errorf("SharedCells run recorded linear-cell traffic: %v", ctr)
+	}
+}
+
+// TestLinearCellsOnGoRuntime checks the runtime gate: GoRuntime does
+// not implement VariantRuntime, so LinearCells must silently fall back
+// to general future cells.
+func TestLinearCellsOnGoRuntime(t *testing.T) {
+	cfg := RConfig{R: GoRuntime{}, SpawnDepth: 3, Discipline: LinearCells}
+	rng := workload.NewRNG(23)
+	ka, kb := workload.OverlappingKeySets(rng, 200, 200, 0.5)
+	ta, tb := seqtreap.FromKeys(ka), seqtreap.FromKeys(kb)
+	got := cfg.Union(nil, RFromSeqTreap(GoRuntime{}, ta), RFromSeqTreap(GoRuntime{}, tb))
+	if !seqtreap.Equal(RToSeqTreap(got), seqtreap.Union(ta, tb)) {
+		t.Error("LinearCells on GoRuntime disagrees with the sequential oracle")
+	}
+}
+
+// BenchmarkDiscipline measures the end-to-end cost of the same pipelined
+// union under the general cells (SharedCells) and the specialized ones
+// (LinearCells) on the sched runtime — the number the manifest-driven
+// specialization has to justify.
+func BenchmarkDiscipline(b *testing.B) {
+	rng := workload.NewRNG(29)
+	ka, kb := workload.DisjointKeySets(rng, 4000, 4000)
+	ta, tb := seqtreap.FromKeys(ka), seqtreap.FromKeys(kb)
+	for _, d := range []struct {
+		name string
+		disc CellDiscipline
+	}{{"shared", SharedCells}, {"linear", LinearCells}} {
+		b.Run("union/"+d.name, func(b *testing.B) {
+			s := NewSchedRuntime(4)
+			defer s.Close()
+			cfg := RConfig{R: s, SpawnDepth: 8, Discipline: d.disc}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				RWait(cfg.Union(nil, RFromSeqTreap(s, ta), RFromSeqTreap(s, tb)))
+			}
+		})
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

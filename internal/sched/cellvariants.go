@@ -1,0 +1,348 @@
+package sched
+
+// Specialized cell variants: the runtime half of verdict-driven cell
+// specialization. pipelint's flow analyses classify every entry point's
+// future flows (see internal/verdict); flows proven linear or forwarded
+// get compiled to the cheaper cells below instead of the general Cell.
+//
+//   - LinearCell serves flows with AT MOST ONE touch before the write
+//     (flowlinear's verdict). One state word and one parked-continuation
+//     slot replace the Treiber waiter stack: a touch is a single
+//     compare-and-swap, never a retry loop.
+//
+//   - ForwardedCell serves flows whose write happens before every touch
+//     (the mustwrite-derived forwarded verdict). There is no suspension
+//     machinery at all: the value is stored eagerly and a touch runs the
+//     continuation inline after one atomic load.
+//
+// Both variants keep the general Cell's external-read contract (Read /
+// ReadErr from outside the runtime) via a lazily-allocated broadcast
+// channel, so result harvesting never competes for the single
+// continuation slot. Both fail CLOSED: a flow that violates its claimed
+// class panics with a "class violation" message rather than dropping a
+// continuation or deadlocking silently. internal/verifycross proves the
+// claims against recorded DAGs, so these panics are a last-resort tripwire,
+// not the safety argument.
+
+import "sync/atomic"
+
+// AnyCell is the interface all cell variants share with the general
+// Cell. Verdict-driven callers (internal/paralg) hold cells through this
+// interface and pick the variant per entry point.
+type AnyCell[T any] interface {
+	// Write stores the value and releases any parked or blocked readers.
+	Write(w *Worker, v T)
+	// Touch runs k with the value, inline if written, else by suspending
+	// k (variants restrict or forbid the suspension path).
+	Touch(w *Worker, k func(*Worker, T))
+	// TryRead returns the value and true if written, without suspending.
+	TryRead() (T, bool)
+	// Ready reports whether the cell has been written.
+	Ready() bool
+	// Read blocks the calling goroutine until the write; external
+	// callers only.
+	Read() T
+	// ReadErr is Read returning ErrShutdown instead of hanging when the
+	// runtime stops first.
+	ReadErr() (T, error)
+}
+
+var (
+	_ AnyCell[int] = (*Cell[int])(nil)
+	_ AnyCell[int] = (*LinearCell[int])(nil)
+	_ AnyCell[int] = (*ForwardedCell[int])(nil)
+)
+
+// lslot boxes a linear cell's parked continuation. A slot holding the
+// closed sentinel means the write has happened; a touch that loses its
+// CAS to the sentinel runs inline.
+type lslot[T any] struct {
+	k      func(*Worker, T)
+	closed bool
+}
+
+// LinearCell is a write-once cell specialized for linear flows: at most
+// one touch may happen before the write. The Treiber waiter stack of the
+// general Cell collapses to a single continuation slot, so the
+// pre-write touch is one CompareAndSwap with no retry loop, and the
+// write is one Swap with no list walk.
+//
+// Touches after the write are unrestricted (they run inline, like the
+// general Cell's fast path), and external blocking reads (Read/ReadErr)
+// are unrestricted too — they wait on a broadcast channel, not the
+// continuation slot. A second touch arriving before the write is a
+// class violation and panics.
+//
+// The zero value is not usable; create linear cells with NewLinearCell.
+type LinearCell[T any] struct {
+	rt    *Runtime
+	val   T
+	state atomic.Int32
+	slot  atomic.Pointer[lslot[T]]
+	ext   atomic.Pointer[chan struct{}] // external readers' broadcast channel
+}
+
+// NewLinearCell returns an empty linear cell owned by rt.
+func NewLinearCell[T any](rt *Runtime) *LinearCell[T] {
+	if rt == nil {
+		panic("sched: NewLinearCell with nil runtime")
+	}
+	return &LinearCell[T]{rt: rt}
+}
+
+// Write stores v, requeues the parked continuation if one is waiting,
+// and releases external readers. w follows the Fork contract. Writing
+// twice panics.
+func (c *LinearCell[T]) Write(w *Worker, v T) {
+	if !c.state.CompareAndSwap(cellEmpty, cellWriting) {
+		panic("sched: linear cell written twice")
+	}
+	c.val = v
+	c.state.Store(cellWritten)
+	if p := c.ext.Load(); p != nil {
+		close(*p)
+	}
+	prev := c.slot.Swap(&lslot[T]{closed: true})
+	if prev == nil {
+		return
+	}
+	// prev cannot be the closed sentinel: only this (single) write
+	// installs it. It is the one parked continuation; requeue it.
+	rt := c.rt
+	k := prev.k
+	rt.enqueue(w, func(w2 *Worker) { k(w2, v) }, &rt.statsFor(w).reactivations)
+}
+
+// Touch runs k with the cell's value: inline if the cell is written,
+// otherwise by parking k in the cell's single continuation slot. A
+// second pre-write touch finds the slot occupied and panics — the
+// static linearity verdict that selected this cell was wrong, and the
+// cell fails closed rather than losing a continuation.
+func (c *LinearCell[T]) Touch(w *Worker, k func(*Worker, T)) {
+	rt := c.rt
+	if c.state.Load() == cellWritten {
+		rt.statsFor(w).linearTouches.Add(1)
+		k(w, c.val)
+		return
+	}
+	// Count the parked continuation as pending before publishing it, so
+	// a racing write cannot retire it below zero (same protocol as
+	// Cell.Touch).
+	rt.pending.Add(1)
+	box := &lslot[T]{k: k}
+	if c.slot.CompareAndSwap(nil, box) {
+		st := rt.statsFor(w)
+		st.suspensions.Add(1)
+		st.linearTouches.Add(1)
+		st.linearSuspensions.Add(1)
+		return
+	}
+	// The slot was taken. Either the write landed while we prepared to
+	// park (slot holds the closed sentinel: run inline, benign race) or
+	// another continuation is parked (two touches before the write:
+	// class violation).
+	cur := c.slot.Load()
+	if cur != nil && cur.closed {
+		rt.taskDone()
+		rt.statsFor(w).linearTouches.Add(1)
+		k(w, c.val)
+		return
+	}
+	panic("sched: linear cell touched twice before its write (class violation)")
+}
+
+// TryRead returns the value and true if the cell has been written.
+func (c *LinearCell[T]) TryRead() (T, bool) {
+	if c.state.Load() == cellWritten {
+		return c.val, true
+	}
+	var zero T
+	return zero, false
+}
+
+// Ready reports whether the cell has been written.
+func (c *LinearCell[T]) Ready() bool { return c.state.Load() == cellWritten }
+
+// Read returns the cell's value, blocking the calling goroutine until
+// the write. External callers only; panics if the runtime shuts down
+// with the cell unwritten (see Cell.Read).
+func (c *LinearCell[T]) Read() T {
+	v, err := c.ReadErr()
+	if err != nil {
+		panic("sched: Read of a cell stranded by Shutdown: " + err.Error())
+	}
+	return v
+}
+
+// ReadErr blocks until the cell is written and returns its value, or
+// returns ErrShutdown once the runtime has been shut down with the cell
+// still unwritten. External callers only. Unlike the general Cell,
+// blocking readers do NOT occupy the continuation slot — any number of
+// them wait on a broadcast channel the write closes — so harvesting a
+// linear cell's value from outside never counts against its one
+// pre-write touch.
+func (c *LinearCell[T]) ReadErr() (T, error) {
+	if c.state.Load() == cellWritten {
+		return c.val, nil
+	}
+	ch := extChan(&c.ext)
+	// Re-check after registering: if the write raced past the channel
+	// registration it may never close this channel, but it must then be
+	// visible here (the writer's state store precedes its ext load).
+	if c.state.Load() == cellWritten {
+		return c.val, nil
+	}
+	select {
+	case <-ch:
+		return c.val, nil
+	case <-c.rt.stopped:
+		if c.state.Load() == cellWritten {
+			return c.val, nil
+		}
+		var zero T
+		return zero, ErrShutdown
+	}
+}
+
+// ForwardedCell is a write-once cell specialized for forwarded flows:
+// the write is proven to happen before every touch, so there is no
+// suspension machinery at all. Touch is one atomic load plus an inline
+// continuation call; a touch that arrives before the write is a class
+// violation and panics (fail closed — the static verdict was wrong).
+//
+// External blocking reads (Read/ReadErr) remain unrestricted: like
+// LinearCell they wait on a broadcast channel. The atomic state flag
+// orders the value store before every release, so a touch or read that
+// observes "written" also observes the value.
+//
+// The zero value is not usable; create forwarded cells with
+// NewForwardedCell or ForwardedDone.
+type ForwardedCell[T any] struct {
+	rt    *Runtime
+	val   T
+	state atomic.Int32
+	ext   atomic.Pointer[chan struct{}]
+}
+
+// NewForwardedCell returns an empty forwarded cell owned by rt.
+func NewForwardedCell[T any](rt *Runtime) *ForwardedCell[T] {
+	if rt == nil {
+		panic("sched: NewForwardedCell with nil runtime")
+	}
+	return &ForwardedCell[T]{rt: rt}
+}
+
+// ForwardedDone returns a forwarded cell already holding v — the
+// degenerate forwarded flow (written at birth, trivially
+// write-before-touch). Like Done cells it belongs to no runtime and is
+// shareable across runtimes.
+func ForwardedDone[T any](v T) *ForwardedCell[T] {
+	c := &ForwardedCell[T]{val: v}
+	c.state.Store(cellWritten)
+	return c
+}
+
+// Write stores v and releases external readers. w is accepted for
+// interface symmetry (there are never parked continuations to requeue).
+// Writing twice panics.
+func (c *ForwardedCell[T]) Write(w *Worker, v T) {
+	if !c.state.CompareAndSwap(cellEmpty, cellWriting) {
+		panic("sched: forwarded cell written twice")
+	}
+	c.val = v
+	c.state.Store(cellWritten)
+	if p := c.ext.Load(); p != nil {
+		close(*p)
+	}
+}
+
+// Touch runs k inline with the cell's value. The forwarded verdict
+// guarantees the write already happened; if it has not, the verdict was
+// wrong and the cell fails closed with a panic rather than losing the
+// continuation.
+func (c *ForwardedCell[T]) Touch(w *Worker, k func(*Worker, T)) {
+	if c.state.Load() != cellWritten {
+		panic("sched: forwarded cell touched before its write (class violation)")
+	}
+	if st := c.touchStats(w); st != nil {
+		st.forwardedTouches.Add(1)
+	}
+	k(w, c.val)
+}
+
+// touchStats resolves the counter block for a touch: the worker's own,
+// the runtime's external block, or nil for a runtime-less ForwardedDone
+// cell touched from outside any worker.
+func (c *ForwardedCell[T]) touchStats(w *Worker) *wstats {
+	if w != nil {
+		return &w.stats
+	}
+	if c.rt != nil {
+		return &c.rt.extern
+	}
+	return nil
+}
+
+// TryRead returns the value and true if the cell has been written.
+func (c *ForwardedCell[T]) TryRead() (T, bool) {
+	if c.state.Load() == cellWritten {
+		return c.val, true
+	}
+	var zero T
+	return zero, false
+}
+
+// Ready reports whether the cell has been written.
+func (c *ForwardedCell[T]) Ready() bool { return c.state.Load() == cellWritten }
+
+// Read returns the cell's value, blocking the calling goroutine until
+// the write. External callers only.
+func (c *ForwardedCell[T]) Read() T {
+	v, err := c.ReadErr()
+	if err != nil {
+		panic("sched: Read of a cell stranded by Shutdown: " + err.Error())
+	}
+	return v
+}
+
+// ReadErr blocks until the cell is written, or returns ErrShutdown once
+// the runtime stops with the cell unwritten. External callers only.
+func (c *ForwardedCell[T]) ReadErr() (T, error) {
+	if c.state.Load() == cellWritten {
+		return c.val, nil
+	}
+	if c.rt == nil {
+		// A ForwardedDone cell is always written; reaching here means
+		// the zero ForwardedCell value was used.
+		panic("sched: read of an unusable zero ForwardedCell")
+	}
+	ch := extChan(&c.ext)
+	if c.state.Load() == cellWritten {
+		return c.val, nil
+	}
+	select {
+	case <-ch:
+		return c.val, nil
+	case <-c.rt.stopped:
+		if c.state.Load() == cellWritten {
+			return c.val, nil
+		}
+		var zero T
+		return zero, ErrShutdown
+	}
+}
+
+// extChan returns the cell's external-reader broadcast channel,
+// allocating it on first use. All blocked readers share one channel;
+// the write closes it.
+func extChan(p *atomic.Pointer[chan struct{}]) chan struct{} {
+	for {
+		if cur := p.Load(); cur != nil {
+			return *cur
+		}
+		ch := make(chan struct{})
+		if p.CompareAndSwap(nil, &ch) {
+			return ch
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLinearCellWriteThenTouchRunsInline(t *testing.T) {
+	rt := NewRuntime(1)
+	defer rt.Shutdown()
+	c := NewLinearCell[int](rt)
+	c.Write(nil, 7)
+	ran := false
+	c.Touch(nil, func(_ *Worker, v int) {
+		ran = true
+		if v != 7 {
+			t.Errorf("touch got %d, want 7", v)
+		}
+	})
+	if !ran {
+		t.Fatal("touch of a written linear cell must run inline")
+	}
+	ctr := rt.Counters()
+	if ctr.Suspensions != 0 || ctr.LinearSuspensions != 0 {
+		t.Fatalf("suspensions = %d/%d, want 0/0", ctr.Suspensions, ctr.LinearSuspensions)
+	}
+	if ctr.LinearTouches != 1 {
+		t.Fatalf("linear touches = %d, want 1", ctr.LinearTouches)
+	}
+}
+
+func TestLinearCellTouchBeforeWriteParks(t *testing.T) {
+	rt := NewRuntime(2)
+	defer rt.Shutdown()
+	c := NewLinearCell[string](rt)
+	got := NewCell[string](rt)
+	c.Touch(nil, func(w *Worker, v string) { got.Write(w, v+"!") })
+	if c.Ready() {
+		t.Fatal("cell ready before write")
+	}
+	c.Write(nil, "hi")
+	if v := got.Read(); v != "hi!" {
+		t.Fatalf("continuation produced %q, want %q", v, "hi!")
+	}
+	rt.Wait()
+	ctr := rt.Counters()
+	if ctr.LinearSuspensions != 1 || ctr.Reactivations < 1 {
+		t.Fatalf("want 1 linear suspension and ≥1 reactivation, got %+v", ctr)
+	}
+	if ctr.Suspensions < ctr.LinearSuspensions {
+		t.Fatalf("linear suspensions must be included in suspensions, got %d < %d",
+			ctr.Suspensions, ctr.LinearSuspensions)
+	}
+}
+
+func TestLinearCellSecondPrewriteTouchPanics(t *testing.T) {
+	rt := NewRuntime(1)
+	defer rt.Shutdown()
+	c := NewLinearCell[int](rt)
+	c.Touch(nil, func(*Worker, int) {})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected class-violation panic on second pre-write touch")
+		}
+		// The parked first continuation is stranded; retire its pending
+		// count so the deferred Shutdown is not preceded by a hang if a
+		// future test calls Wait.
+		rt.taskDone()
+	}()
+	c.Touch(nil, func(*Worker, int) {})
+}
+
+func TestLinearCellDoubleWritePanics(t *testing.T) {
+	rt := NewRuntime(1)
+	defer rt.Shutdown()
+	c := NewLinearCell[int](rt)
+	c.Write(nil, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double write")
+		}
+	}()
+	c.Write(nil, 2)
+}
+
+// TestLinearCellExternalReadsDoNotConsumeSlot checks the property the
+// paralg barrier pattern depends on: any number of external blocking
+// readers can wait on a linear cell WITHOUT occupying its single
+// continuation slot, so a pre-write touch still parks successfully.
+func TestLinearCellExternalReadsDoNotConsumeSlot(t *testing.T) {
+	rt := NewRuntime(2)
+	defer rt.Shutdown()
+	c := NewLinearCell[int](rt)
+	const readers = 8
+	var wg sync.WaitGroup
+	var sum atomic.Int64
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.ReadErr()
+			if err != nil {
+				t.Errorf("ReadErr: %v", err)
+				return
+			}
+			sum.Add(int64(v))
+		}()
+	}
+	touched := NewCell[int](rt)
+	c.Touch(nil, func(w *Worker, v int) { touched.Write(w, v) })
+	c.Write(nil, 5)
+	wg.Wait()
+	if got := sum.Load(); got != 5*readers {
+		t.Fatalf("reader sum = %d, want %d", got, 5*readers)
+	}
+	if got := touched.Read(); got != 5 {
+		t.Fatalf("parked touch got %d, want 5", got)
+	}
+}
+
+func TestLinearCellReadErrShutdown(t *testing.T) {
+	rt := NewRuntime(1)
+	c := NewLinearCell[int](rt)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.ReadErr()
+		done <- err
+	}()
+	rt.Shutdown()
+	if err := <-done; !errors.Is(err, ErrShutdown) {
+		t.Fatalf("ReadErr after Shutdown = %v, want ErrShutdown", err)
+	}
+}
+
+// TestLinearCellTouchWriteRace hammers the park/write race: one toucher
+// racing one writer per cell; the continuation must run exactly once
+// whether it parked or lost the CAS to the closed sentinel.
+func TestLinearCellTouchWriteRace(t *testing.T) {
+	rt := NewRuntime(4)
+	defer rt.Shutdown()
+	const cells = 500
+	var runs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < cells; i++ {
+		c := NewLinearCell[int](rt)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			c.Touch(nil, func(_ *Worker, v int) { runs.Add(1) })
+		}()
+		go func(i int) {
+			defer wg.Done()
+			c.Write(nil, i)
+		}(i)
+	}
+	wg.Wait()
+	rt.Wait()
+	if got := runs.Load(); got != cells {
+		t.Fatalf("continuations ran %d times, want %d", got, cells)
+	}
+}
+
+func TestForwardedCellWriteThenTouch(t *testing.T) {
+	rt := NewRuntime(1)
+	defer rt.Shutdown()
+	c := NewForwardedCell[int](rt)
+	c.Write(nil, 9)
+	ran := false
+	c.Touch(nil, func(_ *Worker, v int) { ran = v == 9 })
+	if !ran {
+		t.Fatal("touch of a written forwarded cell must run inline")
+	}
+	if got := rt.Counters().ForwardedTouches; got != 1 {
+		t.Fatalf("forwarded touches = %d, want 1", got)
+	}
+	if v, ok := c.TryRead(); !ok || v != 9 {
+		t.Fatalf("TryRead = %d,%v", v, ok)
+	}
+}
+
+func TestForwardedCellTouchBeforeWritePanics(t *testing.T) {
+	rt := NewRuntime(1)
+	defer rt.Shutdown()
+	c := NewForwardedCell[int](rt)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected class-violation panic on touch before write")
+		}
+	}()
+	c.Touch(nil, func(*Worker, int) {})
+}
+
+func TestForwardedDone(t *testing.T) {
+	c := ForwardedDone(42)
+	if !c.Ready() {
+		t.Fatal("ForwardedDone cell not ready")
+	}
+	if c.Read() != 42 {
+		t.Fatal("Read mismatch")
+	}
+	ran := false
+	c.Touch(nil, func(_ *Worker, v int) { ran = v == 42 })
+	if !ran {
+		t.Fatal("Touch on ForwardedDone cell must run inline")
+	}
+}
+
+func TestForwardedCellExternalRead(t *testing.T) {
+	rt := NewRuntime(1)
+	defer rt.Shutdown()
+	c := NewForwardedCell[int](rt)
+	done := make(chan int, 1)
+	go func() {
+		done <- c.Read()
+	}()
+	c.Write(nil, 11)
+	if got := <-done; got != 11 {
+		t.Fatalf("external Read = %d, want 11", got)
+	}
+}
+
+func TestForwardedCellReadErrShutdown(t *testing.T) {
+	rt := NewRuntime(1)
+	c := NewForwardedCell[int](rt)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.ReadErr()
+		done <- err
+	}()
+	rt.Shutdown()
+	if err := <-done; !errors.Is(err, ErrShutdown) {
+		t.Fatalf("ReadErr after Shutdown = %v, want ErrShutdown", err)
+	}
+}
+
+func TestCountersSubSpecialized(t *testing.T) {
+	a := Counters{LinearTouches: 5, LinearSuspensions: 2, ForwardedTouches: 9}
+	b := Counters{LinearTouches: 3, LinearSuspensions: 1, ForwardedTouches: 4}
+	d := a.Sub(b)
+	if d.LinearTouches != 2 || d.LinearSuspensions != 1 || d.ForwardedTouches != 5 {
+		t.Fatalf("Sub = %+v", d)
+	}
+}
+
+// BenchmarkCellVariants compares the general Cell against the verdict-
+// specialized LinearCell and ForwardedCell on the shapes that decide the
+// specialization's value: a touch that finds the value written (the hot
+// path of every pipelined walk), allocate+write with no waiters, and the
+// park/requeue round trip (general vs linear only; a forwarded cell has
+// no suspension path by construction). Results are recorded in
+// EXPERIMENTS.md; rerun with
+//
+//	go test -bench CellVariants -benchtime 1000000x ./internal/sched/
+func BenchmarkCellVariants(b *testing.B) {
+	rt := NewRuntime(1)
+	defer rt.Shutdown()
+
+	type variant struct {
+		name string
+		mk   func() AnyCell[int]
+	}
+	variants := []variant{
+		{"general", func() AnyCell[int] { return NewCell[int](rt) }},
+		{"linear", func() AnyCell[int] { return NewLinearCell[int](rt) }},
+		{"forwarded", func() AnyCell[int] { return NewForwardedCell[int](rt) }},
+	}
+
+	for _, v := range variants {
+		b.Run("touch-written/"+v.name, func(b *testing.B) {
+			c := v.mk()
+			c.Write(nil, 7)
+			sink := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Touch(nil, func(_ *Worker, v int) { sink += v })
+			}
+			_ = sink
+		})
+	}
+
+	for _, v := range variants {
+		b.Run("alloc-write/"+v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := v.mk()
+				c.Write(nil, i)
+			}
+		})
+	}
+
+	for _, v := range variants[:2] { // forwarded cells have no park path
+		b.Run("park-write/"+v.name, func(b *testing.B) {
+			done := make(chan int)
+			for i := 0; i < b.N; i++ {
+				c := v.mk()
+				c.Touch(nil, func(_ *Worker, v int) { done <- v })
+				c.Write(nil, i)
+				<-done
+			}
+		})
+	}
+}

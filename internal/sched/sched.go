@@ -409,7 +409,16 @@ type wstats struct {
 	maxDeque      atomic.Int64
 	tasks         atomic.Int64
 	busyNanos     atomic.Int64
-	_             [64]byte // pad to a multiple of a cache line
+
+	// Specialized-cell events (verdict-driven cell specialization):
+	// touches served by LinearCell / ForwardedCell, and the subset of
+	// linear touches that parked in the single slot. suspensions above
+	// includes linearSuspensions.
+	linearTouches     atomic.Int64
+	linearSuspensions atomic.Int64
+	forwardedTouches  atomic.Int64
+
+	_ [40]byte // pad to a multiple of a cache line
 }
 
 // Counters is a snapshot of the runtime's scheduling statistics.
@@ -420,9 +429,16 @@ type Counters struct {
 	Reactivations int64 // suspended continuations requeued by a write
 	Tasks         int64 // task closures executed to completion
 	MaxDeque      int64 // deepest any worker deque ever got
-	BusyNanos     []int64
-	WorkerTasks   []int64
-	WorkerSteals  []int64
+	// Specialized-cell observability: touches served by linear /
+	// forwarded cells, and how many linear touches actually parked.
+	// Suspensions includes LinearSuspensions; a touch on a general Cell
+	// appears in neither touch counter.
+	LinearTouches     int64
+	LinearSuspensions int64
+	ForwardedTouches  int64
+	BusyNanos         []int64
+	WorkerTasks       []int64
+	WorkerSteals      []int64
 	// WorkerStolenFrom counts, per worker, tasks that thieves took from
 	// that worker's deque — the victim-side view of WorkerSteals. A healthy
 	// runtime under load spreads theft across >1 victim.
@@ -439,6 +455,9 @@ func (rt *Runtime) Counters() Counters {
 		c.Suspensions += s.suspensions.Load()
 		c.Reactivations += s.reactivations.Load()
 		c.Tasks += s.tasks.Load()
+		c.LinearTouches += s.linearTouches.Load()
+		c.LinearSuspensions += s.linearSuspensions.Load()
+		c.ForwardedTouches += s.forwardedTouches.Load()
 		if m := s.maxDeque.Load(); m > c.MaxDeque {
 			c.MaxDeque = m
 		}
@@ -487,6 +506,9 @@ func (c Counters) Sub(prev Counters) Counters {
 	out.Suspensions -= prev.Suspensions
 	out.Reactivations -= prev.Reactivations
 	out.Tasks -= prev.Tasks
+	out.LinearTouches -= prev.LinearTouches
+	out.LinearSuspensions -= prev.LinearSuspensions
+	out.ForwardedTouches -= prev.ForwardedTouches
 	out.BusyNanos = subSlice(c.BusyNanos, prev.BusyNanos)
 	out.WorkerTasks = subSlice(c.WorkerTasks, prev.WorkerTasks)
 	out.WorkerSteals = subSlice(c.WorkerSteals, prev.WorkerSteals)
@@ -507,6 +529,7 @@ func subSlice(a, b []int64) []int64 {
 
 // String renders the aggregate counters on one line.
 func (c Counters) String() string {
-	return fmt.Sprintf("spawns=%d steals=%d susp=%d react=%d tasks=%d maxdeq=%d",
-		c.Spawns, c.Steals, c.Suspensions, c.Reactivations, c.Tasks, c.MaxDeque)
+	return fmt.Sprintf("spawns=%d steals=%d susp=%d react=%d tasks=%d maxdeq=%d lin=%d/%d fwd=%d",
+		c.Spawns, c.Steals, c.Suspensions, c.Reactivations, c.Tasks, c.MaxDeque,
+		c.LinearTouches, c.LinearSuspensions, c.ForwardedTouches)
 }

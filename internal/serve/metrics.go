@@ -102,6 +102,13 @@ type Metrics struct {
 	Tasks         int64   `json:"tasks"`
 	SchedMaxDeque int64   `json:"sched_max_deque"`
 	BusyNanos     []int64 `json:"busy_nanos"`
+
+	// Specialized-cell traffic (see DESIGN.md "Verdict-driven cell
+	// specialization"): nonzero LinearTouches means the backend's pinned
+	// discipline let the verdict manifest swap in cheaper cell variants.
+	LinearTouches     int64 `json:"linear_touches"`
+	LinearSuspensions int64 `json:"linear_suspensions"`
+	ForwardedTouches  int64 `json:"forwarded_touches"`
 }
 
 // Metrics samples every counter. Safe to call at any time.
@@ -152,5 +159,8 @@ func (s *Server) Metrics() Metrics {
 	m.Tasks = c.Tasks
 	m.SchedMaxDeque = c.MaxDeque
 	m.BusyNanos = c.BusyNanos
+	m.LinearTouches = c.LinearTouches
+	m.LinearSuspensions = c.LinearSuspensions
+	m.ForwardedTouches = c.ForwardedTouches
 	return m
 }

@@ -1,0 +1,74 @@
+package trace_test
+
+import (
+	"testing"
+
+	"pipefut/internal/core"
+	"pipefut/internal/trace"
+)
+
+// TestForwardingVerdict builds one thread with a fork: the main thread
+// writes cell 1, forks a child, and the child touches cell 1 (control
+// path write → fork → touch: forwarded). Cell 2 is written in the CHILD
+// and touched in the main thread afterwards, with only the data edge
+// connecting the write to the touch — a pipelined flow, not forwarded.
+func TestForwardingVerdict(t *testing.T) {
+	tr := trace.New()
+	root := tr.Root()
+	w1 := tr.Step(root, core.ThreadEdge) // write cell 1
+	tr.CellWrite(1, w1)
+	child := tr.Step(w1, core.ForkEdge) // fork after the write
+	r1 := tr.Step(child, core.ThreadEdge)
+	tr.CellTouch(1, r1)
+	tr.DataEdge(w1, r1)
+	w2 := tr.Step(r1, core.ThreadEdge) // child writes cell 2
+	tr.CellWrite(2, w2)
+	r2 := tr.Step(w1, core.ThreadEdge) // main thread continues past the fork
+	r2b := tr.Step(r2, core.ThreadEdge)
+	tr.CellTouch(2, r2b)
+	tr.DataEdge(w2, r2b)
+
+	if err := trace.Verify(tr); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	v := tr.Forwarding()
+	if v.TouchedCells != 2 {
+		t.Errorf("TouchedCells = %d, want 2", v.TouchedCells)
+	}
+	if v.Forwarded() {
+		t.Error("Forwarded() = true despite cell 2's touch reaching its write only through the data edge")
+	}
+	if len(v.EarlyTouched) != 1 || v.EarlyTouched[0] != 2 {
+		t.Errorf("EarlyTouched = %v, want [2]", v.EarlyTouched)
+	}
+}
+
+// TestForwardingVerdictAllForwarded covers the two trivially forwarded
+// shapes: a touch control-downstream of its write in the same thread,
+// and a touch of an input cell (write node -1).
+func TestForwardingVerdictAllForwarded(t *testing.T) {
+	tr := trace.New()
+	root := tr.Root()
+	w := tr.Step(root, core.ThreadEdge)
+	tr.CellWrite(1, w)
+	r := tr.Step(w, core.ThreadEdge)
+	tr.CellTouch(1, r)
+	tr.DataEdge(w, r)
+	tr.CellWrite(2, -1) // input cell
+	tr.CellTouch(2, r)
+
+	v := tr.Forwarding()
+	if !v.Forwarded() {
+		t.Errorf("Forwarded() = false, EarlyTouched = %v", v.EarlyTouched)
+	}
+	if v.TouchedCells != 2 {
+		t.Errorf("TouchedCells = %d, want 2", v.TouchedCells)
+	}
+}
+
+func TestForwardingVerdictEmpty(t *testing.T) {
+	v := trace.New().Forwarding()
+	if !v.Forwarded() || v.TouchedCells != 0 {
+		t.Errorf("verdict of empty trace = %+v, want forwarded and zero", v)
+	}
+}
