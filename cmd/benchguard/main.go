@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"pipefut/internal/bench"
 )
@@ -44,6 +45,7 @@ func main() {
 		currentF  = flag.String("current", "", "current-run JSON-lines file")
 		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional drop in median-normalized throughput")
 		minKeys   = flag.Int("minkeys", 3, "minimum shared (backend,p,shards,clients) keys required to judge")
+		maxRatio  = flag.String("maxratio", "", "absolute caps on the current run's cross-backend median ratios, comma-separated a/b=max pairs (e.g. t26/treap=8); unlike the shift check these do not depend on the baseline")
 	)
 	flag.Parse()
 	if *currentF == "" {
@@ -115,6 +117,29 @@ func main() {
 		}
 	}
 
+	// Absolute ratio caps: the baseline-relative shift check above slides
+	// with whatever got checked in, so a deliberate floor (e.g. "grain
+	// coarsening must keep t26 within 8× of treap") needs its own gate
+	// judged on the current run alone.
+	caps, err := parseRatioCaps(*maxRatio)
+	if err != nil {
+		fatal(err)
+	}
+	for _, c := range caps {
+		num, ok1 := curN.backendMed[c.num]
+		den, ok2 := curN.backendMed[c.den]
+		if !ok1 || !ok2 {
+			fatal(fmt.Errorf("-maxratio %s/%s: current run has no such backend pair", c.num, c.den))
+		}
+		r := num / den
+		status := "ok"
+		if r > c.max {
+			status = fmt.Sprintf("REGRESSED (cap %.2f)", c.max)
+			regressed++
+		}
+		fmt.Printf("%-40s current %.3f  cap %.3f  %s\n", "maxratio "+c.num+"/"+c.den, r, c.max, status)
+	}
+
 	if regressed > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d checks regressed more than %.0f%% (median-normalized)\n",
 			regressed, 100**tolerance)
@@ -122,6 +147,34 @@ func main() {
 	}
 	fmt.Printf("benchguard: %d points and %d backend ratios within %.0f%% of baseline\n",
 		len(keys), len(backends)*(len(backends)-1)/2, 100**tolerance)
+}
+
+type ratioCap struct {
+	num, den string
+	max      float64
+}
+
+// parseRatioCaps parses "a/b=1.5,c/d=8" into ratio caps.
+func parseRatioCaps(s string) ([]ratioCap, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []ratioCap
+	for _, part := range strings.Split(s, ",") {
+		var c ratioCap
+		part = strings.TrimSpace(part)
+		eq := strings.IndexByte(part, '=')
+		sl := strings.IndexByte(part, '/')
+		if sl < 0 || eq < sl {
+			return nil, fmt.Errorf("-maxratio: %q is not of the form a/b=max", part)
+		}
+		c.num, c.den = part[:sl], part[sl+1:eq]
+		if _, err := fmt.Sscanf(part[eq+1:], "%g", &c.max); err != nil {
+			return nil, fmt.Errorf("-maxratio: bad bound in %q: %v", part, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -26,7 +26,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"text/tabwriter"
 
 	"pipefut/internal/analysis"
 	"pipefut/internal/analysis/flow"
@@ -40,6 +42,7 @@ func main() {
 	flowFlag := flag.Bool("flow", false, "also run the flow-sensitive analyzers (flowlinear, mustwrite, deadcycle); standalone mode only")
 	jsonFlag := flag.Bool("json", false, "write diagnostics to stdout as a JSON array instead of text on stderr")
 	verdictsFlag := flag.Bool("verdicts", false, "emit the flow-class verdict manifest (internal/verdict) as JSON to stdout and exit; the optional argument is the repo root (default .)")
+	budgetFlag := flag.Bool("budget", false, "print the per-entry-point cell-allocation budget table (human-readable) and exit; the optional argument is the repo root (default .)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -53,7 +56,7 @@ func main() {
 		return
 	}
 
-	if *verdictsFlag {
+	if *verdictsFlag || *budgetFlag {
 		root := "."
 		if flag.NArg() > 0 {
 			root = flag.Arg(0)
@@ -63,7 +66,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pipelint:", err)
 			os.Exit(2)
 		}
-		os.Stdout.Write(m.JSON())
+		var out []byte
+		if *budgetFlag {
+			out = []byte(budgetTable(m))
+		} else {
+			out = m.JSON()
+		}
+		// The manifest is the CI drift gate's input: a short write (full
+		// disk, closed pipe) that still exited 0 would let a truncated
+		// manifest pass for the real one.
+		if _, err := os.Stdout.Write(out); err != nil {
+			fmt.Fprintln(os.Stderr, "pipelint: writing manifest to stdout:", err)
+			os.Exit(2)
+		}
 		return
 	}
 
@@ -198,6 +213,53 @@ func standalone(patterns []string, suite []*analysis.Analyzer, asJSON bool) int 
 		return 1
 	}
 	return 0
+}
+
+// budgetTable renders the manifest's cell-budget section as a
+// human-readable table: entries, then groups, then seqsafe verdicts,
+// each sorted by name so the output is stable run to run.
+func budgetTable(m *verdict.Manifest) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 8, 2, ' ', 0)
+
+	fmt.Fprintln(w, "Cell budgets per entry point (symbolic bound on cells allocated per call):")
+	fmt.Fprintln(w, "ENTRY\tCLASS\tBUDGET\tATTRIBUTION")
+	for _, e := range sortedKeys(m.CellBudget.Entries) {
+		bv := m.CellBudget.Entries[e]
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", e, m.Entries[e].Class, budgetString(bv), bv.Detail)
+	}
+
+	fmt.Fprintln(w, "\nGroup budgets (weakest analyzed member; unanalyzed twins inherit these):")
+	fmt.Fprintln(w, "GROUP\tCLASS\tBUDGET")
+	for _, g := range sortedKeys(m.CellBudget.Groups) {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", g, m.Groups[g].Class, budgetString(m.CellBudget.Groups[g]))
+	}
+
+	fmt.Fprintln(w, "\nSeqsafe (GrainCutoff eligibility: below-cutoff sequential twins proven cell-free):")
+	fmt.Fprintln(w, "ENTRY\tSAFE\tDETAIL")
+	for _, e := range sortedKeys(m.CellBudget.SeqSafe) {
+		sv := m.CellBudget.SeqSafe[e]
+		fmt.Fprintf(w, "%s\t%v\t%s\n", e, sv.Safe, sv.Detail)
+	}
+
+	w.Flush()
+	return b.String()
+}
+
+func budgetString(b verdict.Budget) string {
+	if !b.Claims() {
+		return verdict.BudgetUnanalyzed
+	}
+	return fmt.Sprintf("%s(%d)", b.Kind, b.K)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
 }
 
 // checkPackage typechecks one package — via export data when available,

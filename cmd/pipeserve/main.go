@@ -48,6 +48,7 @@ func main() {
 		p          = flag.Int("p", runtime.GOMAXPROCS(0), "scheduler worker count")
 		highWater  = flag.Int("highwater", serve.DefaultHighWater, "admission high-water mark (backlog at which requests shed)")
 		spawnDepth = flag.Int("spawndepth", 0, "algorithm spawn depth (0 = default grain)")
+		cutoff     = flag.Int("cutoff", 0, "grain cutoff: subtree size served by one chunk cell (0 = default, negative = off; treap backend, seqsafe-proven entries only)")
 		backend    = flag.String("backend", "treap", "per-shard store: treap (pipelined) or t26 (batch-synchronous)")
 		shards     = flag.Int("shards", 1, "independent shard roots the key space is range-partitioned across")
 		universe   = flag.Int("universe", serve.DefaultUniverse, "dense key range hint [0,universe) for placing shard pivots")
@@ -65,8 +66,8 @@ func main() {
 		log.Fatalf("pipeserve: unknown -backend %q (want one of %v)", *backend, serve.KnownBackends())
 	}
 
-	cfg := serve.Config{P: *p, SpawnDepth: *spawnDepth, HighWater: *highWater,
-		Backend: *backend, Shards: *shards, Universe: *universe}
+	cfg := serve.Config{P: *p, SpawnDepth: *spawnDepth, GrainCutoff: *cutoff,
+		HighWater: *highWater, Backend: *backend, Shards: *shards, Universe: *universe}
 	if *smoke {
 		// Smoke both backends regardless of -backend: the CI lane should
 		// exercise the whole matrix in one invocation.

@@ -1,0 +1,593 @@
+package flow
+
+// cellcost: an interprocedural, summary-based cell-ALLOCATION analysis —
+// the count companion of the touch-pattern analyses. Where flowlinear
+// bounds how often each cell is touched, cellcost bounds how many cells
+// one call of a function allocates, as a symbolic budget over the input:
+//
+//	const(K)   at most K cells per call, independent of the input
+//	spine(K)   at most K cells per level of one root-to-leaf recursion
+//	           spine (split/splitm-shaped descents)
+//	linear(K)  at most ~K cells per input node (tree-shaped recursions;
+//	           the coefficient is exact per recursion step, and the
+//	           node-count scaling leans on the paper's treap-balance
+//	           model exactly as the work bounds do — the dynamic budget
+//	           lane of internal/verifycross re-checks real runs)
+//
+// Allocation sites are recognized cell constructors (core.NewCell,
+// core.NowCell, future.New/Done — OpNewCell) and future calls (each
+// OpFork allocates its result cells). Charges propagate through the
+// call graph callee-first: each strongly connected component is either
+// solved directly (non-recursive: max-path charge over the CFG, callee
+// budgets charged at call sites) or composed from its per-level charge
+// L and its per-path recursion width r:
+//
+//	r ≤ 1 and L constant  →  spine(L.K)   (one self-call per level)
+//	otherwise             →  linear(L.K)  (tree recursion, or
+//	                                       non-constant work per level)
+//
+// An allocation site inside a CFG cycle escalates straight to linear —
+// a loop body's trip count is not bounded by the input model.
+//
+// The companion SEQSAFE verdict proves a function (with everything
+// reachable from it) is cell-FREE: it allocates no cells, forks no
+// tasks, and never writes or touches any cell — which is what makes it
+// legal to run as the plain sequential below-cutoff path of a
+// grain-coarsened entry point (paralg.RConfig.GrainCutoff). Probes are
+// benign; a cell-typed argument passed to an unresolvable callee fails
+// the verdict (a blackbox could smuggle a touch).
+//
+// Blind spots are the package's usual ones, shared with TouchTransfer:
+// cells reached through unrecognized interfaces (paralg's NodeCell) and
+// callees outside the analyzed package are invisible, which is why the
+// RConfig entry points take their budgets from their witness group's
+// analyzable costalg twins and why internal/verifycross re-proves every
+// claim dynamically.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pipefut/internal/analysis"
+	"pipefut/internal/ssa"
+)
+
+// BoundKind orders the symbolic budget kinds by growth.
+type BoundKind uint8
+
+const (
+	BConst  BoundKind = iota // K cells per call
+	BSpine                   // K cells per spine level
+	BLinear                  // K cells per input node
+)
+
+func (k BoundKind) String() string {
+	switch k {
+	case BConst:
+		return "const"
+	case BSpine:
+		return "spine"
+	default:
+		return "linear"
+	}
+}
+
+// boundKCap saturates coefficients so fixpoints terminate and absurd
+// sums stay readable.
+const boundKCap = 1 << 20
+
+func satAdd(a, b int) int {
+	if s := a + b; s < boundKCap {
+		return s
+	}
+	return boundKCap
+}
+
+// Bound is one symbolic cell budget. The zero value is "no cells".
+type Bound struct {
+	Kind BoundKind
+	K    int
+}
+
+// Zero reports a budget of no cells at all.
+func (b Bound) Zero() bool { return b.Kind == BConst && b.K == 0 }
+
+// Plus is sequential composition: both charges happen, so kinds take
+// the faster-growing side and coefficients add.
+func (b Bound) Plus(o Bound) Bound {
+	if o.Kind > b.Kind {
+		b.Kind = o.Kind
+	}
+	b.K = satAdd(b.K, o.K)
+	return b
+}
+
+// Join is alternation (branch arms, weakest-member group budgets): the
+// faster-growing kind and the larger coefficient win.
+func (b Bound) Join(o Bound) Bound {
+	if o.Kind > b.Kind {
+		b.Kind = o.Kind
+	}
+	if o.K > b.K {
+		b.K = o.K
+	}
+	return b
+}
+
+func (b Bound) String() string { return fmt.Sprintf("%s(%d)", b.Kind, b.K) }
+
+// CellCosts holds the converged per-function budgets of one program.
+type CellCosts struct {
+	prog   *ssa.Program
+	bounds map[*ssa.Func]Bound
+}
+
+// BoundOf returns fn's budget (the zero Bound for nil or foreign
+// functions — the usual cross-package blind spot).
+func (cc *CellCosts) BoundOf(fn *ssa.Func) Bound {
+	if fn == nil {
+		return Bound{}
+	}
+	return cc.bounds[fn]
+}
+
+// ComputeCellCosts solves the whole program callee-first over the
+// condensed call graph.
+func ComputeCellCosts(prog *ssa.Program) *CellCosts {
+	cc := &CellCosts{prog: prog, bounds: make(map[*ssa.Func]Bound, len(prog.Funcs))}
+	idx := make(map[*ssa.Func]int, len(prog.Funcs))
+	for i, fn := range prog.Funcs {
+		idx[fn] = i
+	}
+	adj := make([][]int, len(prog.Funcs))
+	for i, fn := range prog.Funcs {
+		for _, callee := range calleesOf(fn) {
+			if j, ok := idx[callee]; ok {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	// Tarjan emits SCCs callees-first (each component completes before
+	// any component that calls into it), which is exactly the order the
+	// budgets compose in.
+	for _, scc := range tarjanSCC(adj) {
+		inSCC := make(map[*ssa.Func]bool, len(scc))
+		for _, i := range scc {
+			inSCC[prog.Funcs[i]] = true
+		}
+		recursive := len(scc) > 1
+		if len(scc) == 1 {
+			fn := prog.Funcs[scc[0]]
+			for _, callee := range calleesOf(fn) {
+				if callee == fn {
+					recursive = true
+				}
+			}
+		}
+		if !recursive {
+			fn := prog.Funcs[scc[0]]
+			b, _ := cc.intraBound(fn, nil)
+			cc.bounds[fn] = b
+			continue
+		}
+		// One level of the recursion passes through a chain of the SCC's
+		// members, so the per-level charge L sums their intra bounds
+		// (never joins — a chain spends every member's charge). r is the
+		// widest per-path intra-SCC call count any member shows.
+		var level Bound
+		r := Zero
+		for _, i := range scc {
+			lb, rc := cc.intraBound(prog.Funcs[i], inSCC)
+			level = level.Plus(lb)
+			r = maxCount(r, rc)
+		}
+		var b Bound
+		switch {
+		case level.Zero():
+			// Allocation-free at every depth.
+		case r <= One && level.Kind == BConst:
+			b = Bound{Kind: BSpine, K: level.K}
+		default:
+			b = Bound{Kind: BLinear, K: max(level.K, 1)}
+		}
+		for _, i := range scc {
+			cc.bounds[prog.Funcs[i]] = b
+		}
+	}
+	return cc
+}
+
+// intraBound computes fn's per-invocation charge as the max-path fold
+// over its CFG: allocation sites and resolved-callee budgets compose by
+// Plus along a path and Join across branches. Calls into inSCC are
+// charged zero but counted (the r of the composition rule); any charge
+// or intra-SCC call inside a CFG cycle escalates (linear kind / Many).
+func (cc *CellCosts) intraBound(fn *ssa.Func, inSCC map[*ssa.Func]bool) (Bound, Count) {
+	if len(fn.Blocks) == 0 {
+		return Bound{}, Zero
+	}
+	// Condense the block graph so loops collapse to single DAG nodes.
+	bidx := make(map[*ssa.Block]int, len(fn.Blocks))
+	for i, b := range fn.Blocks {
+		bidx[b] = i
+	}
+	adj := make([][]int, len(fn.Blocks))
+	for i, b := range fn.Blocks {
+		for _, s := range b.Succs {
+			adj[i] = append(adj[i], bidx[s])
+		}
+	}
+	sccs := tarjanSCC(adj)
+	comp := make([]int, len(fn.Blocks))
+	cyclic := make([]bool, len(sccs))
+	for ci, scc := range sccs {
+		for _, i := range scc {
+			comp[i] = ci
+		}
+		if len(scc) > 1 {
+			cyclic[ci] = true
+		} else {
+			for _, s := range adj[scc[0]] {
+				if s == scc[0] {
+					cyclic[ci] = true
+				}
+			}
+		}
+	}
+	// Per-component weights.
+	wB := make([]Bound, len(sccs))
+	wR := make([]Count, len(sccs))
+	loopAlloc := false
+	loopCall := false
+	cycleK := 0
+	for i, b := range fn.Blocks {
+		ci := comp[i]
+		for _, in := range b.Instrs {
+			charge, intra := cc.charge(fn, in, inSCC)
+			if cyclic[ci] {
+				if !charge.Zero() {
+					loopAlloc = true
+					cycleK = max(cycleK, charge.K)
+				}
+				if intra > Zero {
+					loopCall = true
+				}
+				continue
+			}
+			wB[ci] = wB[ci].Plus(charge)
+			wR[ci] = wR[ci].Add(intra)
+		}
+	}
+	// Longest path over the condensation, from the entry's component.
+	// tarjanSCC emits successors first, so reversed emission order is a
+	// topological order of the condensation.
+	cadj := make([]map[int]bool, len(sccs))
+	for i := range fn.Blocks {
+		for _, j := range adj[i] {
+			if comp[i] != comp[j] {
+				if cadj[comp[i]] == nil {
+					cadj[comp[i]] = map[int]bool{}
+				}
+				cadj[comp[i]][comp[j]] = true
+			}
+		}
+	}
+	dpB := make([]Bound, len(sccs))
+	dpR := make([]Count, len(sccs))
+	seen := make([]bool, len(sccs))
+	entry := comp[0]
+	dpB[entry], dpR[entry], seen[entry] = wB[entry], wR[entry], true
+	var total Bound
+	rTotal := Zero
+	total, rTotal = total.Join(dpB[entry]), maxCount(rTotal, dpR[entry])
+	for ci := len(sccs) - 1; ci >= 0; ci-- {
+		if !seen[ci] {
+			continue
+		}
+		var succs []int
+		for s := range cadj[ci] {
+			succs = append(succs, s)
+		}
+		sort.Ints(succs)
+		for _, s := range succs {
+			nb := dpB[ci].Plus(wB[s])
+			nr := dpR[ci].Add(wR[s])
+			if !seen[s] {
+				dpB[s], dpR[s], seen[s] = nb, nr, true
+			} else {
+				dpB[s] = dpB[s].Join(nb)
+				dpR[s] = maxCount(dpR[s], nr)
+			}
+			total = total.Join(dpB[s])
+			rTotal = maxCount(rTotal, dpR[s])
+		}
+	}
+	if loopAlloc {
+		// A charge inside a CFG cycle repeats per iteration: escalate to
+		// linear, keeping the largest per-iteration coefficient.
+		total = Bound{Kind: BLinear, K: max(total.K, cycleK, 1)}
+	}
+	if loopCall {
+		rTotal = Many
+	}
+	return total, rTotal
+}
+
+// charge returns one instruction's allocation charge and whether it is
+// an intra-SCC recursion site (charged by the composition rule, not
+// here).
+func (cc *CellCosts) charge(fn *ssa.Func, in *ssa.Instr, inSCC map[*ssa.Func]bool) (Bound, Count) {
+	switch in.Op {
+	case ssa.OpNewCell:
+		// Prewritten constructors (NowCell, Done) count too: a born-
+		// written cell is still an allocation the budget meters.
+		return Bound{Kind: BConst, K: 1}, Zero
+	case ssa.OpFork:
+		b := Bound{Kind: BConst, K: max(in.Fork.Info.Results, 1)}
+		if in.Fork.Info.SliceParam {
+			// ForkN allocates a caller-chosen number of result cells.
+			b = Bound{Kind: BLinear, K: 1}
+		}
+		if body := in.Fork.Body; body != nil {
+			if inSCC[body] {
+				return b, One
+			}
+			b = b.Plus(cc.bounds[body])
+		}
+		return b, Zero
+	case ssa.OpCall:
+		callee := resolvedCallee(fn, in)
+		if callee == nil {
+			return Bound{}, Zero // cross-package: the documented blind spot
+		}
+		if inSCC[callee] {
+			return Bound{}, One
+		}
+		return cc.bounds[callee], Zero
+	}
+	return Bound{}, Zero
+}
+
+// Attribution renders where fn's budget comes from: its own allocation
+// sites plus each resolved callee's budget and call-site count, in a
+// deterministic order (the manifest embeds this string).
+func (cc *CellCosts) Attribution(fn *ssa.Func) string {
+	own := 0
+	type charge struct {
+		bound Bound
+		sites int
+		self  bool
+	}
+	callees := map[string]*charge{}
+	note := func(name string, b Bound, self bool) {
+		c := callees[name]
+		if c == nil {
+			c = &charge{bound: b, self: self}
+			callees[name] = c
+		}
+		c.sites++
+	}
+	for _, blk := range fn.Blocks {
+		for _, in := range blk.Instrs {
+			switch in.Op {
+			case ssa.OpNewCell:
+				own++
+			case ssa.OpFork:
+				own += max(in.Fork.Info.Results, 1)
+				if body := in.Fork.Body; body != nil {
+					if b := cc.bounds[body]; !b.Zero() || body == fn {
+						note(body.Name, b, body == fn)
+					}
+				}
+			case ssa.OpCall:
+				if callee := resolvedCallee(fn, in); callee != nil {
+					if b := cc.bounds[callee]; !b.Zero() || callee == fn {
+						note(callee.Name, b, callee == fn)
+					}
+				}
+			}
+		}
+	}
+	parts := []string{fmt.Sprintf("own=%d", own)}
+	names := make([]string, 0, len(callees))
+	for n := range callees {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := callees[n]
+		label := n
+		if c.self {
+			label = "self"
+		}
+		p := fmt.Sprintf("%s:%s", label, c.bound)
+		if c.sites > 1 {
+			p += fmt.Sprintf("x%d", c.sites)
+		}
+		parts = append(parts, p)
+	}
+	return strings.Join(parts, " + ")
+}
+
+// SeqSafe reports whether fn and everything reachable from it is
+// cell-free: no allocation, no fork, no write, no touch of ANY cell
+// (own or foreign), and no cell handed to an unresolvable callee.
+// Probes are benign. The second result names the first (deterministic)
+// violation.
+func (cc *CellCosts) SeqSafe(fn *ssa.Func) (bool, string) {
+	for _, rf := range reachableSorted(fn) {
+		for _, blk := range rf.Blocks {
+			for _, in := range blk.Instrs {
+				switch in.Op {
+				case ssa.OpNewCell:
+					return false, rf.Name + " allocates a cell"
+				case ssa.OpFork:
+					return false, rf.Name + " forks a task"
+				case ssa.OpWrite:
+					return false, rf.Name + " writes a cell it did not create"
+				case ssa.OpTouch:
+					return false, rf.Name + " touches a cell it did not create"
+				case ssa.OpCall:
+					if resolvedCallee(rf, in) == nil && len(in.Args) > 0 {
+						return false, rf.Name + " passes a cell to an unanalyzed callee"
+					}
+				}
+			}
+		}
+	}
+	return true, ""
+}
+
+// resolvedCallee returns the intra-program function a call lands in, or
+// nil for cross-package / dynamic callees.
+func resolvedCallee(fn *ssa.Func, in *ssa.Instr) *ssa.Func {
+	if in.Callee != nil {
+		return in.Callee
+	}
+	if in.CalleeObj != nil {
+		return fn.Prog.DeclaredFunc(in.CalleeObj)
+	}
+	return nil
+}
+
+// calleesOf lists fn's resolved call-graph successors (calls and fork
+// bodies), in instruction order.
+func calleesOf(fn *ssa.Func) []*ssa.Func {
+	var out []*ssa.Func
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if c := resolvedCallee(fn, in); c != nil {
+				out = append(out, c)
+			}
+			if in.Fork != nil && in.Fork.Body != nil {
+				out = append(out, in.Fork.Body)
+			}
+		}
+	}
+	return out
+}
+
+// reachableSorted walks the resolved call graph from entry and returns
+// the reachable functions sorted by name, so diagnostics derived from
+// the set are deterministic.
+func reachableSorted(entry *ssa.Func) []*ssa.Func {
+	seen := map[*ssa.Func]bool{entry: true}
+	work := []*ssa.Func{entry}
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, c := range calleesOf(fn) {
+			if !seen[c] {
+				seen[c] = true
+				work = append(work, c)
+			}
+		}
+	}
+	out := make([]*ssa.Func, 0, len(seen))
+	for fn := range seen {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// tarjanSCC returns the strongly connected components of an adjacency
+// list, in reverse topological order of the condensation (every
+// component is emitted before any component with an edge into it —
+// callees first, for a call graph).
+func tarjanSCC(adj [][]int) [][]int {
+	n := len(adj)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var sccs [][]int
+	next := 0
+	// Iterative Tarjan: frame tracks the neighbor cursor.
+	type frame struct{ v, i int }
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{root, 0}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(adj[f.v]) {
+				w := adj[f.v][f.i]
+				f.i++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// CellCost is the analyzer face of the analysis, for the analysistest
+// fixtures (testdata/src/cellcost) and ad-hoc runs. It reports every
+// declared function's non-zero budget, and flags zero-budget functions
+// that still fail seqsafe (they touch or write cells they did not
+// create). It is deliberately NOT part of All(): budgets are facts, not
+// findings — pipelint surfaces them through `-budget`, not as
+// diagnostics.
+var CellCost = &analysis.Analyzer{
+	Name: "cellcost",
+	Doc: "report each function's symbolic cell-allocation budget " +
+		"(const/spine/linear) and seqsafe violations of allocation-free functions",
+	Run: runCellCost,
+}
+
+func runCellCost(pass *analysis.Pass) error {
+	ps := stateFor(pass)
+	cc := ComputeCellCosts(ps.prog)
+	for _, fn := range ps.prog.Funcs {
+		if fn.Obj == nil || len(fn.Blocks) == 0 {
+			continue
+		}
+		if b := cc.BoundOf(fn); !b.Zero() {
+			pass.Reportf(fn.Syntax.Pos(), "cell budget %s [%s]", b, cc.Attribution(fn))
+			continue
+		}
+		if ok, why := cc.SeqSafe(fn); !ok {
+			pass.Reportf(fn.Syntax.Pos(), "not seqsafe: %s", why)
+		}
+	}
+	return nil
+}

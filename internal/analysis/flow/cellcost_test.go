@@ -1,0 +1,12 @@
+package flow_test
+
+import (
+	"testing"
+
+	"pipefut/internal/analysis/analysistest"
+	"pipefut/internal/analysis/flow"
+)
+
+func TestCellCost(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), flow.CellCost, "cellcost")
+}

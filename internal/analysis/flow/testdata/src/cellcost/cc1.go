@@ -1,0 +1,92 @@
+// Cell-budget cases: constant, spine-bounded, and unbounded allocation
+// patterns, plus seqsafe rejections for allocation-free functions that
+// still touch the pipeline.
+package cellcost
+
+import "pipefut/internal/core"
+
+// constTwo allocates exactly two cells in straight-line code.
+func constTwo(t *core.Ctx) int { // want `cell budget const\(2\)`
+	a := core.NowCell(t, 1)
+	b := core.NowCell(t, 2)
+	return core.Touch(t, a) + core.Touch(t, b)
+}
+
+// forkPair charges the fork's two result cells plus the body's own
+// allocation.
+func forkPair(t *core.Ctx) int { // want `cell budget const\(3\)`
+	a, b := core.Fork2(t, func(t2 *core.Ctx, ca *core.Cell[int], cb *core.Cell[int]) {
+		core.Write(t2, ca, 1)
+		core.Write(t2, cb, core.Touch(t2, core.NowCell(t2, 2)))
+	})
+	return core.Touch(t, a) + core.Touch(t, b)
+}
+
+// spineDown recurses once per call with a constant charge per level:
+// spine-bounded, like the split/splitm descents.
+func spineDown(t *core.Ctx, n int) *core.Cell[int] { // want `cell budget spine\(1\)`
+	if n <= 0 {
+		return core.NowCell(t, 0)
+	}
+	return spineDown(t, n-1)
+}
+
+// pingAlloc and pongAlloc recurse mutually; one level passes through
+// both, so the chain's charges sum into one spine coefficient.
+func pingAlloc(t *core.Ctx, n int) *core.Cell[int] { // want `cell budget spine\(1\)`
+	if n <= 0 {
+		return core.NowCell(t, 0)
+	}
+	return pongAlloc(t, n-1)
+}
+
+func pongAlloc(t *core.Ctx, n int) *core.Cell[int] { // want `cell budget spine\(1\)`
+	return pingAlloc(t, n)
+}
+
+// buildTree recurses twice on one path: tree-shaped, so the budget is
+// linear in the input.
+func buildTree(t *core.Ctx, n int) *core.Cell[int] { // want `cell budget linear\(1\)`
+	if n <= 0 {
+		return core.NowCell(t, 0)
+	}
+	l := buildTree(t, n-1)
+	r := buildTree(t, n-1)
+	return core.NowCell(t, core.Touch(t, l)+core.Touch(t, r))
+}
+
+// loopAlloc allocates inside a loop whose trip count the model does not
+// bound: escalates straight to linear.
+func loopAlloc(t *core.Ctx, n int) int { // want `cell budget linear\(1\)`
+	s := 0
+	for i := 0; i < n; i++ {
+		s += core.Touch(t, core.NowCell(t, i))
+	}
+	return s
+}
+
+// pureMax allocates and touches nothing: zero budget, seqsafe, silent.
+func pureMax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// peek allocates nothing but touches a cell it did not create. Running
+// it as a below-cutoff sequential path would synchronize with the
+// surrounding pipeline, so seqsafe must reject it.
+func peek(t *core.Ctx, c *core.Cell[int]) int { // want `not seqsafe: peek touches a cell it did not create`
+	return core.Touch(t, c)
+}
+
+// viaPeek is cell-free itself but unsafe through its callee.
+func viaPeek(t *core.Ctx, c *core.Cell[int]) int { // want `not seqsafe: peek touches a cell it did not create`
+	return peek(t, c)
+}
+
+// escape hands a cell to an opaque function value: the blackbox could
+// touch it, so seqsafe fails closed.
+func escape(f func(*core.Cell[int]), c *core.Cell[int]) { // want `not seqsafe: escape passes a cell to an unanalyzed callee`
+	f(c)
+}

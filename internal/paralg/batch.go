@@ -23,8 +23,15 @@ func (c RConfig) BuildTreap(ctx Ctx, keys []int) NodeCell {
 
 func (c RConfig) rbuildTreap(ctx Ctx, d int, keys []int) NodeCell {
 	if len(keys) <= 64 || d >= c.SpawnDepth {
-		// Small or below the grain bound: build directly.
-		return RFromSeqTreap(c.R, seqtreap.FromKeys(keys))
+		// Small or below the grain bound: build directly. With grain
+		// coarsening on, the whole sequential subtree rides behind one
+		// chunk cell — zero scheduler cells instead of one per node —
+		// and decomposes lazily only if a pipelined consumer needs it.
+		t := seqtreap.FromKeys(keys)
+		if c.cutoff > 0 {
+			return chunkCell(t)
+		}
+		return RFromSeqTreap(c.R, t)
 	}
 	half := len(keys) / 2
 	a := c.newNode()

@@ -19,6 +19,7 @@ package paralg
 import (
 	"fmt"
 
+	"pipefut/internal/seqtreap"
 	"pipefut/internal/t26"
 )
 
@@ -34,6 +35,11 @@ func (c RConfig) Merge(ctx Ctx, a, b NodeCell) NodeCell {
 }
 
 func (c RConfig) mergeInto(ctx Ctx, d int, a, b NodeCell, out NodeCell) {
+	if ta, tb, ok := c.chunkArgs(a, b); ok {
+		// Below-cutoff: one sequential merge, one frontier cell.
+		out.Write(ctx, chunkTop(chunkMerge(ta, tb)))
+		return
+	}
 	c.fork(ctx, d, func(ctx Ctx) {
 		a.Touch(ctx, func(ctx Ctx, n1 *RNode) {
 			if n1 == nil {
@@ -54,6 +60,11 @@ func (c RConfig) mergeInto(ctx Ctx, d int, a, b NodeCell, out NodeCell) {
 // written immediately with the recursive cell as a child, the far-side
 // cell is forwarded from the recursion by a touch.
 func (c RConfig) rsplit(ctx Ctx, d int, s int, tree NodeCell) (lt, ge NodeCell) {
+	if t, ok := c.chunkArg(tree); ok {
+		// Below-cutoff: split sequentially into two chunks, zero cells.
+		l, g := chunkSplitGE(s, t)
+		return chunkCell(l), chunkCell(g)
+	}
 	lo, ro := c.newNode(), c.newNode()
 	c.fork(ctx, d, func(ctx Ctx) {
 		tree.Touch(ctx, func(ctx Ctx, n *RNode) {
@@ -86,6 +97,12 @@ func (c RConfig) Union(ctx Ctx, a, b NodeCell) NodeCell {
 }
 
 func (c RConfig) unionInto(ctx Ctx, d int, a, b NodeCell, out NodeCell) {
+	if ta, tb, ok := c.chunkArgs(a, b); ok {
+		// Treap shapes are priority-determined, so the sequential union
+		// is node-for-node the tree the pipelined recursion would build.
+		out.Write(ctx, chunkTop(seqtreap.Union(ta, tb)))
+		return
+	}
 	c.fork(ctx, d, func(ctx Ctx) {
 		a.Touch(ctx, func(ctx Ctx, n1 *RNode) {
 			if n1 == nil {
@@ -146,6 +163,12 @@ func (c RConfig) rsplitMBody(ctx Ctx, d int, s int, n *RNode, lo, ro, do NodeCel
 }
 
 func (c RConfig) rsplitMCell(ctx Ctx, d int, s int, tree NodeCell) (lt, gt, dup NodeCell) {
+	if t, ok := c.chunkArg(tree); ok {
+		// Below-cutoff: the consumers only nil-test (or discard) dup, so
+		// wrapping the excluded node as a chunk preserves the contract.
+		l, g, du := seqtreap.SplitM(s, t)
+		return chunkCell(l), chunkCell(g), chunkCell(du)
+	}
 	lo, ro, do := c.newNode(), c.newNode(), c.newNode()
 	c.fork(ctx, d, func(ctx Ctx) {
 		tree.Touch(ctx, func(ctx Ctx, n *RNode) { c.rsplitMBody(ctx, d, s, n, lo, ro, do) })
@@ -165,6 +188,10 @@ func (c RConfig) Diff(ctx Ctx, a, b NodeCell) NodeCell {
 }
 
 func (c RConfig) diffInto(ctx Ctx, d int, a, b, out NodeCell) {
+	if ta, tb, ok := c.chunkArgs(a, b); ok {
+		out.Write(ctx, chunkTop(seqtreap.Diff(ta, tb)))
+		return
+	}
 	c.fork(ctx, d, func(ctx Ctx) {
 		a.Touch(ctx, func(ctx Ctx, n1 *RNode) {
 			if n1 == nil {
@@ -202,6 +229,10 @@ func (c RConfig) Intersect(ctx Ctx, a, b NodeCell) NodeCell {
 }
 
 func (c RConfig) intersectInto(ctx Ctx, d int, a, b, out NodeCell) {
+	if ta, tb, ok := c.chunkArgs(a, b); ok {
+		out.Write(ctx, chunkTop(seqtreap.Intersect(ta, tb)))
+		return
+	}
 	c.fork(ctx, d, func(ctx Ctx) {
 		a.Touch(ctx, func(ctx Ctx, n1 *RNode) {
 			if n1 == nil {
@@ -238,6 +269,10 @@ func (c RConfig) Join(ctx Ctx, a, b NodeCell) NodeCell {
 }
 
 func (c RConfig) joinInto(ctx Ctx, d int, a, b, out NodeCell) {
+	if ta, tb, ok := c.chunkArgs(a, b); ok {
+		out.Write(ctx, chunkTop(seqtreap.Join(ta, tb)))
+		return
+	}
 	a.Touch(ctx, func(ctx Ctx, na *RNode) {
 		if na == nil {
 			b.Touch(ctx, out.Write)

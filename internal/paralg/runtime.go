@@ -92,12 +92,25 @@ type RConfig struct {
 	// trees; the zero value (SharedCells) disables cell specialization.
 	// See variants.go.
 	Discipline CellDiscipline
+	// GrainCutoff coarsens below-cutoff subtrees into chunk cells (see
+	// grain.go): subtrees of at most GrainCutoff nodes are built and
+	// combined by the plain sequential seqtreap code behind a single
+	// born-written cell, instead of one scheduler cell per node. The
+	// zero value disables coarsening. The knob is honored ONLY for
+	// entry points whose sequential twins carry the manifest's seqsafe
+	// proof (verdict.SeqSafeOf); other entries ignore it, failing
+	// closed to the fully pipelined path.
+	GrainCutoff int
 	// class is the verdict-manifest flow class of the entry point this
 	// config copy is serving, stamped by classed.
 	class verdict.Class
 	// vr is non-nil when class, Discipline, and the runtime all permit
 	// specialized cells; resolved once in classed.
 	vr VariantRuntime
+	// cutoff is GrainCutoff after the seqsafe gate: non-zero only when
+	// the entry point's sequential twins are proven cell-free, resolved
+	// once in classed.
+	cutoff int
 }
 
 // fork runs f as a task when the depth is above the grain, else inline.

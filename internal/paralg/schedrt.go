@@ -38,14 +38,20 @@ func (s *SchedRuntime) NewNode() NodeCell { return schedNodeCell{sched.NewCell[*
 
 // DoneNode implements Runtime. A born-written cell is the degenerate
 // forwarded flow, so it always uses the suspension-free forwarded
-// variant — sound under every discipline.
-func (s *SchedRuntime) DoneNode(n *RNode) NodeCell { return fwdNodeCell{sched.ForwardedDone(n)} }
+// variant — sound under every discipline. The allocation is attributed
+// to the runtime's cell counters (ForwardedDoneOn) so per-runtime cell
+// budgets include converter-built input trees.
+func (s *SchedRuntime) DoneNode(n *RNode) NodeCell {
+	return fwdNodeCell{sched.ForwardedDoneOn(s.RT, n)}
+}
 
 // NewT26 implements Runtime.
 func (s *SchedRuntime) NewT26() T26Cell { return schedT26Cell{sched.NewCell[*RT26Node](s.RT)} }
 
 // DoneT26 implements Runtime.
-func (s *SchedRuntime) DoneT26(n *RT26Node) T26Cell { return fwdT26Cell{sched.ForwardedDone(n)} }
+func (s *SchedRuntime) DoneT26(n *RT26Node) T26Cell {
+	return fwdT26Cell{sched.ForwardedDoneOn(s.RT, n)}
+}
 
 // NewNodeLinear implements VariantRuntime.
 func (s *SchedRuntime) NewNodeLinear() NodeCell {

@@ -39,6 +39,7 @@ func NewCell[T any](rt *Runtime) *Cell[T] {
 	if rt == nil {
 		panic("sched: NewCell with nil runtime")
 	}
+	rt.cellsShared.Add(1)
 	return &Cell[T]{rt: rt}
 }
 

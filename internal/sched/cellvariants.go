@@ -87,6 +87,7 @@ func NewLinearCell[T any](rt *Runtime) *LinearCell[T] {
 	if rt == nil {
 		panic("sched: NewLinearCell with nil runtime")
 	}
+	rt.cellsLinear.Add(1)
 	return &LinearCell[T]{rt: rt}
 }
 
@@ -229,6 +230,7 @@ func NewForwardedCell[T any](rt *Runtime) *ForwardedCell[T] {
 	if rt == nil {
 		panic("sched: NewForwardedCell with nil runtime")
 	}
+	rt.cellsForwarded.Add(1)
 	return &ForwardedCell[T]{rt: rt}
 }
 
@@ -240,6 +242,17 @@ func ForwardedDone[T any](v T) *ForwardedCell[T] {
 	c := &ForwardedCell[T]{val: v}
 	c.state.Store(cellWritten)
 	return c
+}
+
+// ForwardedDoneOn is ForwardedDone with the allocation attributed to
+// rt's cell counters. The cell itself still belongs to no runtime (born
+// written, never has waiters); rt is only the accounting target, so
+// per-runtime allocation deltas include converter-built input trees.
+func ForwardedDoneOn[T any](rt *Runtime, v T) *ForwardedCell[T] {
+	if rt != nil {
+		rt.cellsForwarded.Add(1)
+	}
+	return ForwardedDone(v)
 }
 
 // Write stores v and releases external readers. w is accepted for

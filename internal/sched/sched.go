@@ -62,6 +62,15 @@ type Runtime struct {
 
 	extern wstats // scheduling events attributed to no worker
 	wg     sync.WaitGroup
+
+	// Cell allocations by variant. These live on the Runtime rather than
+	// in the per-worker wstats blocks because the cell constructors take
+	// the runtime, not a worker (cells are created from converters and
+	// external callers as often as from tasks). Allocating a cell already
+	// costs a heap allocation, so one shared atomic increment is noise.
+	cellsShared    atomic.Int64
+	cellsLinear    atomic.Int64
+	cellsForwarded atomic.Int64
 }
 
 // Worker is the scheduling context of one worker goroutine. Tasks receive
@@ -436,9 +445,16 @@ type Counters struct {
 	LinearTouches     int64
 	LinearSuspensions int64
 	ForwardedTouches  int64
-	BusyNanos         []int64
-	WorkerTasks       []int64
-	WorkerSteals      []int64
+	// Cell allocations by variant (NewCell / NewLinearCell /
+	// NewForwardedCell+ForwardedDone[On]). The dynamic budget lane of
+	// internal/verifycross checks these against the static CellBudget
+	// manifest; pipebench reports their sum as the "cells" column.
+	CellsShared    int64
+	CellsLinear    int64
+	CellsForwarded int64
+	BusyNanos      []int64
+	WorkerTasks    []int64
+	WorkerSteals   []int64
 	// WorkerStolenFrom counts, per worker, tasks that thieves took from
 	// that worker's deque — the victim-side view of WorkerSteals. A healthy
 	// runtime under load spreads theft across >1 victim.
@@ -463,6 +479,9 @@ func (rt *Runtime) Counters() Counters {
 		}
 	}
 	add(&rt.extern)
+	c.CellsShared = rt.cellsShared.Load()
+	c.CellsLinear = rt.cellsLinear.Load()
+	c.CellsForwarded = rt.cellsForwarded.Load()
 	now := time.Now().UnixNano()
 	for _, w := range rt.workers {
 		add(&w.stats)
@@ -509,6 +528,9 @@ func (c Counters) Sub(prev Counters) Counters {
 	out.LinearTouches -= prev.LinearTouches
 	out.LinearSuspensions -= prev.LinearSuspensions
 	out.ForwardedTouches -= prev.ForwardedTouches
+	out.CellsShared -= prev.CellsShared
+	out.CellsLinear -= prev.CellsLinear
+	out.CellsForwarded -= prev.CellsForwarded
 	out.BusyNanos = subSlice(c.BusyNanos, prev.BusyNanos)
 	out.WorkerTasks = subSlice(c.WorkerTasks, prev.WorkerTasks)
 	out.WorkerSteals = subSlice(c.WorkerSteals, prev.WorkerSteals)
@@ -529,7 +551,8 @@ func subSlice(a, b []int64) []int64 {
 
 // String renders the aggregate counters on one line.
 func (c Counters) String() string {
-	return fmt.Sprintf("spawns=%d steals=%d susp=%d react=%d tasks=%d maxdeq=%d lin=%d/%d fwd=%d",
+	return fmt.Sprintf("spawns=%d steals=%d susp=%d react=%d tasks=%d maxdeq=%d lin=%d/%d fwd=%d cells=%d/%d/%d",
 		c.Spawns, c.Steals, c.Suspensions, c.Reactivations, c.Tasks, c.MaxDeque,
-		c.LinearTouches, c.LinearSuspensions, c.ForwardedTouches)
+		c.LinearTouches, c.LinearSuspensions, c.ForwardedTouches,
+		c.CellsShared, c.CellsLinear, c.CellsForwarded)
 }

@@ -93,6 +93,10 @@ func newBackend(name string, pc paralg.RConfig) (Backend, error) {
 		// That is the linear-cells contract, and it buys the t26 run
 		// specialized cells.
 		pc.Discipline = paralg.LinearCells
+		// Grain coarsening targets the treap's one-cell-per-node cost;
+		// the t26 entries carry no seqsafe proof, so the knob could
+		// never fire here — zero it to keep the config honest.
+		pc.GrainCutoff = 0
 		return t26Backend{pc: pc}, nil
 	default:
 		return nil, fmt.Errorf("serve: unknown backend %q (want treap or t26)", name)

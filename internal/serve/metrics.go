@@ -109,6 +109,15 @@ type Metrics struct {
 	LinearTouches     int64 `json:"linear_touches"`
 	LinearSuspensions int64 `json:"linear_suspensions"`
 	ForwardedTouches  int64 `json:"forwarded_touches"`
+
+	// Scheduler cells allocated, by variant. GrainCutoff is the server's
+	// effective cell-amortization grain; raising it should push these
+	// counts down on the treap backend (subtrees below the cutoff ride
+	// behind chunk cells the scheduler never sees).
+	GrainCutoff    int   `json:"grain_cutoff"`
+	CellsShared    int64 `json:"cells_shared"`
+	CellsLinear    int64 `json:"cells_linear"`
+	CellsForwarded int64 `json:"cells_forwarded"`
 }
 
 // Metrics samples every counter. Safe to call at any time.
@@ -162,5 +171,9 @@ func (s *Server) Metrics() Metrics {
 	m.LinearTouches = c.LinearTouches
 	m.LinearSuspensions = c.LinearSuspensions
 	m.ForwardedTouches = c.ForwardedTouches
+	m.GrainCutoff = s.cfg.GrainCutoff
+	m.CellsShared = c.CellsShared
+	m.CellsLinear = c.CellsLinear
+	m.CellsForwarded = c.CellsForwarded
 	return m
 }

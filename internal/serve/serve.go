@@ -84,6 +84,13 @@ type Config struct {
 	// SpawnDepth is the algorithm grain bound (paralg.RConfig.SpawnDepth);
 	// ≤ 0 picks the paralg default.
 	SpawnDepth int
+	// GrainCutoff is the cell-amortization grain (paralg.RConfig.GrainCutoff):
+	// subtrees of at most this many nodes ride behind a single chunk cell
+	// instead of one scheduler cell per node. 0 picks DefaultGrainCutoff;
+	// negative disables coarsening. The knob only ever activates for entry
+	// points the verdict manifest proves seqsafe, so a stale manifest
+	// degrades to the fully pipelined plan rather than to wrong answers.
+	GrainCutoff int
 	// HighWater is the global admission bound, divided evenly across
 	// shards: shard i sheds when its share of the scheduler backlog plus
 	// its own queued pieces reaches ceil(HighWater/Shards). ≤ 0 picks
@@ -107,6 +114,13 @@ type Config struct {
 
 // DefaultHighWater is the admission bound used when Config.HighWater ≤ 0.
 const DefaultHighWater = 4096
+
+// DefaultGrainCutoff is the cell-amortization grain used when
+// Config.GrainCutoff is 0. At 32 a shard batch's below-cutoff subtrees —
+// the bulk of a typical mutation's key pieces — cost one cell each
+// instead of one per node, while splits at or above the cutoff still
+// pipeline normally.
+const DefaultGrainCutoff = 32
 
 // DefaultUniverse is the key-range hint used when Config.Universe ≤ 0.
 const DefaultUniverse = 1 << 20
@@ -150,6 +164,12 @@ func New(cfg Config) *Server {
 	if cfg.SpawnDepth <= 0 {
 		cfg.SpawnDepth = paralg.DefaultConfig.SpawnDepth
 	}
+	switch {
+	case cfg.GrainCutoff == 0:
+		cfg.GrainCutoff = DefaultGrainCutoff
+	case cfg.GrainCutoff < 0:
+		cfg.GrainCutoff = 0 // explicit off; 0 disables in paralg too
+	}
 	if cfg.HighWater <= 0 {
 		cfg.HighWater = DefaultHighWater
 	}
@@ -160,7 +180,7 @@ func New(cfg Config) *Server {
 		cfg.Universe = DefaultUniverse
 	}
 	rt := paralg.NewSchedRuntime(cfg.P)
-	pc := paralg.RConfig{R: rt, SpawnDepth: cfg.SpawnDepth}
+	pc := paralg.RConfig{R: rt, SpawnDepth: cfg.SpawnDepth, GrainCutoff: cfg.GrainCutoff}
 	be, err := newBackend(cfg.Backend, pc)
 	if err != nil {
 		panic(err)

@@ -158,6 +158,22 @@ func (t *Trace) CellTouch(cell int64, node int32) {
 	t.cellTouches[cell] = append(t.cellTouches[cell], node)
 }
 
+// CellCount is the cell census: the number of distinct cells observed so
+// far, counting every cell that has been written (prewritten inputs
+// included — their writer is recorded as -1) or touched. The delta of
+// this census around one operation measures the cells that operation
+// brought into existence, which is the quantity the verdict manifest's
+// cell budgets bound.
+func (t *Trace) CellCount() int {
+	n := len(t.cellWrites)
+	for c := range t.cellTouches {
+		if _, ok := t.cellWrites[c]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
 // DataParent returns the node's data-edge parent (the write its first read
 // depends on), or -1 if it has none. Fan-sink overflow parents are thread
 // edges and are not reported here; extra data edges beyond the first are

@@ -44,6 +44,7 @@ type staticPkg struct {
 	prog  *ssa.Program
 	diags []analysis.Diagnostic
 	sums  *flow.Summaries
+	costs *flow.CellCosts
 }
 
 // loadPkg typechecks root/internal/<name> from source and runs the
@@ -82,6 +83,7 @@ func loadPkg(root, name string) (*staticPkg, error) {
 		prog:  prog,
 		diags: diags,
 		sums:  flow.ComputeSummaries(prog),
+		costs: flow.ComputeCellCosts(prog),
 	}, nil
 }
 
@@ -91,7 +93,9 @@ func loadPkg(root, name string) (*staticPkg, error) {
 // with sorted keys.
 func Generate(root string) (*Manifest, error) {
 	pkgs := map[string]*staticPkg{}
-	for _, name := range []string{"costalg", "paralg"} {
+	// seqtreap is loaded for the seqsafe twins only: it hosts the plain
+	// sequential tree code the below-cutoff paths run.
+	for _, name := range []string{"costalg", "paralg", "seqtreap"} {
 		sp, err := loadPkg(root, name)
 		if err != nil {
 			return nil, err
@@ -102,6 +106,11 @@ func Generate(root string) (*Manifest, error) {
 	m := &Manifest{
 		Entries: make(map[string]EntryVerdict),
 		Groups:  make(map[string]GroupVerdict),
+		CellBudget: &CellBudget{
+			Entries: make(map[string]Budget),
+			Groups:  make(map[string]Budget),
+			SeqSafe: make(map[string]SeqSafeVerdict),
+		},
 	}
 	groupNames := make([]string, 0, len(Groups))
 	for g := range Groups {
@@ -110,6 +119,7 @@ func Generate(root string) (*Manifest, error) {
 	sort.Strings(groupNames)
 	for _, g := range groupNames {
 		gc := Unanalyzed
+		gb := Budget{Kind: BudgetUnanalyzed}
 		for _, spec := range Groups[g] {
 			pkgName, fnSpec, ok := strings.Cut(spec, ".")
 			if !ok {
@@ -128,6 +138,12 @@ func Generate(root string) (*Manifest, error) {
 			}
 			m.Entries[spec] = ev
 			gc = Meet(gc, ev.Class)
+			bv, err := sp.budget(fnSpec, ev.Class)
+			if err != nil {
+				return nil, fmt.Errorf("group %s: %v", g, err)
+			}
+			m.CellBudget.Entries[spec] = bv
+			gb = JoinBudget(gb, bv)
 		}
 		if gc == Unanalyzed {
 			// A group with no analyzed member claims nothing; record the
@@ -135,8 +151,93 @@ func Generate(root string) (*Manifest, error) {
 			gc = General
 		}
 		m.Groups[g] = GroupVerdict{Class: gc}
+		m.CellBudget.Groups[g] = gb
+	}
+	if err := genSeqSafe(pkgs, m.CellBudget); err != nil {
+		return nil, err
 	}
 	return m, nil
+}
+
+// budget assigns one entry point its allocation bound. Entries whose
+// cell traffic the analyses cannot see (class Unanalyzed — allocations
+// flow through the opaque runtime interface exactly like touches do)
+// claim nothing; a const(0) there would be vacuously false.
+func (sp *staticPkg) budget(spec string, class Class) (Budget, error) {
+	if class == Unanalyzed {
+		return Budget{
+			Kind:   BudgetUnanalyzed,
+			Detail: "allocations flow through an opaque runtime interface",
+		}, nil
+	}
+	fn, err := sp.entry(spec)
+	if err != nil {
+		return Budget{}, err
+	}
+	b := sp.costs.BoundOf(fn)
+	kind := BudgetConst
+	switch b.Kind {
+	case flow.BSpine:
+		kind = BudgetSpine
+	case flow.BLinear:
+		kind = BudgetLinear
+	}
+	return Budget{Kind: kind, K: b.K, Detail: sp.costs.Attribution(fn)}, nil
+}
+
+// seqTwins maps each grain-cutoff entry point to the sequential twins
+// its below-cutoff path runs: the plain seqtreap construction plus the
+// paralg chunk helpers that wrap its output. The seqsafe verdict holds
+// only if EVERY twin is proven cell-free; entries absent from this
+// table never get a verdict and therefore never honor GrainCutoff.
+var seqTwins = map[string][]string{
+	"paralg.RConfig.Merge":       {"paralg.chunkMerge", "paralg.chunkSplitGE", "paralg.chunkTop"},
+	"paralg.RConfig.Union":       {"seqtreap.Union", "paralg.chunkTop"},
+	"paralg.RConfig.Diff":        {"seqtreap.Diff", "paralg.chunkTop"},
+	"paralg.RConfig.Intersect":   {"seqtreap.Intersect", "paralg.chunkTop"},
+	"paralg.RConfig.Join":        {"seqtreap.Join", "paralg.chunkTop"},
+	"paralg.RConfig.BuildTreap":  {"seqtreap.FromKeys", "paralg.chunkTop"},
+	"paralg.RConfig.InsertKeys":  {"seqtreap.Union", "seqtreap.FromKeys", "paralg.chunkTop"},
+	"paralg.RConfig.DeleteKeys":  {"seqtreap.Diff", "seqtreap.FromKeys", "paralg.chunkTop"},
+	"paralg.RConfig.Split":       {"paralg.chunkSplitGE", "paralg.chunkTop"},
+	"paralg.RConfig.SplitRanges": {"paralg.chunkSplitGE", "paralg.chunkTop"},
+}
+
+// genSeqSafe proves (or refuses to prove) each seqTwins entry cell-free.
+func genSeqSafe(pkgs map[string]*staticPkg, cb *CellBudget) error {
+	entries := make([]string, 0, len(seqTwins))
+	for e := range seqTwins {
+		entries = append(entries, e)
+	}
+	sort.Strings(entries)
+	for _, e := range entries {
+		sv := SeqSafeVerdict{Safe: true}
+		var proven []string
+		for _, twin := range seqTwins[e] {
+			pkgName, fnSpec, ok := strings.Cut(twin, ".")
+			if !ok {
+				return fmt.Errorf("bad seqsafe twin spec %q for %s", twin, e)
+			}
+			sp := pkgs[pkgName]
+			if sp == nil {
+				return fmt.Errorf("seqsafe twin %q names unknown package", twin)
+			}
+			fn, err := sp.entry(fnSpec)
+			if err != nil {
+				return fmt.Errorf("seqsafe twin for %s: %v", e, err)
+			}
+			if ok, why := sp.costs.SeqSafe(fn); !ok {
+				sv = SeqSafeVerdict{Safe: false, Detail: twin + ": " + why}
+				break
+			}
+			proven = append(proven, twin)
+		}
+		if sv.Safe {
+			sv.Detail = "cell-free twins: " + strings.Join(proven, ", ")
+		}
+		cb.SeqSafe[e] = sv
+	}
+	return nil
 }
 
 // classify assigns one entry point its flow class.
