@@ -52,7 +52,10 @@ func main() {
 		backend    = flag.String("backend", "treap", "per-shard store: treap (pipelined) or t26 (batch-synchronous)")
 		shards     = flag.Int("shards", 1, "independent shard roots the key space is range-partitioned across")
 		universe   = flag.Int("universe", serve.DefaultUniverse, "dense key range hint [0,universe) for placing shard pivots")
-		smoke      = flag.Bool("smoke", false, "run a loopback HTTP smoke check (all backends) and exit")
+		dataDir    = flag.String("data-dir", "", "durability root: per-shard WAL + snapshots under <dir>/shard-<i>; empty = no persistence")
+		fsync      = flag.String("fsync", "batch", "WAL fsync policy: batch (group commit), never, or always")
+		snapEvery  = flag.Int("snapshot-every", 0, "per-shard snapshot cadence in versions (0 = default, negative = final snapshot only)")
+		smoke      = flag.Bool("smoke", false, "run a loopback HTTP smoke check (all backends, including a restart round-trip) and exit")
 	)
 	flag.Parse()
 
@@ -67,25 +70,34 @@ func main() {
 	}
 
 	cfg := serve.Config{P: *p, SpawnDepth: *spawnDepth, GrainCutoff: *cutoff,
-		HighWater: *highWater, Backend: *backend, Shards: *shards, Universe: *universe}
+		HighWater: *highWater, Backend: *backend, Shards: *shards, Universe: *universe,
+		DataDir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapEvery}
 	if *smoke {
 		// Smoke both backends regardless of -backend: the CI lane should
-		// exercise the whole matrix in one invocation.
+		// exercise the whole matrix in one invocation. Each backend also
+		// runs a persistent restart round-trip in a temp data dir.
 		for _, b := range serve.KnownBackends() {
 			c := cfg
 			c.Backend = b
 			if c.Shards <= 1 {
 				c.Shards = 4 // default smoke covers the sharded path too
 			}
+			c.DataDir = "" // phase 1: the classic in-memory smoke
 			if err := runSmoke(c); err != nil {
 				log.Fatalf("smoke[%s]: FAIL: %v", b, err)
+			}
+			if err := runRestartSmoke(c); err != nil {
+				log.Fatalf("smoke[%s/restart]: FAIL: %v", b, err)
 			}
 			fmt.Printf("smoke[%s]: ok\n", b)
 		}
 		return
 	}
 
-	s := serve.New(cfg)
+	s, err := serve.Open(cfg)
+	if err != nil {
+		log.Fatalf("pipeserve: open: %v", err)
+	}
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	sig := make(chan os.Signal, 1)
@@ -111,6 +123,10 @@ func main() {
 	m := s.Metrics()
 	log.Printf("pipeserve: drained: offered=%d admitted=%d completed=%d shed=%d",
 		m.Offered, m.Admitted, m.Completed, m.ShedOverload+m.ShedDraining)
+	if *dataDir != "" {
+		log.Printf("pipeserve: durable: policy=%s wal_records=%d bytes_logged=%d snapshots=%d",
+			m.Persist, m.WalRecords, m.BytesLogged, m.Snapshots)
+	}
 }
 
 // runSmoke drives the server end to end over a real loopback socket: a
@@ -198,5 +214,72 @@ func runSmoke(cfg serve.Config) error {
 	}
 	fmt.Printf("smoke: spawns=%d suspensions=%d admitted=%d batches=%d\n",
 		m.Spawns, m.Suspensions, m.Admitted, m.Batches)
+	return nil
+}
+
+// runRestartSmoke exercises the durability layer end to end: mutate a
+// persistent server, drain it cleanly, reopen the same data dir, and
+// assert the contents survived — with zero log records replayed, since
+// a clean drain flushes the WAL and snapshots the head version.
+func runRestartSmoke(cfg serve.Config) error {
+	dir, err := os.MkdirTemp("", "pipeserve-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg.DataDir = dir
+	cfg.Fsync = "batch"
+	cfg.SnapshotEvery = 4
+
+	s, err := serve.Open(cfg)
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	for i := 0; i < 8; i++ {
+		keys := make([]int, 128)
+		for j := range keys {
+			keys[j] = (i*131 + j*17) % 4096
+		}
+		if _, err := s.Apply(serve.OpUnion, keys); err != nil {
+			s.Close()
+			return fmt.Errorf("union %d: %w", i, err)
+		}
+	}
+	if _, err := s.Apply(serve.OpDifference, []int{0, 17, 34}); err != nil {
+		s.Close()
+		return fmt.Errorf("difference: %w", err)
+	}
+	want, _, err := s.Keys()
+	if err != nil {
+		s.Close()
+		return fmt.Errorf("keys: %w", err)
+	}
+	s.Close()
+
+	r, err := serve.Open(cfg)
+	if err != nil {
+		return fmt.Errorf("reopen: %w", err)
+	}
+	defer r.Close()
+	got, _, err := r.Keys()
+	if err != nil {
+		return fmt.Errorf("recovered keys: %w", err)
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("recovered %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("recovered keys[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	m := r.Metrics()
+	if m.Replayed != 0 {
+		return fmt.Errorf("clean stop replayed %d records, want 0", m.Replayed)
+	}
+	if m.Persist != "batch" {
+		return fmt.Errorf("metrics persist=%q, want batch", m.Persist)
+	}
+	fmt.Printf("smoke restart: keys=%d replayed=%d\n", len(got), m.Replayed)
 	return nil
 }

@@ -1,0 +1,23 @@
+package costalg
+
+// The snapshot walk in the cost model: the sequential twin of
+// paralg.RSnapshotKeys, used by verifycross to record a touch trace for
+// the verdict manifest's snapshot group. It collects every key of a
+// (possibly still materializing) tree in sorted order, touching each
+// cell exactly once.
+
+import "pipefut/internal/core"
+
+// CollectKeys walks the tree in-order and returns its keys sorted. Each
+// edge cell is touched exactly once, so the walk's trace is linear
+// whatever the static verdict says; cost is one step per node.
+func CollectKeys(t *core.Ctx, tree Tree) []int {
+	n := core.Touch(t, tree)
+	if n == nil {
+		return nil
+	}
+	t.Step(1) // visit the node
+	out := CollectKeys(t, n.Left)
+	out = append(out, n.Key)
+	return append(out, CollectKeys(t, n.Right)...)
+}

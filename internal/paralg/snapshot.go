@@ -1,0 +1,77 @@
+package paralg
+
+// The snapshot walk: serialize a pinned root into its sorted key slice
+// without ever blocking a goroutine. The durability layer
+// (internal/persist) pins a published root — immutable by structural
+// sharing, so the pin is O(1) — and runs this walk as a scheduler task;
+// edges the appliers have not materialized yet suspend the walk's
+// continuation on the cell like any other pipelined consumer, so the
+// snapshot writer rides the same pipeline it is photographing.
+
+import "sync/atomic"
+
+// RSnapshotKeys walks the tree and calls k once with all keys in sorted
+// order. Like RLen it descends both children of every node under an
+// atomic open-walk countdown, so continuation nesting stays O(tree
+// height) and independent subtrees materialize concurrently; unlike
+// RLen it must emit keys *in order*, so each touch fills a slot in a
+// pointer-mirror of the tree and whichever walk resolves last flattens
+// the mirror in-order (iteratively — the mirror is as unbalanced as the
+// treap, but the flatten is plain memory traversal, no touches).
+func RSnapshotKeys(ctx Ctx, t NodeCell, k func(Ctx, []int)) {
+	st := &rsnapState{k: k, root: &rsnapSlot{}}
+	st.open.Store(1)
+	st.walk(ctx, t, st.root)
+}
+
+// rsnapSlot mirrors one tree edge: full=false is a nil edge, full=true
+// holds the node's key and two child slots.
+type rsnapSlot struct {
+	key         int
+	full        bool
+	left, right *rsnapSlot
+}
+
+type rsnapState struct {
+	count atomic.Int64
+	open  atomic.Int64 // walks started and not yet resolved at a nil edge
+	root  *rsnapSlot
+	k     func(Ctx, []int)
+}
+
+func (st *rsnapState) walk(ctx Ctx, t NodeCell, slot *rsnapSlot) {
+	t.Touch(ctx, func(ctx Ctx, n *RNode) {
+		if n == nil {
+			if st.open.Add(-1) == 0 {
+				st.finish(ctx)
+			}
+			return
+		}
+		slot.key, slot.full = n.Key, true
+		slot.left, slot.right = &rsnapSlot{}, &rsnapSlot{}
+		st.count.Add(1)
+		st.open.Add(1) // two child walks replace this one: net +1 open
+		st.walk(ctx, n.Left, slot.left)
+		st.walk(ctx, n.Right, slot.right)
+	})
+}
+
+// finish flattens the completed mirror in-order with an explicit stack;
+// the treap's expected height is O(log n) but the flatten must not
+// trust that.
+func (st *rsnapState) finish(ctx Ctx) {
+	out := make([]int, 0, st.count.Load())
+	var stack []*rsnapSlot
+	cur := st.root
+	for cur.full || len(stack) > 0 {
+		for cur.full {
+			stack = append(stack, cur)
+			cur = cur.left
+		}
+		cur = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, cur.key)
+		cur = cur.right
+	}
+	st.k(ctx, out)
+}

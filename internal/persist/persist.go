@@ -1,0 +1,98 @@
+// Package persist is the durability layer under internal/serve: a
+// per-shard write-ahead op log with group-commit batching, background
+// snapshots serialized from pinned immutable roots, and crash recovery
+// that loads the newest valid snapshot and replays the log suffix.
+//
+// The design leans on two properties of the layers above. First, each
+// shard's admission queue is already a serialized op stream: the applier
+// dispatches coalesced runs one at a time and assigns each a dense
+// version number, so the log is exactly (seq, kind, keys) per run —
+// appended *before* the run's result root is published, with the
+// request ack additionally gated on the record being durable under the
+// configured fsync policy. Second, published roots are immutable
+// (persistent treaps share structure), so a snapshot is a pin of a
+// (root, seq) pair plus a background tree walk that suspends on
+// ungenerated cells like any other continuation — the applier never
+// blocks on it, and the walk observes exactly the version it pinned.
+//
+// On-disk layout per shard directory:
+//
+//	wal-<first-seq>.log   append-only record segments (record.go)
+//	snap-<seq>.snap       whole-set snapshots (snapshot.go)
+//	*.tmp                 in-flight snapshot writes (removed on open)
+//
+// The WAL rotates to a fresh segment when a snapshot covering seq N
+// becomes durable, and deletes segments whose records are all ≤ N; a
+// segment's name is the lowest seq it may hold, so coverage is decided
+// from the *next* segment's name without reading either. Recovery scans
+// segments in order, verifies per-record CRCs and the dense-seq
+// invariant, truncates a torn tail (a crash mid-append), and errors on
+// a gap — a gap means data the snapshot does not cover was lost, which
+// must never be papered over.
+package persist
+
+import "time"
+
+// FsyncPolicy says when an appended record counts as durable — i.e.
+// when its onDurable callback (the request ack gate) may fire.
+type FsyncPolicy int
+
+const (
+	// FsyncBatch is group commit: the flusher collects appends for up to
+	// BatchInterval and retires them with one write+fsync. Acks mean
+	// "on stable storage"; the fsync cost amortizes over the batch.
+	FsyncBatch FsyncPolicy = iota
+	// FsyncNever writes records through to the OS but never fsyncs
+	// (except at Close and explicit Sync barriers). Acks mean "handed
+	// to the kernel" — a machine crash can lose the tail.
+	FsyncNever
+	// FsyncAlways flushes and fsyncs as soon as any record is pending,
+	// with no batching window. Appends that arrive while an fsync is in
+	// flight still group under the next one.
+	FsyncAlways
+)
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncBatch:
+		return "batch"
+	case FsyncNever:
+		return "never"
+	case FsyncAlways:
+		return "always"
+	}
+	return "unknown"
+}
+
+// ParsePolicy resolves a policy name; "" picks FsyncBatch.
+func ParsePolicy(s string) (FsyncPolicy, bool) {
+	switch s {
+	case "", "batch":
+		return FsyncBatch, true
+	case "never":
+		return FsyncNever, true
+	case "always":
+		return FsyncAlways, true
+	}
+	return 0, false
+}
+
+// DefaultBatchInterval is the group-commit window under FsyncBatch when
+// Options.BatchInterval is zero.
+const DefaultBatchInterval = 2 * time.Millisecond
+
+// Options configures one shard's store.
+type Options struct {
+	// Policy is the WAL fsync policy (zero value: FsyncBatch).
+	Policy FsyncPolicy
+	// BatchInterval overrides the FsyncBatch group-commit window;
+	// ≤ 0 picks DefaultBatchInterval.
+	BatchInterval time.Duration
+}
+
+func (o Options) interval() time.Duration {
+	if o.BatchInterval > 0 {
+		return o.BatchInterval
+	}
+	return DefaultBatchInterval
+}

@@ -1,0 +1,194 @@
+package persist
+
+// The WAL record format. One record per coalesced applier run:
+//
+//	header : u32 payload length | u32 CRC32-IEEE(payload)   (little-endian)
+//	payload: uvarint seq | byte kind | uvarint count |
+//	         varint first-key | uvarint deltas...
+//
+// Keys are sorted and distinct, so all deltas are ≥ 1 and delta-varint
+// coding keeps dense batches to ~1 byte per key. The CRC plus the
+// length framing is what makes a torn tail (a crash mid-append)
+// detectable: a record either decodes whole and verified, or replay
+// stops at its offset.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Kind tags one logged operation. Values are part of the on-disk
+// format; never renumber.
+type Kind byte
+
+const (
+	KindUnion      Kind = 1
+	KindDifference Kind = 2
+	KindIntersect  Kind = 3
+)
+
+func (k Kind) valid() bool { return k >= KindUnion && k <= KindIntersect }
+
+func (k Kind) String() string {
+	switch k {
+	case KindUnion:
+		return "union"
+	case KindDifference:
+		return "difference"
+	case KindIntersect:
+		return "intersect"
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
+
+// Record is one write-ahead log entry: the coalesced run the applier is
+// about to publish as version Seq. Keys must be sorted and distinct.
+type Record struct {
+	Seq  uint64
+	Kind Kind
+	Keys []int
+}
+
+const (
+	recordHeader = 8
+	// MaxRecordPayload bounds one record's payload so a corrupt length
+	// field cannot make the decoder allocate gigabytes.
+	MaxRecordPayload = 1 << 26
+)
+
+var (
+	// ErrTornTail reports that the log ends mid-record — the signature
+	// of a crash during an append. Everything before the torn offset is
+	// intact; replay stops there.
+	ErrTornTail = errors.New("persist: torn record at end of log")
+	// ErrCorrupt reports bytes that cannot be a valid record.
+	ErrCorrupt = errors.New("persist: corrupt record")
+)
+
+// AppendRecord encodes r onto buf and returns the extended slice.
+func AppendRecord(buf []byte, r Record) []byte {
+	head := len(buf)
+	buf = append(buf, make([]byte, recordHeader)...)
+	buf = binary.AppendUvarint(buf, r.Seq)
+	buf = append(buf, byte(r.Kind))
+	buf = appendKeys(buf, r.Keys)
+	payload := buf[head+recordHeader:]
+	binary.LittleEndian.PutUint32(buf[head:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[head+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// appendKeys delta-varint encodes a sorted distinct key batch.
+func appendKeys(buf []byte, keys []int) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for i, k := range keys {
+		if i == 0 {
+			buf = binary.AppendVarint(buf, int64(k))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(k-keys[i-1]))
+		}
+	}
+	return buf
+}
+
+// decodeKeys reverses appendKeys, consuming from b. It never trusts the
+// count: each key costs at least one payload byte, so a count larger
+// than the remaining bytes is rejected before allocating.
+func decodeKeys(b []byte) ([]int, []byte, error) {
+	cnt, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("%w: bad key count", ErrCorrupt)
+	}
+	b = b[n:]
+	if cnt > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("%w: key count %d exceeds payload", ErrCorrupt, cnt)
+	}
+	if cnt == 0 {
+		return nil, b, nil
+	}
+	keys := make([]int, cnt)
+	first, n := binary.Varint(b)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("%w: bad first key", ErrCorrupt)
+	}
+	b = b[n:]
+	keys[0] = int(first)
+	for i := 1; i < int(cnt); i++ {
+		d, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("%w: bad key delta", ErrCorrupt)
+		}
+		if d == 0 {
+			return nil, nil, fmt.Errorf("%w: keys not strictly ascending", ErrCorrupt)
+		}
+		b = b[n:]
+		keys[i] = keys[i-1] + int(d)
+	}
+	return keys, b, nil
+}
+
+// DecodeRecord decodes the record at the start of b and returns it with
+// the number of bytes consumed. ErrTornTail means b ends mid-record
+// (replay may stop cleanly); ErrCorrupt means the bytes at this offset
+// cannot be a record.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < recordHeader {
+		return Record{}, 0, ErrTornTail
+	}
+	plen := int(binary.LittleEndian.Uint32(b))
+	if plen > MaxRecordPayload {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d", ErrCorrupt, plen)
+	}
+	if len(b) < recordHeader+plen {
+		return Record{}, 0, ErrTornTail
+	}
+	payload := b[recordHeader : recordHeader+plen]
+	if got := crc32.ChecksumIEEE(payload); got != binary.LittleEndian.Uint32(b[4:]) {
+		return Record{}, 0, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	var r Record
+	seq, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return Record{}, 0, fmt.Errorf("%w: bad seq", ErrCorrupt)
+	}
+	payload = payload[n:]
+	r.Seq = seq
+	if len(payload) < 1 {
+		return Record{}, 0, fmt.Errorf("%w: missing kind", ErrCorrupt)
+	}
+	r.Kind = Kind(payload[0])
+	payload = payload[1:]
+	if !r.Kind.valid() {
+		return Record{}, 0, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, byte(r.Kind))
+	}
+	keys, rest, err := decodeKeys(payload)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	if len(rest) != 0 {
+		return Record{}, 0, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(rest))
+	}
+	r.Keys = keys
+	return r, recordHeader + plen, nil
+}
+
+// DecodeAll decodes records from b until it is exhausted or a decode
+// fails, returning the records, the offset of the first byte not
+// consumed, and the terminating error (nil when b decoded exactly).
+// Both ErrTornTail and ErrCorrupt stop the scan at a safe prefix; no
+// partial or unverified record is ever returned.
+func DecodeAll(b []byte) ([]Record, int, error) {
+	var recs []Record
+	off := 0
+	for off < len(b) {
+		r, n, err := DecodeRecord(b[off:])
+		if err != nil {
+			return recs, off, err
+		}
+		recs = append(recs, r)
+		off += n
+	}
+	return recs, off, nil
+}

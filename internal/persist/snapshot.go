@@ -1,0 +1,153 @@
+package persist
+
+// Snapshot files: one whole-set serialization per file, written by the
+// background walker once it has flattened a pinned root. Format:
+//
+//	[8]  magic "PSNAPv1\n"
+//	[4]  u32 payload length  (little-endian)
+//	[4]  u32 CRC32-IEEE(payload)
+//	[..] payload: uvarint seq | uvarint count | varint first-key | uvarint deltas
+//
+// A snapshot is written to snap-<seq>.snap.tmp, fsynced, renamed into
+// place, and the directory fsynced — so a crash mid-write leaves only a
+// .tmp (removed on open) and the previous snapshot intact. Loading
+// scans newest-first and falls back past corrupt files, so losing the
+// newest snapshot costs extra replay, never correctness.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+var snapMagic = [8]byte{'P', 'S', 'N', 'A', 'P', 'v', '1', '\n'}
+
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%020d.snap", seq) }
+
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), "%d", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// writeSnapshot durably writes the full key set as of seq: tmp file,
+// fsync, rename, directory fsync.
+func writeSnapshot(dir string, seq uint64, keys []int) error {
+	buf := append([]byte(nil), snapMagic[:]...)
+	head := len(buf)
+	buf = append(buf, make([]byte, 8)...)
+	buf = binary.AppendUvarint(buf, seq)
+	buf = appendKeys(buf, keys)
+	payload := buf[head+8:]
+	binary.LittleEndian.PutUint32(buf[head:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[head+4:], crc32.ChecksumIEEE(payload))
+
+	final := filepath.Join(dir, snapName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return fsyncDir(dir)
+}
+
+// decodeSnapshot verifies and decodes one snapshot file's bytes.
+func decodeSnapshot(b []byte) (uint64, []int, error) {
+	if len(b) < len(snapMagic)+8 {
+		return 0, nil, fmt.Errorf("%w: snapshot too short", ErrCorrupt)
+	}
+	if [8]byte(b[:8]) != snapMagic {
+		return 0, nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	b = b[8:]
+	plen := int(binary.LittleEndian.Uint32(b))
+	if plen > MaxRecordPayload || len(b) != 8+plen {
+		return 0, nil, fmt.Errorf("%w: snapshot payload length %d", ErrCorrupt, plen)
+	}
+	payload := b[8:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[4:]) {
+		return 0, nil, fmt.Errorf("%w: snapshot CRC mismatch", ErrCorrupt)
+	}
+	seq, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad snapshot seq", ErrCorrupt)
+	}
+	keys, rest, err := decodeKeys(payload[n:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing snapshot bytes", ErrCorrupt, len(rest))
+	}
+	return seq, keys, nil
+}
+
+// loadLatestSnapshot returns the newest valid snapshot in dir (seq 0,
+// nil keys if none). Corrupt files are skipped, falling back to older
+// snapshots rather than failing recovery.
+func loadLatestSnapshot(dir string) (uint64, []int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, nil, err
+	}
+	type snap struct {
+		path string
+		seq  uint64
+	}
+	var snaps []snap
+	for _, e := range ents {
+		if seq, ok := parseSnapName(e.Name()); ok {
+			snaps = append(snaps, snap{path: filepath.Join(dir, e.Name()), seq: seq})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq > snaps[j].seq })
+	for _, s := range snaps {
+		data, err := os.ReadFile(s.path)
+		if err != nil {
+			continue
+		}
+		seq, keys, err := decodeSnapshot(data)
+		if err != nil || seq != s.seq {
+			continue
+		}
+		return seq, keys, nil
+	}
+	return 0, nil, nil
+}
+
+// pruneSnapshots removes snapshots older than keepSeq; the newest one
+// is already durable, so older ones are pure disk overhead.
+func pruneSnapshots(dir string, keepSeq uint64) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if seq, ok := parseSnapName(e.Name()); ok && seq < keepSeq {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}

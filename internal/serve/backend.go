@@ -71,6 +71,17 @@ type Backend interface {
 	// Keys returns st's contents in ascending order, blocking until the
 	// state fully materializes. Verification path, external callers only.
 	Keys(st State) []int
+	// Load rebuilds a shard state from a recovered snapshot's sorted
+	// distinct key set (recovery path; the treap build pipelines).
+	Load(ctx paralg.Ctx, keys []int) State
+	// ReplayOperand turns one recovered WAL record's sorted distinct key
+	// batch back into the operand Apply consumes — the recovery twin of
+	// Prepare, for a single already-routed shard.
+	ReplayOperand(ctx paralg.Ctx, op Op, keys []int) Operand
+	// Snapshot reports st's full sorted key set through continuation k,
+	// suspending (never blocking) on parts of st that have not
+	// materialized — the durability layer's background snapshot walk.
+	Snapshot(ctx paralg.Ctx, st State, k func(paralg.Ctx, []int))
 }
 
 // newBackend resolves a backend name ("" defaults to treap). Each
@@ -155,6 +166,18 @@ func (b treapBackend) Contains(ctx paralg.Ctx, st State, key int, k func(paralg.
 
 func (b treapBackend) Len(ctx paralg.Ctx, st State, k func(paralg.Ctx, int)) {
 	paralg.RLen(ctx, st.(paralg.NodeCell), k)
+}
+
+func (b treapBackend) Load(ctx paralg.Ctx, keys []int) State {
+	return b.pc.BuildTreap(ctx, keys)
+}
+
+func (b treapBackend) ReplayOperand(ctx paralg.Ctx, op Op, keys []int) Operand {
+	return b.pc.BuildTreap(ctx, keys)
+}
+
+func (b treapBackend) Snapshot(ctx paralg.Ctx, st State, k func(paralg.Ctx, []int)) {
+	paralg.RSnapshotKeys(ctx, st.(paralg.NodeCell), k)
 }
 
 func (b treapBackend) Keys(st State) []int {
@@ -274,6 +297,20 @@ func (st *t26LenState) walk(ctx paralg.Ctx, c paralg.T26Cell) {
 			st.walk(ctx, kid)
 		}
 	})
+}
+
+func (b t26Backend) Load(ctx paralg.Ctx, keys []int) State {
+	return paralg.RFromSeqT26(b.pc.R, t26.FromKeys(keys))
+}
+
+func (b t26Backend) ReplayOperand(_ paralg.Ctx, op Op, keys []int) Operand {
+	return append([]int(nil), keys...)
+}
+
+// Snapshot is immediate for t26: published states are materialized
+// before publish, so the walk never suspends.
+func (b t26Backend) Snapshot(ctx paralg.Ctx, st State, k func(paralg.Ctx, []int)) {
+	k(ctx, t26AppendKeys(st.(paralg.T26Cell), nil))
 }
 
 func (b t26Backend) Keys(st State) []int {

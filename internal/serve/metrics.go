@@ -64,6 +64,10 @@ type ShardMetrics struct {
 	Version  uint64 `json:"version"`
 	P50Nanos int64  `json:"p50_nanos"`
 	P99Nanos int64  `json:"p99_nanos"`
+	// Durability ledger (zero with persistence off): the newest durable
+	// snapshot's seq and how many log records recovery replayed at Open.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	Replayed    int64  `json:"replayed"`
 }
 
 // Metrics is a point-in-time snapshot of server and scheduler counters.
@@ -118,6 +122,20 @@ type Metrics struct {
 	CellsShared    int64 `json:"cells_shared"`
 	CellsLinear    int64 `json:"cells_linear"`
 	CellsForwarded int64 `json:"cells_forwarded"`
+
+	// Durability counters (internal/persist; zero values with
+	// persistence off). Persist names the fsync policy, "" = off.
+	// SnapshotLag is the worst per-shard gap between the published
+	// version and the newest durable snapshot — the replay bound a crash
+	// right now would pay; it grows while background snapshot walks trail
+	// the appliers and never blocks them.
+	Persist     string `json:"persist,omitempty"`
+	BytesLogged int64  `json:"bytes_logged"`
+	WalRecords  int64  `json:"wal_records"`
+	WalSyncs    int64  `json:"wal_syncs"`
+	Snapshots   int64  `json:"snapshots"`
+	SnapshotLag uint64 `json:"snapshot_lag"`
+	Replayed    int64  `json:"replayed"`
 }
 
 // Metrics samples every counter. Safe to call at any time.
@@ -145,7 +163,7 @@ func (s *Server) Metrics() Metrics {
 		xs := sh.lat.samples()
 		merged = append(merged, xs...)
 		p50, p99 := quantilesOf(xs)
-		m.PerShard = append(m.PerShard, ShardMetrics{
+		sm := ShardMetrics{
 			Offered:  sh.offered.Load(),
 			Admitted: sh.admitted.Load(),
 			Shed:     shed,
@@ -154,7 +172,24 @@ func (s *Server) Metrics() Metrics {
 			Version:  v,
 			P50Nanos: int64(p50),
 			P99Nanos: int64(p99),
-		})
+		}
+		if sh.store != nil {
+			st := sh.store.Stats()
+			sm.SnapshotSeq = st.SnapshotSeq
+			sm.Replayed = int64(sh.replayed)
+			m.BytesLogged += st.BytesLogged
+			m.WalRecords += st.Records
+			m.WalSyncs += st.Syncs
+			m.Snapshots += st.Snapshots
+			m.Replayed += int64(sh.replayed)
+			if lag := v - st.SnapshotSeq; lag > m.SnapshotLag {
+				m.SnapshotLag = lag
+			}
+		}
+		m.PerShard = append(m.PerShard, sm)
+	}
+	if s.cfg.DataDir != "" {
+		m.Persist = s.policy.String()
 	}
 	p50, p99 := quantilesOf(merged)
 	m.P50Nanos, m.P99Nanos = int64(p50), int64(p99)

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"pipefut/internal/paralg"
+	"pipefut/internal/persist"
 	"pipefut/internal/sched"
 )
 
@@ -110,6 +111,20 @@ type Config struct {
 	// Pivots optionally fixes the shard boundaries explicitly: ascending,
 	// len Shards-1; shard i owns [Pivots[i-1], Pivots[i]).
 	Pivots []int
+	// DataDir enables durability: each shard keeps a write-ahead op log
+	// and background snapshots under DataDir/shard-<i>, and Open recovers
+	// from them (newest snapshot + log-suffix replay). Empty disables
+	// persistence entirely.
+	DataDir string
+	// Fsync names the WAL durability policy: "batch" (group commit, the
+	// default), "never", or "always". Ignored without DataDir.
+	Fsync string
+	// SnapshotEvery is the per-shard snapshot cadence in versions: a
+	// background walk of the published root starts once a shard outruns
+	// its last durable snapshot by this much. 0 picks
+	// DefaultSnapshotEvery; negative disables background snapshots
+	// (Close still writes a final one). Ignored without DataDir.
+	SnapshotEvery int
 }
 
 // DefaultHighWater is the admission bound used when Config.HighWater ≤ 0.
@@ -151,13 +166,34 @@ type Server struct {
 	state    atomic.Int32
 	inflight sync.WaitGroup // admitted requests not yet completed
 
+	// Durability (see persist.go): zero-valued when Config.DataDir is
+	// empty — persistence off, shards carry nil stores.
+	snapEvery int
+	policy    persist.FsyncPolicy
+	persistWG sync.WaitGroup // background snapshot writers in flight
+
 	met serverMetrics
 }
 
 // New starts a server with an empty set. It panics on a config it cannot
 // honor (unknown backend, malformed pivots) — validate user input with
-// KnownBackends before constructing a Config from it.
+// KnownBackends before constructing a Config from it, or use Open to get
+// the error back (required for durable servers, whose recovery can fail
+// on damaged data directories).
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open starts a server. With Config.DataDir set it first recovers each
+// shard from its newest valid snapshot plus the WAL suffix (pipelined
+// through the normal apply path on the treap backend) and resumes the
+// version counters where the log left off; otherwise the set starts
+// empty.
+func Open(cfg Config) (*Server, error) {
 	if cfg.P <= 0 {
 		cfg.P = runtime.GOMAXPROCS(0)
 	}
@@ -179,31 +215,56 @@ func New(cfg Config) *Server {
 	if cfg.Universe <= 0 {
 		cfg.Universe = DefaultUniverse
 	}
+	policy, ok := persist.ParsePolicy(cfg.Fsync)
+	if !ok {
+		return nil, errors.New("serve: unknown fsync policy " + cfg.Fsync)
+	}
 	rt := paralg.NewSchedRuntime(cfg.P)
 	pc := paralg.RConfig{R: rt, SpawnDepth: cfg.SpawnDepth, GrainCutoff: cfg.GrainCutoff}
 	be, err := newBackend(cfg.Backend, pc)
 	if err != nil {
-		panic(err)
+		rt.RT.Shutdown()
+		return nil, err
 	}
 	pivots := cfg.Pivots
 	if pivots == nil {
 		pivots = defaultPivots(cfg.Shards, cfg.Universe)
 	}
 	if len(pivots) != cfg.Shards-1 {
-		panic(errors.New("serve: len(Pivots) must be Shards-1"))
+		rt.RT.Shutdown()
+		return nil, errors.New("serve: len(Pivots) must be Shards-1")
 	}
 	if !sort.IntsAreSorted(pivots) {
-		panic(errors.New("serve: Pivots must ascend"))
+		rt.RT.Shutdown()
+		return nil, errors.New("serve: Pivots must ascend")
 	}
-	s := &Server{cfg: cfg, rt: rt, be: be, pivots: pivots}
+	s := &Server{cfg: cfg, rt: rt, be: be, pivots: pivots, policy: policy}
 	hw := ceilDiv(cfg.HighWater, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, newShard(s, i, hw))
 	}
+	if cfg.DataDir != "" {
+		switch {
+		case cfg.SnapshotEvery == 0:
+			s.snapEvery = DefaultSnapshotEvery
+		case cfg.SnapshotEvery > 0:
+			s.snapEvery = cfg.SnapshotEvery
+		}
+		if err := s.openStores(cfg.DataDir, policy); err != nil {
+			for _, sh := range s.shards {
+				if sh.store != nil {
+					sh.store.Close()
+				}
+			}
+			rt.RT.Wait() // partial recovery may have forked replay work
+			rt.RT.Shutdown()
+			return nil, err
+		}
+	}
 	for _, sh := range s.shards {
 		go sh.applier()
 	}
-	return s
+	return s, nil
 }
 
 // KnownBackends lists the backend names New accepts.
@@ -328,10 +389,15 @@ func (s *Server) Apply(op Op, keys []int) (Cut, error) {
 	req := &request{start: start, cut: make(Cut, len(s.shards)), done: sched.NewCell[Cut](s.rt.RT)}
 	req.open.Store(int32(len(targets)))
 	operands := s.be.Prepare(nil, op, sorted, s.pivots)
+	persisting := s.cfg.DataDir != ""
 	for _, ti := range targets {
 		sh := s.shards[ti]
+		var pk []int
+		if persisting {
+			pk = pieceKeys(sorted, s.pivots, ti)
+		}
 		sh.mu.Lock()
-		sh.queue = append(sh.queue, shardReq{op: op, opd: operands[ti], req: req})
+		sh.queue = append(sh.queue, shardReq{op: op, opd: operands[ti], keys: pk, req: req})
 		sh.mu.Unlock()
 		sh.offered.Add(1)
 		sh.admitted.Add(1)
@@ -491,7 +557,10 @@ func (s *Server) Keys() ([]int, Cut, error) {
 // Close drains and stops the server: stop admitting (new requests get
 // ErrDraining), let every shard's applier drain its queue, wait for
 // every admitted request to complete and the scheduler to go quiescent,
-// then shut the runtime down. Safe to call once.
+// then shut the runtime down. With persistence on, the drain is also a
+// durability barrier: every shard's WAL is flushed and fsynced and a
+// final snapshot covers the head version before Close returns, so a
+// clean stop never replays on the next Open. Safe to call once.
 func (s *Server) Close() {
 	// The state flip happens under the routing lock, so no request that
 	// passed its admission check can be stranded: it either finished
@@ -507,8 +576,10 @@ func (s *Server) Close() {
 	for _, sh := range s.shards {
 		<-sh.applierDone
 	}
-	s.inflight.Wait() // every admitted request has completed
-	s.rt.RT.Wait()    // every tree fully materialized, scheduler quiescent
+	s.inflight.Wait()  // every admitted request has completed
+	s.persistWG.Wait() // background snapshot writers done with their stores
+	s.rt.RT.Wait()     // every tree fully materialized, scheduler quiescent
+	s.closeStores()    // final snapshot + WAL fsync + close, per shard
 	s.rt.RT.Shutdown()
 	s.state.Store(stateClosed)
 }

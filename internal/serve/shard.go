@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"pipefut/internal/paralg"
+	"pipefut/internal/persist"
 	"pipefut/internal/sched"
 )
 
@@ -43,6 +44,7 @@ func (r *request) finish(ctx paralg.Ctx, idx int, v uint64) {
 type shardReq struct {
 	op   Op
 	opd  Operand
+	keys []int // the piece's sorted distinct keys; set only when persisting
 	req  *request
 	mark *cutMarker
 }
@@ -87,6 +89,12 @@ type shard struct {
 	queued   atomic.Int64 // mutation pieces enqueued and not yet dispatched
 	batches  atomic.Int64
 	lat      latRing
+
+	// Durability (nil store = persistence off; see persist.go).
+	store    *persist.ShardStore
+	lastSnap atomic.Uint64 // seq of the newest durable snapshot
+	snapBusy atomic.Bool   // one background snapshot in flight at a time
+	replayed int           // log records replayed at open, for metrics
 }
 
 func newShard(s *Server, idx, hw int) *shard {
@@ -165,6 +173,30 @@ func (sh *shard) dispatch(run []shardReq) {
 	sh.batches.Add(1)
 
 	be := sh.s.be
+	// The applier is the sole version writer, so the run's version is
+	// known before publication — which is what lets the WAL record go to
+	// the log *before* the result root is installed.
+	v := sh.version + 1
+
+	var gate *durGate
+	if sh.store != nil {
+		// The record's keys are the coalesced run's merged piece keys,
+		// mirroring Coalesce: (A∪B1)∪B2 = A∪(B1∪B2) and (A\B1)\B2 =
+		// A\(B1∪B2); intersects never coalesce, so a singleton's keys
+		// stand alone.
+		merged := run[0].keys
+		for _, r := range run[1:] {
+			merged = mergeSortedDistinct(merged, r.keys)
+		}
+		gate = &durGate{sh: sh, run: run, v: v}
+		gate.open.Store(2)
+		if err := sh.store.Append(persist.Record{Seq: v, Kind: kindOf(run[0].op), Keys: merged}, gate.durable); err != nil {
+			// Only a closed WAL or a seq bug lands here (I/O errors are
+			// asynchronous); don't strand the requests.
+			gate.durable()
+		}
+	}
+
 	opd := run[0].opd
 	for _, r := range run[1:] {
 		opd = be.Coalesce(nil, run[0].op, opd, r.opd)
@@ -172,11 +204,15 @@ func (sh *shard) dispatch(run []shardReq) {
 	next := be.Apply(nil, sh.st, run[0].op, opd)
 
 	sh.mu.Lock()
-	sh.version++
-	v := sh.version
+	sh.version = v
 	sh.st = next
 	sh.mu.Unlock()
 
+	if gate != nil {
+		be.Ready(next, gate.ready)
+		sh.maybeSnapshot(next, v)
+		return
+	}
 	be.Ready(next, func(ctx paralg.Ctx) {
 		for _, r := range run {
 			sh.lat.record(time.Since(r.req.start))

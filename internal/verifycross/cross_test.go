@@ -382,6 +382,22 @@ var algCases = []algCase{
 			costalg.Consume(ctx, costalg.Produce(ctx, algN))
 		},
 	},
+	{
+		// The durability layer's snapshot walk (paralg.RSnapshotKeys),
+		// recorded through its traceable twin. The input is fully
+		// materialized (Done cells) and only the walk runs, so every cell
+		// is touched exactly once — the trace is linear by construction.
+		name:    "snapshot",
+		entries: []string{"costalg.CollectKeys", "paralg.RSnapshotKeys"},
+		run: func(ctx *core.Ctx, eng *core.Engine) {
+			rng := workload.NewRNG(7)
+			keys := workload.DistinctKeys(rng, algN, 4*algN)
+			got := costalg.CollectKeys(ctx, costalg.FromSeqTreap(eng, seqtreap.FromKeys(keys)))
+			if len(got) != len(keys) {
+				panic("snapshot walk dropped keys")
+			}
+		},
+	},
 }
 
 // TestStaticDynamicLinearityAgreement is the cross-check harness: for every
