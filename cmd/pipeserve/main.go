@@ -55,6 +55,7 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "durability root: per-shard WAL + snapshots under <dir>/shard-<i>; empty = no persistence")
 		fsync      = flag.String("fsync", "batch", "WAL fsync policy: batch (group commit), never, or always")
 		snapEvery  = flag.Int("snapshot-every", 0, "per-shard snapshot cadence in versions (0 = default, negative = final snapshot only)")
+		stealPol   = flag.String("steal-policy", serve.StealAffine, "scheduler steal policy: affine (shard-affine mailboxes + group-first steal-half) or baseline (uniform stealing)")
 		smoke      = flag.Bool("smoke", false, "run a loopback HTTP smoke check (all backends, including a restart round-trip) and exit")
 	)
 	flag.Parse()
@@ -68,14 +69,24 @@ func main() {
 	if !known {
 		log.Fatalf("pipeserve: unknown -backend %q (want one of %v)", *backend, serve.KnownBackends())
 	}
+	knownPol := false
+	for _, pol := range serve.KnownStealPolicies() {
+		if pol == *stealPol {
+			knownPol = true
+		}
+	}
+	if !knownPol {
+		log.Fatalf("pipeserve: unknown -steal-policy %q (want one of %v)", *stealPol, serve.KnownStealPolicies())
+	}
 
 	cfg := serve.Config{P: *p, SpawnDepth: *spawnDepth, GrainCutoff: *cutoff,
 		HighWater: *highWater, Backend: *backend, Shards: *shards, Universe: *universe,
-		DataDir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapEvery}
+		DataDir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapEvery, StealPolicy: *stealPol}
 	if *smoke {
-		// Smoke both backends regardless of -backend: the CI lane should
-		// exercise the whole matrix in one invocation. Each backend also
-		// runs a persistent restart round-trip in a temp data dir.
+		// Smoke both backends and both steal policies regardless of the
+		// flags: the CI lane should exercise the whole matrix in one
+		// invocation. Each backend also runs a persistent restart
+		// round-trip in a temp data dir (under the configured policy).
 		for _, b := range serve.KnownBackends() {
 			c := cfg
 			c.Backend = b
@@ -83,9 +94,13 @@ func main() {
 				c.Shards = 4 // default smoke covers the sharded path too
 			}
 			c.DataDir = "" // phase 1: the classic in-memory smoke
-			if err := runSmoke(c); err != nil {
-				log.Fatalf("smoke[%s]: FAIL: %v", b, err)
+			for _, pol := range serve.KnownStealPolicies() {
+				c.StealPolicy = pol
+				if err := runSmoke(c); err != nil {
+					log.Fatalf("smoke[%s/%s]: FAIL: %v", b, pol, err)
+				}
 			}
+			c.StealPolicy = *stealPol
 			if err := runRestartSmoke(c); err != nil {
 				log.Fatalf("smoke[%s/restart]: FAIL: %v", b, err)
 			}

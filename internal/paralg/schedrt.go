@@ -19,6 +19,35 @@ func NewSchedRuntime(p int) *SchedRuntime {
 	return &SchedRuntime{RT: sched.NewRuntime(p)}
 }
 
+// NewSchedRuntimeOpts starts a scheduler with p workers and the given
+// locality options (affinity groups, steal-half, mailbox bounds).
+func NewSchedRuntimeOpts(p int, opt sched.Options) *SchedRuntime {
+	return &SchedRuntime{RT: sched.NewRuntimeOpts(p, opt)}
+}
+
+// affineCtx is the Ctx produced by AffineCtx: entering an algorithm
+// under it routes the ROOT fork through sched.Runtime.Submit with a
+// preferred worker. Once the root task runs, the Ctx threaded onward is
+// the real *sched.Worker, so descendants take the normal local-deque
+// path — the hint steers where a pipeline stage starts, not every node.
+// asWorker on an affineCtx yields nil (external), which is exactly the
+// contract non-fork operations (Touch, Write) expect from a caller that
+// is not on a worker.
+type affineCtx struct {
+	rt     *sched.Runtime
+	worker int
+}
+
+// AffineCtx returns a Ctx carrying a locality hint: forks made under it
+// are submitted to the preferred worker's mailbox (sched.Submit) rather
+// than the global injection queue. Derive worker from a shard or
+// partition id with s.RT.AffinityFor. The hint never changes results —
+// only which worker's cache the work lands in; verifycross's affinity
+// lane replays recorded DAGs through this path to prove it.
+func (s *SchedRuntime) AffineCtx(worker int) Ctx {
+	return affineCtx{rt: s.RT, worker: worker}
+}
+
 // Close drains outstanding work and stops the workers.
 func (s *SchedRuntime) Close() {
 	s.RT.Wait()
@@ -28,8 +57,14 @@ func (s *SchedRuntime) Close() {
 // Name implements Runtime.
 func (s *SchedRuntime) Name() string { return "sched" }
 
-// Fork implements Runtime.
+// Fork implements Runtime. A ctx made by AffineCtx routes the fork to
+// the hinted worker's mailbox; any other ctx follows the usual contract
+// (a *sched.Worker forks onto its own deque, nil injects globally).
 func (s *SchedRuntime) Fork(ctx Ctx, f func(Ctx)) {
+	if a, ok := ctx.(affineCtx); ok {
+		a.rt.Submit(nil, func(w *sched.Worker) { f(w) }, a.worker)
+		return
+	}
 	s.RT.Fork(asWorker(ctx), func(w *sched.Worker) { f(w) })
 }
 

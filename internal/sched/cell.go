@@ -28,10 +28,21 @@ type Cell[T any] struct {
 
 // waiter is one suspended continuation. A node with closed=true is the
 // sentinel the write swaps in: pushes that observe it run inline instead.
+// by records which worker suspended the continuation (-1 external), so
+// the write can charge a deviation when a different worker resumes it.
 type waiter[T any] struct {
 	k      func(*Worker, T)
 	next   *waiter[T]
+	by     int
 	closed bool
+}
+
+// workerID resolves w's id, -1 for external (nil) callers.
+func workerID(w *Worker) int {
+	if w == nil {
+		return -1
+	}
+	return w.id
 }
 
 // NewCell returns an empty cell owned by rt.
@@ -69,6 +80,18 @@ func (c *Cell[T]) Write(w *Worker, v T) {
 	stats := rt.statsFor(w)
 	for ; head != nil; head = head.next {
 		k := head.k
+		// A continuation suspended by one worker and requeued onto a
+		// different worker's deque is a cross-worker reactivation — a
+		// deviation in Herlihy & Liu's accounting: the resuming worker
+		// executes work whose suspended state another worker's cache
+		// holds. A requeue by the suspender itself, or of an externally
+		// suspended continuation, charges nothing. (A requeue into the
+		// injection queue charges at pickup instead, and a subsequently
+		// stolen reactivation charges again at the steal — the count is
+		// monitoring-grade and errs toward the miss actually incurred.)
+		if w != nil && head.by >= 0 && head.by != w.id {
+			stats.deviations.Add(1)
+		}
 		// The waiter was counted as pending at suspension time, so
 		// requeue without a pending increment.
 		rt.enqueue(w, func(w2 *Worker) { k(w2, v) }, &stats.reactivations)
@@ -89,7 +112,7 @@ func (c *Cell[T]) Touch(w *Worker, k func(*Worker, T)) {
 	// Count the suspended continuation as pending before publishing it,
 	// so a racing write cannot retire it below zero.
 	rt.pending.Add(1)
-	node := &waiter[T]{k: k}
+	node := &waiter[T]{k: k, by: workerID(w)}
 	for {
 		head := c.waiters.Load()
 		if head != nil && head.closed {

@@ -55,9 +55,11 @@ var (
 
 // lslot boxes a linear cell's parked continuation. A slot holding the
 // closed sentinel means the write has happened; a touch that loses its
-// CAS to the sentinel runs inline.
+// CAS to the sentinel runs inline. by is the suspending worker (-1
+// external), for the write's cross-worker-reactivation deviation charge.
 type lslot[T any] struct {
 	k      func(*Worker, T)
+	by     int
 	closed bool
 }
 
@@ -108,10 +110,16 @@ func (c *LinearCell[T]) Write(w *Worker, v T) {
 		return
 	}
 	// prev cannot be the closed sentinel: only this (single) write
-	// installs it. It is the one parked continuation; requeue it.
+	// installs it. It is the one parked continuation; requeue it,
+	// charging a deviation when a different worker resumes it (same
+	// accounting as Cell.Write).
 	rt := c.rt
 	k := prev.k
-	rt.enqueue(w, func(w2 *Worker) { k(w2, v) }, &rt.statsFor(w).reactivations)
+	stats := rt.statsFor(w)
+	if w != nil && prev.by >= 0 && prev.by != w.id {
+		stats.deviations.Add(1)
+	}
+	rt.enqueue(w, func(w2 *Worker) { k(w2, v) }, &stats.reactivations)
 }
 
 // Touch runs k with the cell's value: inline if the cell is written,
@@ -130,7 +138,7 @@ func (c *LinearCell[T]) Touch(w *Worker, k func(*Worker, T)) {
 	// a racing write cannot retire it below zero (same protocol as
 	// Cell.Touch).
 	rt.pending.Add(1)
-	box := &lslot[T]{k: k}
+	box := &lslot[T]{k: k, by: workerID(w)}
 	if c.slot.CompareAndSwap(nil, box) {
 		st := rt.statsFor(w)
 		st.suspensions.Add(1)

@@ -104,6 +104,39 @@ func (d *deque) steal() task {
 	return *tk
 }
 
+// stealHalf takes up to half of the tasks the deque held when the sweep
+// arrived (at least one): the first claimed task is returned to run
+// immediately and each further one is handed to spill, oldest first,
+// for the thief to requeue on its own deque. Any goroutine may call it;
+// nil means the deque was observed empty or the first claim lost.
+//
+// Every claim is an ordinary single-task top CAS — deliberately NOT a
+// batched top.CompareAndSwap(t, t+k). The batch CAS looks cheaper but
+// is unsound in Chase–Lev: an owner popping toward the top only CASes
+// on the LAST element, so it can run the task at t+1 without top ever
+// moving, after which a thief's successful t→t+2 claim would hand out
+// an already-executed task. The claim-loop keeps exactly the
+// owner/thief race rules the single steal has (each element changes
+// hands through one CAS on its own index) and still moves a subtree
+// burst in one sweep visit, which is all the locality win: half the
+// victim's run of sibling subtrees migrates together instead of
+// leaking away one node per sweep.
+func (d *deque) stealHalf(spill func(task)) task {
+	want := d.size() / 2 // snapshot before claiming; racy is fine, it only sizes the batch
+	first := d.steal()
+	if first == nil {
+		return nil
+	}
+	for i := int64(1); i < want; i++ {
+		t := d.steal()
+		if t == nil {
+			break // owner or another thief drained it; keep what we have
+		}
+		spill(t)
+	}
+	return first
+}
+
 // empty reports whether the deque looks empty; used by the parking
 // protocol's re-check, so a stale answer only costs a wakeup.
 func (d *deque) empty() bool {

@@ -1,0 +1,346 @@
+package sched
+
+// Locality-policy tests: deviation accounting (Herlihy & Liu), the
+// affinity mailbox path, steal-half, the uniform first-victim fix, and
+// the Submit-vs-park lost-wakeup regression. Deterministic tests pin
+// counters exactly by pinning every task to one worker; cross-worker
+// tests assert in the direction every legal interleaving preserves.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// quiesce waits for the runtime to drain and returns the counter delta
+// since before.
+func quiesce(rt *Runtime, before Counters) Counters {
+	rt.Wait()
+	return rt.Counters().Sub(before)
+}
+
+// TestStealDistribution asserts the first victim of a steal sweep is
+// uniform over the thief's peers at p ∈ {2, 4, 8} — no victim skipped,
+// none favored. The old sweep drew off = rand % p over all p workers
+// and skipped self in the loop, so the self-draw fell through to the
+// right-hand neighbor, giving it a 2/p first-probe share versus 1/p
+// for everyone else; at p=8 that neighbor led the distribution 2:1.
+func TestStealDistribution(t *testing.T) {
+	for _, p := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			rt := NewRuntimeOpts(p, Options{})
+			rt.Shutdown() // workers joined; their rng/peers are now ours to drive
+			const draws = 20000
+			for _, w := range rt.workers {
+				w.rng = seedRand(uint64(w.id))
+				counts := make(map[int]int, p-1)
+				for i := 0; i < draws; i++ {
+					first := w.peers[int(w.randN(uint64(len(w.peers))))]
+					if first == w.id {
+						t.Fatalf("worker %d drew itself as first victim", w.id)
+					}
+					counts[first]++
+				}
+				want := float64(draws) / float64(p-1)
+				for _, v := range rt.workers {
+					if v.id == w.id {
+						continue
+					}
+					got := counts[v.id]
+					if got == 0 {
+						t.Fatalf("p=%d: worker %d never probes victim %d first — systematically skipped", p, w.id, v.id)
+					}
+					if f := float64(got); f < 0.9*want || f > 1.1*want {
+						t.Errorf("p=%d: worker %d probes victim %d first %d/%d times, want %.0f ±10%% — biased sweep start",
+							p, w.id, v.id, got, draws, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDeviationAccountingSingleWorker pins the three acquisition kinds
+// exactly, using p=1 so every counter is deterministic: an injection
+// pickup is a deviation, an own-mailbox delivery is not, and a
+// same-worker suspend/resume is a reactivation but not a deviation.
+func TestDeviationAccountingSingleWorker(t *testing.T) {
+	rt := NewRuntimeOpts(1, Options{})
+	defer rt.Shutdown()
+
+	before := rt.Counters()
+	rt.Fork(nil, func(*Worker) {})
+	d := quiesce(rt, before)
+	if d.Deviations != 1 || d.MailboxHits != 0 {
+		t.Errorf("injection pickup: deviations=%d mailboxHits=%d, want 1, 0", d.Deviations, d.MailboxHits)
+	}
+
+	before = rt.Counters()
+	rt.Submit(nil, func(*Worker) {}, 0)
+	d = quiesce(rt, before)
+	if d.Deviations != 0 || d.MailboxHits != 1 {
+		t.Errorf("affine delivery: deviations=%d mailboxHits=%d, want 0, 1", d.Deviations, d.MailboxHits)
+	}
+
+	before = rt.Counters()
+	c := NewCell[int](rt)
+	rt.Submit(nil, func(w *Worker) { c.Touch(w, func(*Worker, int) {}) }, 0)
+	rt.Submit(nil, func(w *Worker) { c.Write(w, 1) }, 0) // mailbox FIFO: runs after the touch
+	d = quiesce(rt, before)
+	if d.Reactivations != 1 {
+		t.Errorf("same-worker resume: reactivations=%d, want 1", d.Reactivations)
+	}
+	if d.Deviations != 0 {
+		t.Errorf("same-worker resume: deviations=%d, want 0 — the suspender resumed its own continuation", d.Deviations)
+	}
+}
+
+// TestDeviationCrossWorkerReactivation suspends a continuation on
+// worker 0 and writes the cell from worker 1. Whichever way the hints
+// land (a peer may legally drain a foreign mailbox), at least one
+// deviation is charged: either the cross-worker reactivation itself or
+// the foreign-mailbox drain that re-homed a task.
+func TestDeviationCrossWorkerReactivation(t *testing.T) {
+	rt := NewRuntimeOpts(2, Options{})
+	defer rt.Shutdown()
+	before := rt.Counters()
+
+	c := NewCell[int](rt)
+	suspended := make(chan struct{})
+	rt.Submit(nil, func(w *Worker) {
+		c.Touch(w, func(*Worker, int) {})
+		close(suspended)
+	}, 0)
+	rt.Submit(nil, func(w *Worker) {
+		<-suspended
+		c.Write(w, 7)
+	}, 1)
+	d := quiesce(rt, before)
+	if d.Reactivations != 1 {
+		t.Errorf("reactivations=%d, want 1", d.Reactivations)
+	}
+	if d.Deviations < 1 {
+		t.Errorf("deviations=%d, want ≥ 1 (cross-worker reactivation or foreign-mailbox drain)", d.Deviations)
+	}
+}
+
+// TestMailboxFullFallsBackToInject wedges the single worker, fills its
+// cap-1 mailbox, and checks overflow takes the injection path — counted
+// as deviations on pickup — instead of blocking or dropping.
+func TestMailboxFullFallsBackToInject(t *testing.T) {
+	rt := NewRuntimeOpts(1, Options{MailboxCap: 1})
+	defer rt.Shutdown()
+	before := rt.Counters()
+
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	rt.Submit(nil, func(*Worker) {
+		close(started)
+		<-gate
+	}, 0)
+	<-started // the worker drained its mailbox and is wedged
+
+	rt.Submit(nil, func(*Worker) {}, 0) // fits: mailbox empty again
+	rt.Submit(nil, func(*Worker) {}, 0) // mailbox full → injection queue
+	rt.Submit(nil, func(*Worker) {}, 0) // still full → injection queue
+
+	if inject, _ := rt.Backlog(); inject < 3 {
+		t.Errorf("Backlog inject=%d with 1 mailboxed + 2 injected tasks queued, want ≥ 3 (mailboxes must count as backlog)", inject)
+	}
+	close(gate)
+	d := quiesce(rt, before)
+	if d.MailboxHits != 2 {
+		t.Errorf("mailboxHits=%d, want 2 (gate + first submit)", d.MailboxHits)
+	}
+	if d.Deviations != 2 {
+		t.Errorf("deviations=%d, want 2 (the two overflow submissions picked up from the injection queue)", d.Deviations)
+	}
+}
+
+// TestSubmitHintFallbacks: NoAffinity and out-of-range hints must take
+// the plain Fork path, and a runtime with mailboxes disabled must never
+// use them.
+func TestSubmitHintFallbacks(t *testing.T) {
+	rt := NewRuntimeOpts(1, Options{})
+	before := rt.Counters()
+	rt.Submit(nil, func(*Worker) {}, NoAffinity)
+	rt.Submit(nil, func(*Worker) {}, 99)
+	d := quiesce(rt, before)
+	if d.MailboxHits != 0 || d.Deviations != 2 {
+		t.Errorf("invalid hints: mailboxHits=%d deviations=%d, want 0, 2 (both injected)", d.MailboxHits, d.Deviations)
+	}
+	rt.Shutdown()
+
+	rt = NewRuntimeOpts(1, Options{MailboxCap: -1})
+	before = rt.Counters()
+	rt.Submit(nil, func(*Worker) {}, 0)
+	d = quiesce(rt, before)
+	if d.MailboxHits != 0 || d.Deviations != 1 {
+		t.Errorf("mailboxes disabled: mailboxHits=%d deviations=%d, want 0, 1", d.MailboxHits, d.Deviations)
+	}
+	rt.Shutdown()
+}
+
+// TestStealHalfDeque is the deterministic deque-level contract: from a
+// deque of 8, stealHalf returns the oldest task, spills the next 3
+// (half of 8, oldest first), and leaves the newest 4 for the owner.
+func TestStealHalfDeque(t *testing.T) {
+	var d deque
+	d.init()
+	var ran []int
+	mk := func(i int) task { return func(*Worker) { ran = append(ran, i) } }
+	for i := 0; i < 8; i++ {
+		d.push(mk(i))
+	}
+	var spilled []task
+	first := d.stealHalf(func(t task) { spilled = append(spilled, t) })
+	if first == nil {
+		t.Fatal("stealHalf returned nil on a deque of 8")
+	}
+	if len(spilled) != 3 {
+		t.Fatalf("spilled %d tasks, want 3 (half of 8, minus the one returned)", len(spilled))
+	}
+	if got := d.size(); got != 4 {
+		t.Fatalf("victim deque holds %d tasks after stealHalf, want 4", got)
+	}
+	first(nil)
+	for _, s := range spilled {
+		s(nil)
+	}
+	for i, id := range ran {
+		if id != i {
+			t.Fatalf("stealHalf claim order = %v, want oldest-first 0,1,2,3", ran)
+		}
+	}
+	// stealHalf on an empty deque is a clean miss.
+	for d.steal() != nil {
+	}
+	if got := d.stealHalf(func(task) { t.Fatal("spill from empty deque") }); got != nil {
+		t.Fatal("stealHalf on empty deque returned a task")
+	}
+}
+
+// TestStealHalfRuntime exercises the batch path end to end under the
+// scheduler: a producer forks a burst and wedges until robbed; all
+// tasks must complete and every stolen task must be charged as both a
+// steal and a deviation.
+func TestStealHalfRuntime(t *testing.T) {
+	rt := NewRuntimeOpts(2, Options{StealHalf: true})
+	defer rt.Shutdown()
+	before := rt.Counters()
+
+	deadline := time.Now().Add(20 * time.Second)
+	rt.Fork(nil, func(w *Worker) {
+		for i := 0; i < 64; i++ {
+			rt.Fork(w, func(*Worker) {})
+		}
+		for w.stats.stolenFrom.Load() == 0 && time.Now().Before(deadline) {
+			runtime.Gosched()
+		}
+	})
+	d := quiesce(rt, before)
+	if d.Steals == 0 {
+		t.Fatal("no steals despite a wedged producer holding 64 tasks")
+	}
+	if d.Deviations < d.Steals {
+		t.Errorf("deviations=%d < steals=%d — every stolen task must charge a deviation", d.Deviations, d.Steals)
+	}
+	if d.Tasks != 65 {
+		t.Errorf("tasks=%d, want 65 — steal-half lost work", d.Tasks)
+	}
+}
+
+// TestLostWakeupSubmitVsPark is the lost-wakeup regression test: each
+// iteration submits exactly one task to an otherwise idle runtime, so
+// the submission races the worker's park directly and nothing later
+// can rescue a stranded task. A mailbox delivery invisible to
+// workAvailable (the bug this pins) strands an iteration and trips the
+// deadline. Run under -race in the scheduler-locality CI lane.
+func TestLostWakeupSubmitVsPark(t *testing.T) {
+	iters := 3000
+	if testing.Short() {
+		iters = 400
+	}
+	deadline := time.After(60 * time.Second)
+	for _, p := range []int{1, 2} {
+		rt := NewRuntimeOpts(p, Options{})
+		for i := 0; i < iters; i++ {
+			done := make(chan struct{})
+			if i%2 == 0 {
+				rt.Submit(nil, func(*Worker) { close(done) }, i%p)
+			} else {
+				rt.Fork(nil, func(*Worker) { close(done) }) // injection path races the park too
+			}
+			select {
+			case <-done:
+			case <-deadline:
+				t.Fatalf("p=%d iteration %d: task stranded between steal sweep and park", p, i)
+			}
+		}
+		rt.Shutdown()
+	}
+}
+
+// TestAffinityForMapping checks the domain→worker spread: grouped
+// runtimes rotate domains across groups and within group members so
+// the first p domains cover all p workers; ungrouped is domain % p.
+func TestAffinityForMapping(t *testing.T) {
+	rt := NewRuntimeOpts(8, Options{Groups: 4})
+	defer rt.Shutdown()
+	seen := map[int]bool{}
+	for dom := 0; dom < 8; dom++ {
+		a := rt.AffinityFor(dom)
+		if a < 0 || a >= 8 {
+			t.Fatalf("AffinityFor(%d) = %d, out of range", dom, a)
+		}
+		if g, wg := dom%4, rt.workers[a].group; g != wg {
+			t.Errorf("AffinityFor(%d) = worker %d in group %d, want group %d", dom, a, wg, g)
+		}
+		seen[a] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("first 8 domains map onto %d distinct workers, want 8", len(seen))
+	}
+	if a := rt.AffinityFor(-3); a != NoAffinity {
+		t.Errorf("AffinityFor(-3) = %d, want NoAffinity", a)
+	}
+
+	flat := NewRuntimeOpts(4, Options{})
+	defer flat.Shutdown()
+	for dom := 0; dom < 9; dom++ {
+		if a := flat.AffinityFor(dom); a != dom%4 {
+			t.Errorf("ungrouped AffinityFor(%d) = %d, want %d", dom, a, dom%4)
+		}
+	}
+}
+
+// TestGroupPeerConstruction pins the precomputed victim orders: peers
+// is every other worker in ring order from self+1, and groupPeers is
+// its subset sharing the worker's contiguous group.
+func TestGroupPeerConstruction(t *testing.T) {
+	rt := NewRuntimeOpts(8, Options{Groups: 2})
+	rt.Shutdown()
+	w := rt.workers[1]
+	wantPeers := []int{2, 3, 4, 5, 6, 7, 0}
+	wantGroup := []int{2, 3, 0}
+	if len(w.peers) != len(wantPeers) {
+		t.Fatalf("worker 1 peers = %v, want %v", w.peers, wantPeers)
+	}
+	for i := range wantPeers {
+		if w.peers[i] != wantPeers[i] {
+			t.Fatalf("worker 1 peers = %v, want %v", w.peers, wantPeers)
+		}
+	}
+	if len(w.groupPeers) != len(wantGroup) {
+		t.Fatalf("worker 1 groupPeers = %v, want %v", w.groupPeers, wantGroup)
+	}
+	for i := range wantGroup {
+		if w.groupPeers[i] != wantGroup[i] {
+			t.Fatalf("worker 1 groupPeers = %v, want %v", w.groupPeers, wantGroup)
+		}
+	}
+	if rt.workers[0].group != 0 || rt.workers[3].group != 0 || rt.workers[4].group != 1 || rt.workers[7].group != 1 {
+		t.Error("Groups=2 over p=8 must split workers 0-3 / 4-7")
+	}
+}

@@ -1,0 +1,72 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMailboxCap bounds a worker's mailbox when Options.MailboxCap is
+// zero. The cap only needs to absorb one applier's burst between two
+// scheduling points of its affine worker; past that, falling back to the
+// injection queue is the correct pressure valve (a deep mailbox would
+// just hide backlog from admission control's Backlog signal — which is
+// why Backlog counts mailboxed tasks too).
+const DefaultMailboxCap = 256
+
+// mailbox is one worker's bounded queue of affinity-hinted submissions
+// (Runtime.Submit with a preferred worker). It is the locality
+// counterpart of the injection queue: instead of landing in the global
+// pool where any worker — usually the wrong one — picks it up, a task
+// lands in the mailbox of the worker whose cache already holds its data,
+// and that worker drains it FIFO right after its own deque.
+//
+// Like the injection queue it is a mutex-guarded slice with an atomic
+// length mirror, so the parking protocol's workAvailable probe and the
+// admission controller's Backlog read stay lock-free. Unlike a deque
+// slot, a mailbox may be drained by foreign workers too (the last resort
+// of the steal sweep, so a hint at a stalled worker cannot strand work);
+// the mutex makes that safe without a Chase–Lev top/bottom dance.
+type mailbox struct {
+	mu  sync.Mutex
+	buf []task
+	n   atomic.Int64 // mirrors len(buf); lock-free monitoring read
+}
+
+// put appends t if the mailbox holds fewer than cap tasks, reporting
+// whether it was accepted. Callers fall back to the injection queue on
+// false.
+func (m *mailbox) put(t task, cap int) bool {
+	m.mu.Lock()
+	if len(m.buf) >= cap {
+		m.mu.Unlock()
+		return false
+	}
+	m.buf = append(m.buf, t)
+	m.n.Store(int64(len(m.buf)))
+	m.mu.Unlock()
+	return true
+}
+
+// take removes the oldest mailboxed task, or returns nil. Any worker may
+// call it (the owner on its fast path, thieves as a last resort).
+func (m *mailbox) take() task {
+	if m.n.Load() == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.buf) == 0 {
+		return nil
+	}
+	t := m.buf[0]
+	m.buf[0] = nil // release the closure; the backing array outlives the re-slice
+	m.buf = m.buf[1:]
+	if len(m.buf) == 0 {
+		m.buf = nil // let the drained backing array be collected
+	}
+	m.n.Store(int64(len(m.buf)))
+	return t
+}
+
+// size is the lock-free monitoring read of the mailbox depth.
+func (m *mailbox) size() int64 { return m.n.Load() }

@@ -35,11 +35,39 @@ import (
 // requested value can no longer be produced.
 var ErrShutdown = errors.New("sched: runtime is shut down")
 
+// NoAffinity is the affinity argument to Submit meaning "no preferred
+// worker": the task goes to the injection queue like a plain Fork(nil).
+const NoAffinity = -1
+
+// Options tunes a runtime's locality policy. The zero value reproduces
+// the classic scheduler: one global victim sweep, steal-one, mailboxes
+// available but unused unless someone calls Submit with a hint.
+type Options struct {
+	// Groups partitions the p workers into that many contiguous affinity
+	// groups. A stealing worker sweeps its own group's deques before
+	// going global, so work hinted at one group (AffinityFor) tends to
+	// stay on the cores — and in the caches — of that group. Values < 2
+	// (or > p, which is clamped) mean no grouping.
+	Groups int
+	// StealHalf makes a successful steal take half of the victim's deque
+	// instead of one task: the first stolen task runs immediately and the
+	// rest are respilled onto the thief's own deque, so a treap subtree
+	// burst migrates once instead of leaking away one node at a time.
+	StealHalf bool
+	// MailboxCap bounds each worker's affinity mailbox. 0 means
+	// DefaultMailboxCap; negative disables mailboxes entirely (Submit
+	// hints fall back to the injection queue).
+	MailboxCap int
+}
+
 // Runtime is a handle to a running worker pool. Create one with
-// NewRuntime, submit work with Fork or Spawn, drain it with Wait, and
-// stop the workers with Shutdown.
+// NewRuntime (or NewRuntimeOpts for the locality knobs), submit work
+// with Fork, Submit, or Spawn, drain it with Wait, and stop the workers
+// with Shutdown.
 type Runtime struct {
 	workers []*Worker
+	opt     Options
+	groups  [][]int // worker ids per affinity group (len 0 when ungrouped)
 
 	// pending counts task closures that have been scheduled (Fork) or
 	// suspended (Cell.Touch on an unwritten cell) and have not yet run
@@ -81,8 +109,20 @@ type Worker struct {
 	rt    *Runtime
 	id    int
 	dq    deque
+	mbox  mailbox
 	rng   uint64 // xorshift state for victim selection
 	stats wstats
+
+	// Victim orders, precomputed at construction. peers lists every
+	// other worker in ring order starting just past this one;
+	// groupPeers is the subset in this worker's affinity group (nil
+	// when ungrouped). A sweep starts at a uniformly random index into
+	// the slice, which is what makes the first probe uniform over
+	// victims — indexing all n workers and skipping self would give the
+	// right-hand neighbor a double share (see stealOnce).
+	peers      []int
+	groupPeers []int
+	group      int
 
 	// busyStart is the unix-nano start of the open busy interval, 0 when
 	// idle. Only the worker writes it; Counters reads it to credit busy
@@ -90,25 +130,70 @@ type Worker struct {
 	busyStart atomic.Int64
 }
 
-// NewRuntime starts a runtime with p workers (p < 1 is treated as 1).
-func NewRuntime(p int) *Runtime {
+// NewRuntime starts a runtime with p workers (p < 1 is treated as 1)
+// and default Options.
+func NewRuntime(p int) *Runtime { return NewRuntimeOpts(p, Options{}) }
+
+// NewRuntimeOpts starts a runtime with p workers and the given locality
+// options.
+func NewRuntimeOpts(p int, opt Options) *Runtime {
 	if p < 1 {
 		p = 1
 	}
-	rt := &Runtime{stopped: make(chan struct{})}
+	if opt.Groups > p {
+		opt.Groups = p
+	}
+	if opt.MailboxCap == 0 {
+		opt.MailboxCap = DefaultMailboxCap
+	}
+	rt := &Runtime{opt: opt, stopped: make(chan struct{})}
 	rt.workCond = sync.NewCond(&rt.mu)
 	rt.quietCond = sync.NewCond(&rt.mu)
 	rt.workers = make([]*Worker, p)
+	grouped := opt.Groups >= 2
+	if grouped {
+		rt.groups = make([][]int, opt.Groups)
+	}
 	for i := range rt.workers {
 		w := &Worker{rt: rt, id: i, rng: seedRand(uint64(i))}
+		if grouped {
+			w.group = i * opt.Groups / p // contiguous ranges, balanced ±1
+			rt.groups[w.group] = append(rt.groups[w.group], i)
+		}
 		w.dq.init()
 		rt.workers[i] = w
+	}
+	for _, w := range rt.workers {
+		for j := 1; j < p; j++ {
+			v := (w.id + j) % p
+			w.peers = append(w.peers, v)
+			if grouped && rt.workers[v].group == w.group {
+				w.groupPeers = append(w.groupPeers, v)
+			}
+		}
 	}
 	rt.wg.Add(p)
 	for _, w := range rt.workers {
 		go w.run()
 	}
 	return rt
+}
+
+// AffinityFor maps an application-level locality domain — a shard
+// index, a partition id — to the preferred worker for that domain's
+// work, suitable as the affinity argument to Submit. Domains spread
+// round-robin across affinity groups, and successive domains hitting
+// the same group rotate through its members; on an ungrouped runtime
+// the mapping is a plain domain % p. Negative domains get NoAffinity.
+func (rt *Runtime) AffinityFor(domain int) int {
+	if domain < 0 {
+		return NoAffinity
+	}
+	if g := len(rt.groups); g >= 2 {
+		members := rt.groups[domain%g]
+		return members[(domain/g)%len(members)]
+	}
+	return domain % len(rt.workers)
 }
 
 // P returns the number of workers.
@@ -127,6 +212,39 @@ func (rt *Runtime) Fork(w *Worker, f func(*Worker)) {
 	}
 	rt.pending.Add(1)
 	rt.enqueue(w, f, &rt.statsFor(w).spawns)
+}
+
+// Submit is Fork with a locality hint: affinity names the worker whose
+// cache most likely holds f's data (use AffinityFor to derive it from a
+// shard or partition id, or NoAffinity for none). A valid hint delivers
+// f to that worker's bounded mailbox, which it drains right after its
+// own deque — bypassing the injection queue, where any (usually cold)
+// worker would pick it up. A full or disabled mailbox, an out-of-range
+// hint, or NoAffinity all fall back to the plain Fork path, so Submit
+// is never worse than Fork; the hint is advisory and a hinted task may
+// still be taken by another worker as a last resort (see stealOnce),
+// so affinity can never strand work behind a busy worker.
+//
+// w follows the Fork contract: the worker the caller is running on, or
+// nil from outside the runtime.
+func (rt *Runtime) Submit(w *Worker, f func(*Worker), affinity int) {
+	if rt.stopping.Load() {
+		panic("sched: Submit after Shutdown: " + ErrShutdown.Error())
+	}
+	if affinity >= 0 && affinity < len(rt.workers) && rt.opt.MailboxCap > 0 {
+		rt.pending.Add(1)
+		if rt.workers[affinity].mbox.put(f, rt.opt.MailboxCap) {
+			rt.statsFor(w).spawns.Add(1)
+			// Same wake protocol as a deque push: the task is published
+			// (mbox.put is sequenced before this idlers read), and
+			// workAvailable scans mailboxes, so a parked worker cannot
+			// miss it.
+			rt.wakeIdlers()
+			return
+		}
+		rt.pending.Add(-1) // mailbox full: retire and take the Fork path
+	}
+	rt.Fork(w, f)
 }
 
 // enqueue puts f on w's deque (or the injection queue when w is nil) and
@@ -166,6 +284,17 @@ func (rt *Runtime) enqueue(w *Worker, f task, counter *atomic.Int64) {
 		rt.mu.Unlock()
 		return
 	}
+	rt.wakeIdlers()
+}
+
+// wakeIdlers wakes parked workers after publishing a task somewhere
+// workAvailable can see it (a deque, a mailbox). The idlers fast path
+// makes the uncontended case a single atomic load; the Dekker-style
+// pairing with park() — publish then read idlers, versus register
+// idler then re-check workAvailable, all SC atomics — guarantees that
+// if we skip the broadcast the parking worker's final re-check sees
+// our task.
+func (rt *Runtime) wakeIdlers() {
 	if rt.idlers.Load() > 0 {
 		rt.mu.Lock()
 		rt.wakeGen++
@@ -256,12 +385,31 @@ func (w *Worker) run() {
 }
 
 // next returns the next task to run without blocking: local deque first
-// (stack discipline), then the injection queue, then one steal sweep.
+// (stack discipline), then the worker's own mailbox (affine deliveries,
+// oldest first), then the injection queue, then one steal sweep.
+//
+// Deviation accounting (Herlihy & Liu, "Well-Structured Futures and
+// Cache Locality"): a deviation is charged whenever a worker executes a
+// task it neither spawned nor resumed from its own deque — the events
+// whose count bounds the scheduler-induced cache misses. Steals charge
+// one per stolen task (including each task of a steal-half batch) and
+// so does an injection-queue pickup (the submitter was external; whoever
+// drains it is running work whose data it did not produce). Draining
+// the worker's OWN mailbox is deliberately not a deviation: the hint
+// names this worker because it produced the task's data (that is the
+// point of the mailbox path), so the pickup is locality-preserving by
+// construction — while a foreign mailbox drain in the steal sweep
+// charges one like any steal.
 func (w *Worker) next() task {
 	if t := w.dq.pop(); t != nil {
 		return t
 	}
+	if t := w.mbox.take(); t != nil {
+		w.stats.mailboxHits.Add(1)
+		return t
+	}
 	if t := w.rt.pollInject(); t != nil {
+		w.stats.deviations.Add(1)
 		return t
 	}
 	return w.stealOnce()
@@ -287,26 +435,112 @@ func (rt *Runtime) pollInject() task {
 	return t
 }
 
-// stealOnce sweeps the other workers once from a random start and takes
-// the first task it can claim.
+// stealOnce sweeps for work to take from other workers: first the
+// deques of the thief's own affinity group (keep the work on the cores
+// that share its cache domain), then every deque, then — last resort —
+// other workers' mailboxes, so an affinity hint at a stalled worker can
+// never strand a runnable task. Every task acquired here is a
+// deviation.
+//
+// Each sweep starts at a uniformly random index into a precomputed
+// victim slice that excludes the thief. The previous formulation drew
+// off = rand % n over ALL n workers and skipped self inside the loop,
+// which is biased: when the draw lands on the thief itself (probability
+// 1/n) the first probe falls through to its right-hand neighbor, whose
+// chance of being probed first is therefore 2/n while every other
+// victim gets 1/n — a systematic preference invisible at p=2 but real
+// at any p≥3, power of two or not. The victim-slice draw gives every
+// victim exactly 1/(n−1). The draw itself uses the xorshift state's
+// high bits via a 64×32→high-32 multiply (randN) instead of a modulus
+// on the raw low bits, which for power-of-two n would expose xorshift's
+// weakest bits.
 func (w *Worker) stealOnce() task {
-	n := len(w.rt.workers)
-	if n == 1 {
+	if len(w.peers) == 0 {
 		return nil
 	}
-	off := int(w.nextRand() % uint64(n))
+	if t := w.sweepDeques(w.groupPeers); t != nil {
+		return t
+	}
+	if t := w.sweepDeques(w.peers); t != nil {
+		return t
+	}
+	return w.sweepMailboxes()
+}
+
+// sweepDeques probes each victim's deque once from a uniformly random
+// start, claiming a single task — or, under Options.StealHalf, half the
+// victim's deque: the extra tasks are respilled onto the thief's own
+// deque (legal: the thief is its owner), so a subtree burst migrates in
+// one claim.
+func (w *Worker) sweepDeques(victims []int) task {
+	n := len(victims)
+	if n == 0 {
+		return nil
+	}
+	off := int(w.randN(uint64(n)))
 	for i := 0; i < n; i++ {
-		v := w.rt.workers[(off+i)%n]
-		if v == w {
+		v := w.rt.workers[victims[(off+i)%n]]
+		if !w.rt.opt.StealHalf {
+			if t := v.dq.steal(); t != nil {
+				w.stats.steals.Add(1)
+				w.stats.deviations.Add(1)
+				v.stats.stolenFrom.Add(1)
+				return t
+			}
 			continue
 		}
-		if t := v.dq.steal(); t != nil {
+		spilled := int64(0)
+		t := v.dq.stealHalf(func(extra task) {
+			depth := w.dq.push(extra)
+			if depth > w.stats.maxDeque.Load() {
+				w.stats.maxDeque.Store(depth)
+			}
+			spilled++
+		})
+		if t == nil {
+			continue
+		}
+		w.stats.steals.Add(1 + spilled)
+		w.stats.deviations.Add(1 + spilled)
+		v.stats.stolenFrom.Add(1 + spilled)
+		if spilled > 0 {
+			// The spilled tasks are now stealable from our deque; let
+			// other idle workers at them.
+			w.rt.wakeIdlers()
+		}
+		return t
+	}
+	return nil
+}
+
+// sweepMailboxes drains one task from some other worker's mailbox, if
+// any holds one. This violates the affinity hint on purpose: the hint
+// is advisory, and leaving mailboxed work to wait out a busy (or
+// wedged) affine worker while this one idles would trade throughput
+// for locality at the worst exchange rate. Takes charge a deviation,
+// exactly like a steal.
+func (w *Worker) sweepMailboxes() task {
+	n := len(w.peers)
+	off := int(w.randN(uint64(n)))
+	for i := 0; i < n; i++ {
+		v := w.rt.workers[w.peers[(off+i)%n]]
+		if t := v.mbox.take(); t != nil {
 			w.stats.steals.Add(1)
+			w.stats.deviations.Add(1)
 			v.stats.stolenFrom.Add(1)
 			return t
 		}
 	}
 	return nil
+}
+
+// randN maps the next xorshift draw to [0, n) using the high 32 bits
+// (Lemire's multiply-shift reduction, without the rejection step —
+// victim counts are tiny, so the sub-1e-9 bias of skipping it is
+// irrelevant, while a modulus on the low bits is not: xorshift's low
+// bits are its weakest, and n is usually a power of two here).
+func (w *Worker) randN(n uint64) uint64 {
+	return ((w.nextRand() >> 32) * n) >> 32
 }
 
 // seedRand derives a worker's xorshift state from its id with a splitmix64
@@ -373,12 +607,21 @@ func (w *Worker) park() {
 // workAvailable reports whether any queue looks non-empty. A stale true
 // costs one futile sweep; a stale false is prevented by the wakeGen
 // protocol.
+//
+// The mailbox scan is load-bearing for the parking protocol, not just a
+// hint: a Submit landing in a mailbox between a worker's failed steal
+// sweep and its park publishes the task ONLY here and in the producer's
+// wakeIdlers check. If this scan missed mailboxes, a Submit that
+// observed idlers == 0 (the worker was still spinning pre-registration)
+// would broadcast nothing, the worker's pre-wait re-check would see no
+// work, and the task would strand until an unrelated wakeup — the
+// classic lost-wakeup window. TestLostWakeupSubmitVsPark pins this.
 func (rt *Runtime) workAvailable() bool {
 	if rt.injectLen.Load() > 0 {
 		return true
 	}
 	for _, v := range rt.workers {
-		if !v.dq.empty() {
+		if !v.dq.empty() || v.mbox.size() > 0 {
 			return true
 		}
 	}
@@ -427,7 +670,15 @@ type wstats struct {
 	linearSuspensions atomic.Int64
 	forwardedTouches  atomic.Int64
 
-	_ [40]byte // pad to a multiple of a cache line
+	// Locality events: deviations per Herlihy & Liu (tasks acquired that
+	// this worker neither spawned nor resumed from its own deque — every
+	// steal, every injection pickup, every cross-worker reactivation)
+	// and own-mailbox pickups (affine deliveries, the non-deviating
+	// acquisitions the mailbox path exists to create).
+	deviations  atomic.Int64
+	mailboxHits atomic.Int64
+
+	_ [24]byte // pad to a multiple of a cache line
 }
 
 // Counters is a snapshot of the runtime's scheduling statistics.
@@ -452,13 +703,30 @@ type Counters struct {
 	CellsShared    int64
 	CellsLinear    int64
 	CellsForwarded int64
-	BusyNanos      []int64
-	WorkerTasks    []int64
-	WorkerSteals   []int64
+	// Deviations counts task acquisitions that break locality, per
+	// Herlihy & Liu's "Well-Structured Futures and Cache Locality": a
+	// worker executing a task it neither spawned nor resumed from its
+	// own deque. Steals (each task of a steal-half batch), injection
+	// pickups, foreign-mailbox drains, and cross-worker reactivations
+	// (a Write requeueing a continuation suspended by a different
+	// worker) each charge one. The paper bounds scheduler-induced cache
+	// misses by this count, which makes it the target the affinity
+	// machinery (Submit hints, groups, mailboxes) minimizes.
+	Deviations int64
+	// MailboxHits counts tasks a worker drained from its OWN mailbox —
+	// affine deliveries that bypassed the injection queue. These are
+	// the acquisitions the locality policy turned from deviations into
+	// local work.
+	MailboxHits  int64
+	BusyNanos    []int64
+	WorkerTasks  []int64
+	WorkerSteals []int64
 	// WorkerStolenFrom counts, per worker, tasks that thieves took from
 	// that worker's deque — the victim-side view of WorkerSteals. A healthy
 	// runtime under load spreads theft across >1 victim.
 	WorkerStolenFrom []int64
+	// WorkerDeviations is the per-worker view of Deviations.
+	WorkerDeviations []int64
 }
 
 // Counters samples every counter block. Safe to call at any time,
@@ -474,6 +742,8 @@ func (rt *Runtime) Counters() Counters {
 		c.LinearTouches += s.linearTouches.Load()
 		c.LinearSuspensions += s.linearSuspensions.Load()
 		c.ForwardedTouches += s.forwardedTouches.Load()
+		c.Deviations += s.deviations.Load()
+		c.MailboxHits += s.mailboxHits.Load()
 		if m := s.maxDeque.Load(); m > c.MaxDeque {
 			c.MaxDeque = m
 		}
@@ -497,17 +767,22 @@ func (rt *Runtime) Counters() Counters {
 		c.WorkerTasks = append(c.WorkerTasks, w.stats.tasks.Load())
 		c.WorkerSteals = append(c.WorkerSteals, w.stats.steals.Load())
 		c.WorkerStolenFrom = append(c.WorkerStolenFrom, w.stats.stolenFrom.Load())
+		c.WorkerDeviations = append(c.WorkerDeviations, w.stats.deviations.Load())
 	}
 	return c
 }
 
-// Backlog reports the current (not high-water) queue depths: the length
-// of the injection queue and the deepest worker deque right now. It is
-// the admission-control signal of the serving layer — both numbers are
+// Backlog reports the current (not high-water) queue depths: the
+// pooled injection-queue-plus-mailbox length and the deepest worker
+// deque right now. Mailboxed tasks count as injected backlog — they
+// are externally submitted work awaiting a worker, just parked closer
+// to a warm cache — so the serving layer's admission control sees the
+// same pressure whichever path a submission took. Both numbers are
 // monitoring-grade reads of concurrently mutated state.
 func (rt *Runtime) Backlog() (inject int, maxDeque int) {
 	inject = int(rt.injectLen.Load())
 	for _, w := range rt.workers {
+		inject += int(w.mbox.size())
 		if d := int(w.dq.size()); d > maxDeque {
 			maxDeque = d
 		}
@@ -531,10 +806,13 @@ func (c Counters) Sub(prev Counters) Counters {
 	out.CellsShared -= prev.CellsShared
 	out.CellsLinear -= prev.CellsLinear
 	out.CellsForwarded -= prev.CellsForwarded
+	out.Deviations -= prev.Deviations
+	out.MailboxHits -= prev.MailboxHits
 	out.BusyNanos = subSlice(c.BusyNanos, prev.BusyNanos)
 	out.WorkerTasks = subSlice(c.WorkerTasks, prev.WorkerTasks)
 	out.WorkerSteals = subSlice(c.WorkerSteals, prev.WorkerSteals)
 	out.WorkerStolenFrom = subSlice(c.WorkerStolenFrom, prev.WorkerStolenFrom)
+	out.WorkerDeviations = subSlice(c.WorkerDeviations, prev.WorkerDeviations)
 	return out
 }
 
@@ -551,8 +829,9 @@ func subSlice(a, b []int64) []int64 {
 
 // String renders the aggregate counters on one line.
 func (c Counters) String() string {
-	return fmt.Sprintf("spawns=%d steals=%d susp=%d react=%d tasks=%d maxdeq=%d lin=%d/%d fwd=%d cells=%d/%d/%d",
+	return fmt.Sprintf("spawns=%d steals=%d susp=%d react=%d tasks=%d maxdeq=%d lin=%d/%d fwd=%d cells=%d/%d/%d dev=%d mbox=%d",
 		c.Spawns, c.Steals, c.Suspensions, c.Reactivations, c.Tasks, c.MaxDeque,
 		c.LinearTouches, c.LinearSuspensions, c.ForwardedTouches,
-		c.CellsShared, c.CellsLinear, c.CellsForwarded)
+		c.CellsShared, c.CellsLinear, c.CellsForwarded,
+		c.Deviations, c.MailboxHits)
 }

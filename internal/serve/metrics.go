@@ -75,8 +75,9 @@ type ShardMetrics struct {
 // samples (plus scatter-gather read samples), not an average of per-shard
 // quantiles — so with one shard they agree exactly with that shard's.
 type Metrics struct {
-	Backend string `json:"backend"`
-	Shards  int    `json:"shards"`
+	Backend     string `json:"backend"`
+	Shards      int    `json:"shards"`
+	StealPolicy string `json:"steal_policy"`
 
 	Offered      int64 `json:"offered"`
 	Admitted     int64 `json:"admitted"`
@@ -106,6 +107,15 @@ type Metrics struct {
 	Tasks         int64   `json:"tasks"`
 	SchedMaxDeque int64   `json:"sched_max_deque"`
 	BusyNanos     []int64 `json:"busy_nanos"`
+
+	// Locality counters (see DESIGN.md "Locality-aware scheduling"):
+	// Deviations is Herlihy & Liu's cache-miss bound proxy — tasks a
+	// worker acquired that it neither spawned nor resumed from its own
+	// deque; MailboxHits counts affine deliveries drained from the
+	// owning worker's mailbox. The affine policy should trade the former
+	// for the latter at equal or better throughput.
+	Deviations  int64 `json:"deviations"`
+	MailboxHits int64 `json:"mailbox_hits"`
 
 	// Specialized-cell traffic (see DESIGN.md "Verdict-driven cell
 	// specialization"): nonzero LinearTouches means the backend's pinned
@@ -143,6 +153,7 @@ func (s *Server) Metrics() Metrics {
 	var m Metrics
 	m.Backend = s.be.Name()
 	m.Shards = len(s.shards)
+	m.StealPolicy = s.cfg.StealPolicy
 	m.Offered = s.met.offered.Load()
 	m.Admitted = s.met.admitted.Load()
 	m.Completed = s.met.completed.Load()
@@ -203,6 +214,8 @@ func (s *Server) Metrics() Metrics {
 	m.Tasks = c.Tasks
 	m.SchedMaxDeque = c.MaxDeque
 	m.BusyNanos = c.BusyNanos
+	m.Deviations = c.Deviations
+	m.MailboxHits = c.MailboxHits
 	m.LinearTouches = c.LinearTouches
 	m.LinearSuspensions = c.LinearSuspensions
 	m.ForwardedTouches = c.ForwardedTouches

@@ -104,6 +104,15 @@ type Config struct {
 	// treap, the default) or "t26" (2-6 trees, no pipelining across
 	// batches).
 	Backend string
+	// StealPolicy selects the scheduler's locality policy: "affine" (the
+	// default) starts the runtime with shard-affine worker groups,
+	// steal-half, and per-worker mailboxes, and routes each shard's
+	// applier continuations to that shard's preferred worker; "baseline"
+	// keeps the locality-oblivious scheduler (global injection queue,
+	// uniform steal-one) for ablation. The policy never changes results,
+	// only which worker's cache the work lands in — the bench `locality`
+	// experiment measures both (deviations and req/s).
+	StealPolicy string
 	// Universe hints the dense key range [0, Universe) used to place the
 	// default shard pivots; keys outside it are legal and land on the
 	// edge shards. ≤ 0 picks DefaultUniverse. Ignored when Pivots is set.
@@ -219,7 +228,27 @@ func Open(cfg Config) (*Server, error) {
 	if !ok {
 		return nil, errors.New("serve: unknown fsync policy " + cfg.Fsync)
 	}
-	rt := paralg.NewSchedRuntime(cfg.P)
+	if cfg.StealPolicy == "" {
+		cfg.StealPolicy = StealAffine
+	}
+	var rt *paralg.SchedRuntime
+	switch cfg.StealPolicy {
+	case StealAffine:
+		// One affinity group per shard (clamped to p inside the runtime):
+		// a shard's applier continuations are mailboxed to its preferred
+		// worker, and that worker's group-mates sweep each other's deques
+		// before stealing globally, so one shard's pipeline tends to stay
+		// inside one group's caches. Steal-half keeps a migrated treap
+		// burst together when a steal does happen.
+		rt = paralg.NewSchedRuntimeOpts(cfg.P, sched.Options{
+			Groups:    cfg.Shards,
+			StealHalf: true,
+		})
+	case StealBaseline:
+		rt = paralg.NewSchedRuntime(cfg.P)
+	default:
+		return nil, errors.New("serve: unknown steal policy " + cfg.StealPolicy + " (want affine or baseline)")
+	}
 	pc := paralg.RConfig{R: rt, SpawnDepth: cfg.SpawnDepth, GrainCutoff: cfg.GrainCutoff}
 	be, err := newBackend(cfg.Backend, pc)
 	if err != nil {
@@ -269,6 +298,18 @@ func Open(cfg Config) (*Server, error) {
 
 // KnownBackends lists the backend names New accepts.
 func KnownBackends() []string { return []string{"treap", "t26"} }
+
+// Steal policies New accepts (Config.StealPolicy).
+const (
+	StealAffine   = "affine"
+	StealBaseline = "baseline"
+)
+
+// KnownStealPolicies lists the steal policy names New accepts.
+func KnownStealPolicies() []string { return []string{StealAffine, StealBaseline} }
+
+// StealPolicy returns the active steal policy name.
+func (s *Server) StealPolicy() string { return s.cfg.StealPolicy }
 
 // defaultPivots spreads k-1 boundaries evenly over [0, universe).
 func defaultPivots(k, universe int) []int {
@@ -444,11 +485,14 @@ func (s *Server) Contains(key int) (bool, uint64, error) {
 
 	start := time.Now()
 	done := sched.NewCell[bool](s.rt.RT)
-	s.rt.RT.Fork(nil, func(w *sched.Worker) {
+	// The walk reads the shard's published tree, so hint it at the
+	// shard's preferred worker (NoAffinity under the baseline policy
+	// degrades to the plain injection path).
+	s.rt.RT.Submit(nil, func(w *sched.Worker) {
 		s.be.Contains(w, st, key, func(ctx paralg.Ctx, ok bool) {
 			done.Write(asWorker(ctx), ok)
 		})
-	})
+	}, sh.pref)
 	ok, err := done.ReadErr()
 	sh.lat.record(time.Since(start))
 	s.met.completed.Add(1)
@@ -516,16 +560,16 @@ func (s *Server) Len() (int, Cut, error) {
 	var open atomic.Int64
 	open.Store(int64(len(snaps)))
 	done := sched.NewCell[int](s.rt.RT)
-	for _, sn := range snaps {
+	for i, sn := range snaps {
 		st := sn.st
-		s.rt.RT.Fork(nil, func(w *sched.Worker) {
+		s.rt.RT.Submit(nil, func(w *sched.Worker) {
 			s.be.Len(w, st, func(ctx paralg.Ctx, n int) {
 				total.Add(int64(n))
 				if open.Add(-1) == 0 {
 					done.Write(asWorker(ctx), int(total.Load()))
 				}
 			})
-		})
+		}, s.shards[i].pref)
 	}
 	n, err := done.ReadErr()
 	s.met.gatherLat.record(time.Since(start))

@@ -401,3 +401,121 @@ func TestHTTPHandler(t *testing.T) {
 		t.Errorf("post-Close op: status %d, want 503", rec.Code)
 	}
 }
+
+// TestIdleShardQuantilesMatchGlobal is the idle-shard-merge regression
+// test: with k=8 shards and every request confined to shard 0's key
+// range, seven shards have empty latency sample rings. The pooled
+// global quantiles must equal the one busy shard's exactly — an empty
+// ring must contribute zero samples to the merge, not zeros (which
+// would drag p50 to 0) or a divide-by-zero.
+func TestIdleShardQuantilesMatchGlobal(t *testing.T) {
+	const universe = 1 << 12
+	s := New(Config{P: 2, Shards: 8, Universe: universe})
+	defer s.Close()
+	shard0 := universe / 8 // shard 0 owns [0, universe/8)
+	rng := workload.NewRNG(17)
+	for i := 0; i < 200; i++ {
+		if _, err := s.Apply(OpUnion, workload.DistinctKeys(rng, 16, shard0)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Contains(rng.Intn(shard0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := s.Metrics()
+	if len(m.PerShard) != 8 {
+		t.Fatalf("PerShard has %d entries, want 8", len(m.PerShard))
+	}
+	busy := m.PerShard[0]
+	if busy.P50Nanos == 0 || busy.P99Nanos == 0 {
+		t.Fatal("busy shard recorded no latency samples")
+	}
+	for i, sm := range m.PerShard[1:] {
+		if sm.P50Nanos != 0 || sm.P99Nanos != 0 || sm.Admitted != 0 {
+			t.Fatalf("shard %d was supposed to stay idle (p50=%d admitted=%d)", i+1, sm.P50Nanos, sm.Admitted)
+		}
+	}
+	if busy.P50Nanos != m.P50Nanos || busy.P99Nanos != m.P99Nanos {
+		t.Errorf("idle-shard merge diverges: busy shard p50/p99 %d/%d, global %d/%d — empty rings must pool zero samples",
+			busy.P50Nanos, busy.P99Nanos, m.P50Nanos, m.P99Nanos)
+	}
+}
+
+// TestStealPolicies runs the same workload under both steal policies on
+// both backends: results must be identical to the sequential oracle
+// either way (the policy only moves work between caches), the admission
+// ledger must balance, and the affine policy must actually exercise the
+// mailbox path.
+func TestStealPolicies(t *testing.T) {
+	const universe = 1 << 12
+	for _, policy := range KnownStealPolicies() {
+		for _, backend := range KnownBackends() {
+			t.Run(policy+"/"+backend, func(t *testing.T) {
+				s := New(Config{P: 4, Shards: 4, Backend: backend, Universe: universe, StealPolicy: policy})
+				defer s.Close()
+				if got := s.StealPolicy(); got != policy {
+					t.Fatalf("StealPolicy() = %q, want %q", got, policy)
+				}
+				oracle := map[int]bool{}
+				rng := workload.NewRNG(uint64(29 + len(policy)))
+				for i := 0; i < 60; i++ {
+					keys := workload.DistinctKeys(rng, 24, universe)
+					op := OpUnion
+					if i%3 == 2 {
+						op = OpDifference
+					}
+					if _, err := s.Apply(op, keys); err != nil {
+						t.Fatal(err)
+					}
+					for _, k := range keys {
+						oracle[k] = op == OpUnion
+					}
+					probe := rng.Intn(universe)
+					got, _, err := s.Contains(probe)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != oracle[probe] {
+						t.Fatalf("iter %d: Contains(%d) = %v, oracle %v", i, probe, got, oracle[probe])
+					}
+				}
+				keys, _, err := s.Keys()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := 0
+				for _, in := range oracle {
+					if in {
+						want++
+					}
+				}
+				if len(keys) != want {
+					t.Fatalf("Keys() has %d keys, oracle %d — steal policy changed results", len(keys), want)
+				}
+				m := s.Metrics()
+				if m.StealPolicy != policy {
+					t.Errorf("Metrics.StealPolicy = %q, want %q", m.StealPolicy, policy)
+				}
+				var shed int64
+				for _, sm := range m.PerShard {
+					if sm.Offered != sm.Admitted+sm.Shed {
+						t.Errorf("shard ledger broken: offered %d != admitted %d + shed %d", sm.Offered, sm.Admitted, sm.Shed)
+					}
+					shed += sm.Shed
+				}
+				if m.ShedOverload != shed {
+					t.Errorf("global shed %d != per-shard sum %d", m.ShedOverload, shed)
+				}
+				if policy == StealAffine && m.MailboxHits == 0 {
+					t.Error("affine policy served a full workload with zero mailbox hits — hints are not reaching mailboxes")
+				}
+				if policy == StealBaseline && m.MailboxHits != 0 {
+					t.Errorf("baseline policy recorded %d mailbox hits — baseline must not use mailboxes", m.MailboxHits)
+				}
+			})
+		}
+	}
+	if _, err := Open(Config{P: 1, StealPolicy: "bogus"}); err == nil {
+		t.Error("Open accepted an unknown steal policy")
+	}
+}

@@ -90,6 +90,14 @@ type shard struct {
 	batches  atomic.Int64
 	lat      latRing
 
+	// Locality (see Config.StealPolicy): pref is the worker whose cache
+	// this shard's pipeline should stay in (sched.NoAffinity under the
+	// baseline policy), and actx is the paralg fork context that routes
+	// the applier's root-level forks to pref's mailbox (nil = plain
+	// injection). Query forks reuse pref directly via sched.Submit.
+	pref int
+	actx paralg.Ctx
+
 	// Durability (nil store = persistence off; see persist.go).
 	store    *persist.ShardStore
 	lastSnap atomic.Uint64 // seq of the newest durable snapshot
@@ -98,7 +106,11 @@ type shard struct {
 }
 
 func newShard(s *Server, idx, hw int) *shard {
-	sh := &shard{s: s, idx: idx, hw: hw, st: s.be.Empty(), applierDone: make(chan struct{})}
+	sh := &shard{s: s, idx: idx, hw: hw, st: s.be.Empty(), applierDone: make(chan struct{}), pref: sched.NoAffinity}
+	if s.cfg.StealPolicy == StealAffine {
+		sh.pref = s.rt.RT.AffinityFor(idx)
+		sh.actx = s.rt.AffineCtx(sh.pref)
+	}
 	sh.cond = sync.NewCond(&sh.mu)
 	return sh
 }
@@ -197,11 +209,15 @@ func (sh *shard) dispatch(run []shardReq) {
 		}
 	}
 
+	// sh.actx (affine policy) steers the coalesce/apply root forks to
+	// this shard's preferred worker's mailbox; nil (baseline) injects
+	// them globally. Either way the computed state is identical — the
+	// ctx only picks which worker's cache the pipeline stage starts in.
 	opd := run[0].opd
 	for _, r := range run[1:] {
-		opd = be.Coalesce(nil, run[0].op, opd, r.opd)
+		opd = be.Coalesce(sh.actx, run[0].op, opd, r.opd)
 	}
-	next := be.Apply(nil, sh.st, run[0].op, opd)
+	next := be.Apply(sh.actx, sh.st, run[0].op, opd)
 
 	sh.mu.Lock()
 	sh.version = v
