@@ -25,6 +25,16 @@
 // Duplicate keys aggregate by median first, so both the baseline and
 // the CI current file can hold several appended sweeps to damp
 // run-to-run noise. Uniformly faster or slower runners pass untouched.
+//
+// The JSON stream may also carry open-loop SLO points (exp "openloop",
+// internal/bench SLOPoint: p99-at-offered-load per backend × steal
+// policy × mix). When both files contain them, benchguard gates those
+// too, with the same per-backend median normalization but inverted
+// polarity — latency regresses *upward* — under its own -slo-tolerance
+// band (tails are noisier than medians). Points past the saturation
+// knee are skipped on either side's evidence: once the shed fraction
+// exceeds -slo-shed-max the tail measures the window length, not the
+// server.
 package main
 
 import (
@@ -46,6 +56,8 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional drop in median-normalized throughput")
 		minKeys   = flag.Int("minkeys", 3, "minimum shared (backend,p,shards,clients) keys required to judge")
 		maxRatio  = flag.String("maxratio", "", "absolute caps on the current run's cross-backend median ratios, comma-separated a/b=max pairs (e.g. t26/treap=8); unlike the shift check these do not depend on the baseline")
+		sloTol    = flag.Float64("slo-tolerance", 0.5, "allowed fractional rise in median-normalized open-loop p99 (SLO points)")
+		sloShed   = flag.Float64("slo-shed-max", 0.05, "skip an SLO point when either file's shed fraction exceeds this (past the knee, the tail measures the window, not the server)")
 	)
 	flag.Parse()
 	if *currentF == "" {
@@ -53,11 +65,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	base, err := load(*baselineF)
+	base, baseSLO, err := load(*baselineF)
 	if err != nil {
 		fatal(err)
 	}
-	cur, err := load(*currentF)
+	cur, curSLO, err := load(*currentF)
 	if err != nil {
 		fatal(err)
 	}
@@ -140,13 +152,48 @@ func main() {
 		fmt.Printf("%-40s current %.3f  cap %.3f  %s\n", "maxratio "+c.num+"/"+c.den, r, c.max, status)
 	}
 
+	// Open-loop SLO points: gated only when both files carry them, so
+	// a baseline refreshed before the openloop sweep existed does not
+	// fail every run — but once both sides have them, at least one
+	// below-the-knee point must be comparable, or the gate is vacuous.
+	sloCompared := 0
+	if len(baseSLO) > 0 && len(curSLO) > 0 {
+		bs, cs := normalizeSLO(baseSLO), normalizeSLO(curSLO)
+		var skeys []string
+		for k := range bs.points {
+			if _, ok := cs.points[k]; ok {
+				skeys = append(skeys, k)
+			}
+		}
+		sort.Strings(skeys)
+		for _, k := range skeys {
+			if bs.shedFrac[k] > *sloShed || cs.shedFrac[k] > *sloShed {
+				fmt.Printf("%-40s skipped (past the knee: shed %.1f%% baseline, %.1f%% current)\n",
+					"slo "+k, 100*bs.shedFrac[k], 100*cs.shedFrac[k])
+				continue
+			}
+			b, c := bs.points[k], cs.points[k]
+			delta := c/b - 1
+			status := "ok"
+			if delta > *sloTol { // latency: up is bad
+				status = "REGRESSED"
+				regressed++
+			}
+			sloCompared++
+			fmt.Printf("%-40s baseline %.3f  current %.3f  delta %+6.1f%%  %s\n", "slo "+k, b, c, 100*delta, status)
+		}
+		if sloCompared == 0 {
+			fatal(fmt.Errorf("both files carry SLO points but none are comparable below the knee — sweeps diverged or everything saturated"))
+		}
+	}
+
 	if regressed > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d checks regressed more than %.0f%% (median-normalized)\n",
 			regressed, 100**tolerance)
 		os.Exit(1)
 	}
-	fmt.Printf("benchguard: %d points and %d backend ratios within %.0f%% of baseline\n",
-		len(keys), len(backends)*(len(backends)-1)/2, 100**tolerance)
+	fmt.Printf("benchguard: %d points, %d backend ratios, and %d SLO points within tolerance of baseline\n",
+		len(keys), len(backends)*(len(backends)-1)/2, sloCompared)
 }
 
 type ratioCap struct {
@@ -182,13 +229,17 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func load(path string) ([]bench.ServePoint, error) {
+// load reads a JSON-lines file and sorts its records by the "exp"
+// discriminator: serve sweep points and open-loop SLO points; lines
+// from other experiments are ignored.
+func load(path string) ([]bench.ServePoint, []bench.SLOPoint, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
 	var out []bench.ServePoint
+	var slo []bench.SLOPoint
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -196,21 +247,38 @@ func load(path string) ([]bench.ServePoint, error) {
 		if len(line) == 0 {
 			continue
 		}
-		var p bench.ServePoint
-		if err := json.Unmarshal(line, &p); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+		var probe struct {
+			Exp string `json:"exp"`
 		}
-		if p.Exp == "serve" && p.ReqPerSec > 0 {
-			out = append(out, p)
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		switch probe.Exp {
+		case "serve":
+			var p bench.ServePoint
+			if err := json.Unmarshal(line, &p); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", path, err)
+			}
+			if p.ReqPerSec > 0 {
+				out = append(out, p)
+			}
+		case "openloop":
+			var p bench.SLOPoint
+			if err := json.Unmarshal(line, &p); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", path, err)
+			}
+			if p.P99Nanos > 0 && p.Requests > 0 {
+				slo = append(slo, p)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("%s: no serve data points", path)
+		return nil, nil, fmt.Errorf("%s: no serve data points", path)
 	}
-	return out, nil
+	return out, slo, nil
 }
 
 type normalized struct {
@@ -247,6 +315,44 @@ func normalize(pts []bench.ServePoint) normalized {
 	}
 	for k, m := range keyMed {
 		n.points[k] = m / n.backendMed[keyBackend[k]]
+	}
+	return n
+}
+
+type sloNormalized struct {
+	// points maps backend/policy/mix/offered keys to the per-key median
+	// p99 divided by the backend's median p99 (shape, not nanoseconds).
+	points map[string]float64
+	// shedFrac maps each key to its median shed fraction, the
+	// past-the-knee detector.
+	shedFrac map[string]float64
+}
+
+func normalizeSLO(pts []bench.SLOPoint) sloNormalized {
+	byKey := make(map[string][]float64)
+	shedByKey := make(map[string][]float64)
+	keyBackend := make(map[string]string)
+	for _, p := range pts {
+		k := fmt.Sprintf("%s/%s/%s/offered=%d", p.Backend, p.Policy, p.Mix, p.OfferedPerSec)
+		byKey[k] = append(byKey[k], float64(p.P99Nanos))
+		shedByKey[k] = append(shedByKey[k], float64(p.Shed)/float64(p.Requests))
+		keyBackend[k] = p.Backend
+	}
+	keyMed := make(map[string]float64, len(byKey))
+	perBackend := make(map[string][]float64)
+	for k, xs := range byKey {
+		m := median(xs)
+		keyMed[k] = m
+		perBackend[keyBackend[k]] = append(perBackend[keyBackend[k]], m)
+	}
+	backendMed := make(map[string]float64, len(perBackend))
+	for b, xs := range perBackend {
+		backendMed[b] = median(xs)
+	}
+	n := sloNormalized{points: make(map[string]float64, len(keyMed)), shedFrac: make(map[string]float64, len(keyMed))}
+	for k, m := range keyMed {
+		n.points[k] = m / backendMed[keyBackend[k]]
+		n.shedFrac[k] = median(shedByKey[k])
 	}
 	return n
 }

@@ -7,6 +7,9 @@
 //	              {"op":"difference","keys":[2]}  → {"versions":[2,0,0,0]}
 //	              {"op":"contains","key":1}       → {"version":2,"contains":true}
 //	              {"op":"len"}                    → {"versions":[2,0,1,0],"len":2}
+//	POST /dag     {"nodes":[{"ref":"set"},{"keys":[2,9]},
+//	               {"op":"union","args":[0,1]}],"want":"count"}
+//	              → {"versions":[1,0,1,0],"count":4}   (one fused round-trip)
 //	GET  /metrics → server + scheduler + per-shard counters (JSON)
 //	GET  /keys    → full contents (verification endpoint)
 //
@@ -39,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"pipefut/internal/persist"
 	"pipefut/internal/serve"
 )
 
@@ -77,6 +81,9 @@ func main() {
 	}
 	if !knownPol {
 		log.Fatalf("pipeserve: unknown -steal-policy %q (want one of %v)", *stealPol, serve.KnownStealPolicies())
+	}
+	if _, ok := persist.ParsePolicy(*fsync); !ok {
+		log.Fatalf("pipeserve: unknown -fsync %q (want one of [batch never always])", *fsync)
 	}
 
 	cfg := serve.Config{P: *p, SpawnDepth: *spawnDepth, GrainCutoff: *cutoff,
@@ -199,6 +206,36 @@ func runSmoke(cfg serve.Config) error {
 	}
 	if _, err := post(`{"op":"len"}`); err != nil {
 		return fmt.Errorf("len: %w", err)
+	}
+
+	// DAG round-trip: (set ∪ {4000,4001}) \ {1..10} in one request, with
+	// a known-count check — after the intersect above the set is exactly
+	// {1..10}, so the result must be the two literal keys.
+	postTo := func(path, body string) (map[string]any, int, error) {
+		resp, err := http.Post(base+path, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			return nil, 0, err
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return nil, resp.StatusCode, err
+		}
+		return out, resp.StatusCode, nil
+	}
+	dag, code, err := postTo("/dag", `{"nodes":[{"ref":"set"},{"keys":[4000,4001]},{"op":"union","args":[0,1]},{"keys":[1,2,3,4,5,6,7,8,9,10]},{"op":"difference","args":[2,3]}],"want":"keys"}`)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("dag: status %d err %w body %v", code, err, dag)
+	}
+	if n, ok := dag["count"].(float64); !ok || n != 2 {
+		return fmt.Errorf("dag count = %v, want 2 (body %v)", dag["count"], dag)
+	}
+	// Typed rejects: an unknown set name and a malformed shape are 400s.
+	if out, code, err := postTo("/dag", `{"nodes":[{"ref":"users"}]}`); err != nil || code != http.StatusBadRequest {
+		return fmt.Errorf("dag unknown set: status %d err %v body %v, want 400", code, err, out)
+	}
+	if out, code, err := postTo("/dag", `{"nodes":[{"op":"union","args":[0,0]}]}`); err != nil || code != http.StatusBadRequest {
+		return fmt.Errorf("dag self-cycle: status %d err %v body %v, want 400", code, err, out)
 	}
 
 	resp, err := http.Get(base + "/metrics")

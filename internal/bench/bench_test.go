@@ -34,7 +34,7 @@ func TestEveryExperimentRunsQuick(t *testing.T) {
 func TestRegistryContents(t *testing.T) {
 	want := []string{"diff", "discipline", "fig1", "fig2", "grain", "intersect",
 		"linearity", "locality", "machine", "merge", "mergesort", "mlpaper", "online",
-		"patterns", "rebalance", "sched", "serve", "speedup", "t26", "union"}
+		"openloop", "patterns", "rebalance", "sched", "serve", "speedup", "t26", "union"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))

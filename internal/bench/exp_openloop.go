@@ -1,0 +1,239 @@
+package bench
+
+// The open-loop experiment: latency-quantile-vs-offered-load SLO curves
+// for the serving layer. The serve experiment's clients are closed-loop
+// — each waits for its response before sending again — so when the
+// server slows down the clients slow down with it, and offered load
+// self-throttles exactly when the system is most stressed. That hides
+// queueing collapse: a closed-loop sweep reports modest latencies right
+// through saturation. This experiment is open-loop: arrivals are a
+// Poisson process at a configured offered rate, fired at their
+// scheduled instants whether or not earlier requests have completed,
+// and each request's latency is measured from its *scheduled* arrival
+// (not from when a free client got around to sending it), so queueing
+// delay is charged to the server — the standard coordinated-omission
+// correction. Sweeping the offered rate exposes the knee: quantiles sit
+// flat while the server keeps up, then turn sharply once offered load
+// crosses capacity and the queue grows without bound for the rest of
+// the window.
+//
+// Two workload mixes run per backend × steal policy: "single" mirrors
+// the serve experiment's one-op-per-request mix, and "dag" issues
+// operation-DAG requests (3–5 node fused pipelines through EvalDAG), so
+// the curves also price what server-side fusion does to the SLO.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pipefut/internal/serve"
+	"pipefut/internal/workload"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "openloop",
+		Paper: "Section 4 under offered (not self-throttled) load",
+		Claim: "open-loop Poisson arrivals expose the saturation knee that closed-loop clients hide: per backend × steal policy, latency quantiles vs offered load stay flat below capacity and collapse past it; DAG-shaped requests answer multi-op pipelines in one round-trip at single-op-like latency below the knee",
+		Run:   runOpenLoop,
+	})
+}
+
+// SLOPoint is the machine-readable record of one open-loop cell:
+// p50/p99-at-offered-load per backend × policy × mix. cmd/benchguard
+// gates these across runs (exp "openloop" lines in the JSON stream).
+type SLOPoint struct {
+	Exp            string  `json:"exp"`
+	Backend        string  `json:"backend"`
+	Policy         string  `json:"policy"`
+	Mix            string  `json:"mix"`
+	OfferedPerSec  int     `json:"offered_per_sec"`
+	AchievedPerSec float64 `json:"achieved_per_sec"`
+	P50Nanos       int64   `json:"p50_nanos"`
+	P99Nanos       int64   `json:"p99_nanos"`
+	Requests       int     `json:"requests"`
+	Shed           int64   `json:"shed"`
+}
+
+// arrival is one scheduled request: its Poisson arrival instant and a
+// closure with every random choice pre-drawn (workload.RNG is not
+// goroutine-safe, so no firing goroutine touches it).
+type arrival struct {
+	at   time.Duration
+	fire func() error
+}
+
+func runOpenLoop(cfg Config, w io.Writer) error {
+	maxP := runtime.GOMAXPROCS(0)
+	loads := []int{250, 500, 1000, 2000, 4000, 8000}
+	window := 2 * time.Second
+	if cfg.MaxLgN <= QuickConfig.MaxLgN {
+		loads = []int{250, 1000} // smoke: two points bracket nothing — just exercise the cell
+		window = 500 * time.Millisecond
+	}
+	const (
+		universe = 1 << 12
+		batchLen = 16
+		shards   = 4
+	)
+
+	tb := NewTable(
+		fmt.Sprintf("Open-loop SLO sweep: Poisson arrivals, %s window per cell, universe %d, k = %d, p = %d",
+			window, universe, shards, maxP),
+		"backend", "policy", "mix", "offered/s", "achieved/s", "reqs", "shed", "p50", "p99")
+	for _, backend := range serve.KnownBackends() {
+		for _, policy := range serve.KnownStealPolicies() {
+			for _, mix := range []string{"single", "dag"} {
+				for _, offered := range loads {
+					s := serve.New(serve.Config{
+						P: maxP, Backend: backend, StealPolicy: policy,
+						Shards: shards, Universe: universe,
+					})
+					rng := workload.NewRNG(cfg.Seed + uint64(offered))
+					if _, err := s.Apply(serve.OpUnion, workload.DistinctKeys(rng, universe/4, universe)); err != nil {
+						return err
+					}
+
+					// Pre-draw the whole schedule: exponential inter-arrival
+					// times at rate offered/s, and one prepared request per
+					// arrival. Drawing up front keeps the firing path free of
+					// shared state and of generator cost.
+					lambda := float64(offered)
+					var arrivals []arrival
+					for at := time.Duration(0); ; {
+						at += time.Duration(-math.Log(1-rng.Float64()) / lambda * float64(time.Second))
+						if at > window {
+							break
+						}
+						arrivals = append(arrivals, arrival{at: at, fire: prepareRequest(s, rng, mix, universe, batchLen)})
+					}
+
+					// Fire. One goroutine per arrival, all launched before the
+					// clock starts: each sleeps until its own instant and
+					// sends, so no request ever waits for another's response —
+					// the open loop. Latency runs from the scheduled instant.
+					lats := make([]int64, len(arrivals))
+					var shed atomic.Int64
+					var wg sync.WaitGroup
+					start := time.Now()
+					for i := range arrivals {
+						a := arrivals[i]
+						wg.Add(1)
+						go func(i int) {
+							defer wg.Done()
+							if d := a.at - time.Since(start); d > 0 {
+								time.Sleep(d)
+							}
+							if err := a.fire(); err != nil {
+								shed.Add(1)
+								lats[i] = -1
+								return
+							}
+							lats[i] = int64(time.Since(start) - a.at)
+						}(i)
+					}
+					wg.Wait()
+					elapsed := time.Since(start)
+					s.Close()
+
+					// Quantiles over completed requests only; sheds are
+					// reported alongside (a shed answers fast — folding it in
+					// would *improve* the tail exactly when the server gives
+					// up, which is the wrong direction).
+					ok := lats[:0]
+					for _, l := range lats {
+						if l >= 0 {
+							ok = append(ok, l)
+						}
+					}
+					sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+					var p50, p99 time.Duration
+					if n := len(ok); n > 0 {
+						p50, p99 = time.Duration(ok[n/2]), time.Duration(ok[(n*99)/100])
+					}
+					achieved := float64(len(ok)) / elapsed.Seconds()
+					tb.Row(backend, policy, mix, I(int64(offered)), F(achieved),
+						I(int64(len(arrivals))), I(shed.Load()), p50.String(), p99.String())
+					cfg.EmitJSON(SLOPoint{
+						Exp: "openloop", Backend: backend, Policy: policy, Mix: mix,
+						OfferedPerSec: offered, AchievedPerSec: achieved,
+						P50Nanos: int64(p50), P99Nanos: int64(p99),
+						Requests: len(arrivals), Shed: shed.Load(),
+					})
+				}
+			}
+		}
+	}
+	tb.Note("open loop: every request fires at its scheduled Poisson instant regardless of outstanding responses; latency is measured from that instant, so queueing delay counts (no coordinated omission)")
+	tb.Note("below capacity the quantiles sit flat; past it they grow with the remaining window length — the knee closed-loop clients cannot show, because their arrival rate collapses with the server")
+	tb.Note("achieved/s < offered/s past the knee = shed + still-queued work; sheds (HTTP 429s) are excluded from the quantiles and reported separately")
+	tb.Note("the dag mix sends 3-5 node fused pipelines (EvalDAG): one round-trip per multi-op request, so compare its per-request quantiles against issuing the same ops singly")
+	return tb.Fprint(w)
+}
+
+// prepareRequest draws one request for the mix and returns a closure
+// that fires it. All randomness is consumed here, on the schedule
+// builder's goroutine.
+func prepareRequest(s *serve.Server, rng *workload.RNG, mix string, universe, batchLen int) func() error {
+	keys := func(n int) []int {
+		ks := make([]int, n)
+		for i := range ks {
+			ks[i] = rng.Intn(universe)
+		}
+		return ks
+	}
+	if mix == "dag" {
+		// Rotate three DAG shapes — the catalog the planner exists for.
+		switch rng.Uint64() % 3 {
+		case 0: // (set ∪ B) \ C, count terminal
+			b, c := keys(batchLen), keys(batchLen)
+			return func() error {
+				_, err := s.EvalDAG(serve.DAGRequest{Nodes: []serve.DAGNode{
+					{Ref: serve.SetRef}, {Keys: b}, {Op: "union", Args: []int{0, 1}},
+					{Keys: c}, {Op: "difference", Args: []int{2, 3}},
+				}})
+				return err
+			}
+		case 1: // k-way union
+			b1, b2, b3 := keys(batchLen), keys(batchLen), keys(batchLen)
+			return func() error {
+				_, err := s.EvalDAG(serve.DAGRequest{Nodes: []serve.DAGNode{
+					{Ref: serve.SetRef}, {Keys: b1}, {Keys: b2}, {Keys: b3},
+					{Op: "union", Args: []int{0, 1, 2, 3}},
+				}})
+				return err
+			}
+		default: // filter-then-count
+			f := keys(universe / 8)
+			return func() error {
+				_, err := s.EvalDAG(serve.DAGRequest{Nodes: []serve.DAGNode{
+					{Ref: serve.SetRef}, {Keys: f}, {Op: "intersect", Args: []int{0, 1}},
+				}})
+				return err
+			}
+		}
+	}
+	// Single-op mix, the serve experiment's proportions.
+	switch roll := rng.Uint64() % 100; {
+	case roll < 40:
+		ks := keys(batchLen)
+		return func() error { _, err := s.Apply(serve.OpUnion, ks); return err }
+	case roll < 65:
+		ks := keys(batchLen)
+		return func() error { _, err := s.Apply(serve.OpDifference, ks); return err }
+	case roll < 70:
+		ks := keys(universe / 2)
+		return func() error { _, err := s.Apply(serve.OpIntersect, ks); return err }
+	case roll < 95:
+		k := rng.Intn(universe)
+		return func() error { _, _, err := s.Contains(k); return err }
+	default:
+		return func() error { _, _, err := s.Len(); return err }
+	}
+}

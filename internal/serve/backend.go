@@ -82,6 +82,30 @@ type Backend interface {
 	// suspending (never blocking) on parts of st that have not
 	// materialized — the durability layer's background snapshot walk.
 	Snapshot(ctx paralg.Ctx, st State, k func(paralg.Ctx, []int))
+
+	// DAG evaluation (see dag.go): the five methods below lower one
+	// operation-DAG node onto the backend. Values are backend-private
+	// intermediates, never published as shard states — for the treap a
+	// value is a pipelined root cell, so DAGCombine consumes operands
+	// that may not have materialized yet and the whole DAG becomes one
+	// fused tree pass; for t26 a value is a materialized sorted key
+	// slice and each combine is a barrier (the control group, as ever).
+
+	// DAGFromState lifts one shard's snapshot into a DAG value.
+	DAGFromState(ctx paralg.Ctx, st State) any
+	// DAGFromKeys lifts a literal sorted distinct key slice into a DAG
+	// value. The slice is the caller's; implementations must not retain
+	// it mutably.
+	DAGFromKeys(ctx paralg.Ctx, keys []int) any
+	// DAGCombine applies one DAG operation (union, difference,
+	// intersect) to two values.
+	DAGCombine(ctx paralg.Ctx, op Op, a, b any) any
+	// DAGCount reports a DAG value's cardinality through continuation
+	// k, suspending (never blocking) on unmaterialized parts.
+	DAGCount(ctx paralg.Ctx, v any, k func(paralg.Ctx, int))
+	// DAGKeys returns a DAG value's sorted contents, blocking until it
+	// fully materializes. Verification path, external callers only.
+	DAGKeys(v any) []int
 }
 
 // newBackend resolves a backend name ("" defaults to treap). Each
@@ -181,19 +205,48 @@ func (b treapBackend) Snapshot(ctx paralg.Ctx, st State, k func(paralg.Ctx, []in
 }
 
 func (b treapBackend) Keys(st State) []int {
-	var out []int
-	var walk func(t paralg.NodeCell)
-	walk = func(t paralg.NodeCell) {
-		n := t.Read()
-		if n == nil {
-			return
-		}
-		walk(n.Left)
-		out = append(out, n.Key)
-		walk(n.Right)
+	return treapAppendKeys(st.(paralg.NodeCell), nil)
+}
+
+func treapAppendKeys(t paralg.NodeCell, out []int) []int {
+	n := t.Read()
+	if n == nil {
+		return out
 	}
-	walk(st.(paralg.NodeCell))
-	return out
+	out = treapAppendKeys(n.Left, out)
+	out = append(out, n.Key)
+	return treapAppendKeys(n.Right, out)
+}
+
+// DAGFromState is the identity: the snapshot root cell — possibly still
+// materializing behind an earlier mutation — *is* the DAG value, which
+// is exactly the published-before-materialized contract: downstream
+// combines start splitting against it immediately.
+func (b treapBackend) DAGFromState(_ paralg.Ctx, st State) any { return st.(paralg.NodeCell) }
+
+func (b treapBackend) DAGFromKeys(ctx paralg.Ctx, keys []int) any {
+	return b.pc.BuildTreap(ctx, keys)
+}
+
+func (b treapBackend) DAGCombine(ctx paralg.Ctx, op Op, a, b2 any) any {
+	x, y := a.(paralg.NodeCell), b2.(paralg.NodeCell)
+	switch op {
+	case OpUnion:
+		return b.pc.Union(ctx, x, y)
+	case OpDifference:
+		return b.pc.Diff(ctx, x, y)
+	case OpIntersect:
+		return b.pc.Intersect(ctx, x, y)
+	}
+	panic("serve: treap backend: unknown dag op " + string(op))
+}
+
+func (b treapBackend) DAGCount(ctx paralg.Ctx, v any, k func(paralg.Ctx, int)) {
+	paralg.RLen(ctx, v.(paralg.NodeCell), k)
+}
+
+func (b treapBackend) DAGKeys(v any) []int {
+	return treapAppendKeys(v.(paralg.NodeCell), nil)
 }
 
 // ---- t26 backend ---------------------------------------------------------
@@ -317,6 +370,34 @@ func (b t26Backend) Keys(st State) []int {
 	return t26AppendKeys(st.(paralg.T26Cell), nil)
 }
 
+// DAGFromState materializes the shard snapshot into a sorted slice —
+// for t26 every published state is already fully built, so this never
+// waits; it just fixes the DAG's value representation.
+func (b t26Backend) DAGFromState(_ paralg.Ctx, st State) any {
+	return t26AppendKeys(st.(paralg.T26Cell), nil)
+}
+
+func (b t26Backend) DAGFromKeys(_ paralg.Ctx, keys []int) any { return keys }
+
+func (b t26Backend) DAGCombine(_ paralg.Ctx, op Op, a, b2 any) any {
+	x, y := a.([]int), b2.([]int)
+	switch op {
+	case OpUnion:
+		return mergeSortedDistinct(x, y)
+	case OpDifference:
+		return sortedDiff(x, y)
+	case OpIntersect:
+		return sortedIntersect(x, y)
+	}
+	panic("serve: t26 backend: unknown dag op " + string(op))
+}
+
+func (b t26Backend) DAGCount(ctx paralg.Ctx, v any, k func(paralg.Ctx, int)) {
+	k(ctx, len(v.([]int)))
+}
+
+func (b t26Backend) DAGKeys(v any) []int { return v.([]int) }
+
 func t26AppendKeys(c paralg.T26Cell, out []int) []int {
 	n := c.Read()
 	if n.IsLeaf() {
@@ -365,6 +446,24 @@ func mergeSortedDistinct(a, b []int) []int {
 	}
 	out = append(out, a[i:]...)
 	return append(out, b[j:]...)
+}
+
+func sortedDiff(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return append(out, a[i:]...)
 }
 
 func sortedIntersect(a, b []int) []int {

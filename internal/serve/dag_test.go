@@ -1,0 +1,495 @@
+package serve
+
+// Operation-DAG tests: planner validation, the fused evaluator vs an
+// independent sequential set-algebra oracle (table-driven + fuzz), the
+// consistent-cut guarantee for DAG leaves, pre-planning admission, and
+// the HTTP round-trip.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// oracleDAG evaluates req sequentially over plain sorted slices —
+// independent of the planner and the backends: its own DFS, its own
+// cycle/depth/shape checks, textbook merges. set is the server's sorted
+// contents at the request's cut.
+func oracleDAG(req DAGRequest, set []int) ([]int, error) {
+	bad := errors.New("oracle: bad dag")
+	n := len(req.Nodes)
+	if n == 0 || n > MaxDAGNodes {
+		return nil, bad
+	}
+	result := n - 1
+	if req.Result != nil {
+		result = *req.Result
+	}
+	if result < 0 || result >= n {
+		return nil, bad
+	}
+	if req.Want != "" && req.Want != DAGWantCount && req.Want != DAGWantKeys {
+		return nil, bad
+	}
+	vals := make([][]int, n)
+	state := make([]int8, n) // 0 unvisited, 1 in progress, 2 done
+	depth := make([]int, n)
+	var eval func(i int) error
+	eval = func(i int) error {
+		if i < 0 || i >= n {
+			return bad
+		}
+		switch state[i] {
+		case 2:
+			return nil
+		case 1:
+			return bad // cycle
+		}
+		state[i] = 1
+		nd := req.Nodes[i]
+		switch {
+		case nd.Ref != "":
+			if nd.Keys != nil || nd.Op != "" || nd.Args != nil || nd.Ref != SetRef {
+				return bad
+			}
+			vals[i] = set
+			depth[i] = 1
+		case nd.Op != "":
+			if nd.Keys != nil || len(nd.Args) < 2 {
+				return bad
+			}
+			d := 0
+			for _, a := range nd.Args {
+				if err := eval(a); err != nil {
+					return err
+				}
+				if depth[a] > d {
+					d = depth[a]
+				}
+			}
+			depth[i] = d + 1
+			if depth[i] > MaxDAGDepth {
+				return bad
+			}
+			acc := vals[nd.Args[0]]
+			for _, a := range nd.Args[1:] {
+				switch Op(nd.Op) {
+				case OpUnion:
+					acc = mergeSortedDistinct(acc, vals[a])
+				case OpDifference:
+					acc = sortedDiff(acc, vals[a])
+				case OpIntersect:
+					acc = sortedIntersect(acc, vals[a])
+				default:
+					return bad
+				}
+			}
+			vals[i] = acc
+		case nd.Keys != nil:
+			if nd.Args != nil {
+				return bad
+			}
+			vals[i] = sortedDistinct(nd.Keys)
+			depth[i] = 1
+		default:
+			return bad
+		}
+		state[i] = 2
+		return nil
+	}
+	if err := eval(result); err != nil {
+		return nil, err
+	}
+	return vals[result], nil
+}
+
+func intPtr(i int) *int { return &i }
+
+// TestDAGThreeNode is the acceptance shape: (set ∪ B) \ C answered in
+// one round-trip, equal to the oracle, on every backend × shard count.
+func TestDAGThreeNode(t *testing.T) {
+	for _, backend := range KnownBackends() {
+		for _, shards := range []int{1, 3} {
+			t.Run(backend, func(t *testing.T) {
+				s := New(Config{P: 2, Shards: shards, Universe: 100, Backend: backend})
+				defer s.Close()
+				base := []int{2, 30, 31, 64, 90}
+				if _, err := s.Apply(OpUnion, base); err != nil {
+					t.Fatalf("seed: %v", err)
+				}
+				req := DAGRequest{
+					Nodes: []DAGNode{
+						{Ref: SetRef},
+						{Keys: []int{5, 64, 5, 77}},
+						{Op: "union", Args: []int{0, 1}},
+						{Keys: []int{30, 77, 99}},
+						{Op: "difference", Args: []int{2, 3}},
+					},
+					Want: DAGWantKeys,
+				}
+				want, err := oracleDAG(req, base)
+				if err != nil {
+					t.Fatalf("oracle: %v", err)
+				}
+				res, err := s.EvalDAG(req)
+				if err != nil {
+					t.Fatalf("EvalDAG: %v", err)
+				}
+				if !slices.Equal(res.Keys, want) || res.Count != len(want) {
+					t.Fatalf("got keys=%v count=%d, want %v", res.Keys, res.Count, want)
+				}
+				if len(res.Cut) != shards {
+					t.Fatalf("cut %v, want %d slots", res.Cut, shards)
+				}
+				// Count-only terminal on the same DAG (the countdown path).
+				req.Want = DAGWantCount
+				res, err = s.EvalDAG(req)
+				if err != nil || res.Count != len(want) || res.Keys != nil {
+					t.Fatalf("count terminal: res=%+v err=%v, want count %d", res, err, len(want))
+				}
+			})
+		}
+	}
+}
+
+// TestDAGDiamond shares one node as an operand of two ops — the values
+// must be reusable (for the treap: root cells touched by two consumers).
+func TestDAGDiamond(t *testing.T) {
+	for _, backend := range KnownBackends() {
+		t.Run(backend, func(t *testing.T) {
+			s := New(Config{P: 2, Shards: 2, Universe: 64, Backend: backend})
+			defer s.Close()
+			base := []int{1, 5, 9, 33, 40}
+			if _, err := s.Apply(OpUnion, base); err != nil {
+				t.Fatalf("seed: %v", err)
+			}
+			// (set ∪ L) ∩ (set \ M): node 0 feeds both arms.
+			req := DAGRequest{
+				Nodes: []DAGNode{
+					{Ref: SetRef},
+					{Keys: []int{5, 50}},
+					{Keys: []int{9}},
+					{Op: "union", Args: []int{0, 1}},
+					{Op: "difference", Args: []int{0, 2}},
+					{Op: "intersect", Args: []int{3, 4}},
+				},
+				Want: DAGWantKeys,
+			}
+			want, err := oracleDAG(req, base)
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			res, err := s.EvalDAG(req)
+			if err != nil || !slices.Equal(res.Keys, want) {
+				t.Fatalf("got %v err=%v, want %v", res.Keys, err, want)
+			}
+		})
+	}
+}
+
+// TestDAGPlannerValidation walks every reject branch: each bad shape
+// must come back as ErrBadRequest (the HTTP layer's 400), never a
+// panic, never a plain 500-style error.
+func TestDAGPlannerValidation(t *testing.T) {
+	deep := DAGRequest{Nodes: []DAGNode{{Keys: []int{1}}, {Keys: []int{2}}}}
+	for i := 0; i < MaxDAGDepth+1; i++ { // chain of ops one past the cap
+		deep.Nodes = append(deep.Nodes, DAGNode{Op: "union", Args: []int{len(deep.Nodes) - 1, 0}})
+	}
+	wide := DAGRequest{}
+	for i := 0; i <= MaxDAGNodes; i++ {
+		wide.Nodes = append(wide.Nodes, DAGNode{Keys: []int{i}})
+	}
+	cases := []struct {
+		name string
+		req  DAGRequest
+	}{
+		{"empty dag", DAGRequest{}},
+		{"too many nodes", wide},
+		{"too deep", deep},
+		{"result out of range", DAGRequest{Nodes: []DAGNode{{Ref: SetRef}}, Result: intPtr(1)}},
+		{"negative result", DAGRequest{Nodes: []DAGNode{{Ref: SetRef}}, Result: intPtr(-1)}},
+		{"bad want", DAGRequest{Nodes: []DAGNode{{Ref: SetRef}}, Want: "sum"}},
+		{"unknown set ref", DAGRequest{Nodes: []DAGNode{{Ref: "other"}}}},
+		{"unknown op", DAGRequest{Nodes: []DAGNode{{Ref: SetRef}, {Keys: []int{1}}, {Op: "xor", Args: []int{0, 1}}}}},
+		{"one arg", DAGRequest{Nodes: []DAGNode{{Ref: SetRef}, {Op: "union", Args: []int{0}}}}},
+		{"arg out of range", DAGRequest{Nodes: []DAGNode{{Ref: SetRef}, {Op: "union", Args: []int{0, 9}}}}},
+		{"cycle", DAGRequest{Nodes: []DAGNode{{Ref: SetRef}, {Op: "union", Args: []int{0, 2}}, {Op: "union", Args: []int{0, 1}}}}},
+		{"self cycle", DAGRequest{Nodes: []DAGNode{{Op: "union", Args: []int{0, 0}}}}},
+		{"empty node", DAGRequest{Nodes: []DAGNode{{}}}},
+		{"ref with keys", DAGRequest{Nodes: []DAGNode{{Ref: SetRef, Keys: []int{1}}}}},
+		{"keys with args", DAGRequest{Nodes: []DAGNode{{Keys: []int{1}, Args: []int{0, 0}}}}},
+		{"op with keys", DAGRequest{Nodes: []DAGNode{{Keys: []int{1}}, {Op: "union", Keys: []int{2}, Args: []int{0, 0}}}}},
+	}
+	s := New(Config{P: 1, Shards: 2, Universe: 64})
+	defer s.Close()
+	for _, tc := range cases {
+		if _, err := planDAG(tc.req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("planDAG(%s): err=%v, want ErrBadRequest", tc.name, err)
+		}
+		if _, err := s.EvalDAG(tc.req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("EvalDAG(%s): err=%v, want ErrBadRequest", tc.name, err)
+		}
+	}
+	// Unreachable garbage must NOT reject: only nodes the result depends
+	// on are planned.
+	ok := DAGRequest{
+		Nodes:  []DAGNode{{Keys: []int{3, 1}}, {Ref: "nonsense", Keys: []int{9}}},
+		Result: intPtr(0),
+		Want:   DAGWantKeys,
+	}
+	res, err := s.EvalDAG(ok)
+	if err != nil || !slices.Equal(res.Keys, []int{1, 3}) {
+		t.Fatalf("unreachable node rejected: res=%+v err=%v", res, err)
+	}
+}
+
+// TestDAGOverBudgetSheds pins the admission order: a DAG whose node
+// count exceeds the shard budget sheds with ErrOverloaded *before* the
+// planner runs — the request here also contains a cycle, so reaching
+// the planner would surface ErrBadRequest instead.
+func TestDAGOverBudgetSheds(t *testing.T) {
+	s := New(Config{P: 1, Shards: 1, Universe: 64, HighWater: 4})
+	defer s.Close()
+	req := DAGRequest{Nodes: []DAGNode{
+		{Ref: SetRef},
+		{Op: "union", Args: []int{0, 2}}, // cycle with node 2
+		{Op: "union", Args: []int{0, 1}},
+		{Keys: []int{1}}, {Keys: []int{2}}, {Keys: []int{3}},
+	}, Result: intPtr(2)}
+	if _, err := s.EvalDAG(req); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err=%v, want ErrOverloaded (admission before planning)", err)
+	}
+	m := s.Metrics()
+	if m.ShedOverload == 0 {
+		t.Fatalf("shed not attributed: %+v", m)
+	}
+	if m.DAGRequests != 0 {
+		t.Fatalf("dag counted despite shed: %d", m.DAGRequests)
+	}
+}
+
+// TestDAGConsistentCut mirrors TestKeysConsistentCut: under a writer
+// that always mutates pairs (j, j+offset) spanning shards 0 and 3
+// atomically, a DAG whose set leaf is read on every shard must observe
+// a single cut — no snapshot may tear a pair.
+func TestDAGConsistentCut(t *testing.T) {
+	const (
+		universe = 1 << 16
+		offset   = 3 * universe / 4 // pair (j, j+offset): shard 0 and shard 3
+		pairs    = 300
+	)
+	s := New(Config{P: 4, Shards: 4, Universe: universe})
+	defer s.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; !stop.Load(); j = (j + 1) % pairs {
+			var err error
+			if j%3 == 2 {
+				_, err = s.Apply(OpDifference, []int{j, j + offset})
+			} else {
+				_, err = s.Apply(OpUnion, []int{j, j + offset})
+			}
+			if err != nil && !errors.Is(err, ErrOverloaded) {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+
+	// (set ∪ ∅) \ ∅ — semantically Keys, but through the DAG path: the
+	// leaf snapshot, lowering, and terminal walk per shard.
+	req := DAGRequest{
+		Nodes: []DAGNode{
+			{Ref: SetRef},
+			{Keys: []int{}},
+			{Op: "union", Args: []int{0, 1}},
+			{Op: "difference", Args: []int{2, 1}},
+		},
+		Want: DAGWantKeys,
+	}
+	for snap := 0; snap < 50; snap++ {
+		res, err := s.EvalDAG(req)
+		if errors.Is(err, ErrOverloaded) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("EvalDAG: %v", err)
+		}
+		have := make(map[int]bool, len(res.Keys))
+		for _, k := range res.Keys {
+			have[k] = true
+		}
+		for j := 0; j < pairs; j++ {
+			if have[j] != have[j+offset] {
+				t.Fatalf("snapshot %d tears pair (%d, %d): %v vs %v — not a consistent cut",
+					snap, j, j+offset, have[j], have[j+offset])
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+func TestDAGHTTP(t *testing.T) {
+	s := New(Config{P: 2, Shards: 2, Universe: 100})
+	defer s.Close()
+	h := s.Handler()
+
+	post := func(path, body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", path, bytes.NewBufferString(body)))
+		return rec
+	}
+	if rec := post("/op", `{"op":"union","keys":[2,5,64,90]}`); rec.Code != http.StatusOK {
+		t.Fatalf("seed: status %d body %s", rec.Code, rec.Body)
+	}
+	rec := post("/dag", `{"nodes":[{"ref":"set"},{"keys":[5,77]},{"op":"union","args":[0,1]},{"keys":[2,90]},{"op":"difference","args":[2,3]}],"want":"keys"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("dag: status %d body %s", rec.Code, rec.Body)
+	}
+	var resp DAGResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("dag: body %s err %v", rec.Body, err)
+	}
+	if want := []int{5, 64, 77}; !slices.Equal(resp.Keys, want) || resp.Count != 3 || len(resp.Versions) != 2 {
+		t.Fatalf("dag: got %+v, want keys %v", resp, want)
+	}
+	// Typed 400s: unknown set name, bad shape, malformed JSON.
+	if rec := post("/dag", `{"nodes":[{"ref":"users"}]}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown set: status %d body %s, want 400", rec.Code, rec.Body)
+	}
+	if rec := post("/dag", `{"nodes":[{"op":"union","args":[0,0]}]}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("self cycle: status %d, want 400", rec.Code)
+	}
+	if rec := post("/dag", `{nope`); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad json: status %d, want 400", rec.Code)
+	}
+	// The ledger saw exactly the one successful DAG.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var m Metrics
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if m.DAGRequests != 1 || m.DAGNodes != 5 {
+		t.Fatalf("dag ledger: requests=%d nodes=%d, want 1/5", m.DAGRequests, m.DAGNodes)
+	}
+}
+
+// ---- fuzz ---------------------------------------------------------------
+
+const fuzzUniverse = 64
+
+// Long-lived per-backend servers for the fuzz target: seeded once,
+// never mutated after, so every iteration sees the same set contents.
+var fuzzDAG struct {
+	once sync.Once
+	srv  map[string]*Server
+	base []int
+}
+
+func fuzzDAGSetup() {
+	fuzzDAG.srv = map[string]*Server{}
+	for k := 0; k < fuzzUniverse; k += 3 {
+		fuzzDAG.base = append(fuzzDAG.base, k)
+	}
+	for _, be := range KnownBackends() {
+		s := New(Config{P: 2, Shards: 3, Universe: fuzzUniverse, Backend: be})
+		if _, err := s.Apply(OpUnion, fuzzDAG.base); err != nil {
+			panic(err)
+		}
+		fuzzDAG.srv[be] = s
+	}
+}
+
+// decodeDAGRequest deterministically maps arbitrary bytes to a DAG
+// whose nodes are individually well-formed and whose args only point
+// backward (so no cycles and no dangling indices) — the interesting
+// planner rejects left reachable are the depth cap and whatever the
+// byte-chosen result/want hit; everything else must evaluate and match
+// the oracle.
+func decodeDAGRequest(data []byte) DAGRequest {
+	if len(data) == 0 {
+		data = []byte{0}
+	}
+	pos := 0
+	next := func() int {
+		b := int(data[pos%len(data)]) + pos/len(data) // wrap with drift, not a pure cycle
+		pos++
+		return b
+	}
+	n := 1 + next()%MaxDAGNodes
+	var req DAGRequest
+	for i := 0; i < n; i++ {
+		var nd DAGNode
+		kind := next() % 3
+		if i == 0 && kind == 2 { // node 0 has nothing to point back at
+			kind = next() % 2
+		}
+		switch kind {
+		case 0:
+			nd.Ref = SetRef
+		case 1:
+			m := next() % 8
+			nd.Keys = []int{} // present-but-empty = the empty set
+			for j := 0; j < m; j++ {
+				nd.Keys = append(nd.Keys, next()%fuzzUniverse)
+			}
+		case 2:
+			nd.Op = []string{"union", "difference", "intersect"}[next()%3]
+			k := 2 + next()%3
+			for j := 0; j < k; j++ {
+				nd.Args = append(nd.Args, next()%i)
+			}
+		}
+		req.Nodes = append(req.Nodes, nd)
+	}
+	req.Result = intPtr(next() % n)
+	if next()%2 == 0 {
+		req.Want = DAGWantKeys
+	}
+	return req
+}
+
+// FuzzDAGPlan: arbitrary valid-shape DAGs must answer exactly what the
+// sequential set-algebra oracle answers, on both backends, and the
+// planner must agree with the oracle on which requests to reject.
+func FuzzDAGPlan(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{5, 0, 1, 3, 7, 2, 0, 2, 1, 1, 2, 2, 1, 0, 3})
+	f.Add([]byte{31, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2}) // deep op chains
+	f.Add([]byte{9, 1, 7, 63, 1, 2, 3, 4, 5, 6, 7, 0, 2, 1, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzDAG.once.Do(fuzzDAGSetup)
+		req := decodeDAGRequest(data)
+		want, werr := oracleDAG(req, fuzzDAG.base)
+		for be, s := range fuzzDAG.srv {
+			res, err := s.EvalDAG(req)
+			if werr != nil {
+				if !errors.Is(err, ErrBadRequest) {
+					t.Fatalf("%s: oracle rejects (%v), EvalDAG err=%v — reject sets disagree", be, werr, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s: oracle accepts, EvalDAG err=%v (req %+v)", be, err, req)
+			}
+			if res.Count != len(want) {
+				t.Fatalf("%s: count=%d, oracle %d (req %+v)", be, res.Count, len(want), req)
+			}
+			if req.Want == DAGWantKeys && !slices.Equal(res.Keys, want) {
+				t.Fatalf("%s: keys=%v, oracle %v (req %+v)", be, res.Keys, want, req)
+			}
+		}
+	})
+}

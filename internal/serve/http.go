@@ -1,8 +1,9 @@
 package serve
 
-// The HTTP/JSON boundary: one mutation/query endpoint plus metrics and a
-// verification keys dump. Errors map onto status codes the way a load
-// balancer expects: 429 for shed load, 503 for draining.
+// The HTTP/JSON boundary: one mutation/query endpoint, an operation-DAG
+// endpoint, plus metrics and a verification keys dump. Errors map onto
+// status codes the way a load balancer expects: 400 for malformed
+// requests (don't retry), 429 for shed load, 503 for draining.
 
 import (
 	"encoding/json"
@@ -33,6 +34,16 @@ type OpResponse struct {
 	Len *int `json:"len,omitempty"`
 }
 
+// DAGResponse is the JSON body of a successful POST /dag.
+type DAGResponse struct {
+	// Versions is the consistent per-shard cut every set leaf observed.
+	Versions Cut `json:"versions"`
+	// Count is the result set's cardinality (every want kind).
+	Count int `json:"count"`
+	// Keys is the result set's sorted contents (want=keys only).
+	Keys []int `json:"keys,omitempty"`
+}
+
 type errResponse struct {
 	Error string `json:"error"`
 }
@@ -42,11 +53,15 @@ type errResponse struct {
 //	POST /op      {"op":"union","keys":[1,2]} → {"versions":[3,1]}
 //	              {"op":"contains","key":1}   → {"version":3,"contains":true}
 //	              {"op":"len"}                → {"versions":[3,1],"len":2}
+//	POST /dag     {"nodes":[{"ref":"set"},{"keys":[1,2]},
+//	               {"op":"difference","args":[0,1]}]}
+//	                                          → {"versions":[3,1],"count":7}
 //	GET  /metrics → Metrics JSON
 //	GET  /keys    → {"versions":[3,1],"keys":[1,2]}
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /op", s.handleOp)
+	mux.HandleFunc("POST /dag", s.handleDAG)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /keys", s.handleKeys)
 	return mux
@@ -82,6 +97,24 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+func (s *Server) handleDAG(w http.ResponseWriter, r *http.Request) {
+	var req DAGRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	res, err := s.EvalDAG(req)
+	if err != nil {
+		writeJSON(w, statusFor(err), errResponse{Error: err.Error()})
+		return
+	}
+	resp := DAGResponse{Versions: res.Cut, Count: res.Count, Keys: res.Keys}
+	if req.Want == DAGWantKeys && resp.Keys == nil {
+		resp.Keys = []int{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
 }
@@ -101,10 +134,13 @@ func (s *Server) handleKeys(w http.ResponseWriter, _ *http.Request) {
 	}{v, keys})
 }
 
-// statusFor maps admission errors to HTTP codes: shed load is 429 (retry
-// later), draining is 503 (this instance is going away).
+// statusFor maps serving errors to HTTP codes: malformed requests are
+// 400 (client bug, don't retry), shed load is 429 (retry later),
+// draining is 503 (this instance is going away).
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):

@@ -14,6 +14,12 @@ type serverMetrics struct {
 	completed    atomic.Int64
 	shedDraining atomic.Int64
 	gatherLat    latRing // scatter-gather reads (Len, Keys)
+
+	// Operation-DAG requests (EvalDAG): request count, total planned
+	// nodes (reachable from the result), and end-to-end latencies.
+	dagRequests atomic.Int64
+	dagNodes    atomic.Int64
+	dagLat      latRing
 }
 
 // latRing is a bounded ring of recent request latencies (nanoseconds) for
@@ -94,6 +100,14 @@ type Metrics struct {
 
 	P50Nanos int64 `json:"p50_nanos"`
 	P99Nanos int64 `json:"p99_nanos"`
+
+	// Operation-DAG request ledger (POST /dag, EvalDAG): DAGNodes is
+	// the total planned node count, so DAGNodes/DAGRequests is the mean
+	// fused-pipeline size; the quantiles cover DAG requests only.
+	DAGRequests int64 `json:"dag_requests"`
+	DAGNodes    int64 `json:"dag_nodes"`
+	DAGP50Nanos int64 `json:"dag_p50_nanos"`
+	DAGP99Nanos int64 `json:"dag_p99_nanos"`
 
 	PerShard []ShardMetrics `json:"per_shard"`
 
@@ -204,6 +218,11 @@ func (s *Server) Metrics() Metrics {
 	}
 	p50, p99 := quantilesOf(merged)
 	m.P50Nanos, m.P99Nanos = int64(p50), int64(p99)
+
+	m.DAGRequests = s.met.dagRequests.Load()
+	m.DAGNodes = s.met.dagNodes.Load()
+	dp50, dp99 := quantilesOf(s.met.dagLat.samples())
+	m.DAGP50Nanos, m.DAGP99Nanos = int64(dp50), int64(dp99)
 
 	m.InjectQueue, m.MaxDeque = s.rt.RT.Backlog()
 	c := s.rt.RT.Counters()

@@ -36,6 +36,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -226,7 +227,7 @@ func Open(cfg Config) (*Server, error) {
 	}
 	policy, ok := persist.ParsePolicy(cfg.Fsync)
 	if !ok {
-		return nil, errors.New("serve: unknown fsync policy " + cfg.Fsync)
+		return nil, fmt.Errorf("serve: unknown fsync policy %q (want batch, never, or always)", cfg.Fsync)
 	}
 	if cfg.StealPolicy == "" {
 		cfg.StealPolicy = StealAffine
@@ -359,13 +360,15 @@ func (s *Server) targetsFor(op Op, sorted []int) []int {
 // overHighWater runs the admission check against each target shard and
 // returns the first shard over its mark (nil = admit). Each shard's
 // backlog is its even share of the scheduler backlog plus its own
-// pending pieces.
-func (s *Server) overHighWater(targets []int) *shard {
+// pending pieces; cost is extra weight the request itself carries (a
+// DAG's node count — every planned node becomes at least one scheduler
+// task per shard), charged before any of it is spent.
+func (s *Server) overHighWater(targets []int, cost int) *shard {
 	inject, maxDeque := s.rt.RT.Backlog()
 	share := ceilDiv(inject+maxDeque, len(s.shards))
 	for _, ti := range targets {
 		sh := s.shards[ti]
-		if share+int(sh.queued.Load()) >= sh.hw {
+		if share+cost+int(sh.queued.Load()) >= sh.hw {
 			return sh
 		}
 	}
@@ -380,7 +383,7 @@ func (s *Server) Apply(op Op, keys []int) (Cut, error) {
 	switch op {
 	case OpUnion, OpInsert, OpDifference, OpIntersect:
 	default:
-		return nil, errors.New("serve: unknown op " + string(op))
+		return nil, fmt.Errorf("%w: unknown op %q (want union, insert, difference, or intersect)", ErrBadRequest, op)
 	}
 	s.met.offered.Add(1)
 	if s.state.Load() != stateAccepting {
@@ -419,7 +422,7 @@ func (s *Server) Apply(op Op, keys []int) (Cut, error) {
 		s.met.shedDraining.Add(1)
 		return nil, ErrDraining
 	}
-	if over := s.overHighWater(targets); over != nil {
+	if over := s.overHighWater(targets, 0); over != nil {
 		unlock()
 		over.offered.Add(1)
 		over.shed.Add(1)
@@ -470,7 +473,7 @@ func (s *Server) Contains(key int) (bool, uint64, error) {
 		s.met.shedDraining.Add(1)
 		return false, 0, ErrDraining
 	}
-	if over := s.overHighWater([]int{sh.idx}); over != nil {
+	if over := s.overHighWater([]int{sh.idx}, 0); over != nil {
 		s.routeMu.RUnlock()
 		over.offered.Add(1)
 		over.shed.Add(1)
@@ -505,7 +508,12 @@ func (s *Server) Contains(key int) (bool, uint64, error) {
 // shard under the routing write lock, so no mutation's pieces straddle
 // them — every mutation is entirely inside or entirely outside the cut
 // on all the shards it touches.
-func (s *Server) cutSnapshot() ([]snap, Cut, error) {
+func (s *Server) cutSnapshot() ([]snap, Cut, error) { return s.cutSnapshotCost(0) }
+
+// cutSnapshotCost is cutSnapshot with an extra admission weight: DAG
+// requests charge their node count here, so an over-budget DAG sheds
+// with ErrOverloaded before the planner spends anything on it.
+func (s *Server) cutSnapshotCost(cost int) ([]snap, Cut, error) {
 	s.met.offered.Add(1)
 	if s.state.Load() != stateAccepting {
 		s.met.shedDraining.Add(1)
@@ -521,7 +529,7 @@ func (s *Server) cutSnapshot() ([]snap, Cut, error) {
 		s.met.shedDraining.Add(1)
 		return nil, nil, ErrDraining
 	}
-	if over := s.overHighWater(all); over != nil {
+	if over := s.overHighWater(all, cost); over != nil {
 		s.routeMu.Unlock()
 		over.offered.Add(1)
 		over.shed.Add(1)
